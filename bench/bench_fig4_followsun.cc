@@ -1,0 +1,37 @@
+// Figure 4: Follow-the-Sun — normalized total cost as distributed solving
+// converges, for 2..10 data centers.
+#include <cstdio>
+
+#include "apps/followsun.h"
+
+using namespace cologne;
+using namespace cologne::apps;
+
+int main() {
+  printf("Figure 4: total cost as distributed solving converges\n");
+  printf("(normalized to 100%% at t=0; one line per network size)\n\n");
+  for (int n : {2, 4, 6, 8, 10}) {
+    FtsConfig cfg;
+    cfg.num_dcs = n;
+    cfg.seed = 100 + static_cast<uint64_t>(n);
+    FollowTheSunScenario scenario(cfg);
+    auto r = scenario.Run();
+    if (!r.ok()) {
+      printf("n=%d failed: %s\n", n, r.status().ToString().c_str());
+      return 1;
+    }
+    const FtsResult& res = r.value();
+    printf("%2d data centers: ", n);
+    for (const FtsSample& s : res.series) {
+      printf("t=%.0fs:%.1f%% ", s.t_s, s.normalized);
+    }
+    printf("\n                 cost reduction %.1f%%, converged in %.0fs "
+           "(%d rounds), %d VM units migrated\n",
+           res.reduction_pct, res.converge_time_s, res.rounds,
+           res.total_vms_migrated);
+  }
+  printf("\n(paper: reduction ranges from 40.4%% at 2 DCs down to 11.2%% at\n"
+         " 10 DCs — the distributed approximation weakens as the problem\n"
+         " grows; larger networks also take longer to converge)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7: aggregate throughput under channel-selection policy variations
+// (cross-layer protocol, 30 simulated nodes):
+//   * 2-hop Interference  — the original policy,
+//   * Restricted Channels — 20% of channels blocked by primary users,
+//   * 1-hop Interference  — restricted channels + one-hop cost model.
+#include <cstdio>
+
+#include "apps/wireless.h"
+
+using namespace cologne;
+using namespace cologne::apps;
+
+namespace {
+
+struct Policy {
+  const char* name;
+  double restrict_frac;
+  int hops;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Policy> policies = {
+      {"2-hop Interference", 0.0, 2},
+      {"Restricted Channels", 0.20, 2},
+      {"1-hop Interference", 0.20, 1},
+  };
+
+  std::vector<WirelessScenario> scenarios;
+  std::vector<ChannelAssignment> assignments;
+  printf("Figure 7: aggregate throughput under policy variations\n");
+  for (const Policy& pol : policies) {
+    WirelessConfig cfg;
+    cfg.restrict_frac = pol.restrict_frac;
+    cfg.interference_hops = pol.hops;
+    scenarios.emplace_back(cfg);
+    auto r = scenarios.back().AssignChannels(WirelessProtocol::kCrossLayer);
+    if (!r.ok()) {
+      printf("%s failed: %s\n", pol.name, r.status().ToString().c_str());
+      return 1;
+    }
+    printf("  %-20s interference cost %6.0f\n", pol.name,
+           r.value().interference_cost);
+    assignments.push_back(std::move(r).value());
+  }
+
+  printf("\nThroughput (Mbps) vs per-flow data rate (Mbps):\n%10s", "rate");
+  for (const Policy& pol : policies) printf(" %22s", pol.name);
+  printf("\n");
+  // Evaluate every assignment on the *same* unrestricted 2-hop physical
+  // model: the policy changes what the optimizer may use/knows, not physics.
+  WirelessConfig phys;
+  WirelessScenario physical(phys);
+  std::vector<double> totals(policies.size(), 0);
+  for (double rate = 1; rate <= 10; rate += 1) {
+    printf("%10.0f", rate);
+    for (size_t i = 0; i < policies.size(); ++i) {
+      double t = physical.AggregateThroughput(assignments[i], rate, true);
+      totals[i] += t;
+      printf(" %22.2f", t);
+    }
+    printf("\n");
+  }
+  printf("\nAverage deltas: restricted vs 2-hop %.1f%% (paper: -35.9%%), "
+         "1-hop vs restricted %.1f%% (paper: -6.9%%)\n",
+         (totals[1] / totals[0] - 1) * 100, (totals[2] / totals[1] - 1) * 100);
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the Datalog engine substrate.
+#include <benchmark/benchmark.h>
+
+#include "datalog/engine.h"
+
+using namespace cologne;
+using namespace cologne::datalog;
+
+namespace {
+
+Row R2(int64_t a, int64_t b) { return Row{Value::Int(a), Value::Int(b)}; }
+
+TableSchema Schema(const std::string& name, int arity) {
+  TableSchema s;
+  s.name = name;
+  for (int i = 0; i < arity; ++i) s.attrs.push_back("A" + std::to_string(i));
+  return s;
+}
+
+void SetupJoin(Engine* e) {
+  (void)e->DeclareTable(Schema("a", 2));
+  (void)e->DeclareTable(Schema("b", 2));
+  (void)e->DeclareTable(Schema("h", 2));
+  RuleIR r;
+  r.label = "j";
+  r.head = {"h", {TermIR::Slot(0), TermIR::Slot(2)}};
+  r.body.push_back({"a", {TermIR::Slot(0), TermIR::Slot(1)}});
+  r.body.push_back({"b", {TermIR::Slot(1), TermIR::Slot(2)}});
+  r.trigger = {1, 1};
+  r.num_slots = 3;
+  (void)e->AddRule(std::move(r));
+}
+
+}  // namespace
+
+// Incremental insert throughput through a two-way join.
+static void BM_IncrementalJoinInsert(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine e;
+    SetupJoin(&e);
+    for (int i = 0; i < n; ++i) {
+      (void)e.Apply("b", R2(i % 50, i), +1);
+    }
+    (void)e.Flush();
+    for (int i = 0; i < n; ++i) {
+      (void)e.Apply("a", R2(i, i % 50), +1);
+    }
+    (void)e.Flush();
+    benchmark::DoNotOptimize(e.GetTable("h")->size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_IncrementalJoinInsert)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Aggregate maintenance under churn.
+static void BM_AggregateChurn(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine e;
+    (void)e.DeclareTable(Schema("item", 2));
+    (void)e.DeclareTable(Schema("total", 2));
+    RuleIR r;
+    r.label = "agg";
+    r.head = {"total", {TermIR::Slot(0), TermIR::Slot(1)}};
+    r.agg = AggIR{AggKind::kSum, 1, 1};
+    r.body.push_back({"item", {TermIR::Slot(0), TermIR::Slot(1)}});
+    r.trigger = {1};
+    r.num_slots = 2;
+    (void)e.AddRule(std::move(r));
+    for (int i = 0; i < n; ++i) {
+      (void)e.Apply("item", R2(i % 16, i), +1);
+    }
+    (void)e.Flush();
+    for (int i = 0; i < n; i += 2) {
+      (void)e.Apply("item", R2(i % 16, i), -1);
+    }
+    (void)e.Flush();
+    benchmark::DoNotOptimize(e.GetTable("total")->size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AggregateChurn)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Recursive transitive closure (PSN fixpoint) on a chain graph.
+static void BM_TransitiveClosure(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine e;
+    (void)e.DeclareTable(Schema("edge", 2));
+    (void)e.DeclareTable(Schema("path", 2));
+    RuleIR base;
+    base.label = "b";
+    base.head = {"path", {TermIR::Slot(0), TermIR::Slot(1)}};
+    base.body.push_back({"edge", {TermIR::Slot(0), TermIR::Slot(1)}});
+    base.trigger = {1};
+    base.num_slots = 2;
+    (void)e.AddRule(std::move(base));
+    RuleIR rec;
+    rec.label = "r";
+    rec.head = {"path", {TermIR::Slot(0), TermIR::Slot(2)}};
+    rec.body.push_back({"edge", {TermIR::Slot(0), TermIR::Slot(1)}});
+    rec.body.push_back({"path", {TermIR::Slot(1), TermIR::Slot(2)}});
+    rec.trigger = {1, 1};
+    rec.num_slots = 3;
+    (void)e.AddRule(std::move(rec));
+    for (int i = 0; i + 1 < n; ++i) {
+      (void)e.Apply("edge", R2(i, i + 1), +1);
+    }
+    (void)e.Flush();
+    benchmark::DoNotOptimize(e.GetTable("path")->size());
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(16)->Arg(48)->Arg(96);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Microbenchmarks (google-benchmark) for the constraint solver substrate.
+#include <benchmark/benchmark.h>
+
+#include "solver/model.h"
+
+using namespace cologne::solver;
+
+// Propagation throughput: long linear chains.
+static void BM_LinearChainPropagation(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Model m;
+    std::vector<IntVar> xs;
+    for (int i = 0; i < n; ++i) xs.push_back(m.NewInt(0, 100));
+    for (int i = 0; i + 1 < n; ++i) {
+      m.PostRel(LinExpr(xs[static_cast<size_t>(i)]) + LinExpr(1), Rel::kLe,
+                LinExpr(xs[static_cast<size_t>(i + 1)]));
+    }
+    m.PostRel(LinExpr(xs[0]), Rel::kGe, LinExpr(1));
+    Solution s = m.Solve();
+    benchmark::DoNotOptimize(s.status);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinearChainPropagation)->Arg(64)->Arg(256)->Arg(1024);
+
+// Branch-and-bound on small assignment problems (the ACloud kernel).
+static void BM_AssignmentBnB(benchmark::State& state) {
+  int vms = static_cast<int>(state.range(0));
+  const int hosts = 4;
+  for (auto _ : state) {
+    Model m;
+    std::vector<std::vector<IntVar>> v(static_cast<size_t>(vms));
+    for (int i = 0; i < vms; ++i) {
+      LinExpr one;
+      for (int h = 0; h < hosts; ++h) {
+        IntVar b = m.NewBool();
+        m.MarkDecision(b);
+        v[static_cast<size_t>(i)].push_back(b);
+        one += LinExpr(b);
+      }
+      m.PostRel(one, Rel::kEq, LinExpr(1));
+    }
+    LinExpr obj;
+    for (int h = 0; h < hosts; ++h) {
+      LinExpr load;
+      for (int i = 0; i < vms; ++i) {
+        load += LinExpr::Term(10 + (i * 7) % 40, v[static_cast<size_t>(i)][static_cast<size_t>(h)]);
+      }
+      obj += LinExpr(m.MakeSquare(load));
+    }
+    m.Minimize(obj);
+    Model::Options o;
+    o.time_limit_ms = 50;
+    Solution s = m.Solve(o);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_AssignmentBnB)->Arg(6)->Arg(10)->Arg(16);
+
+// Reified constraint stacks (the wireless interference kernel).
+static void BM_ReifiedInterference(benchmark::State& state) {
+  int links = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Model m;
+    std::vector<IntVar> ch;
+    for (int i = 0; i < links; ++i) {
+      IntVar c = m.NewInt(1, 8);
+      m.MarkDecision(c);
+      ch.push_back(c);
+    }
+    LinExpr cost;
+    for (int i = 0; i + 1 < links; ++i) {
+      IntVar diff = m.MakeAbs(LinExpr(ch[static_cast<size_t>(i)]) -
+                              LinExpr(ch[static_cast<size_t>(i + 1)]));
+      cost += LinExpr(m.ReifyRel(LinExpr(diff), Rel::kLt, LinExpr(2)));
+    }
+    m.Minimize(cost);
+    Model::Options o;
+    o.time_limit_ms = 30;
+    Solution s = m.Solve(o);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_ReifiedInterference)->Arg(8)->Arg(16)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table 2: Colog program size (rules) vs generated imperative C++ (SLOC).
+//
+// Reproduces the paper's compactness comparison: each case-study program is
+// compiled and run through the C++ code generator (the RapidNet/Gecode
+// translation), and we report Colog statement counts against generated SLOC.
+// Paper reference values are printed alongside.
+#include <cstdio>
+
+#include "apps/programs.h"
+#include "colog/codegen.h"
+#include "colog/parser.h"
+#include "colog/planner.h"
+
+using namespace cologne;
+using namespace cologne::apps;
+
+namespace {
+
+struct Row2 {
+  const char* name;
+  std::string source;
+  const char* unit;
+  int paper_rules;
+  int paper_loc;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Row2> rows = {
+      {"ACloud (centralized)", ACloudProgram(true, 3), "acloud", 10, 935},
+      {"Follow-the-Sun (centralized)", FollowTheSunCentralizedProgram(),
+       "fts_central", 16, 1487},
+      {"Follow-the-Sun (distributed)", FollowTheSunDistributedProgram(true),
+       "fts_dist", 32, 3112},
+      {"Wireless (centralized)", WirelessCentralizedProgram(true),
+       "wireless_central", 35, 3229},
+      {"Wireless (distributed)", WirelessDistributedProgram(),
+       "wireless_dist", 48, 4445},
+  };
+
+  printf("Table 2: Colog and compiled C++ comparison\n");
+  printf("%-32s %12s %18s %8s | %12s %10s\n", "Protocol", "Colog rules",
+         "generated C++ SLOC", "ratio", "paper rules", "paper LOC");
+  for (const Row2& row : rows) {
+    auto parsed = colog::Parse(row.source);
+    if (!parsed.ok()) {
+      printf("%-32s PARSE ERROR: %s\n", row.name,
+             parsed.status().ToString().c_str());
+      return 1;
+    }
+    size_t rules = parsed.value().RuleCount();
+    auto compiled = colog::CompileColog(row.source);
+    if (!compiled.ok()) {
+      printf("%-32s COMPILE ERROR: %s\n", row.name,
+             compiled.status().ToString().c_str());
+      return 1;
+    }
+    std::string cpp = colog::GenerateCpp(compiled.value(), row.unit);
+    size_t sloc = colog::CountSloc(cpp);
+    printf("%-32s %12zu %18zu %7.1fx | %12d %10d\n", row.name, rules, sloc,
+           static_cast<double>(sloc) / static_cast<double>(rules),
+           row.paper_rules, row.paper_loc);
+  }
+  printf(
+      "\nNote: our distributed rule counts are lower than the paper's because"
+      "\nthe link-negotiation protocol (13 rules, omitted in the paper) runs"
+      "\nin the C++ driver; the generated-code ratio is the reproduced "
+      "shape.\n");
+  return 0;
+}

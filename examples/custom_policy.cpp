@@ -1,0 +1,79 @@
+// Policy customization walkthrough: the same deployment under three goal /
+// constraint variations, each a few lines of Colog — the paper's central
+// usability claim (Section 4.2: "it is easy to customize policies simply by
+// modifying the goals, constraints, and adding additional derivation rules").
+//
+//   build/examples/custom_policy
+#include <cstdio>
+
+#include "colog/planner.h"
+#include "common/rng.h"
+#include "runtime/instance.h"
+
+using namespace cologne;
+
+namespace {
+
+const char* kBase = R"(
+  var assign(Vid,Hid,V) forall toAssign(Vid,Hid) domain [0,1].
+  r1 toAssign(Vid,Hid) <- vm(Vid,Cpu), host(Hid).
+  d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu), C==V*Cpu.
+  d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+  c1 assignCount(Vid,V) -> V==1.
+)";
+
+Result<double> RunPolicy(const std::string& extra_rules) {
+  auto compiled = colog::CompileColog(std::string(kBase) + extra_rules);
+  if (!compiled.ok()) return compiled.status();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  runtime::Instance inst(0, &prog);
+  COLOGNE_RETURN_IF_ERROR(inst.Init());
+  Rng rng(17);
+  for (int h = 0; h < 3; ++h) {
+    COLOGNE_RETURN_IF_ERROR(inst.InsertFact("host", {Value::Int(h)}));
+  }
+  for (int v = 0; v < 12; ++v) {
+    COLOGNE_RETURN_IF_ERROR(inst.InsertFact(
+        "vm", {Value::Int(v), Value::Int(rng.UniformInt(10, 60))}));
+  }
+  runtime::SolveOptions o;
+  o.time_limit_ms = 1000;
+  inst.set_solve_options(o);
+  COLOGNE_ASSIGN_OR_RETURN(out, inst.InvokeSolver());
+  if (!out.has_solution()) return Status::SolverError("no solution");
+  return out.objective;
+}
+
+}  // namespace
+
+int main() {
+  // Policy 1: balance load (minimize CPU stdev).
+  auto balanced = RunPolicy(R"(
+    goal minimize C in hostStdevCpu(C).
+    d2 hostStdevCpu(STDEV<C>) <- hostCpu(Hid,C).
+  )");
+  printf("Policy 1 — balance load:        CPU stdev %.2f\n",
+         balanced.value_or(-1));
+
+  // Policy 2: consolidate (minimize the number of hosts in use), subject to
+  // a per-host CPU cap.
+  auto consolidated = RunPolicy(R"(
+    goal minimize N in hostsUsed(N).
+    d2 hostBusy(Hid,B) <- hostCpu(Hid,C), (B==1)==(C>=1).
+    d4 hostsUsed(SUM<B>) <- hostBusy(Hid,B).
+    c2 hostCpu(Hid,C) -> C<=220.
+  )");
+  printf("Policy 2 — consolidate:         hosts in use %.0f\n",
+         consolidated.value_or(-1));
+
+  // Policy 3: cap the hottest host (minimize the maximum load).
+  auto capped = RunPolicy(R"(
+    goal minimize M in hottest(M).
+    d2 hottest(MAX<C>) <- hostCpu(Hid,C).
+  )");
+  printf("Policy 3 — minimize peak load:  hottest host %.0f%% CPU\n",
+         capped.value_or(-1));
+
+  printf("\nEach policy differs from the last by 2-3 Colog rules.\n");
+  return 0;
+}

@@ -1,0 +1,293 @@
+#include "apps/acloud.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "apps/programs.h"
+#include "common/stats.h"
+
+namespace cologne::apps {
+
+const char* ACloudPolicyName(ACloudPolicy p) {
+  switch (p) {
+    case ACloudPolicy::kDefault: return "Default";
+    case ACloudPolicy::kHeuristic: return "Heuristic";
+    case ACloudPolicy::kACloud: return "ACloud";
+    case ACloudPolicy::kACloudM: return "ACloud (M)";
+  }
+  return "?";
+}
+
+ACloudScenario::ACloudScenario(const ACloudConfig& config)
+    : config_(config), trace_(config.trace), rng_(config.seed) {
+  num_hosts_ = config.num_dcs * config.hosts_per_dc;
+  auto plain = colog::CompileColog(ACloudProgram(false));
+  auto limited =
+      colog::CompileColog(ACloudProgram(true, config.max_migrates));
+  // Program texts are fixed; failure here is a programming error.
+  prog_plain_ = std::move(plain).value();
+  prog_limited_ = std::move(limited).value();
+}
+
+int ACloudScenario::active_vms() const {
+  int n = 0;
+  for (const Vm& vm : vms_) n += vm.active;
+  return n;
+}
+
+void ACloudScenario::UpdateLoads(double t_s) {
+  // Spread each customer's demand over its active VMs.
+  std::vector<int> active_count(
+      static_cast<size_t>(trace_.num_customers()), 0);
+  for (const Vm& vm : vms_) {
+    if (vm.active) ++active_count[static_cast<size_t>(vm.customer)];
+  }
+  for (Vm& vm : vms_) {
+    if (!vm.active) {
+      vm.cpu = 0;
+      continue;
+    }
+    int n = active_count[static_cast<size_t>(vm.customer)];
+    double demand = trace_.CustomerCpu(vm.customer, t_s) *
+                    trace_.PpsOf(vm.customer);
+    vm.cpu = std::clamp(demand / std::max(n, 1), 0.0, 100.0);
+  }
+}
+
+void ACloudScenario::ApplyWorkloadOps(double t_s) {
+  // Per customer: spawn (power on) a VM when average load exceeds the high
+  // threshold and an inactive VM exists; power one off below the low
+  // threshold (paper Section 6.2 workload derivation).
+  std::vector<std::vector<size_t>> by_customer(
+      static_cast<size_t>(trace_.num_customers()));
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    by_customer[static_cast<size_t>(vms_[i].customer)].push_back(i);
+  }
+  for (int c = 0; c < trace_.num_customers(); ++c) {
+    const auto& ids = by_customer[static_cast<size_t>(c)];
+    if (ids.empty()) continue;
+    int active = 0;
+    for (size_t i : ids) active += vms_[i].active;
+    double demand = trace_.CustomerCpu(c, t_s) * trace_.PpsOf(c);
+    double per_vm = demand / std::max(active, 1);
+    if (per_vm > config_.spawn_threshold) {
+      for (size_t i : ids) {
+        if (!vms_[i].active) {
+          vms_[i].active = true;
+          break;
+        }
+      }
+    } else if (per_vm < config_.stop_threshold && active > 1) {
+      for (size_t i : ids) {
+        if (vms_[i].active) {
+          vms_[i].active = false;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> ACloudScenario::HostLoads() const {
+  std::vector<double> load(static_cast<size_t>(num_hosts_), 0.0);
+  for (const Vm& vm : vms_) {
+    if (vm.active) load[static_cast<size_t>(vm.host)] += vm.cpu;
+  }
+  return load;
+}
+
+double ACloudScenario::DcStdev(int dc) const {
+  std::vector<double> loads = HostLoads();
+  std::vector<double> dc_loads(
+      loads.begin() + dc * config_.hosts_per_dc,
+      loads.begin() + (dc + 1) * config_.hosts_per_dc);
+  return Stdev(dc_loads);
+}
+
+int ACloudScenario::RunHeuristic(int dc) {
+  int migrations = 0;
+  int lo_host = dc * config_.hosts_per_dc;
+  int hi_host = lo_host + config_.hosts_per_dc;
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<double> loads = HostLoads();
+    int most = lo_host, least = lo_host;
+    for (int h = lo_host; h < hi_host; ++h) {
+      if (loads[static_cast<size_t>(h)] > loads[static_cast<size_t>(most)]) most = h;
+      if (loads[static_cast<size_t>(h)] < loads[static_cast<size_t>(least)]) least = h;
+    }
+    double max_l = loads[static_cast<size_t>(most)];
+    double min_l = loads[static_cast<size_t>(least)];
+    if (min_l <= 0) min_l = 1e-9;
+    if (max_l / min_l <= config_.heuristic_ratio) break;
+    // Move the VM whose load is closest to half the gap.
+    double target = (max_l - min_l) / 2;
+    int best_vm = -1;
+    double best_diff = 1e18;
+    for (size_t i = 0; i < vms_.size(); ++i) {
+      const Vm& vm = vms_[i];
+      if (!vm.active || vm.host != most || vm.cpu <= 0) continue;
+      double diff = std::fabs(vm.cpu - target);
+      if (vm.cpu < (max_l - min_l) && diff < best_diff) {
+        best_diff = diff;
+        best_vm = static_cast<int>(i);
+      }
+    }
+    if (best_vm < 0) break;  // no move improves
+    vms_[static_cast<size_t>(best_vm)].host = least;
+    ++migrations;
+  }
+  return migrations;
+}
+
+Result<int> ACloudScenario::RunCologne(int dc, runtime::Instance* inst,
+                                       double* solve_ms) {
+  int lo_host = dc * config_.hosts_per_dc;
+  int hi_host = lo_host + config_.hosts_per_dc;
+  datalog::Engine& eng = inst->engine();
+
+  // Residual (non-optimizable) load per host: VMs below the CPU filter.
+  std::vector<int64_t> residual(static_cast<size_t>(num_hosts_), 0);
+  std::vector<size_t> movable;
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    const Vm& vm = vms_[i];
+    if (!vm.active || vm.host < lo_host || vm.host >= hi_host) continue;
+    if (vm.cpu > config_.cpu_filter) {
+      movable.push_back(i);
+    } else {
+      residual[static_cast<size_t>(vm.host)] +=
+          static_cast<int64_t>(std::lround(vm.cpu));
+    }
+  }
+
+  // Refresh facts (keyed tables replace rows in place). Stale vm/origin rows
+  // for VMs that left the filter are deleted via table diff below.
+  std::set<Row> want_vm, want_origin;
+  for (size_t i : movable) {
+    const Vm& vm = vms_[i];
+    want_vm.insert({Value::Int(vm.id),
+                    Value::Int(static_cast<int64_t>(std::lround(vm.cpu))),
+                    Value::Int(config_.vm_mem_gb)});
+    want_origin.insert({Value::Int(vm.id), Value::Int(vm.host)});
+  }
+  for (const std::string& table : {std::string("vm"), std::string("origin")}) {
+    const auto& want = table == "vm" ? want_vm : want_origin;
+    for (const Row& row : eng.GetTable(table)->Rows()) {
+      // Delete rows whose key (Vid) is no longer wanted; keyed replacement
+      // handles changed rows on insert.
+      bool keep = false;
+      for (const Row& w : want) {
+        if (w[0] == row[0]) keep = true;
+      }
+      if (!keep) COLOGNE_RETURN_IF_ERROR(eng.Apply(table, row, -1));
+    }
+    for (const Row& row : want) {
+      COLOGNE_RETURN_IF_ERROR(eng.Apply(table, row, +1));
+    }
+  }
+  for (int h = lo_host; h < hi_host; ++h) {
+    COLOGNE_RETURN_IF_ERROR(eng.Apply(
+        "host",
+        {Value::Int(h), Value::Int(residual[static_cast<size_t>(h)]),
+         Value::Int(0)},
+        +1));
+    COLOGNE_RETURN_IF_ERROR(eng.Apply(
+        "hostMemThres", {Value::Int(h), Value::Int(config_.host_mem_gb)}, +1));
+  }
+  COLOGNE_RETURN_IF_ERROR(eng.Flush());
+
+  if (movable.empty()) return 0;
+
+  COLOGNE_ASSIGN_OR_RETURN(out, inst->InvokeSolver());
+  *solve_ms += out.stats.wall_ms;
+  if (!out.has_solution()) return 0;
+
+  // Apply the placement: assign(Vid,Hid,1) => VM Vid runs on host Hid.
+  int migrations = 0;
+  const datalog::Table* assign = eng.GetTable("assign");
+  for (size_t i : movable) {
+    Vm& vm = vms_[i];
+    for (int h = lo_host; h < hi_host; ++h) {
+      Row row{Value::Int(vm.id), Value::Int(h), Value::Int(1)};
+      if (assign->Contains(row)) {
+        if (vm.host != h) {
+          vm.host = h;
+          ++migrations;
+        }
+        break;
+      }
+    }
+  }
+  return migrations;
+}
+
+Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
+  // Reset VM population: vms_per_host on every host, customers round-robin.
+  vms_.clear();
+  rng_.Seed(config_.seed);
+  int vid = 0;
+  for (int h = 0; h < num_hosts_; ++h) {
+    for (int k = 0; k < config_.vms_per_host; ++k) {
+      Vm vm;
+      vm.id = vid++;
+      vm.customer = static_cast<int>(
+          rng_.UniformInt(0, trace_.num_customers() - 1));
+      vm.host = h;
+      vms_.push_back(vm);
+    }
+  }
+
+  // One persistent Cologne instance per data center (state updates flow
+  // through incremental view maintenance across intervals).
+  const colog::CompiledProgram& prog =
+      policy == ACloudPolicy::kACloudM ? prog_limited_ : prog_plain_;
+  std::vector<std::unique_ptr<runtime::Instance>> instances;
+  if (policy == ACloudPolicy::kACloud || policy == ACloudPolicy::kACloudM) {
+    for (int dc = 0; dc < config_.num_dcs; ++dc) {
+      auto inst = std::make_unique<runtime::Instance>(dc, &prog);
+      COLOGNE_RETURN_IF_ERROR(inst->Init());
+      runtime::SolveOptions opts;
+      opts.time_limit_ms = config_.solver_time_ms;
+      inst->set_solve_options(opts);
+      instances.push_back(std::move(inst));
+    }
+  }
+
+  std::vector<ACloudInterval> out;
+  int intervals =
+      static_cast<int>(config_.duration_hours * 3600 / config_.interval_s);
+  for (int step = 0; step <= intervals; ++step) {
+    double t_s = step * config_.interval_s;
+    ApplyWorkloadOps(t_s);
+    UpdateLoads(t_s);
+
+    ACloudInterval m;
+    m.t_hours = t_s / 3600.0;
+    switch (policy) {
+      case ACloudPolicy::kDefault:
+        break;
+      case ACloudPolicy::kHeuristic:
+        for (int dc = 0; dc < config_.num_dcs; ++dc) {
+          m.migrations += RunHeuristic(dc);
+        }
+        break;
+      case ACloudPolicy::kACloud:
+      case ACloudPolicy::kACloudM:
+        for (int dc = 0; dc < config_.num_dcs; ++dc) {
+          COLOGNE_ASSIGN_OR_RETURN(
+              n, RunCologne(dc, instances[static_cast<size_t>(dc)].get(),
+                            &m.solve_ms));
+          m.migrations += n;
+        }
+        break;
+    }
+
+    double total = 0;
+    for (int dc = 0; dc < config_.num_dcs; ++dc) total += DcStdev(dc);
+    m.avg_cpu_stdev = total / config_.num_dcs;
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace cologne::apps

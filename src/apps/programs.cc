@@ -1,0 +1,243 @@
+#include "apps/programs.h"
+
+#include "common/strings.h"
+
+namespace cologne::apps {
+
+std::string ACloudProgram(bool migration_limit, int max_migrates) {
+  std::string p = R"(
+// ACloud load-balancing orchestration (paper Section 4.2).
+table vm(Vid,Cpu,Mem) keys(Vid).
+table host(Hid,Cpu,Mem) keys(Hid).
+table hostMemThres(Hid,M) keys(Hid).
+table origin(Vid,Hid) keys(Vid).
+
+goal minimize C in hostStdevCpu(C).
+var assign(Vid,Hid,V) forall toAssign(Vid,Hid) domain [0,1].
+
+r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem),
+     host(Hid,Cpu2,Mem2).
+d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V),
+     vm(Vid,Cpu,Mem), C==V*Cpu.
+d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem),
+     hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+c1 assignCount(Vid,V) -> V==1.
+d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V),
+     vm(Vid,Cpu,Mem), M==V*Mem.
+c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+)";
+  if (migration_limit) {
+    p += StrFormat(R"(
+// ACloud (M): bound VM migrations per COP execution (Section 4.2).
+param max_migrates = %d.
+d5 migrate(Vid,Hid1,Hid2,C) <- assign(Vid,Hid1,V),
+     origin(Vid,Hid2), Hid1!=Hid2, (V==1)==(C==1).
+d6 migrateCount(SUM<C>) <- migrate(Vid,Hid1,Hid2,C).
+c3 migrateCount(C) -> C<=max_migrates.
+)",
+                   max_migrates);
+  }
+  return p;
+}
+
+std::string FollowTheSunDistributedProgram(bool migration_limit, int cap,
+                                           int max_migrates) {
+  std::string p = StrFormat(R"(
+// Distributed Follow-the-Sun orchestration (paper Section 4.3).
+param cap = %d.
+table curVm(X,D,R) keys(X,D).
+table migVm(X,Y,D,R) keys(X,Y,D).
+table commCost(X,D,C) keys(X,D).
+table opCost(X,C) keys(X).
+table migCost(X,Y,C) keys(X,Y).
+table resource(X,R) keys(X).
+
+goal minimize C in aggCost(@X,C).
+var migVm(@X,Y,D,R) forall toMigVm(@X,Y,D) domain [-cap,cap].
+
+r1 toMigVm(@X,Y,D) <- setLink(@X,Y), dc(@X,D).
+
+// next-step VM allocations after migration
+d1 nextVm(@X,D,R) <- curVm(@X,D,R1),
+     migVm(@X,Y,D,R2), R==R1-R2.
+d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1),
+     migVm(@X,Y,D,R2), R==R1+R2.
+
+// communication, operating and migration cost
+d3 aggCommCost(@X,SUM<Cost>) <- nextVm(@X,D,R),
+     commCost(@X,D,C), Cost==R*C.
+d4 aggOpCost(@X,SUM<Cost>) <- nextVm(@X,D,R),
+     opCost(@X,C), Cost==R*C.
+d5 nborAggCommCost(@X,SUM<Cost>) <- link(@Y,X),
+     commCost(@Y,D,C), nborNextVm(@X,Y,D,R), Cost==R*C.
+d6 nborAggOpCost(@X,SUM<Cost>) <- link(@Y,X),
+     opCost(@Y,C), nborNextVm(@X,Y,D,R), Cost==R*C.
+d7 aggMigCost(@X,SUMABS<Cost>) <- migVm(@X,Y,D,R),
+     migCost(@X,Y,C), Cost==R*C.
+
+// total cost
+d8 aggCost(@X,C) <- aggCommCost(@X,C1),
+     aggOpCost(@X,C2), aggMigCost(@X,C3),
+     nborAggCommCost(@X,C4), nborAggOpCost(@X,C5),
+     C==C1+C2+C3+C4+C5.
+
+// not exceeding resource capacity
+d9 aggNextVm(@X,SUM<R>) <- nextVm(@X,D,R).
+c1 aggNextVm(@X,R1) -> resource(@X,R2), R1<=R2.
+d10 aggNborNextVm(@X,Y,SUM<R>) <- nborNextVm(@X,Y,D,R).
+c2 aggNborNextVm(@X,Y,R1) -> link(@Y,X),
+     resource(@Y,R2), R1<=R2.
+
+// allocations cannot go negative (implicit in the paper's model)
+c5 nextVm(@X,D,R) -> R>=0.
+c6 nborNextVm(@X,Y,D,R) -> R>=0.
+
+// propagate to ensure symmetry and update allocations
+r2 migVm(@Y,X,D,R2) <- setLink(@X,Y),
+     migVm(@X,Y,D,R1), R2:=-R1.
+r3 curVm(@X,D,R) <- migVm(@X,Y,D,R2),
+     curVm(@X,D,R1), R:=R1-R2.
+)",
+                            cap);
+  if (migration_limit) {
+    p += StrFormat(R"(
+// Policy customization (Section 4.3): bound per-link migration volume.
+param max_migrates = %d.
+d11 aggMigVm(@X,Y,SUMABS<R>) <- migVm(@X,Y,D,R).
+c3 aggMigVm(@X,Y,R) -> R<=max_migrates.
+)",
+                   max_migrates);
+  }
+  return p;
+}
+
+std::string FollowTheSunCentralizedProgram(int cap) {
+  return StrFormat(R"(
+// Centralized Follow-the-Sun: one global COP over every inter-DC link.
+param cap = %d.
+table curVm(I,D,R) keys(I,D).
+table commCost(I,D,C) keys(I,D).
+table opCost(I,C) keys(I).
+table migCost(I,J,C) keys(I,J).
+table resource(I,R) keys(I).
+
+goal minimize C in aggTotalCost(C).
+var migVm(I,J,D,R) forall toMigVm(I,J,D) domain [-cap,cap].
+
+r1 toMigVm(I,J,D) <- link(I,J), loc(D).
+
+// net outflow per site and demand; M(j,i) == -M(i,j) keeps this exact
+d1 outMig(I,D,SUM<R>) <- migVm(I,J,D,R).
+d2 nextVm(I,D,R) <- curVm(I,D,R1), outMig(I,D,R2), R==R1-R2.
+
+// antisymmetry (paper equation 6)
+c1 migVm(I,J,D,R) -> migVm(J,I,D,R2), R+R2==0.
+
+// costs (paper equations 2-4); I<J avoids double-counting migrations
+d3 aggCommCost(SUM<Cost>) <- nextVm(I,D,R), commCost(I,D,C), Cost==R*C.
+d4 aggOpCost(SUM<Cost>) <- nextVm(I,D,R), opCost(I,C), Cost==R*C.
+d5 aggMigCost(SUMABS<Cost>) <- migVm(I,J,D,R), migCost(I,J,C), I<J,
+     Cost==R*C.
+d6 aggTotalCost(C) <- aggCommCost(C1), aggOpCost(C2), aggMigCost(C3),
+     C==C1+C2+C3.
+
+// capacity (paper equation 5) and non-negativity
+d7 siteNextVm(I,SUM<R>) <- nextVm(I,D,R).
+c2 siteNextVm(I,R1) -> resource(I,R2), R1<=R2.
+c3 nextVm(I,D,R) -> R>=0.
+)",
+                   cap);
+}
+
+std::string WirelessCentralizedProgram(bool two_hop, int num_channels,
+                                       int f_mindiff) {
+  std::string p = StrFormat(R"(
+// Centralized wireless channel selection (Appendix A.2).
+param num_channels = %d.
+param f_mindiff = %d.
+table link(X,Y) keys(X,Y).
+table primaryUser(X,C) keys(X,C).
+table numInterface(X,K) keys(X).
+
+goal minimize C in totalCost(C).
+var assign(X,Y,C) forall link(X,Y) domain [1,num_channels].
+
+// one-hop interference cost (paper equation 7/8)
+d1 cost(X,Y,Z,C) <- assign(X,Y,C1), assign(X,Z,C2),
+     Y!=Z, (C==1)==(|C1-C2|<f_mindiff).
+d2 hopOneCost(SUM<C>) <- cost(X,Y,Z,C).
+)",
+                            num_channels, f_mindiff);
+  if (two_hop) {
+    p += R"(
+// two-hop interference model (Appendix A.2, rule d3)
+d3 cost2(X,Y,Z,W,C) <- assign(X,Y,C1), link(Z,X),
+     assign(Z,W,C2), X!=W, Y!=W, Y!=Z,
+     (C==1)==(|C1-C2|<f_mindiff).
+d4 hopTwoCost(SUM<C>) <- cost2(X,Y,Z,W,C).
+d5 totalCost(C) <- hopOneCost(C1), hopTwoCost(C2), C==C1+C2.
+)";
+  } else {
+    p += R"(
+d5 totalCost(C) <- hopOneCost(C1), C==C1.
+)";
+  }
+  p += R"(
+// primary user constraint (paper equation 9)
+c1 assign(X,Y,C) -> primaryUser(X,C2), C!=C2.
+// channel symmetry constraint (paper equation 10)
+c2 assign(X,Y,C) -> assign(Y,X,C).
+// interface constraint (paper equation 11)
+d6 uniqueChannel(X,UNIQUE<C>) <- assign(X,Y,C).
+c3 uniqueChannel(X,Count) -> numInterface(X,K), Count<=K.
+)";
+  return p;
+}
+
+std::string WirelessDistributedProgram(int num_channels, int f_mindiff,
+                                       bool two_hop) {
+  std::string cost_rule;
+  if (two_hop) {
+    cost_rule = R"(
+// cost derivation for the two-hop interference model
+d1 cost(@X,Y,Z,W,C) <- assign(@X,Y,C1), link(@Z,X),
+     assign(@Z,W,C2), X!=W, Y!=W, Y!=Z,
+     (C==1)==(|C1-C2|<f_mindiff).
+)";
+  } else {
+    cost_rule = R"(
+// one-hop cost model: only links sharing an endpoint with (X,Y) interfere
+d1 cost(@X,Y,Z,W,C) <- assign(@X,Y,C1), link(@Z,X),
+     assign(@Z,W,C2), (W==X && Z!=Y) || (Z==Y && W!=X),
+     (C==1)==(|C1-C2|<f_mindiff).
+)";
+  }
+  return StrFormat(R"(
+// Distributed wireless channel selection (Appendix A.3): per-link greedy
+// negotiation; X gathers neighbors' current assignments and minimizes the
+// interference cost of the link under negotiation.
+param num_channels = %d.
+param f_mindiff = %d.
+table link(X,Y) keys(X,Y).
+table assign(X,Y,C) keys(X,Y).
+table primaryUser(X,C) keys(X,C).
+
+goal minimize C in totalCost(@X,C).
+var assign(@X,Y,C) forall setLink(@X,Y) domain [1,num_channels].
+%s
+d2 totalCost(@X,SUM<C>) <- cost(@X,Y,Z,W,C).
+
+// primary user constraints. Note: c2's remote body needs the link atom so
+// the localization rewrite knows where to ship Y's primary-user set (the
+// paper's listing omits it; its compiled form must bind X remotely too).
+c1 assign(@X,Y,C) -> primaryUser(@X,C2), C!=C2.
+c2 assign(@X,Y,C) -> link(@Y,X), primaryUser(@Y,C2), C!=C2.
+
+// propagate channels to ensure symmetry
+r1 assign(@Y,X,C) <- assign(@X,Y,C).
+)",
+                   num_channels, f_mindiff, cost_rule.c_str());
+}
+
+}  // namespace cologne::apps

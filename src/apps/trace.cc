@@ -1,0 +1,69 @@
+#include "apps/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cologne::apps {
+
+namespace {
+constexpr double kDaySeconds = 86400.0;
+constexpr double kTwoPi = 6.283185307179586;
+
+// Stateless hash-based uniform in [0,1): deterministic per (seed, index).
+double HashUniform(uint64_t seed, uint64_t index) {
+  uint64_t x = seed ^ (index * 0x9E3779B97F4A7C15ull);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x = x ^ (x >> 31);
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+}  // namespace
+
+DataCenterTrace::DataCenterTrace(const TraceConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  profiles_.reserve(static_cast<size_t>(config.num_customers));
+  pps_.reserve(static_cast<size_t>(config.num_customers));
+  // Allocate PPs: skewed (a few big customers, many small), always >= 1,
+  // summing approximately to num_pps.
+  int remaining = config.num_pps - config.num_customers;
+  for (int c = 0; c < config.num_customers; ++c) {
+    int extra = 0;
+    if (remaining > 0) {
+      extra = static_cast<int>(rng.UniformInt(0, 2));
+      if (rng.Bernoulli(0.06)) extra += static_cast<int>(rng.UniformInt(8, 40));
+      extra = std::min(extra, remaining);
+      remaining -= extra;
+    }
+    pps_.push_back(1 + extra);
+
+    Profile p;
+    p.base = rng.UniformDouble(15.0, 45.0);
+    p.amplitude = rng.UniformDouble(10.0, 40.0);
+    p.phase = rng.UniformDouble(0.0, kTwoPi);
+    p.burst_p = rng.UniformDouble(0.01, 0.06);
+    p.noise = rng.UniformDouble(2.0, 6.0);
+    p.seed = rng.Next();
+    profiles_.push_back(p);
+  }
+}
+
+double DataCenterTrace::CustomerCpu(int customer, double t_s) const {
+  const Profile& p = profiles_[static_cast<size_t>(customer)];
+  uint64_t sample = static_cast<uint64_t>(t_s / config_.sample_interval_s);
+  double diurnal =
+      p.base + p.amplitude * std::sin(kTwoPi * t_s / kDaySeconds + p.phase);
+  double u1 = HashUniform(p.seed, sample * 2);
+  double u2 = HashUniform(p.seed, sample * 2 + 1);
+  double noise = (u1 - 0.5) * 2.0 * p.noise;
+  double burst = (u2 < p.burst_p) ? 35.0 : 0.0;
+  return std::clamp(diurnal + noise + burst, 0.0, 100.0);
+}
+
+double DataCenterTrace::CustomerMem(int customer, double t_s) const {
+  const Profile& p = profiles_[static_cast<size_t>(customer)];
+  // Memory tracks a dampened version of the load, floor 20%.
+  double cpu = CustomerCpu(customer, t_s);
+  return std::clamp(20.0 + 0.5 * cpu + 0.1 * p.base, 0.0, 100.0);
+}
+
+}  // namespace cologne::apps

@@ -1,0 +1,64 @@
+// Synthetic data-center trace (substitute for the paper's proprietary
+// hosting-company trace, Section 6.2): N customers on statically allocated
+// physical processors, one CPU/memory sample per customer every 300 s, with
+// diurnal load patterns plus noise.
+#ifndef COLOGNE_APPS_TRACE_H_
+#define COLOGNE_APPS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cologne::apps {
+
+/// Shape parameters for the synthetic trace. Defaults mirror the paper's
+/// trace statistics (248 customers, 1,740 PPs, 300 s sampling).
+struct TraceConfig {
+  int num_customers = 248;
+  int num_pps = 1740;
+  double sample_interval_s = 300;
+  uint64_t seed = 42;
+};
+
+/// \brief Deterministic per-customer CPU demand over time.
+///
+/// Each customer gets a base load, a diurnal sinusoid with its own amplitude
+/// and phase (time zones), occasional bursts, and sampling noise — the
+/// features the ACloud workload derivation (VM spawn at >80 %, power-off at
+/// <20 %) reacts to.
+class DataCenterTrace {
+ public:
+  explicit DataCenterTrace(const TraceConfig& config);
+
+  int num_customers() const { return config_.num_customers; }
+
+  /// Number of physical processors allocated to `customer`.
+  int PpsOf(int customer) const { return pps_[static_cast<size_t>(customer)]; }
+
+  /// Average CPU utilization (0..100, percent of one PP) across `customer`'s
+  /// PPs at time `t_s` (seconds since trace start). Deterministic in
+  /// (customer, sample index).
+  double CustomerCpu(int customer, double t_s) const;
+
+  /// Memory utilization (0..100) — slowly varying, load-correlated.
+  double CustomerMem(int customer, double t_s) const;
+
+ private:
+  struct Profile {
+    double base;       // baseline load %
+    double amplitude;  // diurnal swing %
+    double phase;      // radians (customer time zone)
+    double burst_p;    // probability a sample is a burst
+    double noise;      // stddev of sampling noise %
+    uint64_t seed;
+  };
+  TraceConfig config_;
+  std::vector<Profile> profiles_;
+  std::vector<int> pps_;
+};
+
+}  // namespace cologne::apps
+
+#endif  // COLOGNE_APPS_TRACE_H_

@@ -1,0 +1,530 @@
+#include "colog/analysis.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cologne::colog {
+
+const char* RuleClassName(RuleClass c) {
+  switch (c) {
+    case RuleClass::kRegular: return "regular";
+    case RuleClass::kSolverDerivation: return "solver-derivation";
+    case RuleClass::kSolverConstraint: return "solver-constraint";
+    case RuleClass::kPostSolve: return "post-solve";
+  }
+  return "?";
+}
+
+namespace {
+
+// Location variable of an atom ("" when the atom carries no specifier).
+std::string LocVarOf(const SrcAtom& atom) {
+  int i = atom.LocArg();
+  if (i < 0) return "";
+  const SrcArg& arg = atom.args[static_cast<size_t>(i)];
+  if (arg.is_aggregate() || !arg.expr.IsVar()) return "";
+  return arg.expr.name;
+}
+
+// All bare variables appearing in an atom's arguments (including aggregates).
+void AtomVars(const SrcAtom& atom, std::vector<std::string>* out) {
+  for (const SrcArg& arg : atom.args) {
+    if (arg.is_aggregate()) {
+      out->push_back(arg.agg_var);
+    } else {
+      arg.expr.CollectVars(out);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<SrcRule>> LocalizeRules(const std::vector<SrcRule>& rules,
+                                           size_t* rewritten_count) {
+  std::vector<SrcRule> out;
+  size_t counter = 0;
+  if (rewritten_count) *rewritten_count = 0;
+
+  for (const SrcRule& rule : rules) {
+    // Collect distinct body-atom location variables.
+    std::vector<std::string> body_locs;
+    for (const SrcBodyElem& e : rule.body) {
+      if (e.kind != SrcBodyElem::Kind::kAtom) continue;
+      std::string lv = LocVarOf(e.atom);
+      if (!lv.empty() &&
+          std::find(body_locs.begin(), body_locs.end(), lv) == body_locs.end()) {
+        body_locs.push_back(lv);
+      }
+    }
+    std::string anchor = LocVarOf(rule.head);
+    // Rewrite when the body spans two locations, or when a constraint rule's
+    // whole body lives away from its head (the constraint must be checkable
+    // at the head's node at solve time — paper c2 in Section 4.3).
+    bool spans_two = body_locs.size() == 2;
+    bool remote_constraint_body = rule.is_constraint &&
+                                  body_locs.size() == 1 && !anchor.empty() &&
+                                  body_locs[0] != anchor;
+    if (body_locs.size() > 2) {
+      return Status::AnalysisError(
+          "rule " + rule.label +
+          ": bodies spanning more than two locations are not supported");
+    }
+    if (!spans_two && !remote_constraint_body) {
+      out.push_back(rule);
+      continue;
+    }
+    if (anchor.empty()) {
+      return Status::AnalysisError("rule " + rule.label +
+                                   ": distributed body but unlocated head");
+    }
+    // Ship the group that is not at the anchor.
+    std::string remote;
+    for (const std::string& lv : body_locs) {
+      if (lv != anchor) remote = lv;
+    }
+    if (remote.empty()) {
+      return Status::AnalysisError(
+          "rule " + rule.label +
+          ": could not determine the remote location to localize");
+    }
+
+    // Partition body atoms.
+    std::vector<SrcBodyElem> remote_atoms, local_elems;
+    for (const SrcBodyElem& e : rule.body) {
+      if (e.kind == SrcBodyElem::Kind::kAtom && LocVarOf(e.atom) == remote) {
+        remote_atoms.push_back(e);
+      } else {
+        local_elems.push_back(e);
+      }
+    }
+
+    // Variables bound remotely, in first-occurrence order.
+    std::vector<std::string> remote_vars;
+    for (const SrcBodyElem& e : remote_atoms) {
+      std::vector<std::string> vs;
+      AtomVars(e.atom, &vs);
+      for (std::string& v : vs) {
+        if (std::find(remote_vars.begin(), remote_vars.end(), v) ==
+            remote_vars.end()) {
+          remote_vars.push_back(std::move(v));
+        }
+      }
+    }
+    // Variables needed by the local part (atoms, conditions, assigns, head).
+    std::vector<std::string> needed;
+    for (const SrcBodyElem& e : local_elems) {
+      if (e.kind == SrcBodyElem::Kind::kAtom) {
+        AtomVars(e.atom, &needed);
+      } else {
+        e.expr.CollectVars(&needed);
+        if (e.kind == SrcBodyElem::Kind::kAssign) needed.push_back(e.assign_var);
+      }
+    }
+    AtomVars(rule.head, &needed);
+
+    // Shipped attributes: anchor location first, then every remotely-bound
+    // variable the local side needs.
+    if (std::find(remote_vars.begin(), remote_vars.end(), anchor) ==
+        remote_vars.end()) {
+      return Status::AnalysisError(
+          "rule " + rule.label + ": the remote sub-join does not bind the "
+          "destination location variable " + anchor);
+    }
+    std::vector<std::string> shipped{anchor};
+    for (const std::string& v : remote_vars) {
+      if (v == anchor) continue;
+      if (std::find(needed.begin(), needed.end(), v) != needed.end()) {
+        shipped.push_back(v);
+      }
+    }
+
+    std::string tmp_name = "tmp_" + (rule.label.empty()
+                                         ? "r" + std::to_string(counter)
+                                         : rule.label);
+    ++counter;
+    if (rewritten_count) ++(*rewritten_count);
+
+    // Shipping rule: tmp(@Anchor, V...) <- remote atoms.
+    SrcRule ship;
+    ship.label = rule.label.empty() ? tmp_name : rule.label + "_ship";
+    ship.is_constraint = false;
+    ship.is_ship = true;
+    ship.line = rule.line;
+    ship.head.pred = tmp_name;
+    ship.head.line = rule.line;
+    for (size_t i = 0; i < shipped.size(); ++i) {
+      SrcArg arg;
+      arg.loc = (i == 0);
+      arg.expr = SrcExpr::Var(shipped[i]);
+      ship.head.args.push_back(std::move(arg));
+    }
+    ship.body = remote_atoms;
+    out.push_back(std::move(ship));
+
+    // Local rule: original head <- tmp(@Anchor, V...) + local elements.
+    SrcRule local = rule;
+    local.body.clear();
+    SrcBodyElem tmp_elem;
+    tmp_elem.kind = SrcBodyElem::Kind::kAtom;
+    tmp_elem.atom.pred = tmp_name;
+    tmp_elem.atom.line = rule.line;
+    for (size_t i = 0; i < shipped.size(); ++i) {
+      SrcArg arg;
+      arg.loc = (i == 0);
+      arg.expr = SrcExpr::Var(shipped[i]);
+      tmp_elem.atom.args.push_back(std::move(arg));
+    }
+    local.body.push_back(std::move(tmp_elem));
+    for (SrcBodyElem& e : local_elems) local.body.push_back(std::move(e));
+    out.push_back(std::move(local));
+  }
+  return out;
+}
+
+namespace {
+
+// Per-rule symbolic-variable analysis outcome.
+struct RuleSymInfo {
+  std::set<std::string> symbolic;      // vars carrying solver values
+  bool reads_solver_tables = false;    // any body atom touches a solver table
+  bool head_in_solver = false;
+  bool forced_post_solve = false;      // `:=` over solver attributes
+};
+
+// Compute which variables of `rule` are symbolic given current solver column
+// marks. Also reports whether `:=` assignments consume symbolic values.
+RuleSymInfo AnalyzeRuleSymbols(
+    const SrcRule& rule,
+    const std::map<std::string, std::set<int>>& solver_cols) {
+  RuleSymInfo info;
+  std::set<std::string> regular_bound;
+
+  auto scan_atom = [&](const SrcAtom& atom, bool is_head) {
+    auto it = solver_cols.find(atom.pred);
+    const std::set<int>* cols = it == solver_cols.end() ? nullptr : &it->second;
+    if (cols != nullptr && !cols->empty() && !is_head) {
+      info.reads_solver_tables = true;
+    }
+    if (cols != nullptr && !cols->empty() && is_head) info.head_in_solver = true;
+    if (is_head) return;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const SrcArg& arg = atom.args[i];
+      bool sym_pos = cols != nullptr && cols->count(static_cast<int>(i)) > 0;
+      std::vector<std::string> vs;
+      if (arg.is_aggregate()) {
+        vs.push_back(arg.agg_var);
+      } else {
+        arg.expr.CollectVars(&vs);
+      }
+      for (const std::string& v : vs) {
+        if (sym_pos) {
+          info.symbolic.insert(v);
+        } else {
+          regular_bound.insert(v);
+        }
+      }
+    }
+  };
+
+  scan_atom(rule.head, /*is_head=*/true);
+  for (const SrcBodyElem& e : rule.body) {
+    if (e.kind == SrcBodyElem::Kind::kAtom) scan_atom(e.atom, false);
+  }
+
+  // Propagate through conditions and assignments to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const SrcBodyElem& e : rule.body) {
+      if (e.kind == SrcBodyElem::Kind::kAtom) continue;
+      std::vector<std::string> vs;
+      e.expr.CollectVars(&vs);
+      bool any_sym = false;
+      for (const std::string& v : vs) {
+        if (info.symbolic.count(v)) any_sym = true;
+      }
+      if (!any_sym) continue;
+      if (e.kind == SrcBodyElem::Kind::kAssign) {
+        // `:=` evaluates concrete values only: consuming a solver attribute
+        // here means the rule reads materialized output (post-solve).
+        info.forced_post_solve = true;
+        continue;
+      }
+      // Equality-style conditions bind fresh variables to solver values
+      // (paper 5.2: "C is identified as a solver attribute ... given the
+      // boolean expression C==V*Cpu").
+      for (const std::string& v : vs) {
+        if (!regular_bound.count(v) && !info.symbolic.count(v)) {
+          info.symbolic.insert(v);
+          changed = true;
+        }
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+Result<AnalyzedProgram> Analyze(
+    const Program& program, const std::map<std::string, Value>& extra_params) {
+  AnalyzedProgram out;
+  out.goals = program.goals;
+  out.var_decls = program.var_decls;
+
+  // ---- Parameters ----------------------------------------------------------
+  for (const ParamDecl& p : program.params) {
+    if (p.value) out.params[p.name] = *p.value;
+  }
+  for (const auto& [k, v] : extra_params) out.params[k] = v;
+  for (const ParamDecl& p : program.params) {
+    if (!out.params.count(p.name)) {
+      return Status::AnalysisError("parameter " + p.name +
+                                   " declared but no value provided");
+    }
+  }
+
+  if (program.goals.size() > 1) {
+    return Status::AnalysisError("multiple goal declarations");
+  }
+
+  // ---- Localization rewrite -------------------------------------------------
+  COLOGNE_ASSIGN_OR_RETURN(rules, LocalizeRules(program.rules,
+                                                &out.localized_rules));
+
+  // ---- Schema inference -----------------------------------------------------
+  std::map<std::string, const TableDecl*> decls;
+  for (const TableDecl& t : program.table_decls) decls[t.name] = &t;
+
+  auto note_atom = [&](const SrcAtom& atom) -> Status {
+    auto it = out.tables.find(atom.pred);
+    if (it == out.tables.end()) {
+      datalog::TableSchema schema;
+      schema.name = atom.pred;
+      auto dit = decls.find(atom.pred);
+      if (dit != decls.end()) {
+        schema.attrs = dit->second->attrs;
+        for (const std::string& k : dit->second->keys) {
+          auto pos = std::find(schema.attrs.begin(), schema.attrs.end(), k);
+          if (pos == schema.attrs.end()) {
+            return Status::AnalysisError("table " + atom.pred +
+                                         ": unknown key attribute " + k);
+          }
+          schema.key_cols.push_back(
+              static_cast<int>(pos - schema.attrs.begin()));
+        }
+      } else {
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          schema.attrs.push_back("A" + std::to_string(i));
+        }
+      }
+      if (schema.attrs.size() != atom.args.size()) {
+        return Status::AnalysisError(StrFormat(
+            "table %s declared with %zu attributes but used with %zu",
+            atom.pred.c_str(), schema.attrs.size(), atom.args.size()));
+      }
+      out.tables.emplace(atom.pred, std::move(schema));
+      it = out.tables.find(atom.pred);
+    } else if (it->second.arity() != atom.args.size()) {
+      return Status::AnalysisError(StrFormat(
+          "table %s used with arity %zu but previously %zu (line %d)",
+          atom.pred.c_str(), atom.args.size(), it->second.arity(), atom.line));
+    }
+    int loc = atom.LocArg();
+    if (loc >= 0) {
+      out.distributed = true;
+      if (it->second.loc_col >= 0 && it->second.loc_col != loc) {
+        return Status::AnalysisError("table " + atom.pred +
+                                     ": inconsistent location argument");
+      }
+      it->second.loc_col = loc;
+    }
+    return Status::OK();
+  };
+
+  for (const SrcRule& r : rules) {
+    COLOGNE_RETURN_IF_ERROR(note_atom(r.head));
+    for (const SrcBodyElem& e : r.body) {
+      if (e.kind == SrcBodyElem::Kind::kAtom) {
+        COLOGNE_RETURN_IF_ERROR(note_atom(e.atom));
+      }
+    }
+  }
+  for (const GoalDecl& g : program.goals) {
+    if (!g.attr_var.empty()) COLOGNE_RETURN_IF_ERROR(note_atom(g.atom));
+  }
+  for (const VarDeclStmt& v : program.var_decls) {
+    COLOGNE_RETURN_IF_ERROR(note_atom(v.var_atom));
+    COLOGNE_RETURN_IF_ERROR(note_atom(v.forall_atom));
+  }
+  // Tables declared but never used in rules still exist (inputs).
+  for (const TableDecl& t : program.table_decls) {
+    if (!out.tables.count(t.name)) {
+      datalog::TableSchema schema;
+      schema.name = t.name;
+      schema.attrs = t.attrs;
+      for (const std::string& k : t.keys) {
+        auto pos = std::find(schema.attrs.begin(), schema.attrs.end(), k);
+        if (pos == schema.attrs.end()) {
+          return Status::AnalysisError("table " + t.name +
+                                       ": unknown key attribute " + k);
+        }
+        schema.key_cols.push_back(static_cast<int>(pos - schema.attrs.begin()));
+      }
+      out.tables.emplace(t.name, std::move(schema));
+    }
+  }
+
+  // ---- Solver-attribute inference (Section 5.2) -----------------------------
+  for (const VarDeclStmt& v : program.var_decls) {
+    out.var_tables.insert(v.var_atom.pred);
+    std::set<std::string> forall_vars;
+    for (const SrcArg& a : v.forall_atom.args) {
+      if (!a.is_aggregate() && a.expr.IsVar()) forall_vars.insert(a.expr.name);
+    }
+    for (size_t i = 0; i < v.var_atom.args.size(); ++i) {
+      const SrcArg& a = v.var_atom.args[static_cast<size_t>(i)];
+      if (a.is_aggregate() || !a.expr.IsVar()) {
+        return Status::AnalysisError("var declaration for " +
+                                     v.var_atom.pred +
+                                     ": arguments must be plain variables");
+      }
+      if (!forall_vars.count(a.expr.name)) {
+        out.solver_cols[v.var_atom.pred].insert(static_cast<int>(i));
+      }
+    }
+    if (!out.solver_cols.count(v.var_atom.pred)) {
+      return Status::AnalysisError(
+          "var declaration for " + v.var_atom.pred +
+          ": no solver attribute (every attribute appears in forall)");
+    }
+  }
+
+  // Fixpoint: propagate solver columns through rule heads.
+  std::vector<RuleSymInfo> infos(rules.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      const SrcRule& rule = rules[ri];
+      infos[ri] = AnalyzeRuleSymbols(rule, out.solver_cols);
+      const RuleSymInfo& info = infos[ri];
+      if (info.forced_post_solve) continue;       // reads materialized output
+      if (out.var_tables.count(rule.head.pred)) continue;  // writeback rules
+      if (rule.is_constraint) continue;            // constraints derive nothing
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        const SrcArg& arg = rule.head.args[i];
+        std::vector<std::string> vs;
+        if (arg.is_aggregate()) {
+          vs.push_back(arg.agg_var);
+        } else {
+          arg.expr.CollectVars(&vs);
+        }
+        bool sym = false;
+        for (const std::string& v : vs) {
+          if (info.symbolic.count(v)) sym = true;
+        }
+        if (sym && !out.solver_cols[rule.head.pred].count(static_cast<int>(i))) {
+          out.solver_cols[rule.head.pred].insert(static_cast<int>(i));
+          changed = true;
+        }
+      }
+    }
+  }
+
+  auto is_solver_table = [&](const std::string& t) {
+    auto it = out.solver_cols.find(t);
+    return it != out.solver_cols.end() && !it->second.empty();
+  };
+
+  // ---- "Needed" set: tables feeding the goal or any constraint -------------
+  std::set<std::string> needed;
+  for (const GoalDecl& g : program.goals) {
+    if (!g.attr_var.empty()) needed.insert(g.atom.pred);
+  }
+  for (const SrcRule& r : rules) {
+    if (!r.is_constraint) continue;
+    needed.insert(r.head.pred);
+    for (const SrcBodyElem& e : r.body) {
+      if (e.kind == SrcBodyElem::Kind::kAtom && is_solver_table(e.atom.pred)) {
+        needed.insert(e.atom.pred);
+      }
+    }
+  }
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      const SrcRule& r = rules[ri];
+      if (r.is_constraint || infos[ri].forced_post_solve) continue;
+      if (out.var_tables.count(r.head.pred)) continue;
+      if (!needed.count(r.head.pred)) continue;
+      for (const SrcBodyElem& e : r.body) {
+        if (e.kind == SrcBodyElem::Kind::kAtom &&
+            is_solver_table(e.atom.pred) && !needed.count(e.atom.pred)) {
+          needed.insert(e.atom.pred);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // ---- Classification -------------------------------------------------------
+  out.rules.reserve(rules.size());
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    SrcRule& rule = rules[ri];
+    const RuleSymInfo& info = infos[ri];
+    AnalyzedRule ar;
+    RuleClass cls;
+    bool touches_solver = info.reads_solver_tables ||
+                          is_solver_table(rule.head.pred) ||
+                          out.var_tables.count(rule.head.pred) > 0;
+    if (rule.is_ship) {
+      // Shipping rules run in the engine over materialized tables, with full
+      // insert/delete propagation (stale remote state must retract).
+      cls = RuleClass::kRegular;
+      ar.rule = std::move(rule);
+      ar.cls = cls;
+      out.rules.push_back(std::move(ar));
+      continue;
+    }
+    if (rule.is_constraint) {
+      if (!touches_solver) {
+        return Status::AnalysisError(
+            "constraint rule " + rule.label +
+            " involves no solver tables; use a regular rule instead");
+      }
+      cls = RuleClass::kSolverConstraint;
+    } else if (!touches_solver) {
+      cls = RuleClass::kRegular;
+    } else if (info.forced_post_solve ||
+               out.var_tables.count(rule.head.pred) > 0 ||
+               !needed.count(rule.head.pred)) {
+      cls = RuleClass::kPostSolve;
+    } else {
+      cls = RuleClass::kSolverDerivation;
+    }
+    ar.rule = std::move(rule);
+    ar.cls = cls;
+    out.rules.push_back(std::move(ar));
+  }
+
+  // ---- Goal checks ----------------------------------------------------------
+  for (const GoalDecl& g : program.goals) {
+    if (g.attr_var.empty()) continue;
+    bool found = false;
+    for (const SrcArg& a : g.atom.args) {
+      if (!a.is_aggregate() && a.expr.IsVar() && a.expr.name == g.attr_var) {
+        found = true;
+      }
+    }
+    if (!found) {
+      return Status::AnalysisError("goal attribute " + g.attr_var +
+                                   " does not appear in " + g.atom.pred);
+    }
+  }
+  return out;
+}
+
+}  // namespace cologne::colog

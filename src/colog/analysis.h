@@ -1,0 +1,74 @@
+// Static analysis of Colog programs (paper Sections 5.2 and 5.5):
+//  * localization rewrite of rules whose bodies span multiple locations,
+//  * solver-attribute inference (fixpoint from `var` declarations),
+//  * rule classification into regular Datalog / solver derivation /
+//    solver constraint / post-solve rules,
+//  * table schema inference and safety checks.
+#ifndef COLOGNE_COLOG_ANALYSIS_H_
+#define COLOGNE_COLOG_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "colog/ast.h"
+#include "common/status.h"
+#include "datalog/table.h"
+
+namespace cologne::colog {
+
+/// How a rule executes (paper Section 5.2, with one refinement — see below).
+enum class RuleClass : uint8_t {
+  kRegular,           ///< Plain Datalog; evaluated continuously by the engine.
+  kSolverDerivation,  ///< Evaluated by the solver bridge at invokeSolver time.
+  kSolverConstraint,  ///< `->` rule; posts hard constraints at solve time.
+  kPostSolve,         ///< References solver tables but reads their
+                      ///< *materialized* (post-optimization) contents; runs in
+                      ///< the engine like a regular rule. The paper's
+                      ///< Follow-the-Sun r2/r3 are the canonical examples.
+};
+
+/// Classification refinement implemented here (the paper's Section 5.2
+/// description alone would mis-classify its own r2/r3): a `<-` rule is
+/// post-solve rather than a solver derivation when (a) its head is a `var`
+/// table (solver outputs are only *written back*, never derived), or (b) it
+/// computes `:=` assignments over solver-table attributes — `:=` evaluates
+/// concrete values, so such rules necessarily read materialized output.
+const char* RuleClassName(RuleClass c);
+
+/// A rule after rewriting + classification.
+struct AnalyzedRule {
+  SrcRule rule;
+  RuleClass cls = RuleClass::kRegular;
+};
+
+/// Analysis result consumed by the planner.
+struct AnalyzedProgram {
+  std::vector<AnalyzedRule> rules;   ///< Post-localization.
+  std::vector<GoalDecl> goals;
+  std::vector<VarDeclStmt> var_decls;
+  std::map<std::string, datalog::TableSchema> tables;
+  /// table -> solver-attribute positions (nonempty = solver table).
+  std::map<std::string, std::set<int>> solver_cols;
+  std::map<std::string, Value> params;
+  std::set<std::string> var_tables;
+  bool distributed = false;          ///< Any location specifier present.
+  size_t localized_rules = 0;        ///< Rules split by the rewrite.
+};
+
+/// Run the full analysis. `extra_params` supplies/overrides `param` values
+/// (e.g. max_migrates) at compile time.
+Result<AnalyzedProgram> Analyze(const Program& program,
+                                const std::map<std::string, Value>& extra_params);
+
+/// The localization rewrite alone (exposed for tests): split every rule whose
+/// body atoms carry more than one distinct location variable into a shipping
+/// rule (tmp_<label>) plus a local rule, exactly as the paper rewrites d2
+/// into d21/d22. `counter` seeds tmp-table numbering.
+Result<std::vector<SrcRule>> LocalizeRules(const std::vector<SrcRule>& rules,
+                                           size_t* rewritten_count);
+
+}  // namespace cologne::colog
+
+#endif  // COLOGNE_COLOG_ANALYSIS_H_

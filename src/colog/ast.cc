@@ -1,0 +1,128 @@
+#include "colog/ast.h"
+
+namespace cologne::colog {
+
+SrcExpr SrcExpr::Const(Value v) {
+  SrcExpr e;
+  e.kind = Kind::kConst;
+  e.const_val = std::move(v);
+  return e;
+}
+SrcExpr SrcExpr::Var(std::string n) {
+  SrcExpr e;
+  e.kind = Kind::kVar;
+  e.name = std::move(n);
+  return e;
+}
+SrcExpr SrcExpr::Param(std::string n) {
+  SrcExpr e;
+  e.kind = Kind::kParam;
+  e.name = std::move(n);
+  return e;
+}
+SrcExpr SrcExpr::Unary(datalog::ExprOp op, SrcExpr a) {
+  SrcExpr e;
+  e.kind = Kind::kUnary;
+  e.op = op;
+  e.kids.push_back(std::move(a));
+  return e;
+}
+SrcExpr SrcExpr::Binary(datalog::ExprOp op, SrcExpr a, SrcExpr b) {
+  SrcExpr e;
+  e.kind = Kind::kBinary;
+  e.op = op;
+  e.kids.push_back(std::move(a));
+  e.kids.push_back(std::move(b));
+  return e;
+}
+
+void SrcExpr::CollectVars(std::vector<std::string>* out) const {
+  if (kind == Kind::kVar) out->push_back(name);
+  for (const SrcExpr& k : kids) k.CollectVars(out);
+}
+
+namespace {
+const char* SrcOpName(datalog::ExprOp op) {
+  using datalog::ExprOp;
+  switch (op) {
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kMod: return "%";
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kGt: return ">";
+    case ExprOp::kGe: return ">=";
+    case ExprOp::kAnd: return "&&";
+    case ExprOp::kOr: return "||";
+    default: return "?";
+  }
+}
+}  // namespace
+
+std::string SrcExpr::ToString() const {
+  switch (kind) {
+    case Kind::kConst: {
+      if (const_val.is_string()) return const_val.ToString();
+      return const_val.ToString();
+    }
+    case Kind::kVar:
+    case Kind::kParam:
+      return name;
+    case Kind::kUnary:
+      if (op == datalog::ExprOp::kAbs) return "|" + kids[0].ToString() + "|";
+      if (op == datalog::ExprOp::kNot) return "!" + kids[0].ToString();
+      return "-" + kids[0].ToString();
+    case Kind::kBinary:
+      return "(" + kids[0].ToString() + SrcOpName(op) + kids[1].ToString() + ")";
+  }
+  return "?";
+}
+
+int SrcAtom::LocArg() const {
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].loc) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string SrcAtom::ToString() const {
+  std::string out = pred + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ",";
+    if (args[i].loc) out += "@";
+    if (args[i].is_aggregate()) {
+      out += std::string(datalog::AggKindName(args[i].agg)) + "<" +
+             args[i].agg_var + ">";
+    } else {
+      out += args[i].expr.ToString();
+    }
+  }
+  return out + ")";
+}
+
+std::string SrcRule::ToString() const {
+  std::string out = label.empty() ? "" : label + " ";
+  out += head.ToString();
+  out += is_constraint ? " -> " : " <- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) out += ", ";
+    switch (body[i].kind) {
+      case SrcBodyElem::Kind::kAtom:
+        out += body[i].atom.ToString();
+        break;
+      case SrcBodyElem::Kind::kCond:
+        out += body[i].expr.ToString();
+        break;
+      case SrcBodyElem::Kind::kAssign:
+        out += body[i].assign_var + " := " + body[i].expr.ToString();
+        break;
+    }
+  }
+  return out + ".";
+}
+
+}  // namespace cologne::colog

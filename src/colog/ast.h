@@ -1,0 +1,146 @@
+// Source-level AST for the Colog language (paper Section 4).
+#ifndef COLOGNE_COLOG_AST_H_
+#define COLOGNE_COLOG_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "datalog/aggregates.h"
+#include "datalog/expr.h"
+
+namespace cologne::colog {
+
+/// Goal type: `goal minimize|maximize|satisfy Attr in pred(...).`
+enum class GoalType : uint8_t { kMinimize, kMaximize, kSatisfy };
+
+/// \brief Source expression (variables still by name; params unresolved).
+struct SrcExpr {
+  enum class Kind : uint8_t {
+    kConst,   ///< Numeric or string literal.
+    kVar,     ///< Uppercase identifier (rule variable).
+    kParam,   ///< Lowercase identifier (program parameter, e.g. max_migrates).
+    kUnary,   ///< neg / abs / not.
+    kBinary,  ///< Arithmetic, comparison, logical.
+  };
+  Kind kind = Kind::kConst;
+  Value const_val;                ///< kConst.
+  std::string name;               ///< kVar / kParam.
+  datalog::ExprOp op = datalog::ExprOp::kConst;  ///< kUnary / kBinary.
+  std::vector<SrcExpr> kids;
+
+  static SrcExpr Const(Value v);
+  static SrcExpr Var(std::string n);
+  static SrcExpr Param(std::string n);
+  static SrcExpr Unary(datalog::ExprOp op, SrcExpr a);
+  static SrcExpr Binary(datalog::ExprOp op, SrcExpr a, SrcExpr b);
+
+  /// Collect variable names referenced (with duplicates).
+  void CollectVars(std::vector<std::string>* out) const;
+  /// True if this is a bare variable reference.
+  bool IsVar() const { return kind == Kind::kVar; }
+  std::string ToString() const;
+};
+
+/// One argument of an atom. `loc` marks the `@X` location specifier;
+/// `agg`/`agg_var` encode aggregate arguments such as `SUM<C>`.
+struct SrcArg {
+  bool loc = false;
+  datalog::AggKind agg = datalog::AggKind::kNone;
+  std::string agg_var;  ///< Variable inside the aggregate brackets.
+  SrcExpr expr;         ///< For non-aggregate args.
+
+  bool is_aggregate() const { return agg != datalog::AggKind::kNone; }
+};
+
+/// A predicate occurrence: `pred(@X, A, SUM<C>)`.
+struct SrcAtom {
+  std::string pred;
+  std::vector<SrcArg> args;
+  int line = 0;
+
+  /// Index of the location-specifier argument, or -1.
+  int LocArg() const;
+  std::string ToString() const;
+};
+
+/// One element of a rule body: an atom, a boolean condition, or `X := expr`.
+struct SrcBodyElem {
+  enum class Kind : uint8_t { kAtom, kCond, kAssign };
+  Kind kind = Kind::kAtom;
+  SrcAtom atom;            ///< kAtom.
+  SrcExpr expr;            ///< kCond / kAssign rhs.
+  std::string assign_var;  ///< kAssign lhs.
+};
+
+/// `label head <- body.` (derivation) or `label head -> body.` (constraint).
+struct SrcRule {
+  std::string label;
+  bool is_constraint = false;
+  /// Set by the localization rewrite on generated shipping rules (the
+  /// paper's d21). Shipping rules always read *materialized* remote state —
+  /// a remote node cannot see this node's unsolved constraint variables —
+  /// so they execute in the engine even when they scan solver tables.
+  bool is_ship = false;
+  SrcAtom head;
+  std::vector<SrcBodyElem> body;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// `goal minimize C in hostStdevCpu(C).`
+struct GoalDecl {
+  GoalType type = GoalType::kSatisfy;
+  std::string attr_var;
+  SrcAtom atom;
+  int line = 0;
+};
+
+/// `var assign(Vid,Hid,V) forall toAssign(Vid,Hid) [domain [lo,hi]].`
+///
+/// The `domain` clause is this implementation's (documented) extension: the
+/// paper never specifies how solver-variable domains are declared. Defaults
+/// to [0, 1].
+struct VarDeclStmt {
+  SrcAtom var_atom;
+  SrcAtom forall_atom;
+  std::optional<SrcExpr> dom_lo;
+  std::optional<SrcExpr> dom_hi;
+  int line = 0;
+};
+
+/// `param name [= literal].`
+struct ParamDecl {
+  std::string name;
+  std::optional<Value> value;
+  int line = 0;
+};
+
+/// `table name(A,B,C) keys(A,B).` — NDlog-style materialization declaration.
+struct TableDecl {
+  std::string name;
+  std::vector<std::string> attrs;
+  std::vector<std::string> keys;
+  int line = 0;
+};
+
+/// A parsed Colog program.
+struct Program {
+  std::vector<GoalDecl> goals;
+  std::vector<VarDeclStmt> var_decls;
+  std::vector<ParamDecl> params;
+  std::vector<TableDecl> table_decls;
+  std::vector<SrcRule> rules;
+
+  /// Statement count as the paper counts program size in Table 2
+  /// (goal + var + rules; table/param declarations are bookkeeping).
+  size_t RuleCount() const {
+    return goals.size() + var_decls.size() + rules.size();
+  }
+};
+
+}  // namespace cologne::colog
+
+#endif  // COLOGNE_COLOG_AST_H_

@@ -1,0 +1,252 @@
+#include "colog/codegen.h"
+
+#include "common/strings.h"
+
+namespace cologne::colog {
+
+namespace {
+
+using datalog::AtomIR;
+using datalog::Expr;
+using datalog::ExprOp;
+using datalog::RuleIR;
+using datalog::TermIR;
+
+std::string ExprCpp(const Expr& e) {
+  switch (e.op) {
+    case ExprOp::kConst:
+      if (e.const_val.is_string()) return e.const_val.ToString();
+      return e.const_val.ToString();
+    case ExprOp::kSlot:
+      return "s" + std::to_string(e.slot);
+    case ExprOp::kNeg: return "-(" + ExprCpp(e.kids[0]) + ")";
+    case ExprOp::kAbs: return "std::abs(" + ExprCpp(e.kids[0]) + ")";
+    case ExprOp::kNot: return "!(" + ExprCpp(e.kids[0]) + ")";
+    default: {
+      const char* op = "?";
+      switch (e.op) {
+        case ExprOp::kAdd: op = "+"; break;
+        case ExprOp::kSub: op = "-"; break;
+        case ExprOp::kMul: op = "*"; break;
+        case ExprOp::kDiv: op = "/"; break;
+        case ExprOp::kMod: op = "%"; break;
+        case ExprOp::kEq: op = "=="; break;
+        case ExprOp::kNe: op = "!="; break;
+        case ExprOp::kLt: op = "<"; break;
+        case ExprOp::kLe: op = "<="; break;
+        case ExprOp::kGt: op = ">"; break;
+        case ExprOp::kGe: op = ">="; break;
+        case ExprOp::kAnd: op = "&&"; break;
+        case ExprOp::kOr: op = "||"; break;
+        default: break;
+      }
+      return "(" + ExprCpp(e.kids[0]) + " " + op + " " + ExprCpp(e.kids[1]) +
+             ")";
+    }
+  }
+}
+
+void EmitTupleStruct(std::string& out, const datalog::TableSchema& schema) {
+  std::string cls = schema.name;
+  cls[0] = static_cast<char>(toupper(cls[0]));
+  out += "/// Tuple of relation `" + schema.name + "`.\n";
+  out += "struct " + cls + "Tuple {\n";
+  for (const std::string& attr : schema.attrs) {
+    out += "  Value " + ToLower(attr) + "_;\n";
+  }
+  out += "\n  Row ToRow() const {\n    return Row{";
+  for (size_t i = 0; i < schema.attrs.size(); ++i) {
+    if (i) out += ", ";
+    out += ToLower(schema.attrs[i]) + "_";
+  }
+  out += "};\n  }\n";
+  out += "  static " + cls + "Tuple FromRow(const Row& row) {\n";
+  out += "    " + cls + "Tuple t;\n";
+  for (size_t i = 0; i < schema.attrs.size(); ++i) {
+    out += "    t." + ToLower(schema.attrs[i]) + "_ = row[" +
+           std::to_string(i) + "];\n";
+  }
+  out += "    return t;\n  }\n";
+  if (!schema.key_cols.empty()) {
+    out += "  Row Key() const {\n    return Row{";
+    for (size_t i = 0; i < schema.key_cols.size(); ++i) {
+      if (i) out += ", ";
+      out += ToLower(schema.attrs[static_cast<size_t>(schema.key_cols[i])]) + "_";
+    }
+    out += "};\n  }\n";
+  }
+  out += "  size_t WireSize() const {\n    size_t n = 21;\n";
+  for (const std::string& attr : schema.attrs) {
+    out += "    n += " + ToLower(attr) + "_.WireSize();\n";
+  }
+  out += "    return n;\n  }\n";
+  out += "};\n\n";
+}
+
+void EmitAtomMatch(std::string& out, const AtomIR& atom, const std::string& row,
+                   int indent) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const TermIR& t = atom.args[i];
+    if (t.is_const) {
+      out += pad + "if (!(" + row + "[" + std::to_string(i) +
+             "] == Value(" + t.const_val.ToString() + "))) continue;\n";
+    } else {
+      out += pad + "if (!BindOrTest(&s" + std::to_string(t.slot) + ", " + row +
+             "[" + std::to_string(i) + "])) continue;\n";
+    }
+  }
+}
+
+void EmitRuleHandler(std::string& out, const RuleIR& rule, bool solver_rule,
+                     bool constraint) {
+  std::string cls = "Rule_" + (rule.label.empty() ? rule.head.table : rule.label);
+  out += "/// " + std::string(constraint ? "Constraint" : "Delta handler") +
+         " for rule " + rule.label + " (head: " + rule.head.table + ").\n";
+  out += "class " + cls + " final : public " +
+         (solver_rule ? std::string("SolverRuleHandler")
+                      : std::string("DeltaRuleHandler")) +
+         " {\n public:\n";
+  out += "  explicit " + cls + "(Engine* engine" +
+         (solver_rule ? ", solver::Model* model" : "") + ")\n      : engine_(engine)" +
+         (solver_rule ? ", model_(model)" : "") + " {\n";
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i < rule.trigger.size() && rule.trigger[i]) {
+      out += "    engine_->Subscribe(\"" + rule.body[i].table + "\", this, " +
+             std::to_string(i) + ");\n";
+    }
+  }
+  out += "  }\n\n";
+  // One entry point per triggering atom.
+  for (size_t t = 0; t < rule.body.size(); ++t) {
+    if (t < rule.trigger.size() && !rule.trigger[t]) continue;
+    out += "  void OnDelta" + std::to_string(t) +
+           "(const Row& delta, int sign) {\n";
+    for (int s = 0; s < rule.num_slots; ++s) {
+      out += "    Value s" + std::to_string(s) + ";\n";
+    }
+    EmitAtomMatch(out, rule.body[t], "delta", 4);
+    int indent = 4;
+    // Nested scans over the remaining atoms, probing table indexes.
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i == t) continue;
+      std::string pad(static_cast<size_t>(indent), ' ');
+      out += pad + "for (const Row& r" + std::to_string(i) +
+             " : engine_->GetTable(\"" + rule.body[i].table +
+             "\")->Probe(BoundCols(), BoundVals())) {\n";
+      indent += 2;
+      EmitAtomMatch(out, rule.body[i], "r" + std::to_string(i), indent);
+    }
+    std::string pad(static_cast<size_t>(indent), ' ');
+    for (const auto& as : rule.assigns) {
+      out += pad + "s" + std::to_string(as.slot) + " = " + ExprCpp(as.expr) +
+             ";\n";
+    }
+    for (const auto& sel : rule.sels) {
+      if (solver_rule) {
+        out += pad + "model_->Post(" + ExprCpp(sel.expr) + ");\n";
+      } else {
+        out += pad + "if (!Truthy(" + ExprCpp(sel.expr) + ")) continue;\n";
+      }
+    }
+    if (!constraint) {
+      out += pad + "Row head{";
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (i) out += ", ";
+        const TermIR& term = rule.head.args[i];
+        out += term.is_const ? "Value(" + term.const_val.ToString() + ")"
+                             : "s" + std::to_string(term.slot);
+      }
+      out += "};\n";
+      if (rule.agg) {
+        out += pad + "agg_.Update(GroupKey(head), s" +
+               std::to_string(rule.agg->value_slot) + ", sign);\n";
+        out += pad + "EmitAggregate(\"" + rule.head.table + "\", &agg_);\n";
+      } else {
+        out += pad + "engine_->Route(\"" + rule.head.table +
+               "\", std::move(head), sign);\n";
+      }
+    }
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i == t) continue;
+      indent -= 2;
+      out += std::string(static_cast<size_t>(indent), ' ') + "}\n";
+    }
+    out += "  }\n\n";
+  }
+  out += " private:\n  Engine* engine_;\n";
+  if (solver_rule) out += "  solver::Model* model_;\n";
+  if (rule.agg) out += "  AggregateState agg_;\n";
+  out += "};\n\n";
+}
+
+}  // namespace
+
+std::string GenerateCpp(const CompiledProgram& program,
+                        const std::string& unit_name) {
+  std::string out;
+  out += "// Generated by the Cologne Colog compiler. DO NOT EDIT.\n";
+  out += "// Imperative translation of the `" + unit_name + "` program:\n";
+  out += "// " + std::to_string(program.counts.total()) +
+         " Colog statements -> RapidNet-style delta handlers + Gecode-style\n";
+  out += "// constraint posting.\n";
+  out += "#include \"runtime/instance.h\"\n#include \"solver/model.h\"\n\n";
+  out += "namespace generated::" + unit_name + " {\n\n";
+  out += "using cologne::Row;\nusing cologne::Value;\n";
+  out += "using cologne::datalog::Engine;\nnamespace solver = cologne::solver;\n\n";
+
+  for (const auto& [name, schema] : program.tables) {
+    EmitTupleStruct(out, schema);
+  }
+  for (const datalog::RuleIR& rule : program.engine_rules) {
+    EmitRuleHandler(out, rule, false, false);
+  }
+  for (const SolverRuleIR& rule : program.solver_rules) {
+    EmitRuleHandler(out, rule.ir, true, rule.is_constraint);
+  }
+
+  // Variable instantiation + goal.
+  out += "/// invokeSolver: instantiate decision variables and the goal.\n";
+  out += "void BuildModel(Engine* engine, solver::Model* model) {\n";
+  for (const VarDeclIR& decl : program.var_decls) {
+    out += "  for (const Row& row : engine->GetTable(\"" + decl.forall_table +
+           "\")->Rows()) {\n";
+    out += "    Row vars;\n";
+    for (size_t i = 0; i < decl.from_forall_col.size(); ++i) {
+      int src = decl.from_forall_col[i];
+      if (src >= 0) {
+        out += "    vars.push_back(row[" + std::to_string(src) + "]);\n";
+      } else {
+        out += StrFormat(
+            "    vars.push_back(SymRef(model->NewInt(%lld, %lld)));\n",
+            static_cast<long long>(decl.dom_lo),
+            static_cast<long long>(decl.dom_hi));
+      }
+    }
+    out += "    RegisterVarRow(\"" + decl.var_table + "\", std::move(vars));\n";
+    out += "  }\n";
+  }
+  if (program.goal.present && !program.goal.table.empty()) {
+    out += "  const Row& goal = GoalRow(engine, \"" + program.goal.table +
+           "\");\n";
+    out += std::string("  model->") +
+           (program.goal.type == GoalType::kMinimize ? "Minimize" : "Maximize") +
+           "(SymExprOf(goal[" + std::to_string(program.goal.col) + "]));\n";
+  }
+  out += "}\n\n";
+  out += "}  // namespace generated::" + unit_name + "\n";
+  return out;
+}
+
+size_t CountSloc(const std::string& source) {
+  size_t count = 0;
+  for (const std::string& raw : Split(source, '\n')) {
+    std::string_view line = Trim(raw);
+    if (line.empty()) continue;
+    if (StartsWith(line, "//")) continue;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace cologne::colog

@@ -1,0 +1,23 @@
+// Recursive-descent parser for Colog programs.
+#ifndef COLOGNE_COLOG_PARSER_H_
+#define COLOGNE_COLOG_PARSER_H_
+
+#include <string>
+
+#include "colog/ast.h"
+#include "common/status.h"
+
+namespace cologne::colog {
+
+/// Parse a complete Colog program from source text.
+///
+/// Accepts the full language of the paper's examples (Sections 4.2, 4.3 and
+/// Appendix A): goal/var declarations, regular and solver rules with `<-` /
+/// `->`, location specifiers `@X`, aggregates `SUM<C>` etc., assignments
+/// `X := expr`, absolute values `|expr|`, plus this implementation's
+/// `param`, `table ... keys(...)` and `domain [lo,hi]` extensions.
+Result<Program> Parse(const std::string& source);
+
+}  // namespace cologne::colog
+
+#endif  // COLOGNE_COLOG_PARSER_H_

@@ -1,0 +1,27 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace cologne {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace cologne

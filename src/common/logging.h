@@ -1,0 +1,34 @@
+// Minimal leveled logging. Default level is kWarn so tests and benches stay
+// quiet; harnesses can raise verbosity explicitly.
+#ifndef COLOGNE_COMMON_LOGGING_H_
+#define COLOGNE_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace cologne {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+/// Current global minimum level.
+LogLevel GetLogLevel();
+/// Emit one line to stderr if `level` >= the global minimum.
+void LogMessage(LogLevel level, const std::string& msg);
+
+}  // namespace cologne
+
+#define COLOGNE_LOG(level, msg)                                       \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::cologne::GetLogLevel())) {                 \
+      ::cologne::LogMessage(level, (msg));                            \
+    }                                                                 \
+  } while (0)
+
+#define COLOGNE_DEBUG(msg) COLOGNE_LOG(::cologne::LogLevel::kDebug, msg)
+#define COLOGNE_INFO(msg) COLOGNE_LOG(::cologne::LogLevel::kInfo, msg)
+#define COLOGNE_WARN(msg) COLOGNE_LOG(::cologne::LogLevel::kWarn, msg)
+#define COLOGNE_ERROR(msg) COLOGNE_LOG(::cologne::LogLevel::kError, msg)
+
+#endif  // COLOGNE_COMMON_LOGGING_H_

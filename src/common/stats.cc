@@ -1,0 +1,30 @@
+#include "common/stats.h"
+
+namespace cologne {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Stdev(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double m = Mean(xs);
+  double v = 0;
+  for (double x : xs) v += (x - m) * (x - m);
+  return std::sqrt(v / static_cast<double>(xs.size()));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+}  // namespace cologne

@@ -1,0 +1,54 @@
+// Streaming statistics accumulators used across the evaluation harnesses.
+#ifndef COLOGNE_COMMON_STATS_H_
+#define COLOGNE_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cologne {
+
+/// \brief Online mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Incorporate one observation.
+  void Add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Population standard deviation.
+  double stdev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0, m2_ = 0, min_ = 0, max_ = 0, sum_ = 0;
+};
+
+/// Population standard deviation of a vector (one-shot helper).
+double Stdev(const std::vector<double>& xs);
+
+/// Arithmetic mean of a vector; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// `p`-th percentile (0..100) by nearest-rank on a copy; 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace cologne
+
+#endif  // COLOGNE_COMMON_STATS_H_

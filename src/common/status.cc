@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace cologne {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kAnalysisError: return "AnalysisError";
+    case StatusCode::kPlanError: return "PlanError";
+    case StatusCode::kSolverError: return "SolverError";
+    case StatusCode::kRuntimeError: return "RuntimeError";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace cologne

@@ -1,0 +1,126 @@
+// Status / Result<T>: return-value based error handling (no exceptions on
+// fallible paths), following the RocksDB / Arrow idiom.
+#ifndef COLOGNE_COMMON_STATUS_H_
+#define COLOGNE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cologne {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,      ///< Colog source could not be tokenized/parsed.
+  kAnalysisError,   ///< Static analysis rejected a Colog program.
+  kPlanError,       ///< Execution-plan generation failed.
+  kSolverError,     ///< Constraint model construction or search failed.
+  kRuntimeError,    ///< Engine-level failure during evaluation.
+  kUnimplemented,
+};
+
+/// \brief Lightweight status object carrying a code and a human-readable message.
+///
+/// All fallible public APIs in this repository return Status (or Result<T>).
+/// A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status AnalysisError(std::string m) {
+    return Status(StatusCode::kAnalysisError, std::move(m));
+  }
+  static Status PlanError(std::string m) {
+    return Status(StatusCode::kPlanError, std::move(m));
+  }
+  static Status SolverError(std::string m) {
+    return Status(StatusCode::kSolverError, std::move(m));
+  }
+  static Status RuntimeError(std::string m) {
+    return Status(StatusCode::kRuntimeError, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Render as "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Result<T>: either a value or an error Status (Arrow's Result idiom).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; callers must check ok() first.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagate a non-OK Status from the current function.
+#define COLOGNE_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::cologne::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluate a Result-returning expression; bind the value or propagate the error.
+#define COLOGNE_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto lhs##_res = (expr);                       \
+  if (!lhs##_res.ok()) return lhs##_res.status(); \
+  auto lhs = std::move(lhs##_res).value()
+
+}  // namespace cologne
+
+#endif  // COLOGNE_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+// Small string helpers shared by the Colog frontend and the harnesses.
+#ifndef COLOGNE_COMMON_STRINGS_H_
+#define COLOGNE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cologne {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Join `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Lowercase an ASCII string.
+std::string ToLower(std::string_view s);
+
+}  // namespace cologne
+
+#endif  // COLOGNE_COMMON_STRINGS_H_

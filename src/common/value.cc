@@ -1,0 +1,104 @@
+#include "common/value.h"
+
+#include <cstring>
+
+namespace cologne {
+
+namespace {
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+uint64_t Value::Hash() const {
+  uint64_t h = kFnvOffset;
+  uint8_t tag = static_cast<uint8_t>(type());
+  h = FnvMix(h, &tag, 1);
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt: {
+      int64_t v = as_int();
+      h = FnvMix(h, &v, sizeof(v));
+      break;
+    }
+    case ValueType::kDouble: {
+      double v = std::get<double>(repr_);
+      h = FnvMix(h, &v, sizeof(v));
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = as_string();
+      h = FnvMix(h, s.data(), s.size());
+      break;
+    }
+    case ValueType::kNode: {
+      NodeId v = as_node();
+      h = FnvMix(h, &v, sizeof(v));
+      break;
+    }
+    case ValueType::kSym: {
+      int32_t v = sym_index();
+      h = FnvMix(h, &v, sizeof(v));
+      break;
+    }
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kDouble: {
+      char buf[48];
+      snprintf(buf, sizeof(buf), "%g", std::get<double>(repr_));
+      return buf;
+    }
+    case ValueType::kString: return "\"" + as_string() + "\"";
+    case ValueType::kNode: return "@" + std::to_string(as_node());
+    case ValueType::kSym: return "$" + std::to_string(sym_index());
+  }
+  return "?";
+}
+
+size_t Value::WireSize() const {
+  switch (type()) {
+    case ValueType::kNull: return 1;
+    case ValueType::kInt: return 1 + 8;
+    case ValueType::kDouble: return 1 + 8;
+    case ValueType::kString: return 1 + 4 + as_string().size();
+    case ValueType::kNode: return 1 + 4;
+    case ValueType::kSym: return 1 + 4;
+  }
+  return 1;
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = kFnvOffset;
+  for (const Value& v : row) {
+    uint64_t hv = v.Hash();
+    h = FnvMix(h, &hv, sizeof(hv));
+  }
+  return h;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace cologne

@@ -1,0 +1,116 @@
+// Value: the tagged-union datum stored in Datalog tuples.
+//
+// Colog tables mix regular attributes (integers, doubles, strings, node
+// addresses) with *solver* attributes, whose runtime representation is a
+// symbolic reference into the constraint network (kSym).  See Section 4.2 of
+// the paper for the regular/solver attribute distinction.
+#ifndef COLOGNE_COMMON_VALUE_H_
+#define COLOGNE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cologne {
+
+/// Identifier of a node (location) in a distributed deployment.
+using NodeId = int32_t;
+
+/// Runtime type tag of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt,     ///< 64-bit signed integer (the workhorse type; solver domain type).
+  kDouble,  ///< IEEE double (used for measured statistics such as CPU stdev).
+  kString,  ///< Interned-by-copy string.
+  kNode,    ///< Node address (location specifier value).
+  kSym,     ///< Symbolic reference: index of an expression in the constraint
+            ///< network built during solver-rule evaluation.
+};
+
+/// \brief A single datum within a tuple.
+///
+/// Values are small, regular, and totally ordered (ordering first by type tag
+/// then by payload), which lets tables index and sort heterogeneous columns
+/// deterministically.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value Node(NodeId v) { return Value(NodeTag{v}); }
+  /// A symbolic reference to constraint-network expression `idx`.
+  static Value Sym(int32_t idx) { return Value(SymTag{idx}); }
+
+  ValueType type() const {
+    switch (repr_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      case 3: return ValueType::kString;
+      case 4: return ValueType::kNode;
+      default: return ValueType::kSym;
+    }
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_node() const { return type() == ValueType::kNode; }
+  bool is_sym() const { return type() == ValueType::kSym; }
+  /// True for any numeric (int or double) payload.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  double as_double() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(repr_))
+                    : std::get<double>(repr_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+  NodeId as_node() const { return std::get<NodeTag>(repr_).id; }
+  int32_t sym_index() const { return std::get<SymTag>(repr_).index; }
+
+  bool operator==(const Value& o) const { return repr_ == o.repr_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  bool operator<(const Value& o) const { return repr_ < o.repr_; }
+
+  /// Stable 64-bit hash (FNV-1a over the canonical encoding).
+  uint64_t Hash() const;
+
+  /// Render for debugging/printing: ints bare, strings quoted, nodes as @N,
+  /// syms as $k.
+  std::string ToString() const;
+
+  /// Approximate serialized size in bytes, used by the network simulator for
+  /// bandwidth accounting (Figure 5).
+  size_t WireSize() const;
+
+ private:
+  struct NodeTag {
+    NodeId id;
+    auto operator<=>(const NodeTag&) const = default;
+  };
+  struct SymTag {
+    int32_t index;
+    auto operator<=>(const SymTag&) const = default;
+  };
+  using Repr = std::variant<std::monostate, int64_t, double, std::string,
+                            NodeTag, SymTag>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+  Repr repr_;
+};
+
+/// A row: ordered list of Values.
+using Row = std::vector<Value>;
+
+/// Hash of an entire row (order-sensitive).
+uint64_t HashRow(const Row& row);
+
+/// Render a row as "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+}  // namespace cologne
+
+#endif  // COLOGNE_COMMON_VALUE_H_

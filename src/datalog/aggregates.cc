@@ -1,0 +1,104 @@
+#include "datalog/aggregates.h"
+
+#include <cmath>
+
+namespace cologne::datalog {
+
+std::optional<AggKind> AggKindFromName(const std::string& name) {
+  if (name == "SUM") return AggKind::kSum;
+  if (name == "COUNT") return AggKind::kCount;
+  if (name == "MIN") return AggKind::kMin;
+  if (name == "MAX") return AggKind::kMax;
+  if (name == "AVG") return AggKind::kAvg;
+  if (name == "STDEV") return AggKind::kStdev;
+  if (name == "SUMABS") return AggKind::kSumAbs;
+  if (name == "UNIQUE") return AggKind::kUnique;
+  return std::nullopt;
+}
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kNone: return "NONE";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kCount: return "COUNT";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+    case AggKind::kAvg: return "AVG";
+    case AggKind::kStdev: return "STDEV";
+    case AggKind::kSumAbs: return "SUMABS";
+    case AggKind::kUnique: return "UNIQUE";
+  }
+  return "?";
+}
+
+Value ComputeAggregate(AggKind kind,
+                       const std::map<Value, int64_t>& multiset) {
+  int64_t count = 0;
+  bool any_double = false;
+  for (const auto& [v, n] : multiset) {
+    count += n;
+    if (v.is_double()) any_double = true;
+  }
+
+  switch (kind) {
+    case AggKind::kCount:
+      return Value::Int(count);
+    case AggKind::kUnique:
+      return Value::Int(static_cast<int64_t>(multiset.size()));
+    case AggKind::kMin:
+      if (multiset.empty()) return Value::Null();
+      return multiset.begin()->first;
+    case AggKind::kMax:
+      if (multiset.empty()) return Value::Null();
+      return multiset.rbegin()->first;
+    case AggKind::kSum:
+    case AggKind::kSumAbs: {
+      if (any_double) {
+        double s = 0;
+        for (const auto& [v, n] : multiset) {
+          double x = v.as_double();
+          s += (kind == AggKind::kSumAbs ? std::fabs(x) : x) *
+               static_cast<double>(n);
+        }
+        return Value::Double(s);
+      }
+      int64_t s = 0;
+      for (const auto& [v, n] : multiset) {
+        int64_t x = v.is_int() ? v.as_int() : 0;
+        s += (kind == AggKind::kSumAbs ? std::abs(x) : x) * n;
+      }
+      return Value::Int(s);
+    }
+    case AggKind::kAvg: {
+      if (count == 0) return Value::Null();
+      double s = 0;
+      for (const auto& [v, n] : multiset) {
+        s += v.as_double() * static_cast<double>(n);
+      }
+      return Value::Double(s / static_cast<double>(count));
+    }
+    case AggKind::kStdev: {
+      if (count == 0) return Value::Null();
+      double s = 0, s2 = 0;
+      for (const auto& [v, n] : multiset) {
+        double x = v.as_double();
+        s += x * static_cast<double>(n);
+        s2 += x * x * static_cast<double>(n);
+      }
+      double mean = s / static_cast<double>(count);
+      double var = s2 / static_cast<double>(count) - mean * mean;
+      return Value::Double(std::sqrt(std::max(var, 0.0)));
+    }
+    case AggKind::kNone:
+      break;
+  }
+  return Value::Null();
+}
+
+Value ComputeAggregate(AggKind kind, const std::vector<Value>& values) {
+  std::map<Value, int64_t> ms;
+  for (const Value& v : values) ++ms[v];
+  return ComputeAggregate(kind, ms);
+}
+
+}  // namespace cologne::datalog

@@ -1,0 +1,47 @@
+// Aggregate functions supported in Colog rule heads (paper Section 4.1:
+// "Aggregate constructs (e.g. SUM, MIN, MAX) are represented as functions with
+// attributes within angle brackets", plus SUMABS, STDEV and UNIQUE used by the
+// case-study programs).
+#ifndef COLOGNE_DATALOG_AGGREGATES_H_
+#define COLOGNE_DATALOG_AGGREGATES_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace cologne::datalog {
+
+/// Aggregate kinds; kNone marks a non-aggregate head.
+enum class AggKind : uint8_t {
+  kNone = 0,
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+  kAvg,
+  kStdev,   ///< Population standard deviation (ACloud optimization goal).
+  kSumAbs,  ///< Sum of absolute values (Follow-the-Sun migration cost, d7).
+  kUnique,  ///< Number of distinct values (wireless interface constraint, d3).
+};
+
+/// Parse "SUM", "COUNT", ... (case-sensitive, as in the paper's programs).
+/// Returns std::nullopt if `name` is not an aggregate keyword.
+std::optional<AggKind> AggKindFromName(const std::string& name);
+
+/// Keyword for an aggregate kind ("SUM", ...).
+const char* AggKindName(AggKind kind);
+
+/// Compute an aggregate over a concrete multiset (value -> multiplicity).
+/// Empty input: SUM/COUNT/SUMABS/UNIQUE yield Int(0); MIN/MAX/AVG/STDEV yield
+/// Null (no meaningful value).
+Value ComputeAggregate(AggKind kind, const std::map<Value, int64_t>& multiset);
+
+/// Convenience overload over a plain vector.
+Value ComputeAggregate(AggKind kind, const std::vector<Value>& values);
+
+}  // namespace cologne::datalog
+
+#endif  // COLOGNE_DATALOG_AGGREGATES_H_

@@ -1,0 +1,419 @@
+#include "datalog/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace cologne::datalog {
+
+Status Engine::DeclareTable(const TableSchema& schema) {
+  if (tables_.count(schema.name)) {
+    return Status::AlreadyExists("table already declared: " + schema.name);
+  }
+  tables_[schema.name] = std::make_unique<Table>(schema);
+  return Status::OK();
+}
+
+bool Engine::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Table* Engine::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Engine::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Engine::AddRule(RuleIR rule) {
+  if (!HasTable(rule.head.table)) {
+    return Status::PlanError("rule " + rule.label + ": undeclared head table " +
+                             rule.head.table);
+  }
+  for (const AtomIR& a : rule.body) {
+    if (!HasTable(a.table)) {
+      return Status::PlanError("rule " + rule.label +
+                               ": undeclared body table " + a.table);
+    }
+  }
+  if (rule.trigger.size() != rule.body.size()) {
+    return Status::PlanError("rule " + rule.label +
+                             ": trigger flags do not match body atoms");
+  }
+  size_t rule_idx = rules_.size();
+
+  // Precompute guard dependency info (selections + assignments).
+  std::vector<GuardInfo> guards;
+  for (size_t i = 0; i < rule.sels.size(); ++i) {
+    GuardInfo g;
+    g.is_assign = false;
+    g.index = i;
+    rule.sels[i].expr.CollectSlots(&g.deps);
+    guards.push_back(std::move(g));
+  }
+  for (size_t i = 0; i < rule.assigns.size(); ++i) {
+    GuardInfo g;
+    g.is_assign = true;
+    g.index = i;
+    rule.assigns[i].expr.CollectSlots(&g.deps);
+    guards.push_back(std::move(g));
+  }
+
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (rule.trigger[i]) {
+      triggers_[rule.body[i].table].push_back({rule_idx, i});
+    }
+  }
+  agg_states_.push_back(rule.agg ? std::make_unique<AggState>() : nullptr);
+  guards_.push_back(std::move(guards));
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status Engine::Apply(const std::string& table, const Row& row, int sign) {
+  Table* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("unknown table: " + table);
+  if (row.size() != t->schema().arity()) {
+    return Status::InvalidArgument(
+        StrFormat("arity mismatch on %s: row has %zu values, table expects %zu",
+                  table.c_str(), row.size(), t->schema().arity()));
+  }
+  Route(table, row, sign);
+  return Status::OK();
+}
+
+Status Engine::InsertFact(const std::string& table, const Row& row) {
+  COLOGNE_RETURN_IF_ERROR(Apply(table, row, +1));
+  return Flush();
+}
+
+Status Engine::DeleteFact(const std::string& table, const Row& row) {
+  COLOGNE_RETURN_IF_ERROR(Apply(table, row, -1));
+  return Flush();
+}
+
+void Engine::Route(const std::string& table, Row row, int sign) {
+  const Table* t = GetTable(table);
+  int loc = t->schema().loc_col;
+  if (self_ != kCentralized && loc >= 0 &&
+      static_cast<size_t>(loc) < row.size() && row[static_cast<size_t>(loc)].is_node()) {
+    NodeId dest = row[static_cast<size_t>(loc)].as_node();
+    if (dest != self_) {
+      ++stats_.tuples_sent;
+      if (sender_) {
+        sender_(dest, table, row, sign);
+      } else {
+        COLOGNE_WARN("dropping remote tuple for node " + std::to_string(dest) +
+                     " (no sender configured): " + table + RowToString(row));
+      }
+      return;
+    }
+  }
+  queue_.push_back({table, std::move(row), sign});
+}
+
+Status Engine::Flush() {
+  while (!queue_.empty()) {
+    PendingDelta d = std::move(queue_.front());
+    queue_.pop_front();
+    ProcessOne(d);
+  }
+  Status err = first_error_;
+  first_error_ = Status::OK();
+  return err;
+}
+
+void Engine::ProcessOne(const PendingDelta& d) {
+  Table* t = GetTable(d.table);
+  if (d.sign > 0) {
+    // NDlog replacement: displace any visible row sharing the primary key.
+    if (const Row* disp = t->DisplacedBy(d.row)) {
+      Row old = *disp;  // copy: EraseAll invalidates the pointer
+      ++stats_.deltas_processed;
+      // Fire deletions against the pre-removal state, then remove.
+      FireTriggers(d.table, old, -1);
+      t->EraseAll(old);
+      auto wit = watchers_.find(d.table);
+      if (wit != watchers_.end()) {
+        for (const WatchFn& w : wit->second) w(old, -1);
+      }
+    }
+    int vis = t->Apply(d.row, +1);
+    if (vis != 0) {
+      ++stats_.deltas_processed;
+      auto wit = watchers_.find(d.table);
+      if (wit != watchers_.end()) {
+        for (const WatchFn& w : wit->second) w(d.row, +1);
+      }
+      FireTriggers(d.table, d.row, +1);
+    }
+  } else {
+    // Deletion: fire rules while the row is still in the table so that
+    // self-join derivation counts retract symmetrically, then remove.
+    bool will_vanish = t->CountOf(d.row) == 1;
+    if (will_vanish) {
+      ++stats_.deltas_processed;
+      FireTriggers(d.table, d.row, -1);
+      t->Apply(d.row, -1);
+      auto wit = watchers_.find(d.table);
+      if (wit != watchers_.end()) {
+        for (const WatchFn& w : wit->second) w(d.row, -1);
+      }
+    } else {
+      t->Apply(d.row, -1);
+    }
+  }
+}
+
+void Engine::FireTriggers(const std::string& table, const Row& row, int sign) {
+  auto it = triggers_.find(table);
+  if (it == triggers_.end()) return;
+  for (const TriggerRef& ref : it->second) {
+    const RuleIR& rule = rules_[ref.rule_idx];
+    if (sign < 0 && ref.atom_idx < rule.insert_only.size() &&
+        rule.insert_only[ref.atom_idx]) {
+      continue;
+    }
+    FireRule(ref.rule_idx, ref.atom_idx, row, sign);
+  }
+}
+
+bool Engine::MatchAtom(const AtomIR& atom, const Row& row,
+                       std::vector<Value>& slots,
+                       std::vector<int>& newly_bound) {
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const TermIR& term = atom.args[i];
+    const Value& v = row[i];
+    if (term.is_const) {
+      if (!(term.const_val == v)) return false;
+    } else {
+      Value& s = slots[static_cast<size_t>(term.slot)];
+      if (s.is_null()) {
+        s = v;
+        newly_bound.push_back(term.slot);
+      } else if (!(s == v)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Engine::ApplyGuards(size_t rule_idx, std::vector<Value>& slots,
+                         std::vector<char>& applied) {
+  const RuleIR& rule = rules_[rule_idx];
+  const auto& guards = guards_[rule_idx];
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t g = 0; g < guards.size(); ++g) {
+      if (applied[g]) continue;
+      const GuardInfo& info = guards[g];
+      bool ready = true;
+      for (int dep : info.deps) {
+        if (slots[static_cast<size_t>(dep)].is_null()) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      if (info.is_assign) {
+        const AssignIR& as = rule.assigns[info.index];
+        Result<Value> r = EvalExpr(as.expr, slots);
+        if (!r.ok()) {
+          if (first_error_.ok()) first_error_ = r.status();
+          return false;
+        }
+        Value& target = slots[static_cast<size_t>(as.slot)];
+        if (target.is_null()) {
+          target = std::move(r).value();
+        } else if (!(target == r.value())) {
+          return false;  // := re-binding must agree
+        }
+      } else {
+        const SelIR& sel = rule.sels[info.index];
+        Result<Value> r = EvalExpr(sel.expr, slots);
+        if (!r.ok()) {
+          if (first_error_.ok()) first_error_ = r.status();
+          return false;
+        }
+        if (!ValueIsTrue(r.value())) return false;
+      }
+      applied[g] = 1;
+      progress = true;
+    }
+  }
+  return true;
+}
+
+void Engine::FireRule(size_t rule_idx, size_t atom_idx, const Row& row,
+                      int sign) {
+  const RuleIR& rule = rules_[rule_idx];
+  ++stats_.rule_firings;
+
+  std::vector<Value> slots(static_cast<size_t>(rule.num_slots));
+  std::vector<int> bound;
+  if (!MatchAtom(rule.body[atom_idx], row, slots, bound)) return;
+
+  std::vector<char> applied(guards_[rule_idx].size(), 0);
+  if (!ApplyGuards(rule_idx, slots, applied)) return;
+
+  // Join the remaining atoms in body order.
+  std::vector<size_t> order;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i != atom_idx) order.push_back(i);
+  }
+  JoinStep(rule_idx, order, 0, slots, applied, sign);
+}
+
+void Engine::JoinStep(size_t rule_idx, const std::vector<size_t>& order,
+                      size_t depth, std::vector<Value>& slots,
+                      std::vector<char>& applied, int sign) {
+  const RuleIR& rule = rules_[rule_idx];
+  if (depth == order.size()) {
+    // All atoms matched; any remaining guards must have fired already for
+    // head construction to be meaningful (unfired guards mean unbound slots,
+    // which EmitHead reports).
+    EmitHead(rule_idx, slots, sign);
+    return;
+  }
+  const AtomIR& atom = rule.body[order[depth]];
+  Table* t = GetTable(atom.table);
+
+  // Determine bound columns for an indexed probe.
+  std::vector<int> cols;
+  Row key;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const TermIR& term = atom.args[i];
+    if (term.is_const) {
+      cols.push_back(static_cast<int>(i));
+      key.push_back(term.const_val);
+    } else if (!slots[static_cast<size_t>(term.slot)].is_null()) {
+      cols.push_back(static_cast<int>(i));
+      key.push_back(slots[static_cast<size_t>(term.slot)]);
+    }
+  }
+
+  // Probe returns a reference into the index; copy because recursive calls
+  // may add/rebuild indexes. At Cologne's scales this copy is cheap.
+  std::vector<Row> candidates = t->Probe(cols, key);
+  for (const Row& row : candidates) {
+    std::vector<int> newly_bound;
+    if (!MatchAtom(atom, row, slots, newly_bound)) {
+      for (int s : newly_bound) slots[static_cast<size_t>(s)] = Value::Null();
+      continue;
+    }
+    std::vector<char> applied_copy = applied;
+    if (ApplyGuards(rule_idx, slots, applied_copy)) {
+      JoinStep(rule_idx, order, depth + 1, slots, applied_copy, sign);
+    }
+    for (int s : newly_bound) slots[static_cast<size_t>(s)] = Value::Null();
+  }
+}
+
+void Engine::EmitHead(size_t rule_idx, const std::vector<Value>& slots,
+                      int sign) {
+  const RuleIR& rule = rules_[rule_idx];
+
+  // Build the head row (or the aggregate group key).
+  Row head_row;
+  head_row.reserve(rule.head.args.size());
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    if (rule.agg && static_cast<int>(i) == rule.agg->arg_index) {
+      head_row.push_back(Value::Null());  // placeholder, filled by aggregate
+      continue;
+    }
+    const TermIR& term = rule.head.args[i];
+    if (term.is_const) {
+      head_row.push_back(term.const_val);
+    } else {
+      const Value& v = slots[static_cast<size_t>(term.slot)];
+      if (v.is_null()) {
+        if (first_error_.ok()) {
+          first_error_ = Status::RuntimeError(
+              "rule " + rule.label + ": unbound head attribute " +
+              std::to_string(i));
+        }
+        return;
+      }
+      head_row.push_back(v);
+    }
+  }
+
+  if (rule.agg) {
+    const Value& v = slots[static_cast<size_t>(rule.agg->value_slot)];
+    if (v.is_null()) {
+      if (first_error_.ok()) {
+        first_error_ = Status::RuntimeError(
+            "rule " + rule.label + ": unbound aggregate input");
+      }
+      return;
+    }
+    // Group key: head row without the aggregate position.
+    Row group;
+    group.reserve(head_row.size() - 1);
+    for (size_t i = 0; i < head_row.size(); ++i) {
+      if (static_cast<int>(i) != rule.agg->arg_index) group.push_back(head_row[i]);
+    }
+    EmitAggregate(rule_idx, group, v, sign);
+    return;
+  }
+  Route(rule.head.table, std::move(head_row), sign);
+}
+
+void Engine::EmitAggregate(size_t rule_idx, const Row& group,
+                           const Value& value, int sign) {
+  const RuleIR& rule = rules_[rule_idx];
+  AggState& state = *agg_states_[rule_idx];
+  auto& multiset = state.groups[group];
+  multiset[value] += sign;
+  if (multiset[value] <= 0) multiset.erase(value);
+  bool empty = multiset.empty();
+  if (empty) state.groups.erase(group);
+
+  auto last_it = state.last_out.find(group);
+  if (empty) {
+    if (last_it != state.last_out.end()) {
+      Route(rule.head.table, last_it->second, -1);
+      state.last_out.erase(last_it);
+    }
+    return;
+  }
+  Value agg = ComputeAggregate(rule.agg->kind, state.groups[group]);
+  // Rebuild the head row with the aggregate value in position.
+  Row out;
+  out.reserve(group.size() + 1);
+  size_t g = 0;
+  for (size_t i = 0; i <= group.size(); ++i) {
+    if (static_cast<int>(i) == rule.agg->arg_index) {
+      out.push_back(agg);
+    } else {
+      out.push_back(group[g++]);
+    }
+  }
+  if (last_it != state.last_out.end()) {
+    if (last_it->second == out) return;  // unchanged
+    Route(rule.head.table, last_it->second, -1);
+  }
+  Route(rule.head.table, out, +1);
+  state.last_out[group] = std::move(out);
+}
+
+void Engine::AddWatcher(const std::string& table, WatchFn fn) {
+  watchers_[table].push_back(std::move(fn));
+}
+
+size_t Engine::MemoryEstimate() const {
+  size_t bytes = 0;
+  for (const auto& [name, t] : tables_) {
+    // Rough: 48 bytes/value + row bookkeeping, times index fanout of ~2.
+    bytes += t->size() * (t->schema().arity() * 48 + 64) * 2;
+  }
+  return bytes;
+}
+
+}  // namespace cologne::datalog

@@ -1,0 +1,148 @@
+// The per-node Datalog evaluation engine: pipelined semi-naive (PSN)
+// processing with counting-based incremental view maintenance, aggregate
+// operators, NDlog-style keyed replacement, and location-aware routing of
+// derived tuples (the RapidNet role in the original Cologne).
+#ifndef COLOGNE_DATALOG_ENGINE_H_
+#define COLOGNE_DATALOG_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "datalog/table.h"
+
+namespace cologne::datalog {
+
+/// Engine-level counters (exposed for tests and the overhead benchmarks).
+struct EngineStats {
+  uint64_t deltas_processed = 0;  ///< Visible tuple changes handled.
+  uint64_t rule_firings = 0;      ///< Delta-rule evaluations.
+  uint64_t tuples_sent = 0;       ///< Tuples routed to remote nodes.
+};
+
+/// \brief One node's rule processor.
+///
+/// Facts enter through Apply() (from the application or from the network);
+/// Flush() drains the delta queue to a local fixpoint, firing rules
+/// incrementally. Derived head tuples whose location specifier addresses a
+/// different node are handed to the sender callback instead of being applied
+/// locally.
+class Engine {
+ public:
+  /// `self` is this node's address; kCentralized (-1) disables routing.
+  static constexpr NodeId kCentralized = -1;
+  explicit Engine(NodeId self = kCentralized) : self_(self) {}
+
+  NodeId self() const { return self_; }
+
+  // --- Catalog -------------------------------------------------------------
+
+  Status DeclareTable(const TableSchema& schema);
+  bool HasTable(const std::string& name) const;
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  // --- Rules ---------------------------------------------------------------
+
+  /// Register a rule; all referenced tables must be declared.
+  Status AddRule(RuleIR rule);
+  size_t num_rules() const { return rules_.size(); }
+
+  // --- Facts & evaluation ----------------------------------------------------
+
+  /// Enqueue a tuple delta (+1 insert / -1 delete) for `table`. If the tuple
+  /// addresses a remote node it is sent instead. Call Flush() to evaluate.
+  Status Apply(const std::string& table, const Row& row, int sign);
+
+  /// Convenience: Apply(+1) then Flush().
+  Status InsertFact(const std::string& table, const Row& row);
+  /// Convenience: Apply(-1) then Flush().
+  Status DeleteFact(const std::string& table, const Row& row);
+
+  /// Drain the delta queue to fixpoint.
+  Status Flush();
+
+  // --- Hooks ---------------------------------------------------------------
+
+  /// Sender for tuples addressed to other nodes.
+  using SendFn = std::function<void(NodeId dest, const std::string& table,
+                                    const Row& row, int sign)>;
+  void SetSender(SendFn fn) { sender_ = std::move(fn); }
+
+  /// Watcher invoked on every visibility change of `table` (after the change
+  /// is applied, before dependent rules fire).
+  using WatchFn = std::function<void(const Row& row, int sign)>;
+  void AddWatcher(const std::string& table, WatchFn fn);
+
+  const EngineStats& stats() const { return stats_; }
+
+  /// Approximate resident size of all tables (bytes), for the memory
+  /// footprint numbers reported in the paper's Section 6.
+  size_t MemoryEstimate() const;
+
+ private:
+  struct PendingDelta {
+    std::string table;
+    Row row;
+    int sign;
+  };
+
+  // Rule bookkeeping: for each table, the (rule, body atom) pairs that a
+  // delta on that table must fire.
+  struct TriggerRef {
+    size_t rule_idx;
+    size_t atom_idx;
+  };
+
+  // Per-rule aggregate operator state.
+  struct AggState {
+    std::map<Row, std::map<Value, int64_t>> groups;  // group key -> multiset
+    std::map<Row, Row> last_out;                     // group key -> head row
+  };
+
+  void ProcessOne(const PendingDelta& d);
+  void FireTriggers(const std::string& table, const Row& row, int sign);
+  void FireRule(size_t rule_idx, size_t atom_idx, const Row& row, int sign);
+  // Recursive nested-loop join over remaining body atoms.
+  void JoinStep(size_t rule_idx, const std::vector<size_t>& order, size_t depth,
+                std::vector<Value>& slots, std::vector<char>& applied,
+                int sign);
+  // Evaluate ready selections/assignments; false = a selection failed or a
+  // runtime error occurred (recorded in first_error_).
+  bool ApplyGuards(size_t rule_idx, std::vector<Value>& slots,
+                   std::vector<char>& applied);
+  void EmitHead(size_t rule_idx, const std::vector<Value>& slots, int sign);
+  void EmitAggregate(size_t rule_idx, const Row& group, const Value& value,
+                     int sign);
+  // Route a fully-constructed head tuple: local queue or remote send.
+  void Route(const std::string& table, Row row, int sign);
+  bool MatchAtom(const AtomIR& atom, const Row& row, std::vector<Value>& slots,
+                 std::vector<int>& newly_bound);
+
+  NodeId self_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<RuleIR> rules_;
+  // Precomputed per rule: slots needed by each guard (selection/assignment).
+  struct GuardInfo {
+    bool is_assign;
+    size_t index;              // into rule.sels or rule.assigns
+    std::vector<int> deps;     // slots that must be bound first
+  };
+  std::vector<std::vector<GuardInfo>> guards_;
+  std::map<std::string, std::vector<TriggerRef>> triggers_;
+  std::map<std::string, std::vector<WatchFn>> watchers_;
+  std::vector<std::unique_ptr<AggState>> agg_states_;
+  std::deque<PendingDelta> queue_;
+  SendFn sender_;
+  EngineStats stats_;
+  Status first_error_;
+};
+
+}  // namespace cologne::datalog
+
+#endif  // COLOGNE_DATALOG_ENGINE_H_

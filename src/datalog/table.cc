@@ -1,0 +1,127 @@
+#include "datalog/table.h"
+
+#include <algorithm>
+
+namespace cologne::datalog {
+
+const std::vector<Row> Table::kEmpty;
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+Row Table::KeyOf(const Row& row) const {
+  Row key;
+  key.reserve(schema_.key_cols.size());
+  for (int c : schema_.key_cols) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+void Table::IndexAdd(const Row& row) {
+  visible_[row] = true;
+  scan_dirty_ = true;
+  if (schema_.keyed()) by_key_[KeyOf(row)] = row;
+  for (auto& [cols, index] : indexes_) {
+    Row proj;
+    proj.reserve(cols.size());
+    for (int c : cols) proj.push_back(row[static_cast<size_t>(c)]);
+    index[proj].push_back(row);
+  }
+}
+
+void Table::IndexRemove(const Row& row) {
+  visible_.erase(row);
+  scan_dirty_ = true;
+  if (schema_.keyed()) {
+    auto it = by_key_.find(KeyOf(row));
+    if (it != by_key_.end() && it->second == row) by_key_.erase(it);
+  }
+  for (auto& [cols, index] : indexes_) {
+    Row proj;
+    proj.reserve(cols.size());
+    for (int c : cols) proj.push_back(row[static_cast<size_t>(c)]);
+    auto it = index.find(proj);
+    if (it == index.end()) continue;
+    auto& rows = it->second;
+    rows.erase(std::remove(rows.begin(), rows.end(), row), rows.end());
+    if (rows.empty()) index.erase(it);
+  }
+}
+
+int Table::Apply(const Row& row, int sign) {
+  int64_t& count = counts_[row];
+  int64_t before = count;
+  count += sign;
+  // Negative counts persist: with asynchronous distribution a deletion delta
+  // can overtake the insertion it cancels, and the counts must still balance.
+  if (count == 0) counts_.erase(row);
+  if (before <= 0 && before + sign > 0) {
+    IndexAdd(row);
+    return +1;
+  }
+  if (before > 0 && before + sign <= 0) {
+    IndexRemove(row);
+    return -1;
+  }
+  return 0;
+}
+
+int64_t Table::CountOf(const Row& row) const {
+  auto it = counts_.find(row);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+const Row* Table::DisplacedBy(const Row& row) const {
+  if (!schema_.keyed()) return nullptr;
+  auto it = by_key_.find(KeyOf(row));
+  if (it == by_key_.end() || it->second == row) return nullptr;
+  return &it->second;
+}
+
+bool Table::EraseAll(const Row& row) {
+  auto it = counts_.find(row);
+  if (it == counts_.end()) return false;
+  counts_.erase(it);
+  IndexRemove(row);
+  return true;
+}
+
+bool Table::Contains(const Row& row) const { return visible_.count(row) > 0; }
+
+std::vector<Row> Table::Rows() const {
+  std::vector<Row> out;
+  out.reserve(visible_.size());
+  for (const auto& [row, _] : visible_) out.push_back(row);
+  return out;
+}
+
+const std::vector<Row>& Table::Probe(const std::vector<int>& cols,
+                                     const Row& key) {
+  if (cols.empty()) {
+    if (scan_dirty_) {
+      scan_buffer_ = Rows();
+      scan_dirty_ = false;
+    }
+    return scan_buffer_;
+  }
+  auto it = indexes_.find(cols);
+  if (it == indexes_.end()) {
+    // Build the index over current visible rows.
+    auto& index = indexes_[cols];
+    for (const auto& [row, _] : visible_) {
+      Row proj;
+      proj.reserve(cols.size());
+      for (int c : cols) proj.push_back(row[static_cast<size_t>(c)]);
+      index[proj].push_back(row);
+    }
+    it = indexes_.find(cols);
+  }
+  auto bucket = it->second.find(key);
+  if (bucket == it->second.end()) return kEmpty;
+  return bucket->second;
+}
+
+const Row* Table::FindByKey(const Row& key) const {
+  auto it = by_key_.find(key);
+  return it == by_key_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cologne::datalog

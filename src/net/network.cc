@@ -1,0 +1,98 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cologne::net {
+
+size_t Message::WireSize() const {
+  size_t n = 20 + table.size() + 1;  // header + table name + sign byte
+  for (const Value& v : row) n += v.WireSize();
+  return n;
+}
+
+NodeId Network::AddNode() {
+  receivers_.emplace_back();
+  stats_.emplace_back();
+  return static_cast<NodeId>(receivers_.size() - 1);
+}
+
+Status Network::AddLink(NodeId a, NodeId b, LinkConfig config) {
+  if (a == b) return Status::InvalidArgument("self-link not allowed");
+  size_t n = receivers_.size();
+  if (a < 0 || b < 0 || static_cast<size_t>(a) >= n ||
+      static_cast<size_t>(b) >= n) {
+    return Status::InvalidArgument("link endpoint does not exist");
+  }
+  links_[Key(a, b)] = Link{config};
+  return Status::OK();
+}
+
+bool Network::HasLink(NodeId a, NodeId b) const {
+  return links_.count(Key(a, b)) > 0;
+}
+
+std::vector<NodeId> Network::Neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, link] : links_) {
+    if (key.first == n) out.push_back(key.second);
+    if (key.second == n) out.push_back(key.first);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Network::Links() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(links_.size());
+  for (const auto& [key, link] : links_) out.push_back(key);
+  return out;
+}
+
+void Network::SetReceiver(NodeId n, Receiver r) {
+  receivers_[static_cast<size_t>(n)] = std::move(r);
+}
+
+Status Network::Send(NodeId from, NodeId to, Message msg) {
+  if (from == to) {
+    // Local delivery: no latency, no traffic accounting.
+    if (receivers_[static_cast<size_t>(to)]) {
+      Message m = std::move(msg);
+      sim_->Schedule(0.0, [this, from, to, m = std::move(m)] {
+        receivers_[static_cast<size_t>(to)](from, to, m);
+      });
+    }
+    return Status::OK();
+  }
+  auto it = links_.find(Key(from, to));
+  if (it == links_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("no link between node %d and node %d", from, to));
+  }
+  const LinkConfig& cfg = it->second.config;
+  size_t size = msg.WireSize();
+  TrafficStats& s = stats_[static_cast<size_t>(from)];
+  ++s.messages_sent;
+  s.bytes_sent += size;
+  if (cfg.drop_prob > 0 && rng_.Bernoulli(cfg.drop_prob)) {
+    return Status::OK();  // dropped in flight
+  }
+  double delay =
+      cfg.latency_s + static_cast<double>(size) * 8.0 / cfg.bandwidth_bps;
+  sim_->Schedule(delay, [this, from, to, m = std::move(msg), size] {
+    TrafficStats& r = stats_[static_cast<size_t>(to)];
+    ++r.messages_received;
+    r.bytes_received += size;
+    if (receivers_[static_cast<size_t>(to)]) {
+      receivers_[static_cast<size_t>(to)](from, to, m);
+    }
+  });
+  return Status::OK();
+}
+
+void Network::ResetStats() {
+  for (TrafficStats& s : stats_) s = TrafficStats{};
+}
+
+}  // namespace cologne::net

@@ -1,0 +1,97 @@
+// Message-passing network over the discrete-event simulator.
+//
+// Models what the original Cologne used ns-3 for: UDP-style, per-link latency
+// and (optional) loss, with per-node byte counters for the bandwidth
+// measurements in Figure 5 of the paper.
+#ifndef COLOGNE_NET_NETWORK_H_
+#define COLOGNE_NET_NETWORK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "net/simulator.h"
+
+namespace cologne::net {
+
+/// A tuple-delta message: table name + row + sign (+1 insert / -1 delete).
+/// This is the only wire format the declarative networking engine needs.
+struct Message {
+  std::string table;
+  Row row;
+  int sign = 1;
+
+  /// Approximate wire size: 20-byte UDP/IP-ish header + payload.
+  size_t WireSize() const;
+};
+
+/// Per-link transmission parameters.
+struct LinkConfig {
+  double latency_s = 0.001;        ///< One-way propagation delay.
+  double bandwidth_bps = 10e6;     ///< 10 Mbps, matching the paper's ns-3 setup.
+  double drop_prob = 0.0;          ///< Probability a message is lost.
+};
+
+/// Per-node traffic counters.
+struct TrafficStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// \brief A static topology of nodes and bidirectional links carrying
+/// tuple-delta messages.
+class Network {
+ public:
+  explicit Network(Simulator* sim, uint64_t seed = 1)
+      : sim_(sim), rng_(seed) {}
+
+  /// Add a node; ids are dense and returned in creation order.
+  NodeId AddNode();
+  size_t num_nodes() const { return receivers_.size(); }
+
+  /// Add a bidirectional link between existing nodes a and b.
+  Status AddLink(NodeId a, NodeId b, LinkConfig config = {});
+  bool HasLink(NodeId a, NodeId b) const;
+  /// Neighbors of `n`, sorted ascending.
+  std::vector<NodeId> Neighbors(NodeId n) const;
+  /// All (a, b) link pairs with a < b.
+  std::vector<std::pair<NodeId, NodeId>> Links() const;
+
+  /// Delivery callback: (from, to, message).
+  using Receiver = std::function<void(NodeId, NodeId, const Message&)>;
+  void SetReceiver(NodeId n, Receiver r);
+
+  /// Send `msg` from `from` to neighbor `to`. Self-sends deliver with zero
+  /// latency. Sends to non-neighbors fail (Cologne rules only ever
+  /// communicate along links).
+  Status Send(NodeId from, NodeId to, Message msg);
+
+  const TrafficStats& StatsOf(NodeId n) const {
+    return stats_[static_cast<size_t>(n)];
+  }
+  void ResetStats();
+
+ private:
+  struct Link {
+    LinkConfig config;
+  };
+  Simulator* sim_;
+  Rng rng_;
+  std::vector<Receiver> receivers_;
+  std::vector<TrafficStats> stats_;
+  std::map<std::pair<NodeId, NodeId>, Link> links_;  // key: (min, max)
+
+  static std::pair<NodeId, NodeId> Key(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+};
+
+}  // namespace cologne::net
+
+#endif  // COLOGNE_NET_NETWORK_H_

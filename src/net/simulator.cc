@@ -1,0 +1,61 @@
+#include "net/simulator.h"
+
+#include <algorithm>
+
+namespace cologne::net {
+
+EventId Simulator::ScheduleAt(double time_s, Callback cb) {
+  Event ev;
+  ev.time = std::max(time_s, now_);
+  ev.seq = next_seq_++;
+  ev.id = ev.seq;
+  callbacks_.emplace(ev.id, std::move(cb));
+  queue_.push(ev);
+  ++pending_;
+  return ev.id;
+}
+
+void Simulator::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it != callbacks_.end()) {
+    callbacks_.erase(it);
+    --pending_;
+  }
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --pending_;
+    now_ = ev.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(double t) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    if (callbacks_.find(ev.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (ev.time > t) break;
+    Step();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace cologne::net

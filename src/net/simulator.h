@@ -1,0 +1,76 @@
+// Discrete-event simulator: the clocking/transport substrate that ns-3
+// provided for the original Cologne prototype.
+#ifndef COLOGNE_NET_SIMULATOR_H_
+#define COLOGNE_NET_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace cologne::net {
+
+/// Handle to a scheduled event (usable for cancellation).
+using EventId = uint64_t;
+
+/// \brief Deterministic discrete-event scheduler.
+///
+/// Events with equal timestamps fire in scheduling order (a strictly
+/// increasing sequence number breaks ties), so simulations are reproducible.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time in seconds.
+  double Now() const { return now_; }
+
+  /// Schedule `cb` to run `delay_s` seconds from now (>= 0).
+  EventId Schedule(double delay_s, Callback cb) {
+    return ScheduleAt(now_ + delay_s, std::move(cb));
+  }
+
+  /// Schedule `cb` at absolute virtual time `time_s` (clamped to >= Now()).
+  EventId ScheduleAt(double time_s, Callback cb);
+
+  /// Cancel a pending event; no-op if it already fired or was cancelled.
+  void Cancel(EventId id);
+
+  /// Run until no events remain.
+  void Run();
+
+  /// Run all events with time <= t, then set the clock to t.
+  void RunUntil(double t);
+
+  /// Execute at most one pending event; returns false when queue is empty.
+  bool Step();
+
+  /// Number of pending (uncancelled) events.
+  size_t pending() const { return pending_; }
+
+  /// Total events executed so far.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t pending_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // id -> callback; erased on cancel so cancelled events are skipped cheaply.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace cologne::net
+
+#endif  // COLOGNE_NET_SIMULATOR_H_

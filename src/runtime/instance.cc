@@ -1,0 +1,83 @@
+#include "runtime/instance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cologne::runtime {
+
+Status Instance::Init() {
+  for (const auto& [name, schema] : program_->tables) {
+    COLOGNE_RETURN_IF_ERROR(engine_.DeclareTable(schema));
+  }
+  for (const datalog::RuleIR& rule : program_->engine_rules) {
+    COLOGNE_RETURN_IF_ERROR(engine_.AddRule(rule));
+  }
+  return Status::OK();
+}
+
+Status Instance::InsertFact(const std::string& table, Row row) {
+  COLOGNE_RETURN_IF_ERROR(engine_.Apply(table, row, +1));
+  return engine_.Flush();
+}
+
+Status Instance::DeleteFact(const std::string& table, Row row) {
+  COLOGNE_RETURN_IF_ERROR(engine_.Apply(table, row, -1));
+  return engine_.Flush();
+}
+
+Result<SolveOutput> Instance::InvokeSolver() {
+  SolverBridge bridge(program_, &engine_);
+  COLOGNE_ASSIGN_OR_RETURN(out, bridge.Solve(solve_options_));
+  ++solve_count_;
+  total_solve_ms_ += out.stats.wall_ms;
+  if (out.has_solution()) {
+    COLOGNE_RETURN_IF_ERROR(Writeback(out.tables));
+  }
+  return out;
+}
+
+Status Instance::Writeback(
+    const std::map<std::string, std::vector<Row>>& tables) {
+  // Normalize new rows per output table (sorted, deduplicated).
+  std::map<std::string, std::vector<Row>> next;
+  for (const std::string& name : program_->solver_output_tables) {
+    auto it = tables.find(name);
+    std::vector<Row> rows;
+    if (it != tables.end()) rows = it->second;
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    next[name] = std::move(rows);
+  }
+
+  // Deletes first (rows we owned that are gone), then inserts. Insert-side
+  // keyed displacement then handles value updates cleanly. Var tables are
+  // decision records and only ever *upsert*: each solve covers the current
+  // forall bindings, and decisions for bindings outside this solve (e.g.
+  // links negotiated in earlier Follow-the-Sun rounds) must survive.
+  for (const auto& [name, rows] : owned_rows_) {
+    if (program_->var_tables.count(name)) continue;
+    const std::vector<Row>& fresh = next.count(name) ? next[name]
+                                                     : std::vector<Row>{};
+    for (const Row& old : rows) {
+      if (!std::binary_search(fresh.begin(), fresh.end(), old)) {
+        COLOGNE_RETURN_IF_ERROR(engine_.Apply(name, old, -1));
+      }
+    }
+  }
+  for (const auto& [name, rows] : next) {
+    auto owned_it = owned_rows_.find(name);
+    const std::vector<Row>* old =
+        owned_it == owned_rows_.end() ? nullptr : &owned_it->second;
+    for (const Row& row : rows) {
+      if (old == nullptr ||
+          !std::binary_search(old->begin(), old->end(), row)) {
+        COLOGNE_RETURN_IF_ERROR(engine_.Apply(name, row, +1));
+      }
+    }
+  }
+  owned_rows_ = std::move(next);
+  return engine_.Flush();
+}
+
+}  // namespace cologne::runtime

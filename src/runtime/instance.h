@@ -1,0 +1,73 @@
+// A Cologne instance: one node's Datalog engine + solver bridge + the
+// writeback path that materializes optimization output as engine tables
+// (paper Section 5.1, "materialized as RapidNet tables, which may trigger
+// reevaluation of other rules via incremental view maintenance").
+#ifndef COLOGNE_RUNTIME_INSTANCE_H_
+#define COLOGNE_RUNTIME_INSTANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "colog/planner.h"
+#include "common/status.h"
+#include "datalog/engine.h"
+#include "runtime/solver_bridge.h"
+
+namespace cologne::runtime {
+
+/// \brief One Cologne node.
+///
+/// Owns a Datalog engine loaded with the program's regular and post-solve
+/// rules. InvokeSolver() runs the bridge, then *replaces* this node's
+/// previously-written solver output rows with the new ones (diff-based, so
+/// downstream rules see clean insert/delete deltas).
+class Instance {
+ public:
+  Instance(NodeId id, const colog::CompiledProgram* program)
+      : id_(id), program_(program),
+        engine_(program->distributed ? id : datalog::Engine::kCentralized) {}
+
+  /// Declare tables and install engine rules. Call once before use.
+  Status Init();
+
+  NodeId id() const { return id_; }
+  datalog::Engine& engine() { return engine_; }
+  const datalog::Engine& engine() const { return engine_; }
+  const colog::CompiledProgram& program() const { return *program_; }
+
+  /// Insert/delete a base fact and run incremental evaluation.
+  Status InsertFact(const std::string& table, Row row);
+  Status DeleteFact(const std::string& table, Row row);
+
+  /// Run one COP execution (the paper's invokeSolver event): build the
+  /// model from current engine state, search, write back the optimization
+  /// output, and flush downstream rules.
+  Result<SolveOutput> InvokeSolver();
+
+  /// Per-solve knobs (SOLVER_MAX_TIME etc.).
+  void set_solve_options(const SolveOptions& o) { solve_options_ = o; }
+  const SolveOptions& solve_options() const { return solve_options_; }
+
+  /// Cumulative number of InvokeSolver calls.
+  uint64_t solve_count() const { return solve_count_; }
+  /// Wall-clock milliseconds spent inside the solver across all calls.
+  double total_solve_ms() const { return total_solve_ms_; }
+
+ private:
+  Status Writeback(const std::map<std::string, std::vector<Row>>& tables);
+
+  NodeId id_;
+  const colog::CompiledProgram* program_;
+  datalog::Engine engine_;
+  SolveOptions solve_options_;
+  /// Rows this node wrote to each solver output table on the previous solve
+  /// (sorted, deduplicated) — the diff base for replacement.
+  std::map<std::string, std::vector<Row>> owned_rows_;
+  uint64_t solve_count_ = 0;
+  double total_solve_ms_ = 0;
+};
+
+}  // namespace cologne::runtime
+
+#endif  // COLOGNE_RUNTIME_INSTANCE_H_

@@ -1,0 +1,785 @@
+#include "runtime/solver_bridge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "datalog/aggregates.h"
+
+namespace cologne::runtime {
+
+namespace {
+
+using colog::CompiledProgram;
+using colog::GoalType;
+using colog::SolverRuleIR;
+using colog::VarDeclIR;
+using datalog::AggKind;
+using datalog::AtomIR;
+using datalog::Expr;
+using datalog::ExprOp;
+using datalog::RuleIR;
+using datalog::TermIR;
+using solver::IntVar;
+using solver::LinExpr;
+using solver::Model;
+using solver::Rel;
+
+Rel RelOfOp(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq: return Rel::kEq;
+    case ExprOp::kNe: return Rel::kNe;
+    case ExprOp::kLt: return Rel::kLt;
+    case ExprOp::kLe: return Rel::kLe;
+    case ExprOp::kGt: return Rel::kGt;
+    case ExprOp::kGe: return Rel::kGe;
+    default: return Rel::kEq;
+  }
+}
+
+// A value during solver-rule evaluation: concrete or an affine expression
+// over model variables.
+struct SVal {
+  bool symbolic = false;
+  Value concrete;  // valid when !symbolic
+  LinExpr expr;    // valid when symbolic
+
+  static SVal Concrete(Value v) {
+    SVal s;
+    s.concrete = std::move(v);
+    return s;
+  }
+  static SVal Sym(LinExpr e) {
+    SVal s;
+    s.symbolic = true;
+    s.expr = std::move(e);
+    return s;
+  }
+  // Concrete int -> LinExpr constant; symbolic -> its expression.
+  Result<LinExpr> AsExpr() const {
+    if (symbolic) return expr;
+    if (!concrete.is_int()) {
+      return Status::SolverError(
+          "expected integer in symbolic context, got " + concrete.ToString());
+    }
+    return LinExpr(concrete.as_int());
+  }
+};
+
+// Evaluation context for one Solve() pass.
+//
+// In symbolic mode, solver attributes are affine expressions registered in
+// `sym_exprs` and referenced from rows via Value::Sym(index). In concrete
+// mode (the post-solution pass), every cell is a plain value and aggregates
+// use the engine's concrete aggregate functions (so STDEV etc. are exact).
+class BridgeEval {
+ public:
+  BridgeEval(const CompiledProgram* program, datalog::Engine* engine,
+             Model* model /* nullptr => concrete mode */)
+      : program_(program), engine_(engine), model_(model) {}
+
+  bool symbolic() const { return model_ != nullptr; }
+
+  std::map<std::string, std::vector<Row>>& tables() { return tables_; }
+
+  // ---- Variable instantiation (symbolic mode) -----------------------------
+  Status InstantiateVars(std::vector<std::pair<IntVar, Value*>>* var_cells) {
+    for (const VarDeclIR& decl : program_->var_decls) {
+      const datalog::Table* forall = engine_->GetTable(decl.forall_table);
+      if (forall == nullptr) {
+        return Status::SolverError("forall table missing: " +
+                                   decl.forall_table);
+      }
+      std::set<Row> seen;  // dedupe identical regular projections
+      auto& out = tables_[decl.var_table];
+      for (const Row& frow : forall->Rows()) {
+        Row key;
+        for (int src : decl.from_forall_col) {
+          if (src >= 0) key.push_back(frow[static_cast<size_t>(src)]);
+        }
+        if (!seen.insert(key).second) continue;
+        Row row;
+        row.reserve(decl.from_forall_col.size());
+        for (int src : decl.from_forall_col) {
+          if (src >= 0) {
+            row.push_back(frow[static_cast<size_t>(src)]);
+          } else {
+            IntVar v = model_->NewInt(decl.dom_lo, decl.dom_hi);
+            model_->MarkDecision(v);
+            row.push_back(Value::Sym(Register(LinExpr(v))));
+          }
+        }
+        out.push_back(std::move(row));
+      }
+      if (var_cells != nullptr) {
+        for (Row& row : out) {
+          for (Value& cell : row) {
+            if (cell.is_sym()) {
+              const LinExpr& e = sym_exprs_[static_cast<size_t>(cell.sym_index())];
+              // Freshly created: single 1*v term.
+              var_cells->push_back({e.terms[0].second, &cell});
+            }
+          }
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // Concrete mode: seed the var tables with already-substituted rows.
+  void SeedTable(const std::string& name, std::vector<Row> rows) {
+    tables_[name] = std::move(rows);
+  }
+
+  // ---- Rule evaluation ------------------------------------------------------
+  Status EvalRule(const SolverRuleIR& srule) {
+    const RuleIR& rule = srule.ir;
+    if (srule.is_constraint && !symbolic()) return Status::OK();
+
+    cur_rule_ = &rule;
+    cur_constraint_ = srule.is_constraint;
+    agg_groups_.clear();
+
+    std::vector<Value> slots(static_cast<size_t>(rule.num_slots));
+    std::vector<char> guards_done(rule.sels.size() + rule.assigns.size(), 0);
+
+    if (srule.is_constraint) {
+      // Head is a pattern over an existing table: every row must satisfy the
+      // body.
+      std::vector<Row> head_rows = RowsOf(rule.head.table);
+      for (const Row& hrow : head_rows) {
+        std::vector<Value> s = slots;
+        std::vector<char> g = guards_done;
+        std::vector<int> bound;
+        COLOGNE_ASSIGN_OR_RETURN(ok, MatchAtom(rule.head, hrow, s, &bound));
+        if (!ok) continue;
+        COLOGNE_RETURN_IF_ERROR(JoinBody(rule, 0, s, g, nullptr));
+      }
+      return Status::OK();
+    }
+
+    // Derivation rule: full join over the body, emitting head rows.
+    std::vector<Row> emitted;
+    COLOGNE_RETURN_IF_ERROR(JoinBody(rule, 0, slots, guards_done, &emitted));
+    auto& out = tables_[rule.head.table];
+
+    if (rule.agg) {
+      // `emitted` holds group rows; aggregate per group.
+      int agg_pos = rule.agg->arg_index;
+      for (auto& [group, vals] : agg_groups_) {
+        COLOGNE_ASSIGN_OR_RETURN(agg_val, Aggregate(rule.agg->kind, vals));
+        Row row;
+        size_t g = 0;
+        for (size_t i = 0; i <= group.size(); ++i) {
+          if (static_cast<int>(i) == agg_pos) {
+            row.push_back(agg_val);
+          } else {
+            row.push_back(group[g++]);
+          }
+        }
+        out.push_back(std::move(row));
+      }
+    } else {
+      for (Row& r : emitted) out.push_back(std::move(r));
+    }
+    return Status::OK();
+  }
+
+  // ---- Goal -----------------------------------------------------------------
+  // Returns a concrete 0 when the goal table is empty (no cost terms apply:
+  // e.g. the first wireless link negotiation before any neighbor has chosen
+  // a channel) — the solve then degrades to pure satisfaction.
+  Result<SVal> GoalValue() {
+    const auto& goal = program_->goal;
+    std::vector<Row> rows = RowsOf(goal.table);
+    if (rows.empty()) {
+      return SVal::Concrete(Value::Int(0));
+    }
+    if (rows.size() > 1) {
+      return Status::SolverError(
+          StrFormat("goal table %s has %zu rows; expected a single row",
+                    goal.table.c_str(), rows.size()));
+    }
+    return ToSVal(rows[0][static_cast<size_t>(goal.col)]);
+  }
+
+  const LinExpr& SymExpr(int32_t idx) const {
+    return sym_exprs_[static_cast<size_t>(idx)];
+  }
+
+ private:
+  // Rows of a table: bridge-local solver table first, engine table otherwise.
+  std::vector<Row> RowsOf(const std::string& name) {
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second;
+    const datalog::Table* t = engine_->GetTable(name);
+    if (t == nullptr) return {};
+    return t->Rows();
+  }
+
+  int32_t Register(LinExpr e) {
+    sym_exprs_.push_back(std::move(e));
+    return static_cast<int32_t>(sym_exprs_.size() - 1);
+  }
+
+  Result<SVal> ToSVal(const Value& v) {
+    if (v.is_sym()) return SVal::Sym(sym_exprs_[static_cast<size_t>(v.sym_index())]);
+    return SVal::Concrete(v);
+  }
+
+  Value FromSVal(const SVal& s) {
+    if (!s.symbolic) return s.concrete;
+    return Value::Sym(Register(s.expr));
+  }
+
+  // ---- Atom matching --------------------------------------------------------
+  // Returns false (no error) when the row does not match. Symbolic cells
+  // unify: in constraint rules a clash posts an equality constraint; in
+  // derivation rules it is an error (joins on solver attributes are
+  // disallowed, Section 5.3).
+  Result<bool> MatchAtom(const AtomIR& atom, const Row& row,
+                         std::vector<Value>& slots, std::vector<int>* bound) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const TermIR& term = atom.args[i];
+      const Value& v = row[i];
+      const Value* test = nullptr;
+      if (term.is_const) {
+        test = &term.const_val;
+      } else {
+        Value& s = slots[static_cast<size_t>(term.slot)];
+        if (s.is_null()) {
+          s = v;
+          if (bound) bound->push_back(term.slot);
+          continue;
+        }
+        test = &s;
+      }
+      if (*test == v) continue;
+      if (test->is_sym() || v.is_sym()) {
+        if (!cur_constraint_) {
+          return Status::SolverError(
+              "rule " + cur_rule_->label +
+              ": join on a solver attribute is not supported");
+        }
+        COLOGNE_ASSIGN_OR_RETURN(a, ToSVal(*test));
+        COLOGNE_ASSIGN_OR_RETURN(b, ToSVal(v));
+        COLOGNE_ASSIGN_OR_RETURN(ea, a.AsExpr());
+        COLOGNE_ASSIGN_OR_RETURN(eb, b.AsExpr());
+        model_->PostRel(ea, Rel::kEq, eb);
+        continue;
+      }
+      return false;
+    }
+    return true;
+  }
+
+  // ---- Body join ------------------------------------------------------------
+  Status JoinBody(const RuleIR& rule, size_t depth, std::vector<Value>& slots,
+                  std::vector<char>& guards_done, std::vector<Row>* emitted) {
+    COLOGNE_ASSIGN_OR_RETURN(alive, RunGuards(rule, slots, guards_done));
+    if (!alive) return Status::OK();
+    if (depth == rule.body.size()) {
+      return Emit(rule, slots, emitted);
+    }
+    const AtomIR& atom = rule.body[depth];
+    std::vector<Row> rows = RowsOf(atom.table);
+    for (const Row& row : rows) {
+      std::vector<Value> s = slots;
+      std::vector<char> g = guards_done;
+      COLOGNE_ASSIGN_OR_RETURN(ok, MatchAtom(atom, row, s, nullptr));
+      if (!ok) continue;
+      COLOGNE_RETURN_IF_ERROR(JoinBody(rule, depth + 1, s, g, emitted));
+    }
+    return Status::OK();
+  }
+
+  // Run ready guards; Result<false> = a selection filtered this branch out.
+  Result<bool> RunGuards(const RuleIR& rule, std::vector<Value>& slots,
+                         std::vector<char>& done) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t i = 0; i < rule.sels.size(); ++i) {
+        if (done[i]) continue;
+        COLOGNE_ASSIGN_OR_RETURN(state, TrySelection(rule.sels[i].expr, slots));
+        if (state == GuardState::kNotReady) continue;
+        if (state == GuardState::kFailed) return false;
+        done[i] = 1;
+        progress = true;
+      }
+      for (size_t i = 0; i < rule.assigns.size(); ++i) {
+        size_t gi = rule.sels.size() + i;
+        if (done[gi]) continue;
+        const auto& as = rule.assigns[i];
+        if (!Ready(as.expr, slots)) continue;
+        COLOGNE_ASSIGN_OR_RETURN(v, Eval(as.expr, slots));
+        Value& target = slots[static_cast<size_t>(as.slot)];
+        Value newv = FromSVal(v);
+        if (target.is_null()) {
+          target = newv;
+        } else if (!(target == newv)) {
+          return false;
+        }
+        done[gi] = 1;
+        progress = true;
+      }
+    }
+    return true;
+  }
+
+  enum class GuardState { kNotReady, kPassed, kFailed };
+
+  static bool Ready(const Expr& e, const std::vector<Value>& slots) {
+    std::vector<int> deps;
+    e.CollectSlots(&deps);
+    for (int d : deps) {
+      if (slots[static_cast<size_t>(d)].is_null()) return false;
+    }
+    return true;
+  }
+
+  // Collect unbound slots of an expression.
+  static void UnboundSlots(const Expr& e, const std::vector<Value>& slots,
+                           std::vector<int>* out) {
+    std::vector<int> deps;
+    e.CollectSlots(&deps);
+    for (int d : deps) {
+      if (slots[static_cast<size_t>(d)].is_null()) out->push_back(d);
+    }
+  }
+
+  // Selection handling with the binding forms of Section 5.3:
+  //   X == expr                (X unbound)    bind X to the expression
+  //   (X == k) == boolexpr     (X unbound)    bind X := k * [boolexpr]
+  //   boolexpr == (X == k)     symmetric
+  // plus plain filtering / hard-constraint posting.
+  Result<GuardState> TrySelection(const Expr& e, std::vector<Value>& slots) {
+    if (e.op == ExprOp::kEq) {
+      const Expr& l = e.kids[0];
+      const Expr& r = e.kids[1];
+      // Form 1: bare unbound slot on one side.
+      for (int side = 0; side < 2; ++side) {
+        const Expr& a = side == 0 ? l : r;
+        const Expr& b = side == 0 ? r : l;
+        if (a.op == ExprOp::kSlot &&
+            slots[static_cast<size_t>(a.slot)].is_null()) {
+          if (!Ready(b, slots)) return GuardState::kNotReady;
+          COLOGNE_ASSIGN_OR_RETURN(v, Eval(b, slots));
+          slots[static_cast<size_t>(a.slot)] = FromSVal(v);
+          return GuardState::kPassed;
+        }
+      }
+      // Form 2: (X == k) == boolexpr with X unbound.
+      for (int side = 0; side < 2; ++side) {
+        const Expr& pat = side == 0 ? l : r;
+        const Expr& other = side == 0 ? r : l;
+        if (pat.op != ExprOp::kEq) continue;
+        const Expr* slot_kid = nullptr;
+        const Expr* const_kid = nullptr;
+        for (int k = 0; k < 2; ++k) {
+          const Expr& kid = pat.kids[static_cast<size_t>(k)];
+          const Expr& sib = pat.kids[static_cast<size_t>(1 - k)];
+          if (kid.op == ExprOp::kSlot &&
+              slots[static_cast<size_t>(kid.slot)].is_null()) {
+            slot_kid = &kid;
+            const_kid = &sib;
+          }
+        }
+        if (slot_kid == nullptr) continue;
+        if (const_kid->op != ExprOp::kConst || !const_kid->const_val.is_int()) {
+          continue;
+        }
+        if (!Ready(other, slots)) return GuardState::kNotReady;
+        int64_t k = const_kid->const_val.as_int();
+        COLOGNE_ASSIGN_OR_RETURN(cond, Eval(other, slots));
+        Value bound;
+        if (cond.symbolic) {
+          LinExpr scaled = cond.expr;
+          scaled.MulBy(k);
+          bound = Value::Sym(Register(std::move(scaled)));
+        } else {
+          bound = Value::Int(datalog::ValueIsTrue(cond.concrete) ? k : 0);
+        }
+        slots[static_cast<size_t>(slot_kid->slot)] = bound;
+        return GuardState::kPassed;
+      }
+    }
+    // Plain evaluation: not ready / filter / hard constraint.
+    if (!Ready(e, slots)) return GuardState::kNotReady;
+    return EvalCondition(e, slots);
+  }
+
+  // Evaluate a fully-bound boolean condition. Concrete: filter. Symbolic:
+  // post a hard constraint (selections in solver rules restrict the search
+  // space, Sections 5.3-5.4) and keep the branch alive.
+  Result<GuardState> EvalCondition(const Expr& e, std::vector<Value>& slots) {
+    if (datalog::IsComparison(e.op)) {
+      COLOGNE_ASSIGN_OR_RETURN(a, Eval(e.kids[0], slots));
+      COLOGNE_ASSIGN_OR_RETURN(b, Eval(e.kids[1], slots));
+      if (!a.symbolic && !b.symbolic) {
+        Expr probe = Expr::Binary(e.op, Expr::Const(a.concrete),
+                                  Expr::Const(b.concrete));
+        COLOGNE_ASSIGN_OR_RETURN(v, datalog::EvalExpr(probe, {}));
+        return datalog::ValueIsTrue(v) ? GuardState::kPassed
+                                       : GuardState::kFailed;
+      }
+      COLOGNE_ASSIGN_OR_RETURN(ea, a.AsExpr());
+      COLOGNE_ASSIGN_OR_RETURN(eb, b.AsExpr());
+      model_->PostRel(ea, RelOfOp(e.op), eb);
+      return GuardState::kPassed;
+    }
+    if (e.op == ExprOp::kAnd) {
+      COLOGNE_ASSIGN_OR_RETURN(a, EvalCondition(e.kids[0], slots));
+      if (a == GuardState::kFailed) return a;
+      return EvalCondition(e.kids[1], slots);
+    }
+    COLOGNE_ASSIGN_OR_RETURN(v, Eval(e, slots));
+    if (!v.symbolic) {
+      return datalog::ValueIsTrue(v.concrete) ? GuardState::kPassed
+                                              : GuardState::kFailed;
+    }
+    model_->PostRel(v.expr, Rel::kEq, LinExpr(1));
+    return GuardState::kPassed;
+  }
+
+  // ---- Expression evaluation (symbolic-aware) -------------------------------
+  Result<SVal> Eval(const Expr& e, const std::vector<Value>& slots) {
+    switch (e.op) {
+      case ExprOp::kConst:
+        return SVal::Concrete(e.const_val);
+      case ExprOp::kSlot:
+        return ToSVal(slots[static_cast<size_t>(e.slot)]);
+      case ExprOp::kNeg: {
+        COLOGNE_ASSIGN_OR_RETURN(a, Eval(e.kids[0], slots));
+        if (!a.symbolic) return ConcreteUnary(e.op, a.concrete);
+        LinExpr neg = a.expr;
+        neg.MulBy(-1);
+        return SVal::Sym(std::move(neg));
+      }
+      case ExprOp::kAbs: {
+        COLOGNE_ASSIGN_OR_RETURN(a, Eval(e.kids[0], slots));
+        if (!a.symbolic) return ConcreteUnary(e.op, a.concrete);
+        return SVal::Sym(LinExpr(model_->MakeAbs(a.expr)));
+      }
+      case ExprOp::kNot: {
+        COLOGNE_ASSIGN_OR_RETURN(a, Eval(e.kids[0], slots));
+        if (!a.symbolic) return ConcreteUnary(e.op, a.concrete);
+        LinExpr inv(1);
+        inv -= a.expr;
+        return SVal::Sym(std::move(inv));
+      }
+      case ExprOp::kAdd:
+      case ExprOp::kSub: {
+        COLOGNE_ASSIGN_OR_RETURN(a, Eval(e.kids[0], slots));
+        COLOGNE_ASSIGN_OR_RETURN(b, Eval(e.kids[1], slots));
+        if (!a.symbolic && !b.symbolic) {
+          return ConcreteBinary(e.op, a.concrete, b.concrete);
+        }
+        COLOGNE_ASSIGN_OR_RETURN(ea, a.AsExpr());
+        COLOGNE_ASSIGN_OR_RETURN(eb, b.AsExpr());
+        if (e.op == ExprOp::kSub) {
+          ea -= eb;
+        } else {
+          ea += eb;
+        }
+        return SVal::Sym(std::move(ea));
+      }
+      case ExprOp::kMul: {
+        COLOGNE_ASSIGN_OR_RETURN(a, Eval(e.kids[0], slots));
+        COLOGNE_ASSIGN_OR_RETURN(b, Eval(e.kids[1], slots));
+        if (!a.symbolic && !b.symbolic) {
+          return ConcreteBinary(e.op, a.concrete, b.concrete);
+        }
+        if (!a.symbolic || !b.symbolic) {
+          const SVal& sym = a.symbolic ? a : b;
+          const SVal& con = a.symbolic ? b : a;
+          if (!con.concrete.is_int()) {
+            return Status::SolverError(
+                "multiplying a solver attribute by a non-integer");
+          }
+          LinExpr scaled = sym.expr;
+          scaled.MulBy(con.concrete.as_int());
+          return SVal::Sym(std::move(scaled));
+        }
+        IntVar va = model_->VarOf(a.expr);
+        IntVar vb = model_->VarOf(b.expr);
+        return SVal::Sym(LinExpr(model_->MakeTimes(va, vb)));
+      }
+      case ExprOp::kDiv:
+      case ExprOp::kMod: {
+        COLOGNE_ASSIGN_OR_RETURN(a, Eval(e.kids[0], slots));
+        COLOGNE_ASSIGN_OR_RETURN(b, Eval(e.kids[1], slots));
+        if (a.symbolic || b.symbolic) {
+          return Status::SolverError(
+              "division/modulo over solver attributes is not supported");
+        }
+        return ConcreteBinary(e.op, a.concrete, b.concrete);
+      }
+      default: {  // comparisons and logical connectives
+        COLOGNE_ASSIGN_OR_RETURN(a, Eval(e.kids[0], slots));
+        COLOGNE_ASSIGN_OR_RETURN(b, Eval(e.kids[1], slots));
+        if (!a.symbolic && !b.symbolic) {
+          return ConcreteBinary(e.op, a.concrete, b.concrete);
+        }
+        COLOGNE_ASSIGN_OR_RETURN(ea, a.AsExpr());
+        COLOGNE_ASSIGN_OR_RETURN(eb, b.AsExpr());
+        if (datalog::IsComparison(e.op)) {
+          IntVar bvar = model_->ReifyRel(ea, RelOfOp(e.op), eb);
+          return SVal::Sym(LinExpr(bvar));
+        }
+        if (e.op == ExprOp::kAnd) {
+          ea += eb;  // both 0/1
+          IntVar bvar = model_->ReifyRel(ea, Rel::kEq, LinExpr(2));
+          return SVal::Sym(LinExpr(bvar));
+        }
+        if (e.op == ExprOp::kOr) {
+          ea += eb;
+          IntVar bvar = model_->ReifyRel(ea, Rel::kGe, LinExpr(1));
+          return SVal::Sym(LinExpr(bvar));
+        }
+        return Status::SolverError("unsupported symbolic operator");
+      }
+    }
+  }
+
+  Result<SVal> ConcreteUnary(ExprOp op, const Value& a) {
+    Expr probe = Expr::Unary(op, Expr::Const(a));
+    COLOGNE_ASSIGN_OR_RETURN(v, datalog::EvalExpr(probe, {}));
+    return SVal::Concrete(std::move(v));
+  }
+  Result<SVal> ConcreteBinary(ExprOp op, const Value& a, const Value& b) {
+    Expr probe = Expr::Binary(op, Expr::Const(a), Expr::Const(b));
+    COLOGNE_ASSIGN_OR_RETURN(v, datalog::EvalExpr(probe, {}));
+    return SVal::Concrete(std::move(v));
+  }
+
+  // ---- Head emission --------------------------------------------------------
+  Status Emit(const RuleIR& rule, const std::vector<Value>& slots,
+              std::vector<Row>* emitted) {
+    if (cur_constraint_) return Status::OK();  // constraints derive nothing
+    if (rule.agg) {
+      Row group;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (static_cast<int>(i) == rule.agg->arg_index) continue;
+        const TermIR& term = rule.head.args[i];
+        Value v = term.is_const ? term.const_val
+                                : slots[static_cast<size_t>(term.slot)];
+        if (v.is_null()) {
+          return Status::SolverError("rule " + rule.label +
+                                     ": unbound group-by attribute");
+        }
+        if (v.is_sym()) {
+          return Status::SolverError("rule " + rule.label +
+                                     ": symbolic group-by attribute");
+        }
+        group.push_back(std::move(v));
+      }
+      const Value& v = slots[static_cast<size_t>(rule.agg->value_slot)];
+      if (v.is_null()) {
+        return Status::SolverError("rule " + rule.label +
+                                   ": unbound aggregate input");
+      }
+      COLOGNE_ASSIGN_OR_RETURN(sval, ToSVal(v));
+      agg_groups_[group].push_back(std::move(sval));
+      return Status::OK();
+    }
+    Row row;
+    for (const TermIR& term : rule.head.args) {
+      Value v = term.is_const ? term.const_val
+                              : slots[static_cast<size_t>(term.slot)];
+      if (v.is_null()) {
+        return Status::SolverError("rule " + rule.label +
+                                   ": unbound head attribute");
+      }
+      row.push_back(std::move(v));
+    }
+    emitted->push_back(std::move(row));
+    return Status::OK();
+  }
+
+  // ---- Aggregates -----------------------------------------------------------
+  Result<Value> Aggregate(AggKind kind, const std::vector<SVal>& vals) {
+    bool any_sym = false;
+    for (const SVal& v : vals) any_sym |= v.symbolic;
+    if (!any_sym) {
+      std::vector<Value> xs;
+      xs.reserve(vals.size());
+      for (const SVal& v : vals) xs.push_back(v.concrete);
+      return datalog::ComputeAggregate(kind, xs);
+    }
+    // Symbolic aggregate constructions (Section 5.3).
+    switch (kind) {
+      case AggKind::kSum: {
+        LinExpr sum;
+        for (const SVal& v : vals) {
+          COLOGNE_ASSIGN_OR_RETURN(e, v.AsExpr());
+          sum += e;
+        }
+        return Value::Sym(Register(std::move(sum)));
+      }
+      case AggKind::kSumAbs: {
+        LinExpr sum;
+        for (const SVal& v : vals) {
+          COLOGNE_ASSIGN_OR_RETURN(e, v.AsExpr());
+          sum += LinExpr(model_->MakeAbs(e));
+        }
+        return Value::Sym(Register(std::move(sum)));
+      }
+      case AggKind::kCount:
+        return Value::Int(static_cast<int64_t>(vals.size()));
+      case AggKind::kStdev: {
+        // Integer surrogate: J = sum_i (n*x_i - S)^2 = n^2 * sum (x_i-mean)^2.
+        // Minimizing J minimizes the stdev; the true stdev is recomputed
+        // concretely after the solve.
+        int64_t n = static_cast<int64_t>(vals.size());
+        LinExpr total;
+        std::vector<LinExpr> exprs;
+        for (const SVal& v : vals) {
+          COLOGNE_ASSIGN_OR_RETURN(e, v.AsExpr());
+          total += e;
+          exprs.push_back(std::move(e));
+        }
+        LinExpr j;
+        for (LinExpr& e : exprs) {
+          LinExpr dev = e;
+          dev.MulBy(n);
+          dev -= total;
+          j += LinExpr(model_->MakeSquare(dev));
+        }
+        return Value::Sym(Register(std::move(j)));
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        // m bounded by every input; exactness via an OR of equalities.
+        std::vector<LinExpr> exprs;
+        solver::ExprBounds overall{0, 0};
+        bool first = true;
+        for (const SVal& v : vals) {
+          COLOGNE_ASSIGN_OR_RETURN(e, v.AsExpr());
+          solver::ExprBounds b = model_->InitialBounds(e);
+          if (first) {
+            overall = b;
+            first = false;
+          } else {
+            overall.min = std::min(overall.min, b.min);
+            overall.max = std::max(overall.max, b.max);
+          }
+          exprs.push_back(std::move(e));
+        }
+        IntVar m = model_->NewInt(overall.min, overall.max);
+        std::vector<IntVar> hits;
+        for (const LinExpr& e : exprs) {
+          model_->PostRel(LinExpr(m), kind == AggKind::kMax ? Rel::kGe : Rel::kLe,
+                          e);
+          hits.push_back(model_->ReifyRel(LinExpr(m), Rel::kEq, e));
+        }
+        IntVar any = model_->MakeOr(std::move(hits));
+        model_->PostRel(LinExpr(any), Rel::kEq, LinExpr(1));
+        return Value::Sym(Register(LinExpr(m)));
+      }
+      case AggKind::kUnique: {
+        std::vector<IntVar> vars;
+        for (const SVal& v : vals) {
+          COLOGNE_ASSIGN_OR_RETURN(e, v.AsExpr());
+          vars.push_back(model_->VarOf(e));
+        }
+        return Value::Sym(Register(LinExpr(model_->MakeCountDistinct(vars))));
+      }
+      case AggKind::kAvg:
+        return Status::SolverError(
+            "AVG over solver attributes is not supported (use SUM)");
+      case AggKind::kNone:
+        break;
+    }
+    return Status::SolverError("unsupported symbolic aggregate");
+  }
+
+  const CompiledProgram* program_;
+  datalog::Engine* engine_;
+  Model* model_;
+  std::vector<LinExpr> sym_exprs_;
+  std::map<std::string, std::vector<Row>> tables_;
+  std::map<Row, std::vector<SVal>> agg_groups_;
+  const RuleIR* cur_rule_ = nullptr;
+  bool cur_constraint_ = false;
+};
+
+// Evaluate a LinExpr under a solution.
+int64_t EvalLin(const LinExpr& e, const solver::Solution& sol) {
+  int64_t v = e.constant;
+  for (const auto& [c, var] : e.terms) v += c * sol.ValueOf(var);
+  return v;
+}
+
+}  // namespace
+
+Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options) const {
+  SolveOutput out;
+  Model model;
+
+  // ---- Phase A: build the constraint network --------------------------------
+  BridgeEval sym_eval(program_, engine_, &model);
+  std::vector<std::pair<IntVar, Value*>> var_cells;
+  COLOGNE_RETURN_IF_ERROR(sym_eval.InstantiateVars(&var_cells));
+
+  for (const SolverRuleIR& rule : program_->solver_rules) {
+    COLOGNE_RETURN_IF_ERROR(sym_eval.EvalRule(rule));
+  }
+
+  bool optimizing = program_->goal.present && !program_->goal.table.empty();
+  if (optimizing) {
+    COLOGNE_ASSIGN_OR_RETURN(goal_val, sym_eval.GoalValue());
+    COLOGNE_ASSIGN_OR_RETURN(goal_expr, goal_val.AsExpr());
+    if (program_->goal.type == GoalType::kMinimize) {
+      model.Minimize(goal_expr);
+    } else if (program_->goal.type == GoalType::kMaximize) {
+      model.Maximize(goal_expr);
+    }
+  }
+
+  out.model_vars = model.num_vars();
+  out.model_propagators = model.num_propagators();
+
+  // ---- Phase B: search -------------------------------------------------------
+  Model::Options sopts;
+  sopts.time_limit_ms = options.time_limit_ms;
+  sopts.node_limit = options.node_limit;
+  solver::Solution sol = model.Solve(sopts);
+  out.status = sol.status;
+  out.stats = sol.stats;
+  out.model_memory_bytes = sol.stats.peak_memory_bytes;
+  if (!sol.has_solution()) return out;
+
+  // ---- Phase C: concrete re-evaluation under the solution --------------------
+  BridgeEval conc_eval(program_, engine_, nullptr);
+  // Substitute solution values into the var-table rows.
+  for (const auto& [name, rows] : sym_eval.tables()) {
+    if (!program_->var_tables.count(name)) continue;
+    std::vector<Row> concrete_rows = rows;
+    for (Row& row : concrete_rows) {
+      for (Value& cell : row) {
+        if (cell.is_sym()) {
+          cell = Value::Int(
+              EvalLin(sym_eval.SymExpr(cell.sym_index()), sol));
+        }
+      }
+    }
+    conc_eval.SeedTable(name, std::move(concrete_rows));
+  }
+  for (const SolverRuleIR& rule : program_->solver_rules) {
+    COLOGNE_RETURN_IF_ERROR(conc_eval.EvalRule(rule));
+  }
+  if (optimizing) {
+    COLOGNE_ASSIGN_OR_RETURN(goal_val, conc_eval.GoalValue());
+    if (!goal_val.symbolic && goal_val.concrete.is_numeric()) {
+      out.objective = goal_val.concrete.as_double();
+      out.has_objective = true;
+    }
+  }
+  out.tables = std::move(conc_eval.tables());
+  return out;
+}
+
+}  // namespace cologne::runtime

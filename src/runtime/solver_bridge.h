@@ -1,0 +1,78 @@
+// The solver bridge: Cologne's integration of the Datalog engine with the
+// constraint solver (paper Sections 5.3-5.4).
+//
+// At each invokeSolver event the bridge
+//   1. instantiates solver variables for every `var` table row (bounded by
+//      the current contents of the `forall` table),
+//   2. evaluates solver *derivation* rules bottom-up over engine tables and
+//      bridge-local solver tables, turning selection/aggregation expressions
+//      over solver attributes into constraint-network nodes,
+//   3. evaluates solver *constraint* rules, posting hard constraints,
+//   4. runs branch-and-bound under the goal, and
+//   5. re-evaluates the derivation rules concretely under the solution so the
+//      optimization output can be materialized back into engine tables
+//      (triggering downstream incremental evaluation, Section 5.1).
+#ifndef COLOGNE_RUNTIME_SOLVER_BRIDGE_H_
+#define COLOGNE_RUNTIME_SOLVER_BRIDGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "colog/planner.h"
+#include "common/status.h"
+#include "datalog/engine.h"
+#include "solver/model.h"
+
+namespace cologne::runtime {
+
+/// Per-solve knobs (the paper's SOLVER_MAX_TIME).
+struct SolveOptions {
+  double time_limit_ms = 10'000;
+  uint64_t node_limit = 0;
+};
+
+/// Result of one invokeSolver execution.
+struct SolveOutput {
+  solver::SolveStatus status = solver::SolveStatus::kUnknown;
+  solver::SolveStats stats;
+  /// Concrete contents of every solver output table (var tables, derived
+  /// solver tables, goal table) under the best solution found.
+  std::map<std::string, std::vector<Row>> tables;
+  /// Concrete goal value (e.g. the true CPU stdev for a STDEV goal — the
+  /// integer search objective is a monotone surrogate).
+  double objective = 0;
+  bool has_objective = false;
+  size_t model_vars = 0;
+  size_t model_propagators = 0;
+  size_t model_memory_bytes = 0;
+
+  bool has_solution() const {
+    return status == solver::SolveStatus::kOptimal ||
+           status == solver::SolveStatus::kFeasible;
+  }
+};
+
+/// \brief Executes the solver-side of a compiled Colog program against the
+/// current state of a Datalog engine.
+///
+/// Stateless across calls: each Solve builds a fresh model, so it can run
+/// once per periodic trigger or table-update event.
+class SolverBridge {
+ public:
+  SolverBridge(const colog::CompiledProgram* program, datalog::Engine* engine)
+      : program_(program), engine_(engine) {}
+
+  /// Run one complete COP execution. Returns an error Status only for
+  /// program-level failures (malformed model); an infeasible or timed-out
+  /// search is reported through SolveOutput::status.
+  Result<SolveOutput> Solve(const SolveOptions& options) const;
+
+ private:
+  const colog::CompiledProgram* program_;
+  datalog::Engine* engine_;
+};
+
+}  // namespace cologne::runtime
+
+#endif  // COLOGNE_RUNTIME_SOLVER_BRIDGE_H_

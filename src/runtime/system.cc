@@ -1,0 +1,58 @@
+#include "runtime/system.h"
+
+#include "common/logging.h"
+
+namespace cologne::runtime {
+
+System::System(const colog::CompiledProgram* program, size_t num_nodes,
+               Options options)
+    : program_(program), options_(options), net_(&sim_, options.seed) {
+  for (size_t i = 0; i < num_nodes; ++i) {
+    NodeId id = net_.AddNode();
+    nodes_.push_back(std::make_unique<Instance>(id, program_));
+  }
+}
+
+Status System::Init() {
+  for (auto& node : nodes_) {
+    COLOGNE_RETURN_IF_ERROR(node->Init());
+    NodeId id = node->id();
+    // Outbound: engine-derived remote tuples enter the network.
+    node->engine().SetSender([this, id](NodeId dest, const std::string& table,
+                                        const Row& row, int sign) {
+      net::Message msg;
+      msg.table = table;
+      msg.row = row;
+      msg.sign = sign;
+      Status s = net_.Send(id, dest, std::move(msg));
+      if (!s.ok()) {
+        COLOGNE_WARN("node " + std::to_string(id) + ": " + s.ToString());
+      }
+    });
+    // Inbound: delivered tuples apply as deltas and run the local fixpoint.
+    net_.SetReceiver(id, [this, id](NodeId, NodeId, const net::Message& msg) {
+      Instance& inst = this->node(id);
+      Status s = inst.engine().Apply(msg.table, msg.row, msg.sign);
+      if (s.ok()) s = inst.engine().Flush();
+      if (!s.ok()) {
+        COLOGNE_WARN("node " + std::to_string(id) + " rx: " + s.ToString());
+      }
+    });
+  }
+  return Status::OK();
+}
+
+void System::ScheduleSolve(NodeId node_id, double delay_s,
+                           std::function<void(const SolveOutput&)> on_done) {
+  sim_.Schedule(delay_s, [this, node_id, on_done = std::move(on_done)] {
+    Result<SolveOutput> r = node(node_id).InvokeSolver();
+    if (!r.ok()) {
+      COLOGNE_WARN("node " + std::to_string(node_id) +
+                   " solve failed: " + r.status().ToString());
+      return;
+    }
+    if (on_done) on_done(r.value());
+  });
+}
+
+}  // namespace cologne::runtime

@@ -1,0 +1,74 @@
+// System: a deployment of Cologne instances — centralized (one instance) or
+// distributed (one instance per node, exchanging tuples over the simulated
+// network), mirroring Figure 1 of the paper.
+#ifndef COLOGNE_RUNTIME_SYSTEM_H_
+#define COLOGNE_RUNTIME_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "colog/planner.h"
+#include "common/status.h"
+#include "net/network.h"
+#include "net/simulator.h"
+#include "runtime/instance.h"
+
+namespace cologne::runtime {
+
+/// \brief A set of Cologne nodes over a simulated network.
+///
+/// Engines' remote tuples are routed through the Network (paying latency and
+/// bandwidth, counted for the Figure 5 measurements). Use sim() to schedule
+/// periodic solver triggers and advance virtual time.
+class System {
+ public:
+  struct Options {
+    net::LinkConfig default_link;  ///< Used by ConnectAll/AddLink default.
+    uint64_t seed = 1;             ///< Network RNG seed (loss draws).
+  };
+
+  System(const colog::CompiledProgram* program, size_t num_nodes,
+         Options options);
+  System(const colog::CompiledProgram* program, size_t num_nodes)
+      : System(program, num_nodes, Options{}) {}
+
+  /// Declare tables/rules on every node and wire the message paths.
+  Status Init();
+
+  net::Simulator& sim() { return sim_; }
+  net::Network& network() { return net_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  Instance& node(NodeId id) { return *nodes_[static_cast<size_t>(id)]; }
+
+  /// Add a communication link between two nodes.
+  Status AddLink(NodeId a, NodeId b) {
+    return net_.AddLink(a, b, options_.default_link);
+  }
+
+  /// Insert a base fact at `node` and run its local fixpoint (remote tuples
+  /// travel asynchronously; advance the simulator to deliver them).
+  Status InsertFact(NodeId node_id, const std::string& table, Row row) {
+    return node(node_id).InsertFact(table, std::move(row));
+  }
+
+  /// Schedule an invokeSolver at `node` after `delay_s` of virtual time.
+  void ScheduleSolve(NodeId node_id, double delay_s,
+                     std::function<void(const SolveOutput&)> on_done = {});
+
+  /// Advance virtual time to `t`, delivering all due messages/events.
+  void RunUntil(double t) { sim_.RunUntil(t); }
+  /// Drain every pending event.
+  void RunToQuiescence() { sim_.Run(); }
+
+ private:
+  const colog::CompiledProgram* program_;
+  Options options_;
+  net::Simulator sim_;
+  net::Network net_;
+  std::vector<std::unique_ptr<Instance>> nodes_;
+};
+
+}  // namespace cologne::runtime
+
+#endif  // COLOGNE_RUNTIME_SYSTEM_H_

@@ -1,0 +1,132 @@
+#include "solver/domain.h"
+
+#include <algorithm>
+
+namespace cologne::solver {
+
+IntDomain::IntDomain(int64_t lo, int64_t hi) {
+  lo = std::max(lo, -kDomainLimit);
+  hi = std::min(hi, kDomainLimit);
+  if (lo <= hi) ranges_.push_back({lo, hi});
+}
+
+uint64_t IntDomain::size() const {
+  uint64_t n = 0;
+  for (const Range& r : ranges_) n += static_cast<uint64_t>(r.hi - r.lo) + 1;
+  return n;
+}
+
+bool IntDomain::Contains(int64_t v) const {
+  for (const Range& r : ranges_) {
+    if (v < r.lo) return false;
+    if (v <= r.hi) return true;
+  }
+  return false;
+}
+
+bool IntDomain::ClampMin(int64_t lo) {
+  if (empty() || lo <= min()) return false;
+  size_t i = 0;
+  while (i < ranges_.size() && ranges_[i].hi < lo) ++i;
+  ranges_.erase(ranges_.begin(), ranges_.begin() + static_cast<long>(i));
+  if (!ranges_.empty() && ranges_.front().lo < lo) ranges_.front().lo = lo;
+  return true;
+}
+
+bool IntDomain::ClampMax(int64_t hi) {
+  if (empty() || hi >= max()) return false;
+  size_t i = ranges_.size();
+  while (i > 0 && ranges_[i - 1].lo > hi) --i;
+  ranges_.erase(ranges_.begin() + static_cast<long>(i), ranges_.end());
+  if (!ranges_.empty() && ranges_.back().hi > hi) ranges_.back().hi = hi;
+  return true;
+}
+
+bool IntDomain::Remove(int64_t v) {
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    Range& r = ranges_[i];
+    if (v < r.lo) return false;
+    if (v > r.hi) continue;
+    if (r.lo == r.hi) {
+      ranges_.erase(ranges_.begin() + static_cast<long>(i));
+    } else if (v == r.lo) {
+      r.lo = v + 1;
+    } else if (v == r.hi) {
+      r.hi = v - 1;
+    } else {
+      Range right{v + 1, r.hi};
+      r.hi = v - 1;
+      ranges_.insert(ranges_.begin() + static_cast<long>(i) + 1, right);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool IntDomain::Assign(int64_t v) {
+  if (!Contains(v)) {
+    bool changed = !empty();
+    ranges_.clear();
+    return changed;
+  }
+  if (IsFixed()) return false;
+  ranges_.clear();
+  ranges_.push_back({v, v});
+  return true;
+}
+
+bool IntDomain::IntersectWith(const IntDomain& other) {
+  std::vector<Range> out;
+  size_t i = 0, j = 0;
+  while (i < ranges_.size() && j < other.ranges_.size()) {
+    const Range& a = ranges_[i];
+    const Range& b = other.ranges_[j];
+    int64_t lo = std::max(a.lo, b.lo);
+    int64_t hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.push_back({lo, hi});
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  bool changed = out != ranges_;
+  ranges_ = std::move(out);
+  return changed;
+}
+
+std::vector<int64_t> IntDomain::Values() const {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(size()));
+  for (const Range& r : ranges_) {
+    for (int64_t v = r.lo; v <= r.hi; ++v) out.push_back(v);
+  }
+  return out;
+}
+
+bool IntDomain::operator==(const IntDomain& o) const {
+  if (ranges_.size() != o.ranges_.size()) return false;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (ranges_[i].lo != o.ranges_[i].lo || ranges_[i].hi != o.ranges_[i].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string IntDomain::ToString() const {
+  if (empty()) return "{}";
+  std::string out = "{";
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i) out += ", ";
+    if (ranges_[i].lo == ranges_[i].hi) {
+      out += std::to_string(ranges_[i].lo);
+    } else {
+      out += std::to_string(ranges_[i].lo) + ".." + std::to_string(ranges_[i].hi);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cologne::solver

@@ -1,0 +1,77 @@
+// Finite integer domains represented as sorted disjoint range lists.
+#ifndef COLOGNE_SOLVER_DOMAIN_H_
+#define COLOGNE_SOLVER_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cologne::solver {
+
+/// Domain values are kept within +/-kDomainLimit so that linear-expression
+/// bound arithmetic cannot overflow int64 (intermediates use __int128).
+constexpr int64_t kDomainLimit = int64_t{1} << 40;
+
+/// \brief A finite set of integers stored as sorted, disjoint, non-adjacent
+/// closed ranges.
+///
+/// The common case in Cologne models is a single interval ([0,1] assignment
+/// variables, [-cap,cap] migration quantities) with holes appearing only via
+/// `Remove` (e.g. the primary-user channel constraint), so the range list is
+/// almost always tiny.
+class IntDomain {
+ public:
+  struct Range {
+    int64_t lo;
+    int64_t hi;  // inclusive
+    bool operator==(const Range&) const = default;
+  };
+
+  /// Empty (failed) domain.
+  IntDomain() = default;
+  /// Interval [lo, hi]; empty if lo > hi. Values clamped to +/-kDomainLimit.
+  IntDomain(int64_t lo, int64_t hi);
+  /// Singleton {v}.
+  static IntDomain Singleton(int64_t v) { return IntDomain(v, v); }
+
+  bool empty() const { return ranges_.empty(); }
+  /// True when exactly one value remains.
+  bool IsFixed() const {
+    return ranges_.size() == 1 && ranges_[0].lo == ranges_[0].hi;
+  }
+  /// The single remaining value; requires IsFixed().
+  int64_t value() const { return ranges_[0].lo; }
+  int64_t min() const { return ranges_.front().lo; }
+  int64_t max() const { return ranges_.back().hi; }
+  /// Number of values in the domain.
+  uint64_t size() const;
+  bool Contains(int64_t v) const;
+
+  /// Remove all values < lo. Returns true if the domain changed.
+  bool ClampMin(int64_t lo);
+  /// Remove all values > hi. Returns true if the domain changed.
+  bool ClampMax(int64_t hi);
+  /// Remove a single value. Returns true if the domain changed.
+  bool Remove(int64_t v);
+  /// Reduce to the single value v (or empty if v not contained).
+  /// Returns true if the domain changed.
+  bool Assign(int64_t v);
+  /// Keep only values also in `other`. Returns true if the domain changed.
+  bool IntersectWith(const IntDomain& other);
+
+  /// Iterate over contained values (domains used here are small).
+  std::vector<int64_t> Values() const;
+  const std::vector<Range>& ranges() const { return ranges_; }
+
+  bool operator==(const IntDomain& o) const;
+
+  /// Render as e.g. "{1..3, 7, 9..12}" for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+}  // namespace cologne::solver
+
+#endif  // COLOGNE_SOLVER_DOMAIN_H_

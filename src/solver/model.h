@@ -1,0 +1,154 @@
+// Model: the public constraint-programming API of cologne::solver.
+//
+// This plays the role Gecode played in the original system: callers create
+// integer variables, post constraints, declare an objective, and call Solve()
+// which runs depth-first branch-and-bound with a configurable time limit (the
+// paper's SOLVER_MAX_TIME knob, Section 4.2).
+#ifndef COLOGNE_SOLVER_MODEL_H_
+#define COLOGNE_SOLVER_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "solver/domain.h"
+#include "solver/propagator.h"
+#include "solver/types.h"
+
+namespace cologne::solver {
+
+/// Objective sense of a model.
+enum class Sense : uint8_t { kSatisfy, kMinimize, kMaximize };
+
+/// \brief A constraint-satisfaction/optimization model.
+///
+/// Variables and constraints are append-only; Solve() is const and can be
+/// called repeatedly (e.g. once per `invokeSolver` event).
+class Model {
+ public:
+  Model() = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  // --- Variables -----------------------------------------------------------
+
+  /// New integer variable with domain [lo, hi].
+  IntVar NewInt(int64_t lo, int64_t hi, std::string name = "");
+  /// New variable with an explicit (possibly holey) domain.
+  IntVar NewIntFromDomain(IntDomain dom, std::string name = "");
+  /// New 0/1 variable.
+  IntVar NewBool(std::string name = "") { return NewInt(0, 1, std::move(name)); }
+
+  size_t num_vars() const { return domains_.size(); }
+  size_t num_propagators() const { return props_.size(); }
+
+  /// Mark `v` as a decision variable: search branches on decision variables
+  /// before any auxiliary variable (auxiliaries are usually functionally
+  /// determined by propagation once the decisions are fixed).
+  void MarkDecision(IntVar v) {
+    if (static_cast<size_t>(v.id) >= is_decision_.size()) {
+      is_decision_.resize(domains_.size(), 0);
+    }
+    is_decision_[static_cast<size_t>(v.id)] = 1;
+    has_decisions_ = true;
+  }
+  bool IsDecision(IntVar v) const {
+    return static_cast<size_t>(v.id) < is_decision_.size() &&
+           is_decision_[static_cast<size_t>(v.id)] != 0;
+  }
+  bool has_decisions() const { return has_decisions_; }
+  const IntDomain& InitialDomain(IntVar v) const {
+    return domains_[static_cast<size_t>(v.id)];
+  }
+  const std::string& NameOf(IntVar v) const {
+    return names_[static_cast<size_t>(v.id)];
+  }
+
+  // --- Constraints ---------------------------------------------------------
+
+  /// Post `e rel 0`.
+  void PostLinear(LinExpr e, Rel rel);
+  /// Post `lhs rel rhs`.
+  void PostRel(LinExpr lhs, Rel rel, LinExpr rhs);
+  /// Post `b <=> (lhs rel rhs)` for an existing 0/1 variable b.
+  void PostReified(IntVar b, LinExpr lhs, Rel rel, LinExpr rhs);
+  /// Fresh 0/1 variable b with `b <=> (lhs rel rhs)`.
+  IntVar ReifyRel(LinExpr lhs, Rel rel, LinExpr rhs);
+  /// Remove a single value from a variable's domain (e.g. the wireless
+  /// primary-user constraint c1: the assigned channel must differ from every
+  /// occupied channel).
+  void RemoveValue(IntVar v, int64_t value);
+
+  // --- Derived variables (each returns a fresh variable + channeling) ------
+
+  /// Variable constrained equal to an affine expression. Returns the
+  /// underlying variable directly when `e` is a bare 1*x term.
+  IntVar VarOf(const LinExpr& e);
+  /// z == x * y.
+  IntVar MakeTimes(IntVar x, IntVar y);
+  /// z == e^2 (used by the STDEV aggregate's sum-of-squared-deviations form).
+  IntVar MakeSquare(const LinExpr& e);
+  /// z == |e| (used by the SUMABS aggregate).
+  IntVar MakeAbs(const LinExpr& e);
+  /// z == max(e, c).
+  IntVar MakeMaxConst(const LinExpr& e, int64_t c);
+  /// b == OR(bs) over 0/1 variables.
+  IntVar MakeOr(std::vector<IntVar> bs);
+  /// count == |{distinct values taken by vars}| (the UNIQUE aggregate;
+  /// decomposed into reified membership booleans).
+  IntVar MakeCountDistinct(const std::vector<IntVar>& vars);
+
+  // --- Objective -----------------------------------------------------------
+
+  void Minimize(const LinExpr& e);
+  void Maximize(const LinExpr& e);
+  /// Plain satisfaction (the paper's `goal satisfy`); the default.
+  void Satisfy() { sense_ = Sense::kSatisfy; }
+
+  Sense sense() const { return sense_; }
+  /// Objective variable (valid unless sense is kSatisfy).
+  IntVar objective_var() const { return objective_; }
+
+  // --- Solving -------------------------------------------------------------
+
+  struct Options {
+    /// Wall-clock budget; mirrors the paper's SOLVER_MAX_TIME (they used 10 s
+    /// for ACloud). <= 0 means unlimited.
+    double time_limit_ms = 10'000;
+    /// Optional hard cap on explored nodes. 0 means unlimited.
+    uint64_t node_limit = 0;
+  };
+
+  /// Run propagation + depth-first branch-and-bound.
+  ///
+  /// Branching: first-fail variable selection (smallest domain first) with
+  /// ascending value order; on each incumbent the objective is bounded and
+  /// search continues (anytime behaviour under the time limit).
+  Solution Solve(const Options& options) const;
+  /// Solve with default options.
+  Solution Solve() const { return Solve(Options{}); }
+
+  /// Bounds of an affine expression under the *initial* domains.
+  ExprBounds InitialBounds(const LinExpr& e) const;
+
+  /// Approximate resident size of the model itself (vars + propagators).
+  size_t MemoryEstimate() const;
+
+  const std::vector<std::unique_ptr<Propagator>>& propagators() const {
+    return props_;
+  }
+
+ private:
+  std::vector<IntDomain> domains_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Propagator>> props_;
+  std::vector<char> is_decision_;
+  bool has_decisions_ = false;
+  Sense sense_ = Sense::kSatisfy;
+  IntVar objective_;
+};
+
+}  // namespace cologne::solver
+
+#endif  // COLOGNE_SOLVER_MODEL_H_

@@ -1,0 +1,252 @@
+#include "solver/propagator.h"
+
+namespace cologne::solver {
+
+bool PropCtx::ClampMin(IntVar v, int64_t lo) {
+  IntDomain& d = (*doms_)[static_cast<size_t>(v.id)];
+  if (d.ClampMin(lo)) {
+    if (d.empty()) return false;
+    Notify(v.id);
+  }
+  return true;
+}
+
+bool PropCtx::ClampMax(IntVar v, int64_t hi) {
+  IntDomain& d = (*doms_)[static_cast<size_t>(v.id)];
+  if (d.ClampMax(hi)) {
+    if (d.empty()) return false;
+    Notify(v.id);
+  }
+  return true;
+}
+
+bool PropCtx::Assign(IntVar v, int64_t val) {
+  IntDomain& d = (*doms_)[static_cast<size_t>(v.id)];
+  if (d.Assign(val)) {
+    if (d.empty()) return false;
+    Notify(v.id);
+  }
+  return !d.empty();
+}
+
+bool PropCtx::Remove(IntVar v, int64_t val) {
+  IntDomain& d = (*doms_)[static_cast<size_t>(v.id)];
+  if (d.Remove(val)) {
+    if (d.empty()) return false;
+    Notify(v.id);
+  }
+  return true;
+}
+
+void PropCtx::Notify(int32_t var_id) {
+  if (engine_ != nullptr) engine_->OnVarChanged(var_id);
+}
+
+PropagationEngine::PropagationEngine(
+    const std::vector<std::unique_ptr<Propagator>>* props, size_t num_vars)
+    : props_(props), watchers_(num_vars), in_queue_(props->size(), 0) {
+  for (size_t i = 0; i < props->size(); ++i) {
+    for (int32_t v : (*props)[i]->watched()) {
+      watchers_[static_cast<size_t>(v)].push_back(i);
+    }
+  }
+}
+
+void PropagationEngine::Enqueue(size_t prop_idx) {
+  if (!in_queue_[prop_idx]) {
+    in_queue_[prop_idx] = 1;
+    queue_.push_back(prop_idx);
+  }
+}
+
+void PropagationEngine::OnVarChanged(int32_t var_id) {
+  for (size_t p : watchers_[static_cast<size_t>(var_id)]) Enqueue(p);
+}
+
+bool PropagationEngine::PropagateAll(std::vector<IntDomain>& doms,
+                                     SolveStats* stats) {
+  for (size_t i = 0; i < props_->size(); ++i) Enqueue(i);
+  return RunQueue(doms, stats);
+}
+
+bool PropagationEngine::PropagateFrom(std::vector<IntDomain>& doms,
+                                      const std::vector<int32_t>& changed_vars,
+                                      SolveStats* stats) {
+  for (int32_t v : changed_vars) OnVarChanged(v);
+  return RunQueue(doms, stats);
+}
+
+bool PropagationEngine::RunQueue(std::vector<IntDomain>& doms,
+                                 SolveStats* stats) {
+  PropCtx ctx(&doms, this);
+  while (!queue_.empty()) {
+    size_t idx = queue_.front();
+    queue_.pop_front();
+    in_queue_[idx] = 0;
+    if (stats != nullptr) ++stats->propagations;
+    if (!(*props_)[idx]->Propagate(ctx)) {
+      // Failure: drain the queue so the engine is clean for the next node.
+      while (!queue_.empty()) {
+        in_queue_[queue_.front()] = 0;
+        queue_.pop_front();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+ExprBounds BoundsOf(const PropCtx& ctx, const LinExpr& e) {
+  __int128 lo = e.constant, hi = e.constant;
+  for (const auto& [c, v] : e.terms) {
+    const IntDomain& d = ctx.dom(v);
+    if (c >= 0) {
+      lo += static_cast<__int128>(c) * d.min();
+      hi += static_cast<__int128>(c) * d.max();
+    } else {
+      lo += static_cast<__int128>(c) * d.max();
+      hi += static_cast<__int128>(c) * d.min();
+    }
+  }
+  auto clamp = [](__int128 x) {
+    const __int128 lim = static_cast<__int128>(INT64_MAX) / 2;
+    if (x > lim) return static_cast<int64_t>(lim);
+    if (x < -lim) return static_cast<int64_t>(-lim);
+    return static_cast<int64_t>(x);
+  };
+  return {clamp(lo), clamp(hi)};
+}
+
+Entail EntailedRel(const ExprBounds& b, Rel rel) {
+  switch (rel) {
+    case Rel::kEq:
+      if (b.min == 0 && b.max == 0) return Entail::kYes;
+      if (b.min > 0 || b.max < 0) return Entail::kNo;
+      return Entail::kMaybe;
+    case Rel::kNe:
+      if (b.min > 0 || b.max < 0) return Entail::kYes;
+      if (b.min == 0 && b.max == 0) return Entail::kNo;
+      return Entail::kMaybe;
+    case Rel::kLe:
+      if (b.max <= 0) return Entail::kYes;
+      if (b.min > 0) return Entail::kNo;
+      return Entail::kMaybe;
+    case Rel::kLt:
+      if (b.max < 0) return Entail::kYes;
+      if (b.min >= 0) return Entail::kNo;
+      return Entail::kMaybe;
+    case Rel::kGe:
+      if (b.min >= 0) return Entail::kYes;
+      if (b.max < 0) return Entail::kNo;
+      return Entail::kMaybe;
+    case Rel::kGt:
+      if (b.min > 0) return Entail::kYes;
+      if (b.max <= 0) return Entail::kNo;
+      return Entail::kMaybe;
+  }
+  return Entail::kMaybe;
+}
+
+namespace {
+
+// Floor/ceil division with correct rounding toward -inf / +inf.
+// __int128 intermediates keep coefficient * bound products exact.
+int64_t FloorDiv128(__int128 a, __int128 b) {
+  __int128 q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) q -= 1;
+  if (q > kDomainLimit) return kDomainLimit;
+  if (q < -kDomainLimit) return -kDomainLimit;
+  return static_cast<int64_t>(q);
+}
+int64_t CeilDiv128(__int128 a, __int128 b) {
+  __int128 q = a / b, r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) q += 1;
+  if (q > kDomainLimit) return kDomainLimit;
+  if (q < -kDomainLimit) return -kDomainLimit;
+  return static_cast<int64_t>(q);
+}
+
+// Prune `e <= 0` to bounds consistency.
+bool PruneLe(PropCtx& ctx, const LinExpr& e) {
+  __int128 sum_min = e.constant;
+  for (const auto& [c, v] : e.terms) {
+    const IntDomain& d = ctx.dom(v);
+    sum_min += static_cast<__int128>(c) * (c >= 0 ? d.min() : d.max());
+  }
+  if (sum_min > 0) return false;
+  for (const auto& [c, v] : e.terms) {
+    const IntDomain& d = ctx.dom(v);
+    // min of the expression excluding this term's contribution at its min.
+    __int128 term_min = static_cast<__int128>(c) * (c >= 0 ? d.min() : d.max());
+    __int128 rest_min = sum_min - term_min;
+    // Need: c * x <= -rest_min.
+    __int128 budget = -rest_min;
+    if (c > 0) {
+      if (!ctx.ClampMax(v, FloorDiv128(budget, c))) return false;
+    } else if (c < 0) {
+      if (!ctx.ClampMin(v, CeilDiv128(budget, c))) return false;
+    }
+  }
+  return true;
+}
+
+bool PruneNe(PropCtx& ctx, const LinExpr& e) {
+  // Only prunes when exactly one variable is unfixed.
+  int64_t fixed_sum = e.constant;
+  IntVar free_var;
+  int64_t free_coef = 0;
+  int n_free = 0;
+  for (const auto& [c, v] : e.terms) {
+    if (ctx.IsFixed(v)) {
+      fixed_sum += c * ctx.ValueOf(v);
+    } else {
+      ++n_free;
+      free_var = v;
+      free_coef = c;
+    }
+  }
+  if (n_free == 0) return fixed_sum != 0;
+  if (n_free == 1) {
+    // free_coef * x != -fixed_sum.
+    if ((-fixed_sum) % free_coef == 0) {
+      if (!ctx.Remove(free_var, (-fixed_sum) / free_coef)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PruneLinear(PropCtx& ctx, const LinExpr& e, Rel rel) {
+  switch (rel) {
+    case Rel::kLe:
+      return PruneLe(ctx, e);
+    case Rel::kLt: {
+      LinExpr f = e;
+      f.constant += 1;  // e < 0  <=>  e + 1 <= 0
+      return PruneLe(ctx, f);
+    }
+    case Rel::kGe: {
+      LinExpr f = e;
+      f.MulBy(-1);  // e >= 0  <=>  -e <= 0
+      return PruneLe(ctx, f);
+    }
+    case Rel::kGt: {
+      LinExpr f = e;
+      f.MulBy(-1);
+      f.constant += 1;
+      return PruneLe(ctx, f);
+    }
+    case Rel::kEq: {
+      if (!PruneLe(ctx, e)) return false;
+      LinExpr f = e;
+      f.MulBy(-1);
+      return PruneLe(ctx, f);
+    }
+    case Rel::kNe:
+      return PruneNe(ctx, e);
+  }
+  return true;
+}
+
+}  // namespace cologne::solver

@@ -1,0 +1,146 @@
+// Propagator interface and the propagation fixpoint engine.
+//
+// The solver follows the classic finite-domain architecture (as in Gecode,
+// which the paper used as its black-box solver): propagators watch variables,
+// a queue drives re-execution until fixpoint or failure, and search
+// interleaves branching decisions with propagation.
+#ifndef COLOGNE_SOLVER_PROPAGATOR_H_
+#define COLOGNE_SOLVER_PROPAGATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/domain.h"
+#include "solver/types.h"
+
+namespace cologne::solver {
+
+class PropagationEngine;
+
+/// \brief Mutable view over the current domain store handed to propagators.
+///
+/// All domain mutations go through PropCtx so that watchers of changed
+/// variables are re-queued automatically. Mutators return false exactly when
+/// the touched domain became empty (failure).
+class PropCtx {
+ public:
+  PropCtx(std::vector<IntDomain>* doms, PropagationEngine* engine)
+      : doms_(doms), engine_(engine) {}
+
+  const IntDomain& dom(IntVar v) const {
+    return (*doms_)[static_cast<size_t>(v.id)];
+  }
+  bool IsFixed(IntVar v) const { return dom(v).IsFixed(); }
+  int64_t Min(IntVar v) const { return dom(v).min(); }
+  int64_t Max(IntVar v) const { return dom(v).max(); }
+  int64_t ValueOf(IntVar v) const { return dom(v).value(); }
+
+  bool ClampMin(IntVar v, int64_t lo);
+  bool ClampMax(IntVar v, int64_t hi);
+  bool Assign(IntVar v, int64_t val);
+  bool Remove(IntVar v, int64_t val);
+
+ private:
+  void Notify(int32_t var_id);
+  std::vector<IntDomain>* doms_;
+  PropagationEngine* engine_;
+};
+
+/// \brief Base class for constraint propagators.
+///
+/// A propagator narrows the domains of its watched variables; returning false
+/// signals that the constraint is unsatisfiable under the current store.
+class Propagator {
+ public:
+  virtual ~Propagator() = default;
+  /// Narrow domains; false on failure. Must be monotone and idempotent-safe
+  /// (re-running on an unchanged store must not change anything).
+  virtual bool Propagate(PropCtx& ctx) = 0;
+  /// One-line description for tracing and test diagnostics.
+  virtual std::string DebugString() const = 0;
+  /// Variable ids this propagator must be re-run for when they change.
+  const std::vector<int32_t>& watched() const { return watched_; }
+
+ protected:
+  void Watch(IntVar v) { watched_.push_back(v.id); }
+  void WatchExpr(const LinExpr& e) {
+    for (const auto& [c, v] : e.terms) Watch(v);
+  }
+
+ private:
+  std::vector<int32_t> watched_;
+};
+
+/// \brief Queue-driven propagation-to-fixpoint engine.
+///
+/// Owned by the search; the propagator set is fixed after model construction
+/// (branch-and-bound objective cuts are applied by the search by clamping the
+/// objective variable's domain directly).
+class PropagationEngine {
+ public:
+  /// Builds watch lists. `props` must outlive the engine.
+  PropagationEngine(const std::vector<std::unique_ptr<Propagator>>* props,
+                    size_t num_vars);
+
+  /// Run all propagators to fixpoint on `doms`. False on failure.
+  bool PropagateAll(std::vector<IntDomain>& doms, SolveStats* stats);
+
+  /// Run to fixpoint starting from the watchers of the changed variables.
+  bool PropagateFrom(std::vector<IntDomain>& doms,
+                     const std::vector<int32_t>& changed_vars,
+                     SolveStats* stats);
+
+  /// Called by PropCtx when a variable's domain changed.
+  void OnVarChanged(int32_t var_id);
+
+ private:
+  bool RunQueue(std::vector<IntDomain>& doms, SolveStats* stats);
+  void Enqueue(size_t prop_idx);
+
+  const std::vector<std::unique_ptr<Propagator>>* props_;
+  std::vector<std::vector<size_t>> watchers_;  // var id -> propagator indices
+  std::deque<size_t> queue_;
+  std::vector<char> in_queue_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared linear-arithmetic helpers (used by linear and reified propagators).
+// ---------------------------------------------------------------------------
+
+/// Bounds [min,max] of an affine expression under the current store.
+struct ExprBounds {
+  int64_t min;
+  int64_t max;
+};
+ExprBounds BoundsOf(const PropCtx& ctx, const LinExpr& e);
+
+/// Three-valued entailment of `e rel 0` from bounds alone.
+enum class Entail { kYes, kNo, kMaybe };
+Entail EntailedRel(const ExprBounds& b, Rel rel);
+
+/// Bounds-consistent pruning of `e rel 0`; false on failure.
+bool PruneLinear(PropCtx& ctx, const LinExpr& e, Rel rel);
+
+// ---------------------------------------------------------------------------
+// Propagator factories (definitions in propagators.cc).
+// ---------------------------------------------------------------------------
+
+/// e rel 0.
+std::unique_ptr<Propagator> MakeLinear(LinExpr e, Rel rel);
+/// b <=> (e rel 0), with b a 0/1 variable.
+std::unique_ptr<Propagator> MakeReifiedLinear(IntVar b, LinExpr e, Rel rel);
+/// z == x * y (also correct when x == y, i.e. squares).
+std::unique_ptr<Propagator> MakeTimes(IntVar z, IntVar x, IntVar y);
+/// z == |x|.
+std::unique_ptr<Propagator> MakeAbs(IntVar z, IntVar x);
+/// b <=> (b1 or b2 or ... or bn) over 0/1 variables.
+std::unique_ptr<Propagator> MakeOr(IntVar b, std::vector<IntVar> bs);
+/// z == max(x, c).
+std::unique_ptr<Propagator> MakeMaxConst(IntVar z, IntVar x, int64_t c);
+
+}  // namespace cologne::solver
+
+#endif  // COLOGNE_SOLVER_PROPAGATOR_H_

@@ -1,0 +1,288 @@
+// Concrete propagator implementations.
+#include <algorithm>
+#include <cmath>
+
+#include "solver/propagator.h"
+
+namespace cologne::solver {
+namespace {
+
+int64_t Clamp128(__int128 x) {
+  if (x > kDomainLimit) return kDomainLimit;
+  if (x < -kDomainLimit) return -kDomainLimit;
+  return static_cast<int64_t>(x);
+}
+
+// ---------------------------------------------------------------------------
+// e rel 0
+// ---------------------------------------------------------------------------
+class LinearProp : public Propagator {
+ public:
+  LinearProp(LinExpr e, Rel rel) : e_(std::move(e)), rel_(rel) {
+    e_.Canonicalize();
+    WatchExpr(e_);
+  }
+
+  bool Propagate(PropCtx& ctx) override { return PruneLinear(ctx, e_, rel_); }
+
+  std::string DebugString() const override {
+    return e_.ToString() + " " + RelName(rel_) + " 0";
+  }
+
+ private:
+  LinExpr e_;
+  Rel rel_;
+};
+
+// ---------------------------------------------------------------------------
+// b <=> (e rel 0)
+// ---------------------------------------------------------------------------
+class ReifiedLinearProp : public Propagator {
+ public:
+  ReifiedLinearProp(IntVar b, LinExpr e, Rel rel)
+      : b_(b), e_(std::move(e)), rel_(rel) {
+    e_.Canonicalize();
+    Watch(b_);
+    WatchExpr(e_);
+  }
+
+  bool Propagate(PropCtx& ctx) override {
+    if (ctx.IsFixed(b_)) {
+      Rel eff = ctx.ValueOf(b_) != 0 ? rel_ : Negate(rel_);
+      return PruneLinear(ctx, e_, eff);
+    }
+    Entail ent = EntailedRel(BoundsOf(ctx, e_), rel_);
+    if (ent == Entail::kYes) return ctx.Assign(b_, 1);
+    if (ent == Entail::kNo) return ctx.Assign(b_, 0);
+    return true;
+  }
+
+  std::string DebugString() const override {
+    return "x" + std::to_string(b_.id) + " <=> (" + e_.ToString() + " " +
+           RelName(rel_) + " 0)";
+  }
+
+ private:
+  IntVar b_;
+  LinExpr e_;
+  Rel rel_;
+};
+
+// ---------------------------------------------------------------------------
+// z == x * y  (bounds consistency; exact when x == y, i.e. squares)
+// ---------------------------------------------------------------------------
+class TimesProp : public Propagator {
+ public:
+  TimesProp(IntVar z, IntVar x, IntVar y) : z_(z), x_(x), y_(y) {
+    Watch(z_);
+    Watch(x_);
+    if (!(y_ == x_)) Watch(y_);
+  }
+
+  bool Propagate(PropCtx& ctx) override {
+    if (x_ == y_) return PropagateSquare(ctx);
+    // Forward: z bounds from corner products.
+    int64_t xl = ctx.Min(x_), xh = ctx.Max(x_);
+    int64_t yl = ctx.Min(y_), yh = ctx.Max(y_);
+    __int128 c1 = static_cast<__int128>(xl) * yl;
+    __int128 c2 = static_cast<__int128>(xl) * yh;
+    __int128 c3 = static_cast<__int128>(xh) * yl;
+    __int128 c4 = static_cast<__int128>(xh) * yh;
+    __int128 zl = std::min(std::min(c1, c2), std::min(c3, c4));
+    __int128 zh = std::max(std::max(c1, c2), std::max(c3, c4));
+    if (!ctx.ClampMin(z_, Clamp128(zl))) return false;
+    if (!ctx.ClampMax(z_, Clamp128(zh))) return false;
+    // Backward: only when the divisor domain does not straddle zero.
+    if (!PruneFactor(ctx, x_, y_)) return false;
+    if (!PruneFactor(ctx, y_, x_)) return false;
+    return true;
+  }
+
+  std::string DebugString() const override {
+    return "x" + std::to_string(z_.id) + " == x" + std::to_string(x_.id) +
+           " * x" + std::to_string(y_.id);
+  }
+
+ private:
+  // Prune `target` given z and the other factor `other`.
+  bool PruneFactor(PropCtx& ctx, IntVar target, IntVar other) {
+    int64_t ol = ctx.Min(other), oh = ctx.Max(other);
+    if (ol <= 0 && oh >= 0) return true;  // divisor straddles 0: no pruning
+    int64_t zl = ctx.Min(z_), zh = ctx.Max(z_);
+    // target in [min, max] of z/other over corner quotients.
+    double q1 = static_cast<double>(zl) / static_cast<double>(ol);
+    double q2 = static_cast<double>(zl) / static_cast<double>(oh);
+    double q3 = static_cast<double>(zh) / static_cast<double>(ol);
+    double q4 = static_cast<double>(zh) / static_cast<double>(oh);
+    double lo = std::floor(std::min(std::min(q1, q2), std::min(q3, q4)));
+    double hi = std::ceil(std::max(std::max(q1, q2), std::max(q3, q4)));
+    if (!ctx.ClampMin(target, static_cast<int64_t>(lo))) return false;
+    if (!ctx.ClampMax(target, static_cast<int64_t>(hi))) return false;
+    return true;
+  }
+
+  bool PropagateSquare(PropCtx& ctx) {
+    int64_t xl = ctx.Min(x_), xh = ctx.Max(x_);
+    // z >= 0 and z <= max square.
+    __int128 sqmax =
+        std::max(static_cast<__int128>(xl) * xl, static_cast<__int128>(xh) * xh);
+    __int128 sqmin = 0;
+    if (xl > 0) sqmin = static_cast<__int128>(xl) * xl;
+    if (xh < 0) sqmin = static_cast<__int128>(xh) * xh;
+    if (!ctx.ClampMin(z_, Clamp128(sqmin))) return false;
+    if (!ctx.ClampMax(z_, Clamp128(sqmax))) return false;
+    // |x| <= floor(sqrt(z_max)).
+    int64_t zmax = ctx.Max(z_);
+    int64_t root = static_cast<int64_t>(
+        std::floor(std::sqrt(static_cast<double>(std::max<int64_t>(zmax, 0)))));
+    while (static_cast<__int128>(root) * root > zmax) --root;
+    while (static_cast<__int128>(root + 1) * (root + 1) <= zmax) ++root;
+    if (!ctx.ClampMin(x_, -root)) return false;
+    if (!ctx.ClampMax(x_, root)) return false;
+    return true;
+  }
+
+  IntVar z_, x_, y_;
+};
+
+// ---------------------------------------------------------------------------
+// z == |x|
+// ---------------------------------------------------------------------------
+class AbsProp : public Propagator {
+ public:
+  AbsProp(IntVar z, IntVar x) : z_(z), x_(x) {
+    Watch(z_);
+    Watch(x_);
+  }
+
+  bool Propagate(PropCtx& ctx) override {
+    int64_t xl = ctx.Min(x_), xh = ctx.Max(x_);
+    int64_t zmin = 0;
+    if (xl > 0) zmin = xl;
+    if (xh < 0) zmin = -xh;
+    int64_t zmax = std::max(std::abs(xl), std::abs(xh));
+    if (!ctx.ClampMin(z_, zmin)) return false;
+    if (!ctx.ClampMax(z_, zmax)) return false;
+    // x in [-z_max, z_max]; sharpen when the sign of x is known.
+    int64_t zM = ctx.Max(z_), zm = ctx.Min(z_);
+    if (!ctx.ClampMin(x_, -zM)) return false;
+    if (!ctx.ClampMax(x_, zM)) return false;
+    if (ctx.Min(x_) >= 0 && !ctx.ClampMin(x_, zm)) return false;
+    if (ctx.Max(x_) <= 0 && !ctx.ClampMax(x_, -zm)) return false;
+    return true;
+  }
+
+  std::string DebugString() const override {
+    return "x" + std::to_string(z_.id) + " == |x" + std::to_string(x_.id) + "|";
+  }
+
+ private:
+  IntVar z_, x_;
+};
+
+// ---------------------------------------------------------------------------
+// b <=> OR(b1..bn) over 0/1 variables
+// ---------------------------------------------------------------------------
+class OrProp : public Propagator {
+ public:
+  OrProp(IntVar b, std::vector<IntVar> bs) : b_(b), bs_(std::move(bs)) {
+    Watch(b_);
+    for (IntVar v : bs_) Watch(v);
+  }
+
+  bool Propagate(PropCtx& ctx) override {
+    int n_true = 0, n_false = 0;
+    IntVar last_unfixed;
+    for (IntVar v : bs_) {
+      if (ctx.IsFixed(v)) {
+        if (ctx.ValueOf(v) != 0) {
+          ++n_true;
+        } else {
+          ++n_false;
+        }
+      } else {
+        last_unfixed = v;
+      }
+    }
+    size_t n = bs_.size();
+    if (n_true > 0) {
+      if (!ctx.Assign(b_, 1)) return false;
+    } else if (static_cast<size_t>(n_false) == n) {
+      if (!ctx.Assign(b_, 0)) return false;
+    }
+    if (ctx.IsFixed(b_)) {
+      if (ctx.ValueOf(b_) == 0) {
+        for (IntVar v : bs_) {
+          if (!ctx.Assign(v, 0)) return false;
+        }
+      } else if (n_true == 0 && static_cast<size_t>(n_false) == n - 1 &&
+                 last_unfixed.valid()) {
+        // b is true and only one disjunct can still be true.
+        if (!ctx.Assign(last_unfixed, 1)) return false;
+      }
+    }
+    return true;
+  }
+
+  std::string DebugString() const override {
+    return "x" + std::to_string(b_.id) + " <=> OR(" +
+           std::to_string(bs_.size()) + " vars)";
+  }
+
+ private:
+  IntVar b_;
+  std::vector<IntVar> bs_;
+};
+
+// ---------------------------------------------------------------------------
+// z == max(x, c)
+// ---------------------------------------------------------------------------
+class MaxConstProp : public Propagator {
+ public:
+  MaxConstProp(IntVar z, IntVar x, int64_t c) : z_(z), x_(x), c_(c) {
+    Watch(z_);
+    Watch(x_);
+  }
+
+  bool Propagate(PropCtx& ctx) override {
+    // z bounds.
+    if (!ctx.ClampMin(z_, std::max(ctx.Min(x_), c_))) return false;
+    if (!ctx.ClampMax(z_, std::max(ctx.Max(x_), c_))) return false;
+    // x bounds: x <= z_max; if z_min > c then x == z (so x >= z_min).
+    if (!ctx.ClampMax(x_, ctx.Max(z_))) return false;
+    if (ctx.Min(z_) > c_ && !ctx.ClampMin(x_, ctx.Min(z_))) return false;
+    return true;
+  }
+
+  std::string DebugString() const override {
+    return "x" + std::to_string(z_.id) + " == max(x" + std::to_string(x_.id) +
+           ", " + std::to_string(c_) + ")";
+  }
+
+ private:
+  IntVar z_, x_;
+  int64_t c_;
+};
+
+}  // namespace
+
+std::unique_ptr<Propagator> MakeLinear(LinExpr e, Rel rel) {
+  return std::make_unique<LinearProp>(std::move(e), rel);
+}
+std::unique_ptr<Propagator> MakeReifiedLinear(IntVar b, LinExpr e, Rel rel) {
+  return std::make_unique<ReifiedLinearProp>(b, std::move(e), rel);
+}
+std::unique_ptr<Propagator> MakeTimes(IntVar z, IntVar x, IntVar y) {
+  return std::make_unique<TimesProp>(z, x, y);
+}
+std::unique_ptr<Propagator> MakeAbs(IntVar z, IntVar x) {
+  return std::make_unique<AbsProp>(z, x);
+}
+std::unique_ptr<Propagator> MakeOr(IntVar b, std::vector<IntVar> bs) {
+  return std::make_unique<OrProp>(b, std::move(bs));
+}
+std::unique_ptr<Propagator> MakeMaxConst(IntVar z, IntVar x, int64_t c) {
+  return std::make_unique<MaxConstProp>(z, x, c);
+}
+
+}  // namespace cologne::solver

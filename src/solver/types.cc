@@ -1,0 +1,113 @@
+#include "solver/types.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cologne::solver {
+
+const char* RelName(Rel rel) {
+  switch (rel) {
+    case Rel::kEq: return "==";
+    case Rel::kNe: return "!=";
+    case Rel::kLe: return "<=";
+    case Rel::kLt: return "<";
+    case Rel::kGe: return ">=";
+    case Rel::kGt: return ">";
+  }
+  return "?";
+}
+
+Rel Negate(Rel rel) {
+  switch (rel) {
+    case Rel::kEq: return Rel::kNe;
+    case Rel::kNe: return Rel::kEq;
+    case Rel::kLe: return Rel::kGt;
+    case Rel::kLt: return Rel::kGe;
+    case Rel::kGe: return Rel::kLt;
+    case Rel::kGt: return Rel::kLe;
+  }
+  return Rel::kEq;
+}
+
+Rel Flip(Rel rel) {
+  switch (rel) {
+    case Rel::kEq: return Rel::kEq;
+    case Rel::kNe: return Rel::kNe;
+    case Rel::kLe: return Rel::kGe;
+    case Rel::kLt: return Rel::kGt;
+    case Rel::kGe: return Rel::kLe;
+    case Rel::kGt: return Rel::kLt;
+  }
+  return rel;
+}
+
+bool EvalRel(int64_t lhs, Rel rel, int64_t rhs) {
+  switch (rel) {
+    case Rel::kEq: return lhs == rhs;
+    case Rel::kNe: return lhs != rhs;
+    case Rel::kLe: return lhs <= rhs;
+    case Rel::kLt: return lhs < rhs;
+    case Rel::kGe: return lhs >= rhs;
+    case Rel::kGt: return lhs > rhs;
+  }
+  return false;
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& o) {
+  constant += o.constant;
+  terms.insert(terms.end(), o.terms.begin(), o.terms.end());
+  Canonicalize();
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& o) {
+  constant -= o.constant;
+  for (const auto& [c, v] : o.terms) terms.push_back({-c, v});
+  Canonicalize();
+  return *this;
+}
+
+LinExpr& LinExpr::MulBy(int64_t k) {
+  constant *= k;
+  if (k == 0) {
+    terms.clear();
+    return *this;
+  }
+  for (auto& [c, v] : terms) c *= k;
+  return *this;
+}
+
+void LinExpr::Canonicalize() {
+  if (terms.empty()) return;
+  std::map<int32_t, int64_t> merged;
+  for (const auto& [c, v] : terms) merged[v.id] += c;
+  terms.clear();
+  for (const auto& [id, c] : merged) {
+    if (c != 0) terms.push_back({c, IntVar{id}});
+  }
+}
+
+std::string LinExpr::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i) out += " + ";
+    out += std::to_string(terms[i].first) + "*x" + std::to_string(terms[i].second.id);
+  }
+  if (constant != 0 || terms.empty()) {
+    if (!terms.empty()) out += " + ";
+    out += std::to_string(constant);
+  }
+  return out;
+}
+
+const char* SolveStatusName(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kFeasible: return "feasible";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace cologne::solver

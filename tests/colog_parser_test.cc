@@ -1,0 +1,217 @@
+// Lexer + parser tests, including the paper's ACloud program verbatim
+// (Section 4.2) and the distributed syntax of Section 4.3.
+#include <gtest/gtest.h>
+
+#include "colog/lexer.h"
+#include "colog/parser.h"
+
+namespace cologne::colog {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto r = Lex("goal minimize C in hostStdevCpu(C).");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = r.value();
+  ASSERT_GE(toks.size(), 9u);
+  EXPECT_TRUE(toks[0].IsKeyword("goal"));
+  EXPECT_TRUE(toks[1].IsKeyword("minimize"));
+  EXPECT_EQ(toks[2].kind, TokKind::kVariable);
+  EXPECT_EQ(toks[2].text, "C");
+  EXPECT_EQ(toks.back().kind, TokKind::kEof);
+}
+
+TEST(LexerTest, ArrowsAndComparisons) {
+  auto r = Lex("a <- b -> c <= d < e");
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value();
+  EXPECT_EQ(t[1].kind, TokKind::kLeftArrow);
+  EXPECT_EQ(t[3].kind, TokKind::kRightArrow);
+  EXPECT_EQ(t[5].kind, TokKind::kLe);
+  EXPECT_EQ(t[7].kind, TokKind::kLt);
+}
+
+TEST(LexerTest, NumbersAndStatementDots) {
+  auto r = Lex("f(1.5, 2). ");
+  ASSERT_TRUE(r.ok());
+  const auto& t = r.value();
+  EXPECT_EQ(t[2].kind, TokKind::kDouble);
+  EXPECT_DOUBLE_EQ(t[2].literal.as_double(), 1.5);
+  EXPECT_EQ(t[4].kind, TokKind::kInt);
+  EXPECT_EQ(t[6].kind, TokKind::kDot) << "trailing dot is a statement end";
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto r = Lex("a // comment <- ignored\n# another\nb");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);  // a, b, EOF
+  EXPECT_EQ(r.value()[1].text, "b");
+}
+
+TEST(LexerTest, AbsoluteValueBars) {
+  auto r = Lex("(C==1)==(|C1-C2|<F)");
+  ASSERT_TRUE(r.ok());
+  int bars = 0;
+  for (const auto& t : r.value()) bars += t.is(TokKind::kBar);
+  EXPECT_EQ(bars, 2);
+}
+
+TEST(LexerTest, AssignToken) {
+  auto r = Lex("R2 := -R1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[1].kind, TokKind::kAssign);
+}
+
+TEST(LexerTest, ErrorsOnStray) {
+  EXPECT_FALSE(Lex("a : b").ok());
+  EXPECT_FALSE(Lex("a & b").ok());
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("a ~ b").ok());
+}
+
+// The paper's centralized ACloud program (Section 4.2), verbatim apart from
+// the documented extensions (param/domain declarations).
+const char* kACloudColog = R"(
+param max_migrates = 9.
+
+goal minimize C in hostStdevCpu(C).
+var assign(Vid,Hid,V) forall toAssign(Vid,Hid) domain [0,1].
+
+r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem),
+     host(Hid,Cpu2,Mem2).
+d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V),
+     vm(Vid,Cpu,Mem), C==V*Cpu.
+d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem),
+     hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+c1 assignCount(Vid,V) -> V==1.
+d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V),
+     vm(Vid,Cpu,Mem), M==V*Mem.
+c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+
+d5 migrate(Vid,Hid1,Hid2,C) <- assign(Vid,Hid1,V),
+     origin(Vid,Hid2), Hid1!=Hid2, (V==1)==(C==1).
+d6 migrateCount(SUM<C>) <- migrate(Vid,Hid1,Hid2,C).
+c3 migrateCount(C) -> C<=max_migrates.
+)";
+
+TEST(ParserTest, ParsesACloudProgram) {
+  auto r = Parse(kACloudColog);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Program& p = r.value();
+  EXPECT_EQ(p.goals.size(), 1u);
+  EXPECT_EQ(p.goals[0].type, GoalType::kMinimize);
+  EXPECT_EQ(p.goals[0].attr_var, "C");
+  EXPECT_EQ(p.goals[0].atom.pred, "hostStdevCpu");
+  EXPECT_EQ(p.var_decls.size(), 1u);
+  EXPECT_EQ(p.var_decls[0].var_atom.pred, "assign");
+  EXPECT_EQ(p.var_decls[0].forall_atom.pred, "toAssign");
+  ASSERT_EQ(p.params.size(), 1u);
+  EXPECT_EQ(p.params[0].name, "max_migrates");
+  EXPECT_EQ(p.params[0].value->as_int(), 9);
+  EXPECT_EQ(p.rules.size(), 10u);
+  // Table 2 counts goal+var+rules.
+  EXPECT_EQ(p.RuleCount(), 12u);
+}
+
+TEST(ParserTest, RuleLabelsAndArrows) {
+  auto r = Parse(kACloudColog);
+  ASSERT_TRUE(r.ok());
+  const Program& p = r.value();
+  EXPECT_EQ(p.rules[0].label, "r1");
+  EXPECT_FALSE(p.rules[0].is_constraint);
+  // Order: r1 d1 d2 d3 c1 d4 c2 d5 d6 c3 — c1 is index 4.
+  EXPECT_EQ(p.rules[4].label, "c1");
+  EXPECT_TRUE(p.rules[4].is_constraint);
+}
+
+TEST(ParserTest, AggregateArguments) {
+  auto r = Parse(kACloudColog);
+  ASSERT_TRUE(r.ok());
+  const SrcRule& d1 = r.value().rules[1];
+  ASSERT_EQ(d1.head.args.size(), 2u);
+  EXPECT_TRUE(d1.head.args[1].is_aggregate());
+  EXPECT_EQ(d1.head.args[1].agg, datalog::AggKind::kSum);
+  EXPECT_EQ(d1.head.args[1].agg_var, "C");
+  const SrcRule& d2 = r.value().rules[2];
+  EXPECT_EQ(d2.head.args[0].agg, datalog::AggKind::kStdev);
+}
+
+TEST(ParserTest, ReifiedEqualityExpression) {
+  auto r = Parse(kACloudColog);
+  ASSERT_TRUE(r.ok());
+  const SrcRule& d5 = r.value().rules[7];
+  ASSERT_EQ(d5.label, "d5");
+  // Body: assign, origin, Hid1!=Hid2, (V==1)==(C==1).
+  ASSERT_EQ(d5.body.size(), 4u);
+  const SrcBodyElem& reif = d5.body[3];
+  EXPECT_EQ(reif.kind, SrcBodyElem::Kind::kCond);
+  EXPECT_EQ(reif.expr.op, datalog::ExprOp::kEq);
+  EXPECT_EQ(reif.expr.kids[0].op, datalog::ExprOp::kEq);
+  EXPECT_EQ(reif.expr.kids[1].op, datalog::ExprOp::kEq);
+}
+
+TEST(ParserTest, LocationSpecifiers) {
+  auto r = Parse(
+      "d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1),\n"
+      "   migVm(@X,Y,D,R2), R==R1+R2.\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SrcRule& d2 = r.value().rules[0];
+  EXPECT_TRUE(d2.head.args[0].loc);
+  EXPECT_EQ(d2.head.LocArg(), 0);
+  EXPECT_TRUE(d2.body[0].atom.args[0].loc);
+  EXPECT_EQ(d2.body[0].atom.args[0].expr.name, "Y");
+}
+
+TEST(ParserTest, AssignmentsAndAbs) {
+  auto r = Parse(
+      "r2 migVm(@Y,X,D,R2) <- setLink(@X,Y), migVm(@X,Y,D,R1), R2:=-R1.\n"
+      "d1 cost(X,Y,Z,C) <- assign(X,Y,C1), assign(X,Z,C2), Y!=Z,\n"
+      "   (C==1)==(|C1-C2|<2).\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SrcRule& r2 = r.value().rules[0];
+  EXPECT_EQ(r2.body[2].kind, SrcBodyElem::Kind::kAssign);
+  EXPECT_EQ(r2.body[2].assign_var, "R2");
+  const SrcRule& d1 = r.value().rules[1];
+  const SrcExpr& reif = d1.body[3].expr;
+  EXPECT_EQ(reif.kids[1].op, datalog::ExprOp::kLt);
+  EXPECT_EQ(reif.kids[1].kids[0].op, datalog::ExprOp::kAbs);
+}
+
+TEST(ParserTest, TableDeclWithKeys) {
+  auto r = Parse("table curVm(X,D,R) keys(X,D).\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const TableDecl& t = r.value().table_decls[0];
+  EXPECT_EQ(t.name, "curVm");
+  ASSERT_EQ(t.attrs.size(), 3u);
+  ASSERT_EQ(t.keys.size(), 2u);
+  EXPECT_EQ(t.keys[1], "D");
+}
+
+TEST(ParserTest, GoalSatisfyBare) {
+  auto r = Parse("goal satisfy.\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().goals[0].type, GoalType::kSatisfy);
+  EXPECT_TRUE(r.value().goals[0].attr_var.empty());
+}
+
+TEST(ParserTest, NegativeParamValue) {
+  auto r = Parse("param low = -5.\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().params[0].value->as_int(), -5);
+}
+
+TEST(ParserTest, ErrorsHaveLineNumbers) {
+  auto r = Parse("\n\nfoo(X <- bar(X).\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, RejectsMissingDot) {
+  EXPECT_FALSE(Parse("a(X) <- b(X)").ok());
+  EXPECT_FALSE(Parse("goal minimize C hostStdevCpu(C).").ok());
+  EXPECT_FALSE(Parse("var assign(V) toAssign(V).").ok());
+}
+
+}  // namespace
+}  // namespace cologne::colog

@@ -1,0 +1,180 @@
+// Unit tests for common utilities: Status/Result, Value, stats, RNG, strings.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/value.h"
+
+namespace cologne {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  COLOGNE_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UseReturnIfError(3).ok());
+  EXPECT_FALSE(UseReturnIfError(-3).ok());
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("hi").as_string(), "hi");
+  EXPECT_EQ(Value::Node(3).as_node(), 3);
+  EXPECT_EQ(Value::Sym(9).sym_index(), 9);
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::Str("x").is_numeric());
+}
+
+TEST(ValueTest, IntAsDoubleCoerces) {
+  EXPECT_DOUBLE_EQ(Value::Int(4).as_double(), 4.0);
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_NE(Value::Int(3), Value::Str("3"));
+  EXPECT_LT(Value::Int(3), Value::Int(4));
+}
+
+TEST(ValueTest, HashStableAndDiscriminating) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Int(3).Hash());
+  EXPECT_NE(Value::Int(3).Hash(), Value::Int(4).Hash());
+  EXPECT_NE(Value::Int(3).Hash(), Value::Node(3).Hash());
+  EXPECT_NE(Value::Str("a").Hash(), Value::Str("b").Hash());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int(-2).ToString(), "-2");
+  EXPECT_EQ(Value::Str("vm1").ToString(), "\"vm1\"");
+  EXPECT_EQ(Value::Node(5).ToString(), "@5");
+  EXPECT_EQ(Value::Sym(2).ToString(), "$2");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+TEST(ValueTest, WireSizeAccountsPayload) {
+  EXPECT_EQ(Value::Int(1).WireSize(), 9u);
+  EXPECT_EQ(Value::Node(1).WireSize(), 5u);
+  EXPECT_EQ(Value::Str("abcd").WireSize(), 1u + 4u + 4u);
+}
+
+TEST(ValueTest, RowHashAndPrint) {
+  Row r{Value::Int(1), Value::Str("a")};
+  Row r2{Value::Str("a"), Value::Int(1)};
+  EXPECT_NE(HashRow(r), HashRow(r2)) << "row hash must be order-sensitive";
+  EXPECT_EQ(RowToString(r), "(1, \"a\")");
+}
+
+TEST(StatsTest, RunningStatsMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stdev(), 2.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stdev(), 0.0);
+}
+
+TEST(StatsTest, VectorHelpers) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Stdev(xs), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 9.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3}, 50), 2.0);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleAndGaussianSanity) {
+  Rng r(9);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.Add(r.UniformDouble());
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  RunningStats g;
+  for (int i = 0; i < 20000; ++i) g.Add(r.Gaussian(10.0, 2.0));
+  EXPECT_NEAR(g.mean(), 10.0, 0.1);
+  EXPECT_NEAR(g.stdev(), 2.0, 0.1);
+}
+
+TEST(StringsTest, SplitJoinTrim) {
+  std::vector<std::string> want{"a", "", "b"};
+  EXPECT_EQ(Split("a,,b", ','), want);
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_TRUE(StartsWith("goal minimize", "goal"));
+  EXPECT_FALSE(StartsWith("go", "goal"));
+}
+
+TEST(StringsTest, FormatAndLower) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(ToLower("MiNiMiZe"), "minimize");
+}
+
+}  // namespace
+}  // namespace cologne

@@ -1,0 +1,132 @@
+// Unit tests for Table: counting semantics, indexes, keyed replacement.
+#include "datalog/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cologne::datalog {
+namespace {
+
+Row R(std::initializer_list<int64_t> xs) {
+  Row r;
+  for (int64_t x : xs) r.push_back(Value::Int(x));
+  return r;
+}
+
+TableSchema Schema(const std::string& name, int arity,
+                   std::vector<int> keys = {}) {
+  TableSchema s;
+  s.name = name;
+  for (int i = 0; i < arity; ++i) s.attrs.push_back("A" + std::to_string(i));
+  s.key_cols = std::move(keys);
+  return s;
+}
+
+TEST(TableTest, InsertMakesVisible) {
+  Table t(Schema("t", 2));
+  EXPECT_EQ(t.Apply(R({1, 2}), +1), +1);
+  EXPECT_TRUE(t.Contains(R({1, 2})));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, DuplicateInsertCountsDerivations) {
+  Table t(Schema("t", 2));
+  EXPECT_EQ(t.Apply(R({1, 2}), +1), +1);
+  EXPECT_EQ(t.Apply(R({1, 2}), +1), 0) << "second derivation: no transition";
+  EXPECT_EQ(t.CountOf(R({1, 2})), 2);
+  EXPECT_EQ(t.Apply(R({1, 2}), -1), 0);
+  EXPECT_TRUE(t.Contains(R({1, 2})));
+  EXPECT_EQ(t.Apply(R({1, 2}), -1), -1) << "last derivation removed";
+  EXPECT_FALSE(t.Contains(R({1, 2})));
+}
+
+TEST(TableTest, DeleteAbsentRowIsNoTransition) {
+  Table t(Schema("t", 1));
+  EXPECT_EQ(t.Apply(R({5}), -1), 0);
+  EXPECT_FALSE(t.Contains(R({5})));
+  // Count went negative; a subsequent insert must cancel it.
+  EXPECT_EQ(t.Apply(R({5}), +1), 0);
+  EXPECT_EQ(t.Apply(R({5}), +1), +1);
+}
+
+TEST(TableTest, RowsSortedDeterministically) {
+  Table t(Schema("t", 1));
+  t.Apply(R({3}), +1);
+  t.Apply(R({1}), +1);
+  t.Apply(R({2}), +1);
+  std::vector<Row> rows = t.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].as_int(), 1);
+  EXPECT_EQ(rows[2][0].as_int(), 3);
+}
+
+TEST(TableTest, ProbeByColumn) {
+  Table t(Schema("t", 2));
+  t.Apply(R({1, 10}), +1);
+  t.Apply(R({1, 11}), +1);
+  t.Apply(R({2, 12}), +1);
+  const auto& rows = t.Probe({0}, R({1}));
+  EXPECT_EQ(rows.size(), 2u);
+  const auto& none = t.Probe({0}, R({9}));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(TableTest, ProbeIndexStaysFreshAfterUpdates) {
+  Table t(Schema("t", 2));
+  t.Apply(R({1, 10}), +1);
+  (void)t.Probe({0}, R({1}));  // force index build
+  t.Apply(R({1, 11}), +1);
+  t.Apply(R({1, 10}), -1);
+  const auto& rows = t.Probe({0}, R({1}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].as_int(), 11);
+}
+
+TEST(TableTest, ProbeMultiColumn) {
+  Table t(Schema("t", 3));
+  t.Apply(R({1, 2, 3}), +1);
+  t.Apply(R({1, 2, 4}), +1);
+  t.Apply(R({1, 5, 3}), +1);
+  EXPECT_EQ(t.Probe({0, 1}, R({1, 2})).size(), 2u);
+  EXPECT_EQ(t.Probe({1, 2}, R({2, 4})).size(), 1u);
+}
+
+TEST(TableTest, EmptyColsProbeScansAll) {
+  Table t(Schema("t", 1));
+  t.Apply(R({1}), +1);
+  t.Apply(R({2}), +1);
+  EXPECT_EQ(t.Probe({}, {}).size(), 2u);
+  t.Apply(R({1}), -1);
+  EXPECT_EQ(t.Probe({}, {}).size(), 1u);
+}
+
+TEST(TableTest, KeyedDisplacement) {
+  Table t(Schema("t", 3, {0, 1}));
+  t.Apply(R({1, 2, 30}), +1);
+  const Row* disp = t.DisplacedBy(R({1, 2, 40}));
+  ASSERT_NE(disp, nullptr);
+  EXPECT_EQ((*disp)[2].as_int(), 30);
+  EXPECT_EQ(t.DisplacedBy(R({1, 2, 30})), nullptr) << "same row: no displace";
+  EXPECT_EQ(t.DisplacedBy(R({9, 9, 1})), nullptr);
+}
+
+TEST(TableTest, FindByKey) {
+  Table t(Schema("t", 2, {0}));
+  t.Apply(R({7, 70}), +1);
+  const Row* r = t.FindByKey(R({7}));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ((*r)[1].as_int(), 70);
+  EXPECT_EQ(t.FindByKey(R({8})), nullptr);
+}
+
+TEST(TableTest, EraseAllRemovesEverything) {
+  Table t(Schema("t", 1));
+  t.Apply(R({1}), +1);
+  t.Apply(R({1}), +1);
+  EXPECT_TRUE(t.EraseAll(R({1})));
+  EXPECT_FALSE(t.Contains(R({1})));
+  EXPECT_EQ(t.CountOf(R({1})), 0);
+  EXPECT_FALSE(t.EraseAll(R({1})));
+}
+
+}  // namespace
+}  // namespace cologne::datalog

@@ -1,0 +1,189 @@
+// Tests for the discrete-event simulator and the message network.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/simulator.h"
+
+namespace cologne::net {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.Schedule(1.0, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(0.5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(1.0, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnly) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(5.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PendingAndExecutedCounters) {
+  Simulator sim;
+  sim.Schedule(1.0, [] {});
+  sim.Schedule(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(MessageTest, WireSize) {
+  Message m;
+  m.table = "curVm";  // 5 chars
+  m.row = {Value::Node(1), Value::Int(3), Value::Int(4)};
+  // 20 header + 5 name + 1 sign + 5 + 9 + 9 payload.
+  EXPECT_EQ(m.WireSize(), 20u + 5u + 1u + 5u + 9u + 9u);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(&sim_) {
+    a_ = net_.AddNode();
+    b_ = net_.AddNode();
+    c_ = net_.AddNode();
+    EXPECT_TRUE(net_.AddLink(a_, b_).ok());
+  }
+  Simulator sim_;
+  Network net_;
+  NodeId a_, b_, c_;
+};
+
+TEST_F(NetworkTest, DeliversAlongLink) {
+  Message got;
+  net_.SetReceiver(b_, [&](NodeId, NodeId, const Message& m) { got = m; });
+  Message m;
+  m.table = "t";
+  m.row = {Value::Int(7)};
+  ASSERT_TRUE(net_.Send(a_, b_, m).ok());
+  sim_.Run();
+  EXPECT_EQ(got.table, "t");
+  ASSERT_EQ(got.row.size(), 1u);
+  EXPECT_EQ(got.row[0].as_int(), 7);
+}
+
+TEST_F(NetworkTest, NoLinkRejected) {
+  Message m;
+  m.table = "t";
+  Status s = net_.Send(a_, c_, m);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(NetworkTest, SelfSendDeliversLocally) {
+  int got = 0;
+  net_.SetReceiver(a_, [&](NodeId, NodeId, const Message&) { ++got; });
+  Message m;
+  m.table = "t";
+  ASSERT_TRUE(net_.Send(a_, a_, m).ok());
+  sim_.Run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net_.StatsOf(a_).messages_sent, 0u)
+      << "self-delivery is not network traffic";
+}
+
+TEST_F(NetworkTest, LatencyAndSerializationDelay) {
+  LinkConfig cfg;
+  cfg.latency_s = 0.010;
+  cfg.bandwidth_bps = 8000;  // 1000 bytes/s
+  ASSERT_TRUE(net_.AddLink(a_, c_, cfg).ok());
+  double delivered_at = -1;
+  net_.SetReceiver(c_, [&](NodeId, NodeId, const Message&) {
+    delivered_at = sim_.Now();
+  });
+  Message m;
+  m.table = "xy";  // wire size 20 + 2 + 1 + 9 = 32 bytes -> 0.032 s at 1 kB/s
+  m.row = {Value::Int(1)};
+  ASSERT_TRUE(net_.Send(a_, c_, m).ok());
+  sim_.Run();
+  EXPECT_NEAR(delivered_at, 0.010 + 0.032, 1e-9);
+}
+
+TEST_F(NetworkTest, TrafficAccounting) {
+  net_.SetReceiver(b_, [](NodeId, NodeId, const Message&) {});
+  Message m;
+  m.table = "t";
+  m.row = {Value::Int(1)};
+  size_t size = m.WireSize();
+  ASSERT_TRUE(net_.Send(a_, b_, m).ok());
+  ASSERT_TRUE(net_.Send(a_, b_, m).ok());
+  sim_.Run();
+  EXPECT_EQ(net_.StatsOf(a_).messages_sent, 2u);
+  EXPECT_EQ(net_.StatsOf(a_).bytes_sent, 2 * size);
+  EXPECT_EQ(net_.StatsOf(b_).messages_received, 2u);
+  EXPECT_EQ(net_.StatsOf(b_).bytes_received, 2 * size);
+  net_.ResetStats();
+  EXPECT_EQ(net_.StatsOf(a_).bytes_sent, 0u);
+}
+
+TEST_F(NetworkTest, DropProbabilityLosesMessages) {
+  LinkConfig cfg;
+  cfg.drop_prob = 1.0;
+  ASSERT_TRUE(net_.AddLink(a_, c_, cfg).ok());
+  int got = 0;
+  net_.SetReceiver(c_, [&](NodeId, NodeId, const Message&) { ++got; });
+  Message m;
+  m.table = "t";
+  ASSERT_TRUE(net_.Send(a_, c_, m).ok());
+  sim_.Run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net_.StatsOf(a_).messages_sent, 1u) << "sender still pays";
+}
+
+TEST_F(NetworkTest, NeighborsAndLinks) {
+  ASSERT_TRUE(net_.AddLink(b_, c_).ok());
+  EXPECT_EQ(net_.Neighbors(b_), (std::vector<NodeId>{a_, c_}));
+  EXPECT_TRUE(net_.HasLink(b_, a_));
+  EXPECT_FALSE(net_.HasLink(a_, c_));
+  EXPECT_EQ(net_.Links().size(), 2u);
+  EXPECT_FALSE(net_.AddLink(a_, a_).ok());
+  EXPECT_FALSE(net_.AddLink(a_, 99).ok());
+}
+
+}  // namespace
+}  // namespace cologne::net

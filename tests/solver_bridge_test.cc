@@ -1,0 +1,260 @@
+// Property tests for the solver bridge: full Colog pipeline vs brute-force
+// enumeration on randomized instances, and coverage of every symbolic
+// aggregate construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "colog/planner.h"
+#include "common/rng.h"
+#include "runtime/instance.h"
+
+namespace cologne::runtime {
+namespace {
+
+Row R(std::initializer_list<int64_t> xs) {
+  Row r;
+  for (int64_t x : xs) r.push_back(Value::Int(x));
+  return r;
+}
+
+// Minimal balance program: minimize the scaled variance of host loads.
+const char* kBalance = R"(
+goal minimize C in spread(C).
+var assign(Vid,Hid,V) forall toAssign(Vid,Hid) domain [0,1].
+r1 toAssign(Vid,Hid) <- vm(Vid,Cpu), host(Hid).
+d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu), C==V*Cpu.
+d2 spread(STDEV<C>) <- hostCpu(Hid,C).
+d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+c1 assignCount(Vid,V) -> V==1.
+)";
+
+class BridgeVsBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BridgeVsBruteForceTest, PipelineOptimumMatchesEnumeration) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  int vms = 3 + GetParam() % 3;    // 3..5
+  int hosts = 2 + GetParam() % 2;  // 2..3
+  std::vector<int64_t> cpu;
+  for (int v = 0; v < vms; ++v) cpu.push_back(rng.UniformInt(10, 60));
+
+  // Brute force: minimal sum of squared deviations over host assignments.
+  double best = 1e18;
+  std::vector<int> a(static_cast<size_t>(vms), 0);
+  while (true) {
+    std::vector<double> load(static_cast<size_t>(hosts), 0);
+    for (int v = 0; v < vms; ++v) {
+      load[static_cast<size_t>(a[static_cast<size_t>(v)])] +=
+          static_cast<double>(cpu[static_cast<size_t>(v)]);
+    }
+    double mean = 0;
+    for (double l : load) mean += l;
+    mean /= hosts;
+    double ss = 0;
+    for (double l : load) ss += (l - mean) * (l - mean);
+    best = std::min(best, std::sqrt(ss / hosts));
+    int i = 0;
+    while (i < vms && ++a[static_cast<size_t>(i)] >= hosts) {
+      a[static_cast<size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == vms) break;
+  }
+
+  auto compiled = colog::CompileColog(kBalance);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  for (int v = 0; v < vms; ++v) {
+    ASSERT_TRUE(
+        inst.InsertFact("vm", R({v, cpu[static_cast<size_t>(v)]})).ok());
+  }
+  for (int h = 0; h < hosts; ++h) {
+    ASSERT_TRUE(inst.InsertFact("host", R({h})).ok());
+  }
+  auto out = inst.InvokeSolver();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  EXPECT_EQ(out.value().status, solver::SolveStatus::kOptimal);
+  EXPECT_NEAR(out.value().objective, best, 1e-6)
+      << "vms=" << vms << " hosts=" << hosts;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BridgeVsBruteForceTest,
+                         ::testing::Range(0, 12));
+
+TEST(BridgeAggregateTest, SumAbsMinimizesMagnitudes) {
+  const char* src = R"(
+goal minimize C in total(C).
+var flow(E,F) forall edge(E) domain [-5,5].
+d1 total(SUMABS<F>) <- flow(E,F).
+d2 net(SUM<F>) <- flow(E,F).
+c1 net(F) -> F==3.
+)";
+  auto compiled = colog::CompileColog(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  for (int e = 0; e < 3; ++e) ASSERT_TRUE(inst.InsertFact("edge", R({e})).ok());
+  auto out = inst.InvokeSolver();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  EXPECT_DOUBLE_EQ(out.value().objective, 3) << "no cancellation: |sum|=3";
+}
+
+TEST(BridgeAggregateTest, MaxAggregateMinimizesPeak) {
+  const char* src = R"(
+goal minimize M in peak(M).
+var put(I,B,V) forall slot(I,B) domain [0,1].
+d1 cnt(I,SUM<V>) <- put(I,B,V).
+c1 cnt(I,V) -> V==1.
+d2 load(B,SUM<V>) <- put(I,B,V).
+d3 peak(MAX<V>) <- load(B,V).
+)";
+  auto compiled = colog::CompileColog(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  // 4 items, 2 bins: min-max load is 2.
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      ASSERT_TRUE(inst.InsertFact("slot", R({i, b})).ok());
+    }
+  }
+  auto out = inst.InvokeSolver();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  EXPECT_DOUBLE_EQ(out.value().objective, 2);
+}
+
+TEST(BridgeAggregateTest, UniqueAggregateConstrainsDistinctValues) {
+  const char* src = R"(
+goal minimize C in spread(C).
+var pick(I,V) forall item(I) domain [1,4].
+d1 distinct(UNIQUE<V>) <- pick(I,V).
+c1 distinct(N) -> N<=2.
+d2 spread(SUM<V>) <- pick(I,V).
+)";
+  auto compiled = colog::CompileColog(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(inst.InsertFact("item", R({i})).ok());
+  auto out = inst.InvokeSolver();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  // Minimizing the sum picks all 1s (one distinct value, allowed).
+  EXPECT_DOUBLE_EQ(out.value().objective, 5);
+  std::set<int64_t> values;
+  for (const Row& row : inst.engine().GetTable("pick")->Rows()) {
+    values.insert(row[1].as_int());
+  }
+  EXPECT_LE(values.size(), 2u);
+}
+
+TEST(BridgeGoalTest, MaximizeGoal) {
+  const char* src = R"(
+goal maximize C in value(C).
+var take(I,V) forall item(I) domain [0,1].
+d1 weight(SUM<W>) <- take(I,V), itemW(I,X), W==V*X.
+c1 weight(W) -> W<=10.
+d2 value(SUM<P>) <- take(I,V), itemP(I,X), P==V*X.
+)";
+  auto compiled = colog::CompileColog(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  // Knapsack: weights {6,5,5}, profits {7,5,5}, cap 10 -> take items 2+3.
+  int64_t w[3] = {6, 5, 5}, p[3] = {7, 5, 5};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(inst.InsertFact("item", R({i})).ok());
+    ASSERT_TRUE(inst.InsertFact("itemW", R({i, w[i]})).ok());
+    ASSERT_TRUE(inst.InsertFact("itemP", R({i, p[i]})).ok());
+  }
+  auto out = inst.InvokeSolver();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  EXPECT_DOUBLE_EQ(out.value().objective, 10);
+}
+
+TEST(BridgeGoalTest, SatisfyGoalFindsAnySolution) {
+  const char* src = R"(
+goal satisfy.
+var color(N,C) forall node(N) domain [1,3].
+c1 color(N,C) -> banned(N,B), C!=B.
+)";
+  auto compiled = colog::CompileColog(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(inst.InsertFact("node", R({n})).ok());
+    ASSERT_TRUE(inst.InsertFact("banned", R({n, 1})).ok());
+    ASSERT_TRUE(inst.InsertFact("banned", R({n, 2})).ok());
+  }
+  auto out = inst.InvokeSolver();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  // Universal constraint semantics: every banned row applies -> color 3.
+  for (const Row& row : inst.engine().GetTable("color")->Rows()) {
+    EXPECT_EQ(row[1].as_int(), 3);
+  }
+}
+
+TEST(BridgeConstraintTest, CrossVariableEqualityViaConstraintBody) {
+  // Wireless c2 pattern: a constraint body atom over the var table unifies
+  // two solver variables.
+  const char* src = R"(
+goal minimize S in total(S).
+var ch(A,B,C) forall pair(A,B) domain [1,5].
+d1 total(SUM<C>) <- ch(A,B,C).
+c1 ch(A,B,C) -> ch(B,A,C).
+c2 ch(A,B,C) -> lo(A,L), C>=L.
+)";
+  auto compiled = colog::CompileColog(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  ASSERT_TRUE(inst.InsertFact("pair", R({1, 2})).ok());
+  ASSERT_TRUE(inst.InsertFact("pair", R({2, 1})).ok());
+  ASSERT_TRUE(inst.InsertFact("lo", R({1, 1})).ok());
+  ASSERT_TRUE(inst.InsertFact("lo", R({2, 4})).ok());
+  auto out = inst.InvokeSolver();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  // Symmetry + per-endpoint lower bounds force both directions to 4.
+  EXPECT_TRUE(inst.engine().GetTable("ch")->Contains(R({1, 2, 4})));
+  EXPECT_TRUE(inst.engine().GetTable("ch")->Contains(R({2, 1, 4})));
+}
+
+TEST(BridgeErrorTest, JoinOnSolverAttributeRejected) {
+  // Section 5.3: joins on solver attributes are not allowed in derivations.
+  const char* src = R"(
+goal minimize S in total(S).
+var v1(I,V) forall item(I) domain [0,3].
+var v2(I,V) forall item(I) domain [0,3].
+d1 pairCost(I,J,V) <- v1(I,V), v2(J,V).
+d2 total(SUM<V>) <- pairCost(I,J,V).
+)";
+  auto compiled = colog::CompileColog(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  ASSERT_TRUE(inst.InsertFact("item", R({0})).ok());
+  auto out = inst.InvokeSolver();
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("join on a solver attribute"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cologne::runtime

@@ -1,0 +1,191 @@
+// Unit tests for IntDomain range-list operations.
+#include "solver/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace cologne::solver {
+namespace {
+
+TEST(IntDomainTest, ConstructInterval) {
+  IntDomain d(3, 7);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.min(), 3);
+  EXPECT_EQ(d.max(), 7);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_FALSE(d.IsFixed());
+}
+
+TEST(IntDomainTest, EmptyWhenLoGreaterThanHi) {
+  IntDomain d(5, 4);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(IntDomainTest, SingletonIsFixed) {
+  IntDomain d = IntDomain::Singleton(42);
+  EXPECT_TRUE(d.IsFixed());
+  EXPECT_EQ(d.value(), 42);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(IntDomainTest, ContainsChecksRanges) {
+  IntDomain d(0, 10);
+  d.Remove(5);
+  EXPECT_TRUE(d.Contains(4));
+  EXPECT_FALSE(d.Contains(5));
+  EXPECT_TRUE(d.Contains(6));
+  EXPECT_FALSE(d.Contains(11));
+  EXPECT_FALSE(d.Contains(-1));
+}
+
+TEST(IntDomainTest, ClampMinDropsRangesAndTrims) {
+  IntDomain d(0, 10);
+  d.Remove(3);  // {0..2, 4..10}
+  EXPECT_TRUE(d.ClampMin(4));
+  EXPECT_EQ(d.min(), 4);
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_FALSE(d.ClampMin(2));  // no change
+}
+
+TEST(IntDomainTest, ClampMaxDropsRangesAndTrims) {
+  IntDomain d(0, 10);
+  d.Remove(7);  // {0..6, 8..10}
+  EXPECT_TRUE(d.ClampMax(6));
+  EXPECT_EQ(d.max(), 6);
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_FALSE(d.ClampMax(9));  // no change
+}
+
+TEST(IntDomainTest, ClampToEmpty) {
+  IntDomain d(0, 5);
+  EXPECT_TRUE(d.ClampMin(6));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(IntDomainTest, RemoveSplitsRange) {
+  IntDomain d(0, 4);
+  EXPECT_TRUE(d.Remove(2));
+  EXPECT_EQ(d.ranges().size(), 2u);
+  EXPECT_EQ(d.size(), 4u);
+  std::vector<int64_t> want{0, 1, 3, 4};
+  EXPECT_EQ(d.Values(), want);
+}
+
+TEST(IntDomainTest, RemoveEndpoints) {
+  IntDomain d(0, 4);
+  EXPECT_TRUE(d.Remove(0));
+  EXPECT_TRUE(d.Remove(4));
+  EXPECT_EQ(d.min(), 1);
+  EXPECT_EQ(d.max(), 3);
+  EXPECT_EQ(d.ranges().size(), 1u);
+}
+
+TEST(IntDomainTest, RemoveAbsentValueNoChange) {
+  IntDomain d(0, 4);
+  d.Remove(2);
+  EXPECT_FALSE(d.Remove(2));
+  EXPECT_FALSE(d.Remove(9));
+}
+
+TEST(IntDomainTest, RemoveLastValueEmpties) {
+  IntDomain d = IntDomain::Singleton(3);
+  EXPECT_TRUE(d.Remove(3));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(IntDomainTest, AssignContainedValue) {
+  IntDomain d(0, 9);
+  EXPECT_TRUE(d.Assign(4));
+  EXPECT_TRUE(d.IsFixed());
+  EXPECT_EQ(d.value(), 4);
+  EXPECT_FALSE(d.Assign(4));  // already fixed to 4: no change
+}
+
+TEST(IntDomainTest, AssignMissingValueEmpties) {
+  IntDomain d(0, 9);
+  d.Remove(4);
+  EXPECT_TRUE(d.Assign(4));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(IntDomainTest, IntersectDisjointRanges) {
+  IntDomain a(0, 10);
+  a.Remove(5);
+  IntDomain b(3, 8);
+  EXPECT_TRUE(a.IntersectWith(b));
+  std::vector<int64_t> want{3, 4, 6, 7, 8};
+  EXPECT_EQ(a.Values(), want);
+}
+
+TEST(IntDomainTest, IntersectNoChange) {
+  IntDomain a(2, 4);
+  IntDomain b(0, 10);
+  EXPECT_FALSE(a.IntersectWith(b));
+  EXPECT_EQ(a.min(), 2);
+}
+
+TEST(IntDomainTest, IntersectToEmpty) {
+  IntDomain a(0, 3);
+  IntDomain b(5, 9);
+  EXPECT_TRUE(a.IntersectWith(b));
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(IntDomainTest, ClampedToGlobalLimit) {
+  IntDomain d(INT64_MIN, INT64_MAX);
+  EXPECT_EQ(d.min(), -kDomainLimit);
+  EXPECT_EQ(d.max(), kDomainLimit);
+}
+
+TEST(IntDomainTest, ToStringFormats) {
+  IntDomain d(1, 3);
+  d.Remove(2);
+  EXPECT_EQ(d.ToString(), "{1, 3}");
+  IntDomain e(0, 5);
+  EXPECT_EQ(e.ToString(), "{0..5}");
+  EXPECT_EQ(IntDomain().ToString(), "{}");
+}
+
+// Property sweep: random remove/clamp sequences agree with a reference set.
+class DomainPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DomainPropertyTest, MatchesReferenceSet) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  // xorshift-ish deterministic op stream.
+  auto next = [&]() {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  IntDomain d(0, 30);
+  std::vector<bool> ref(31, true);
+  for (int step = 0; step < 60; ++step) {
+    int op = static_cast<int>(next() % 3);
+    int64_t v = static_cast<int64_t>(next() % 31);
+    if (op == 0) {
+      d.Remove(v);
+      ref[static_cast<size_t>(v)] = false;
+    } else if (op == 1) {
+      int64_t lo = static_cast<int64_t>(next() % 8);  // keep clamps gentle
+      d.ClampMin(lo);
+      for (int64_t i = 0; i < lo; ++i) ref[static_cast<size_t>(i)] = false;
+    } else {
+      int64_t hi = 30 - static_cast<int64_t>(next() % 8);
+      d.ClampMax(hi);
+      for (int64_t i = hi + 1; i <= 30; ++i) ref[static_cast<size_t>(i)] = false;
+    }
+  }
+  std::vector<int64_t> want;
+  for (int64_t i = 0; i <= 30; ++i) {
+    if (ref[static_cast<size_t>(i)]) want.push_back(i);
+  }
+  EXPECT_EQ(d.Values(), want) << "seed=" << GetParam();
+  EXPECT_EQ(d.size(), want.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomainPropertyTest,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace cologne::solver

@@ -1,0 +1,451 @@
+// Unit and property tests for the constraint solver: propagators, search,
+// branch-and-bound optimality, and the derived-variable constructions used by
+// the Colog runtime bridge (squares for STDEV, abs for SUMABS, count-distinct
+// for UNIQUE).
+#include "solver/model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cologne::solver {
+namespace {
+
+TEST(ModelTest, SatisfyTrivial) {
+  Model m;
+  IntVar x = m.NewInt(0, 5);
+  m.PostRel(LinExpr(x), Rel::kEq, LinExpr(3));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(x), 3);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+}
+
+TEST(ModelTest, InfeasibleDetected) {
+  Model m;
+  IntVar x = m.NewInt(0, 5);
+  m.PostRel(LinExpr(x), Rel::kGt, LinExpr(10));
+  Solution s = m.Solve();
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+  EXPECT_FALSE(s.has_solution());
+}
+
+TEST(ModelTest, LinearEqualityPropagatesWithoutSearch) {
+  Model m;
+  IntVar x = m.NewInt(0, 10);
+  IntVar y = m.NewInt(0, 10);
+  // x + y == 20 forces both to 10.
+  m.PostRel(LinExpr(x) + LinExpr(y), Rel::kEq, LinExpr(20));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(x), 10);
+  EXPECT_EQ(s.ValueOf(y), 10);
+  EXPECT_EQ(s.stats.nodes, 0u) << "should be solved by propagation alone";
+}
+
+TEST(ModelTest, MinimizeLinear) {
+  Model m;
+  IntVar x = m.NewInt(0, 9);
+  IntVar y = m.NewInt(0, 9);
+  m.PostRel(LinExpr(x) + LinExpr(y), Rel::kGe, LinExpr(7));
+  m.Minimize(LinExpr::Term(3, x) + LinExpr::Term(5, y));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.objective, 21);  // x=7, y=0
+  EXPECT_EQ(s.ValueOf(x), 7);
+  EXPECT_EQ(s.ValueOf(y), 0);
+}
+
+TEST(ModelTest, MaximizeLinear) {
+  Model m;
+  IntVar x = m.NewInt(0, 9);
+  IntVar y = m.NewInt(0, 9);
+  m.PostRel(LinExpr::Term(2, x) + LinExpr::Term(3, y), Rel::kLe, LinExpr(12));
+  m.Maximize(LinExpr(x) + LinExpr(y));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  // x=6,y=0 gives 6; x=3,y=2 gives 5; best is x=6 => 6.
+  EXPECT_EQ(s.objective, 6);
+}
+
+TEST(ModelTest, NotEqualPrunesLastValue) {
+  Model m;
+  IntVar x = m.NewInt(0, 1);
+  IntVar y = m.NewInt(0, 1);
+  m.PostRel(LinExpr(x), Rel::kNe, LinExpr(y));
+  m.PostRel(LinExpr(x), Rel::kEq, LinExpr(1));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(y), 0);
+}
+
+TEST(ModelTest, StrictInequalities) {
+  Model m;
+  IntVar x = m.NewInt(0, 10);
+  m.PostRel(LinExpr(x), Rel::kGt, LinExpr(3));
+  m.PostRel(LinExpr(x), Rel::kLt, LinExpr(5));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(x), 4);
+}
+
+TEST(ModelTest, ReifiedTracksTruth) {
+  Model m;
+  IntVar x = m.NewInt(0, 10);
+  IntVar b = m.ReifyRel(LinExpr(x), Rel::kGe, LinExpr(5));
+  m.PostRel(LinExpr(b), Rel::kEq, LinExpr(1));
+  m.Minimize(LinExpr(x));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(x), 5);
+}
+
+TEST(ModelTest, ReifiedFalseForcesNegation) {
+  Model m;
+  IntVar x = m.NewInt(0, 10);
+  IntVar b = m.ReifyRel(LinExpr(x), Rel::kGe, LinExpr(5));
+  m.PostRel(LinExpr(b), Rel::kEq, LinExpr(0));
+  m.Maximize(LinExpr(x));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(x), 4);
+}
+
+TEST(ModelTest, ReifiedEntailmentFixesBool) {
+  Model m;
+  IntVar x = m.NewInt(6, 10);
+  IntVar b = m.ReifyRel(LinExpr(x), Rel::kGe, LinExpr(5));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(b), 1);
+}
+
+TEST(ModelTest, PaperStyleEqualityChaining) {
+  // The ACloud rule d5 pattern: (V==1)==(C==1).
+  Model m;
+  IntVar v = m.NewBool();
+  IntVar c = m.NewBool();
+  IntVar bv = m.ReifyRel(LinExpr(v), Rel::kEq, LinExpr(1));
+  IntVar bc = m.ReifyRel(LinExpr(c), Rel::kEq, LinExpr(1));
+  m.PostRel(LinExpr(bv), Rel::kEq, LinExpr(bc));
+  m.PostRel(LinExpr(v), Rel::kEq, LinExpr(1));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(c), 1);
+}
+
+TEST(ModelTest, TimesFixedFactors) {
+  Model m;
+  IntVar x = m.NewInt(3, 3);
+  IntVar y = m.NewInt(-4, -4);
+  IntVar z = m.MakeTimes(x, y);
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(z), -12);
+}
+
+TEST(ModelTest, TimesBoundsPropagation) {
+  Model m;
+  IntVar x = m.NewInt(2, 5);
+  IntVar y = m.NewInt(3, 4);
+  IntVar z = m.MakeTimes(x, y);
+  m.PostRel(LinExpr(z), Rel::kLe, LinExpr(8));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_LE(s.ValueOf(z), 8);
+  EXPECT_EQ(s.ValueOf(x) * s.ValueOf(y), s.ValueOf(z));
+}
+
+TEST(ModelTest, SquareIsNonNegative) {
+  Model m;
+  IntVar x = m.NewInt(-5, 5);
+  IntVar z = m.MakeSquare(LinExpr(x));
+  m.PostRel(LinExpr(x), Rel::kEq, LinExpr(-3));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(z), 9);
+}
+
+TEST(ModelTest, MinimizeSquareFindsZero) {
+  Model m;
+  IntVar x = m.NewInt(-5, 5);
+  IntVar z = m.MakeSquare(LinExpr(x));
+  m.Minimize(LinExpr(z));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.objective, 0);
+  EXPECT_EQ(s.ValueOf(x), 0);
+}
+
+TEST(ModelTest, AbsOfExpression) {
+  Model m;
+  IntVar x = m.NewInt(-10, 10);
+  IntVar z = m.MakeAbs(LinExpr(x) - LinExpr(4));
+  m.PostRel(LinExpr(x), Rel::kEq, LinExpr(-2));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(z), 6);
+}
+
+TEST(ModelTest, MinimizeSumAbs) {
+  // SUMABS-style: minimize |x| + |y| with x + y == 4.
+  Model m;
+  IntVar x = m.NewInt(-10, 10);
+  IntVar y = m.NewInt(-10, 10);
+  m.PostRel(LinExpr(x) + LinExpr(y), Rel::kEq, LinExpr(4));
+  IntVar ax = m.MakeAbs(LinExpr(x));
+  IntVar ay = m.MakeAbs(LinExpr(y));
+  m.Minimize(LinExpr(ax) + LinExpr(ay));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.objective, 4);  // no cancellation possible
+}
+
+TEST(ModelTest, MaxConst) {
+  Model m;
+  IntVar x = m.NewInt(-5, 5);
+  IntVar z = m.MakeMaxConst(LinExpr(x), 0);
+  m.PostRel(LinExpr(x), Rel::kEq, LinExpr(-3));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(z), 0);
+}
+
+TEST(ModelTest, MaxConstPositive) {
+  Model m;
+  IntVar x = m.NewInt(-5, 5);
+  IntVar z = m.MakeMaxConst(LinExpr(x), 0);
+  m.PostRel(LinExpr(x), Rel::kEq, LinExpr(4));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(z), 4);
+}
+
+TEST(ModelTest, OrSemantics) {
+  Model m;
+  IntVar a = m.NewBool();
+  IntVar b = m.NewBool();
+  IntVar c = m.MakeOr({a, b});
+  m.PostRel(LinExpr(a), Rel::kEq, LinExpr(0));
+  m.PostRel(LinExpr(c), Rel::kEq, LinExpr(1));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(b), 1);
+}
+
+TEST(ModelTest, OrFalseForcesAllFalse) {
+  Model m;
+  IntVar a = m.NewBool();
+  IntVar b = m.NewBool();
+  IntVar c = m.MakeOr({a, b});
+  m.PostRel(LinExpr(c), Rel::kEq, LinExpr(0));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(a), 0);
+  EXPECT_EQ(s.ValueOf(b), 0);
+}
+
+TEST(ModelTest, CountDistinctBasic) {
+  Model m;
+  IntVar x = m.NewInt(1, 3);
+  IntVar y = m.NewInt(1, 3);
+  IntVar z = m.NewInt(1, 3);
+  IntVar count = m.MakeCountDistinct({x, y, z});
+  m.PostRel(LinExpr(count), Rel::kEq, LinExpr(1));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(x), s.ValueOf(y));
+  EXPECT_EQ(s.ValueOf(y), s.ValueOf(z));
+}
+
+TEST(ModelTest, CountDistinctInterfaceConstraint) {
+  // Wireless c3 pattern: a node with 2 interfaces uses at most 2 distinct
+  // channels across its 3 links.
+  Model m;
+  IntVar c1 = m.NewInt(1, 4);
+  IntVar c2 = m.NewInt(1, 4);
+  IntVar c3 = m.NewInt(1, 4);
+  IntVar count = m.MakeCountDistinct({c1, c2, c3});
+  m.PostRel(LinExpr(count), Rel::kLe, LinExpr(2));
+  m.PostRel(LinExpr(c1), Rel::kEq, LinExpr(1));
+  m.PostRel(LinExpr(c2), Rel::kEq, LinExpr(2));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  int64_t v3 = s.ValueOf(c3);
+  EXPECT_TRUE(v3 == 1 || v3 == 2) << "third channel must reuse 1 or 2";
+}
+
+TEST(ModelTest, RemoveValueActsAsPrimaryUserConstraint) {
+  Model m;
+  IntVar ch = m.NewInt(1, 3);
+  m.RemoveValue(ch, 1);
+  m.RemoveValue(ch, 3);
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(ch), 2);
+}
+
+TEST(ModelTest, AssignmentProblemEachVmExactlyOneHost) {
+  // Miniature ACloud: 3 VMs x 2 hosts; V[i][h] in {0,1}; each VM on exactly
+  // one host; minimize squared-load imbalance. CPU: 4, 2, 2.
+  Model m;
+  int64_t cpu[3] = {4, 2, 2};
+  IntVar v[3][2];
+  for (int i = 0; i < 3; ++i) {
+    for (int h = 0; h < 2; ++h) v[i][h] = m.NewBool();
+    m.PostRel(LinExpr(v[i][0]) + LinExpr(v[i][1]), Rel::kEq, LinExpr(1));
+  }
+  LinExpr load0, load1;
+  for (int i = 0; i < 3; ++i) {
+    load0 += LinExpr::Term(cpu[i], v[i][0]);
+    load1 += LinExpr::Term(cpu[i], v[i][1]);
+  }
+  IntVar dev = m.MakeSquare(load0 - load1);
+  m.Minimize(LinExpr(dev));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.objective, 0) << "4 vs 2+2 balances exactly";
+}
+
+TEST(ModelTest, NodeLimitYieldsFeasibleNotOptimal) {
+  Model m;
+  std::vector<IntVar> xs;
+  for (int i = 0; i < 12; ++i) xs.push_back(m.NewInt(0, 3));
+  LinExpr sum;
+  for (IntVar x : xs) sum += LinExpr(x);
+  m.PostRel(sum, Rel::kGe, LinExpr(6));
+  LinExpr obj;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    obj += LinExpr::Term(static_cast<int64_t>(i % 3) + 1, xs[i]);
+  }
+  m.Minimize(obj);
+  Model::Options opt;
+  opt.node_limit = 3;
+  Solution s = m.Solve(opt);
+  // With a 3-node budget the search can find an incumbent but not prove it.
+  EXPECT_TRUE(s.status == SolveStatus::kFeasible ||
+              s.status == SolveStatus::kUnknown);
+}
+
+TEST(ModelTest, SolveIsRepeatable) {
+  Model m;
+  IntVar x = m.NewInt(0, 9);
+  IntVar y = m.NewInt(0, 9);
+  m.PostRel(LinExpr(x) + LinExpr(y), Rel::kGe, LinExpr(7));
+  m.Minimize(LinExpr::Term(3, x) + LinExpr::Term(5, y));
+  Solution s1 = m.Solve();
+  Solution s2 = m.Solve();
+  ASSERT_TRUE(s1.has_solution());
+  ASSERT_TRUE(s2.has_solution());
+  EXPECT_EQ(s1.objective, s2.objective);
+  EXPECT_EQ(s1.values, s2.values);
+}
+
+TEST(ModelTest, StatsArePopulated) {
+  Model m;
+  IntVar x = m.NewInt(0, 9);
+  IntVar y = m.NewInt(0, 9);
+  m.PostRel(LinExpr(x) + LinExpr(y), Rel::kEq, LinExpr(9));
+  m.Minimize(LinExpr::Term(2, x) - LinExpr(y));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_GT(s.stats.propagations, 0u);
+  EXPECT_GT(s.stats.peak_memory_bytes, 0u);
+  EXPECT_GE(s.stats.wall_ms, 0.0);
+}
+
+// --- Property tests: branch-and-bound equals brute force ------------------
+
+struct RandomCopCase {
+  int num_vars;
+  uint64_t seed;
+};
+
+class BnbVsBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BnbVsBruteForceTest, MinimumMatchesExhaustiveEnumeration) {
+  auto [num_vars, seed_int] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed_int) * 7919 + 13);
+
+  // Random COP: vars in [0,3], a few random <=/>= linear constraints, random
+  // linear objective. Brute force enumerates all 4^n assignments.
+  int n = num_vars;
+  std::vector<int64_t> lo(static_cast<size_t>(n), 0),
+      hi(static_cast<size_t>(n), 3);
+  struct Lin {
+    std::vector<int64_t> coef;
+    int64_t rhs;
+    bool le;
+  };
+  std::vector<Lin> cons;
+  int num_cons = 2 + static_cast<int>(rng.UniformInt(0, 2));
+  for (int k = 0; k < num_cons; ++k) {
+    Lin c;
+    for (int i = 0; i < n; ++i) c.coef.push_back(rng.UniformInt(-2, 3));
+    c.rhs = rng.UniformInt(0, 3 * n);
+    c.le = rng.Bernoulli(0.5);
+    cons.push_back(c);
+  }
+  std::vector<int64_t> obj_coef;
+  for (int i = 0; i < n; ++i) obj_coef.push_back(rng.UniformInt(-3, 4));
+
+  // Brute force.
+  int64_t best = INT64_MAX;
+  std::vector<int64_t> a(static_cast<size_t>(n), 0);
+  bool any = false;
+  while (true) {
+    bool feasible = true;
+    for (const Lin& c : cons) {
+      int64_t s = 0;
+      for (int i = 0; i < n; ++i) s += c.coef[static_cast<size_t>(i)] * a[static_cast<size_t>(i)];
+      if (c.le ? (s > c.rhs) : (s < c.rhs)) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      any = true;
+      int64_t o = 0;
+      for (int i = 0; i < n; ++i) o += obj_coef[static_cast<size_t>(i)] * a[static_cast<size_t>(i)];
+      best = std::min(best, o);
+    }
+    int i = 0;
+    while (i < n && ++a[static_cast<size_t>(i)] > hi[static_cast<size_t>(i)]) {
+      a[static_cast<size_t>(i)] = lo[static_cast<size_t>(i)];
+      ++i;
+    }
+    if (i == n) break;
+  }
+
+  // Solver.
+  Model m;
+  std::vector<IntVar> xs;
+  for (int i = 0; i < n; ++i) xs.push_back(m.NewInt(0, 3));
+  for (const Lin& c : cons) {
+    LinExpr e;
+    for (int i = 0; i < n; ++i) e += LinExpr::Term(c.coef[static_cast<size_t>(i)], xs[static_cast<size_t>(i)]);
+    m.PostRel(e, c.le ? Rel::kLe : Rel::kGe, LinExpr(c.rhs));
+  }
+  LinExpr obj;
+  for (int i = 0; i < n; ++i) obj += LinExpr::Term(obj_coef[static_cast<size_t>(i)], xs[static_cast<size_t>(i)]);
+  m.Minimize(obj);
+  Solution s = m.Solve();
+
+  if (!any) {
+    EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+  } else {
+    ASSERT_TRUE(s.has_solution());
+    EXPECT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_EQ(s.objective, best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCops, BnbVsBruteForceTest,
+                         ::testing::Combine(::testing::Values(3, 5, 7),
+                                            ::testing::Range(0, 10)));
+
+}  // namespace
+}  // namespace cologne::solver
