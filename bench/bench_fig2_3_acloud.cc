@@ -3,13 +3,60 @@
 // Figure 2: average CPU standard deviation across the three data centers
 // over a 4-hour replay, for Default / Heuristic / ACloud / ACloud (M).
 // Figure 3: number of VM migrations per 10-minute interval.
+//
+// A trailing section compares the search backends (B&B vs LNS) on the same
+// replay at equal per-solve time budgets and emits one JSON row per backend.
 #include <cstdio>
 
 #include "apps/acloud.h"
 #include "common/stats.h"
+#include "solver/types.h"
 
 using namespace cologne;
 using namespace cologne::apps;
+
+namespace {
+
+// Replay the ACloud policy under one backend; returns the per-backend JSON
+// row plus the time-averaged imbalance.
+int CompareBackend(solver::Backend backend, double budget_ms) {
+  ACloudConfig cfg;
+  cfg.duration_hours = 1.0;  // keep the comparison leg quick
+  cfg.solver_time_ms = budget_ms;
+  cfg.solver_backend = backend;
+  ACloudScenario scenario(cfg);
+  auto r = scenario.Run(ACloudPolicy::kACloud);
+  if (!r.ok()) {
+    printf("%s failed: %s\n", solver::BackendName(backend),
+           r.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<ACloudInterval>& rows = r.value();
+  double stdev_sum = 0;
+  SolveRecord rec;
+  rec.bench = "fig2_3_acloud";
+  rec.backend = solver::BackendName(backend);
+  rec.seed = cfg.solver_seed;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    stdev_sum += rows[i].avg_cpu_stdev;
+    rec.nodes += rows[i].solver_nodes;
+    rec.iterations += rows[i].solver_iterations;
+    rec.restarts += rows[i].solver_restarts;
+    rec.wall_ms += rows[i].solve_ms;
+  }
+  rec.objective = stdev_sum / static_cast<double>(rows.size() - 1);
+  rec.has_objective = true;
+  printf("  %-4s avg stdev %6.2f%%  (%llu nodes, %llu LNS iterations, "
+         "%llu restarts, %.0f ms solver time)\n",
+         rec.backend.c_str(), rec.objective,
+         static_cast<unsigned long long>(rec.nodes),
+         static_cast<unsigned long long>(rec.iterations),
+         static_cast<unsigned long long>(rec.restarts), rec.wall_ms);
+  printf("  %s\n", rec.ToJsonLine().c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main() {
   ACloudConfig cfg;
@@ -76,5 +123,14 @@ int main() {
          (1 - avg_stdev[2] / avg_stdev[0]) * 100);
   printf("  ACloud imbalance reduction vs Heuristic: %5.1f%% (paper: 87.8%%)\n",
          (1 - avg_stdev[2] / avg_stdev[1]) * 100);
+
+  // ---- Backend comparison at equal time budgets ----------------------------
+  const double budget_ms = 150;
+  printf("\nSearch backends on the ACloud replay (1 h, %.0f ms per solve):\n",
+         budget_ms);
+  for (solver::Backend b :
+       {solver::Backend::kBranchAndBound, solver::Backend::kLns}) {
+    if (CompareBackend(b, budget_ms) != 0) return 1;
+  }
   return 0;
 }

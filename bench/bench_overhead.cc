@@ -6,6 +6,7 @@
 #include "apps/programs.h"
 #include "colog/planner.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "runtime/instance.h"
 
 using namespace cologne;
@@ -64,27 +65,48 @@ int main() {
     Row origin_row{Value::Int(v), Value::Int(rng.UniformInt(0, 3))};
     (void)inst.InsertFact("origin", std::move(origin_row));
   }
-  runtime::SolveOptions o;
-  o.time_limit_ms = 2000;
-  inst.set_solve_options(o);
-  auto out = inst.InvokeSolver();
-  if (!out.ok()) {
-    printf("solve failed: %s\n", out.status().ToString().c_str());
-    return 1;
-  }
   printf("\nACloud COP execution (40 VMs x 4 hosts, 2 s cap; paper used 10 s "
-         "cap):\n");
-  printf("  status %s, objective (CPU stdev) %.2f\n",
-         solver::SolveStatusName(out.value().status), out.value().objective);
-  printf("  model: %zu vars, %zu propagators\n", out.value().model_vars,
-         out.value().model_propagators);
-  printf("  search: %llu nodes, %llu propagations, %.0f ms\n",
-         static_cast<unsigned long long>(out.value().stats.nodes),
-         static_cast<unsigned long long>(out.value().stats.propagations),
-         out.value().stats.wall_ms);
-  printf("  solver memory %.1f MB (paper: 9 MB avg / 20 MB max)\n",
-         static_cast<double>(out.value().model_memory_bytes) / 1048576.0);
-  printf("  engine tables %.2f MB (paper: 12 MB RapidNet base)\n",
-         static_cast<double>(inst.engine().MemoryEstimate()) / 1048576.0);
+         "cap), per backend:\n");
+  for (solver::Backend backend :
+       {solver::Backend::kBranchAndBound, solver::Backend::kLns}) {
+    runtime::SolveOptions o = inst.solve_options();
+    o.time_limit_ms = 2000;
+    o.backend = backend;
+    inst.set_solve_options(o);
+    inst.reset_warm_start();
+    auto out = inst.InvokeSolver();
+    if (!out.ok()) {
+      printf("solve failed: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    const runtime::SolveOutput& res = out.value();
+    printf("  [%s] status %s, objective (CPU stdev) %.2f\n",
+           solver::BackendName(res.backend), solver::SolveStatusName(res.status),
+           res.objective);
+    printf("  model: %zu vars, %zu propagators\n", res.model_vars,
+           res.model_propagators);
+    printf("  search: %llu nodes, %llu propagations, %llu iterations, "
+           "%llu restarts, %.0f ms\n",
+           static_cast<unsigned long long>(res.stats.nodes),
+           static_cast<unsigned long long>(res.stats.propagations),
+           static_cast<unsigned long long>(res.stats.iterations),
+           static_cast<unsigned long long>(res.stats.restarts),
+           res.stats.wall_ms);
+    printf("  solver memory %.1f MB (paper: 9 MB avg / 20 MB max)\n",
+           static_cast<double>(res.model_memory_bytes) / 1048576.0);
+    printf("  engine tables %.2f MB (paper: 12 MB RapidNet base)\n",
+           static_cast<double>(inst.engine().MemoryEstimate()) / 1048576.0);
+    SolveRecord rec;
+    rec.bench = "overhead_acloud";
+    rec.backend = solver::BackendName(res.backend);
+    rec.seed = res.seed;
+    rec.nodes = res.stats.nodes;
+    rec.iterations = res.stats.iterations;
+    rec.restarts = res.stats.restarts;
+    rec.wall_ms = res.stats.wall_ms;
+    rec.objective = res.objective;
+    rec.has_objective = res.has_objective;
+    printf("  %s\n", rec.ToJsonLine().c_str());
+  }
   return 0;
 }

@@ -58,7 +58,7 @@ int main() {
   colog::CompiledProgram prog1 = std::move(plain).value();
   runtime::Instance inst1(0, &prog1);
   if (!inst1.Init().ok() || !Load(inst1, kVms, kHosts, 99).ok()) return 1;
-  runtime::SolveOptions opts;
+  runtime::SolveOptions opts = inst1.solve_options();
   opts.time_limit_ms = 2000;
   inst1.set_solve_options(opts);
   auto out1 = inst1.InvokeSolver();

@@ -36,7 +36,7 @@ Result<double> RunPolicy(const std::string& extra_rules) {
     COLOGNE_RETURN_IF_ERROR(inst.InsertFact(
         "vm", {Value::Int(v), Value::Int(rng.UniformInt(10, 60))}));
   }
-  runtime::SolveOptions o;
+  runtime::SolveOptions o = inst.solve_options();
   o.time_limit_ms = 1000;
   inst.set_solve_options(o);
   COLOGNE_ASSIGN_OR_RETURN(out, inst.InvokeSolver());

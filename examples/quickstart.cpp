@@ -11,8 +11,13 @@ using namespace cologne;
 
 int main() {
   // A miniature ACloud: place VMs on hosts, minimizing the CPU-load
-  // standard deviation, one host per VM.
+  // standard deviation, one host per VM. The SOLVER_* params pick the
+  // search backend (bnb | lns), time budget (ms) and RNG seed in-language.
   const char* kProgram = R"(
+    param SOLVER_BACKEND = "lns".
+    param SOLVER_MAX_TIME = 1000.
+    param SOLVER_SEED = 5.
+
     goal minimize C in hostStdevCpu(C).
     var assign(Vid,Hid,V) forall toAssign(Vid,Hid) domain [0,1].
 
@@ -58,9 +63,12 @@ int main() {
     printf("solve error: %s\n", out.status().ToString().c_str());
     return 1;
   }
-  printf("solve: %s, CPU stdev %.2f (%llu search nodes, %.1f ms)\n",
+  printf("solve [%s]: %s, CPU stdev %.2f (%llu search nodes, "
+         "%llu LNS iterations, %.1f ms)\n",
+         solver::BackendName(out.value().backend),
          solver::SolveStatusName(out.value().status), out.value().objective,
          static_cast<unsigned long long>(out.value().stats.nodes),
+         static_cast<unsigned long long>(out.value().stats.iterations),
          out.value().stats.wall_ms);
 
   // 4. Read the placement from the materialized assign table.

@@ -141,7 +141,7 @@ int ACloudScenario::RunHeuristic(int dc) {
 }
 
 Result<int> ACloudScenario::RunCologne(int dc, runtime::Instance* inst,
-                                       double* solve_ms) {
+                                       ACloudInterval* m) {
   int lo_host = dc * config_.hosts_per_dc;
   int hi_host = lo_host + config_.hosts_per_dc;
   datalog::Engine& eng = inst->engine();
@@ -199,7 +199,10 @@ Result<int> ACloudScenario::RunCologne(int dc, runtime::Instance* inst,
   if (movable.empty()) return 0;
 
   COLOGNE_ASSIGN_OR_RETURN(out, inst->InvokeSolver());
-  *solve_ms += out.stats.wall_ms;
+  m->solve_ms += out.stats.wall_ms;
+  m->solver_nodes += out.stats.nodes;
+  m->solver_iterations += out.stats.iterations;
+  m->solver_restarts += out.stats.restarts;
   if (!out.has_solution()) return 0;
 
   // Apply the placement: assign(Vid,Hid,1) => VM Vid runs on host Hid.
@@ -246,8 +249,13 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
     for (int dc = 0; dc < config_.num_dcs; ++dc) {
       auto inst = std::make_unique<runtime::Instance>(dc, &prog);
       COLOGNE_RETURN_IF_ERROR(inst->Init());
-      runtime::SolveOptions opts;
+      // Read-modify-write so program-declared SOLVER_* knobs survive
+      // (the config fields below still win where set).
+      runtime::SolveOptions opts = inst->solve_options();
       opts.time_limit_ms = config_.solver_time_ms;
+      opts.backend = config_.solver_backend;
+      opts.seed = config_.solver_seed;
+      opts.warm_start = config_.solver_warm_start;
       inst->set_solve_options(opts);
       instances.push_back(std::move(inst));
     }
@@ -275,8 +283,7 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
       case ACloudPolicy::kACloudM:
         for (int dc = 0; dc < config_.num_dcs; ++dc) {
           COLOGNE_ASSIGN_OR_RETURN(
-              n, RunCologne(dc, instances[static_cast<size_t>(dc)].get(),
-                            &m.solve_ms));
+              n, RunCologne(dc, instances[static_cast<size_t>(dc)].get(), &m));
           m.migrations += n;
         }
         break;

@@ -44,6 +44,11 @@ struct ACloudConfig {
   double heuristic_ratio = 1.05;
   int max_migrates = 3;        ///< Per DC per interval, ACloud (M) only.
   double solver_time_ms = 1500;
+  /// Search backend per COP execution (compared by bench_fig2_3_acloud).
+  solver::Backend solver_backend = solver::Backend::kBranchAndBound;
+  uint64_t solver_seed = 0x10C5;
+  /// Reuse each DC's previous placement as a warm start for the next solve.
+  bool solver_warm_start = true;
   uint64_t seed = 7;
   TraceConfig trace;
 };
@@ -54,6 +59,9 @@ struct ACloudInterval {
   double avg_cpu_stdev = 0;  ///< Mean across DCs of per-DC host-CPU stdev.
   int migrations = 0;        ///< VM migrations performed this interval.
   double solve_ms = 0;       ///< Total solver wall time this interval.
+  uint64_t solver_nodes = 0;       ///< Search nodes this interval.
+  uint64_t solver_iterations = 0;  ///< Backend improvement iterations.
+  uint64_t solver_restarts = 0;    ///< Backend restarts.
 };
 
 /// \brief Trace replay of the ACloud workload under one policy.
@@ -82,7 +90,7 @@ class ACloudScenario {
   double DcStdev(int dc) const;
   std::vector<double> HostLoads() const;
   int RunHeuristic(int dc);
-  Result<int> RunCologne(int dc, runtime::Instance* inst, double* solve_ms);
+  Result<int> RunCologne(int dc, runtime::Instance* inst, ACloudInterval* m);
 
   ACloudConfig config_;
   DataCenterTrace trace_;

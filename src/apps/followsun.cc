@@ -132,7 +132,8 @@ Result<FtsResult> FollowTheSunScenario::Run() {
       sys_->sim().Schedule(
           round_start + 2.0, [this, init, peer, N, mc, &result, &failure] {
             runtime::Instance& inst = sys_->node(init);
-            runtime::SolveOptions o;
+            // Read-modify-write so program-declared SOLVER_* knobs survive.
+            runtime::SolveOptions o = inst.solve_options();
             o.time_limit_ms = config_.solver_time_ms;
             inst.set_solve_options(o);
             auto out = inst.InvokeSolver();

@@ -146,7 +146,8 @@ Result<ChannelAssignment> WirelessScenario::RunCentralized() {
   }
   COLOGNE_RETURN_IF_ERROR(eng.Flush());
 
-  runtime::SolveOptions opts;
+  // Read-modify-write so program-declared SOLVER_* knobs survive.
+  runtime::SolveOptions opts = inst.solve_options();
   opts.time_limit_ms = config_.solver_time_ms;
   inst.set_solve_options(opts);
   COLOGNE_ASSIGN_OR_RETURN(out, inst.InvokeSolver());
@@ -221,7 +222,7 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
       sys.sim().Schedule(
           round_start + 2.0, [this, &sys, &result, &failure, init] {
             runtime::Instance& inst = sys.node(init);
-            runtime::SolveOptions o;
+            runtime::SolveOptions o = inst.solve_options();
             o.time_limit_ms = config_.link_solve_ms;
             inst.set_solve_options(o);
             auto out = inst.InvokeSolver();

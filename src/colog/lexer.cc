@@ -223,4 +223,9 @@ Result<std::vector<Token>> Lex(const std::string& src) {
   return out;
 }
 
+bool IsSolverKnobName(const std::string& name) {
+  return name == "SOLVER_MAX_TIME" || name == "SOLVER_BACKEND" ||
+         name == "SOLVER_SEED" || name == "SOLVER_RESTARTS";
+}
+
 }  // namespace cologne::colog

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "colog/lexer.h"
 #include "colog/parser.h"
 #include "common/strings.h"
+#include "solver/types.h"
 
 namespace cologne::colog {
 
@@ -233,6 +235,49 @@ Result<int64_t> EvalDomainBound(const SrcExpr& e,
   return v.as_int();
 }
 
+// Extract and validate the reserved `param SOLVER_*` knobs (lexed as plain
+// ALL-CAPS identifiers; see IsSolverKnobName in colog/lexer.h).
+Status ExtractSolverKnobs(const std::map<std::string, Value>& params,
+                          SolverKnobsIR* knobs) {
+  for (const auto& [name, value] : params) {
+    if (name.rfind("SOLVER_", 0) != 0) continue;
+    if (!IsSolverKnobName(name)) {
+      return Status(Status::PlanError("unknown solver knob " + name));
+    }
+    if (name == "SOLVER_BACKEND") {
+      // One validation site: the spellings solver::ParseBackend accepts.
+      solver::Backend parsed;
+      if (!value.is_string() ||
+          !solver::ParseBackend(value.as_string(), &parsed)) {
+        return Status(Status::PlanError(
+            "SOLVER_BACKEND must be \"bnb\" or \"lns\", got " +
+            value.ToString()));
+      }
+      knobs->backend = value.as_string();
+      continue;
+    }
+    if (name == "SOLVER_MAX_TIME") {
+      if (!value.is_numeric() || value.as_double() <= 0) {
+        return Status(Status::PlanError(
+            "SOLVER_MAX_TIME must be a positive number of milliseconds"));
+      }
+      knobs->max_time_ms = value.as_double();
+      continue;
+    }
+    // SOLVER_SEED / SOLVER_RESTARTS: non-negative integers.
+    if (!value.is_int() || value.as_int() < 0) {
+      return Status(
+          Status::PlanError(name + " must be a non-negative integer"));
+    }
+    if (name == "SOLVER_SEED") {
+      knobs->seed = static_cast<uint64_t>(value.as_int());
+    } else {
+      knobs->restart_base_nodes = static_cast<uint64_t>(value.as_int());
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 bool CompiledProgram::IsSolverCol(const std::string& table, int col) const {
@@ -246,6 +291,11 @@ Result<CompiledProgram> Plan(const AnalyzedProgram& analyzed) {
   CompiledProgram out;
   out.tables = analyzed.tables;
   out.params = analyzed.params;
+  COLOGNE_RETURN_IF_ERROR(ExtractSolverKnobs(analyzed.params, &out.knobs));
+  // Knobs live in `knobs`, not the rule-level parameter map (they are not
+  // substitutable in rule bodies).
+  std::erase_if(out.params,
+                [](const auto& kv) { return IsSolverKnobName(kv.first); });
   out.distributed = analyzed.distributed;
   out.var_tables = analyzed.var_tables;
   for (const auto& [t, cols] : analyzed.solver_cols) {

@@ -5,6 +5,7 @@
 #define COLOGNE_COLOG_PLANNER_H_
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -45,6 +46,20 @@ struct GoalIR {
   int col = -1;
 };
 
+/// Typed solver knobs extracted from reserved `param SOLVER_*` declarations
+/// (the paper's SOLVER_MAX_TIME, Section 4.2, plus this implementation's
+/// search-backend knobs). Unset optionals leave the runtime defaults alone.
+struct SolverKnobsIR {
+  /// SOLVER_MAX_TIME: per-solve wall-clock budget in milliseconds.
+  std::optional<double> max_time_ms;
+  /// SOLVER_BACKEND: "bnb" (branch-and-bound) or "lns".
+  std::optional<std::string> backend;
+  /// SOLVER_SEED: seed for randomized search decisions.
+  std::optional<uint64_t> seed;
+  /// SOLVER_RESTARTS: Luby restart base (nodes) for the B&B backend.
+  std::optional<uint64_t> restart_base_nodes;
+};
+
 /// Per-class rule counts (reported by the Table 2 benchmark).
 struct RuleCounts {
   size_t regular = 0;
@@ -75,6 +90,7 @@ struct CompiledProgram {
   /// Input tables: never derived by any rule or writeback.
   std::set<std::string> base_tables;
   std::map<std::string, Value> params;
+  SolverKnobsIR knobs;
   bool distributed = false;
   RuleCounts counts;
 

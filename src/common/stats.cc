@@ -1,5 +1,7 @@
 #include "common/stats.h"
 
+#include "common/strings.h"
+
 namespace cologne {
 
 double Mean(const std::vector<double>& xs) {
@@ -25,6 +27,19 @@ double Percentile(std::vector<double> xs, double p) {
   size_t hi = std::min(lo + 1, xs.size() - 1);
   double frac = rank - static_cast<double>(lo);
   return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+std::string SolveRecord::ToJsonLine() const {
+  std::string out = StrFormat(
+      "{\"bench\":\"%s\",\"backend\":\"%s\",\"seed\":%llu,\"nodes\":%llu,"
+      "\"iterations\":%llu,\"restarts\":%llu,\"wall_ms\":%.2f",
+      bench.c_str(), backend.c_str(), static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(nodes),
+      static_cast<unsigned long long>(iterations),
+      static_cast<unsigned long long>(restarts), wall_ms);
+  if (has_objective) out += StrFormat(",\"objective\":%.4f", objective);
+  out += "}";
+  return out;
 }
 
 }  // namespace cologne

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cologne {
@@ -48,6 +50,25 @@ double Mean(const std::vector<double>& xs);
 
 /// `p`-th percentile (0..100) by nearest-rank on a copy; 0 for empty input.
 double Percentile(std::vector<double> xs, double p);
+
+/// \brief One observed solver execution, serialized as a JSON object line so
+/// the benches emit per-backend rows comparable across harnesses
+/// (bench_overhead, the Figure 2/3 replay, the solver microbenches).
+struct SolveRecord {
+  std::string bench;    ///< Harness / scenario label.
+  std::string backend;  ///< solver::BackendName of the strategy used.
+  uint64_t seed = 0;
+  uint64_t nodes = 0;
+  uint64_t iterations = 0;  ///< Backend improvement iterations.
+  uint64_t restarts = 0;
+  double wall_ms = 0;
+  double objective = 0;
+  bool has_objective = false;
+
+  /// Render as a single JSON object, e.g.
+  /// {"bench":"acloud","backend":"lns","seed":7,...,"objective":3.20}.
+  std::string ToJsonLine() const;
+};
 
 }  // namespace cologne
 

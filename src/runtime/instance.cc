@@ -13,6 +13,7 @@ Status Instance::Init() {
   for (const datalog::RuleIR& rule : program_->engine_rules) {
     COLOGNE_RETURN_IF_ERROR(engine_.AddRule(rule));
   }
+  solve_options_ = ResolveSolveOptions(*program_, solve_options_);
   return Status::OK();
 }
 
@@ -28,7 +29,7 @@ Status Instance::DeleteFact(const std::string& table, Row row) {
 
 Result<SolveOutput> Instance::InvokeSolver() {
   SolverBridge bridge(program_, &engine_);
-  COLOGNE_ASSIGN_OR_RETURN(out, bridge.Solve(solve_options_));
+  COLOGNE_ASSIGN_OR_RETURN(out, bridge.Solve(solve_options_, &warm_cache_));
   ++solve_count_;
   total_solve_ms_ += out.stats.wall_ms;
   if (out.has_solution()) {

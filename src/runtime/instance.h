@@ -45,9 +45,18 @@ class Instance {
   /// output, and flush downstream rules.
   Result<SolveOutput> InvokeSolver();
 
-  /// Per-solve knobs (SOLVER_MAX_TIME etc.).
+  /// Per-solve knobs (SOLVER_MAX_TIME, SOLVER_BACKEND, SOLVER_SEED, ...).
+  /// Init() seeds these from the program's `param SOLVER_*` knobs; an
+  /// explicit call afterwards overrides them (the runtime caller wins).
   void set_solve_options(const SolveOptions& o) { solve_options_ = o; }
   const SolveOptions& solve_options() const { return solve_options_; }
+
+  /// Cached last solution per var-table row, used to warm-start the next
+  /// InvokeSolver (cleared with reset_warm_start()). The mutable overload
+  /// exposes tuning (e.g. WarmStartCache::max_idle_solves).
+  const WarmStartCache& warm_start_cache() const { return warm_cache_; }
+  WarmStartCache& warm_start_cache() { return warm_cache_; }
+  void reset_warm_start() { warm_cache_.clear(); }
 
   /// Cumulative number of InvokeSolver calls.
   uint64_t solve_count() const { return solve_count_; }
@@ -61,6 +70,7 @@ class Instance {
   const colog::CompiledProgram* program_;
   datalog::Engine engine_;
   SolveOptions solve_options_;
+  WarmStartCache warm_cache_;
   /// Rows this node wrote to each solver output table on the previous solve
   /// (sorted, deduplicated) — the diff base for replacement.
   std::map<std::string, std::vector<Row>> owned_rows_;

@@ -84,6 +84,16 @@ class BridgeEval {
 
   std::map<std::string, std::vector<Row>>& tables() { return tables_; }
 
+  /// One instantiated var-table row: its regular-column key plus the solver
+  /// variables created for its solver cells, in column order. This is the
+  /// identity the warm-start cache is keyed by.
+  struct VarRow {
+    const std::string* table;
+    Row key;
+    std::vector<IntVar> vars;
+  };
+  const std::vector<VarRow>& var_rows() const { return var_rows_; }
+
   // ---- Variable instantiation (symbolic mode) -----------------------------
   Status InstantiateVars(std::vector<std::pair<IntVar, Value*>>* var_cells) {
     for (const VarDeclIR& decl : program_->var_decls) {
@@ -102,15 +112,20 @@ class BridgeEval {
         if (!seen.insert(key).second) continue;
         Row row;
         row.reserve(decl.from_forall_col.size());
+        VarRow vrow;
+        vrow.table = &decl.var_table;
+        vrow.key = key;
         for (int src : decl.from_forall_col) {
           if (src >= 0) {
             row.push_back(frow[static_cast<size_t>(src)]);
           } else {
             IntVar v = model_->NewInt(decl.dom_lo, decl.dom_hi);
             model_->MarkDecision(v);
+            vrow.vars.push_back(v);
             row.push_back(Value::Sym(Register(LinExpr(v))));
           }
         }
+        var_rows_.push_back(std::move(vrow));
         out.push_back(std::move(row));
       }
       if (var_cells != nullptr) {
@@ -699,6 +714,7 @@ class BridgeEval {
   const CompiledProgram* program_;
   datalog::Engine* engine_;
   Model* model_;
+  std::vector<VarRow> var_rows_;
   std::vector<LinExpr> sym_exprs_;
   std::map<std::string, std::vector<Row>> tables_;
   std::map<Row, std::vector<SVal>> agg_groups_;
@@ -715,8 +731,27 @@ int64_t EvalLin(const LinExpr& e, const solver::Solution& sol) {
 
 }  // namespace
 
-Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options) const {
+SolveOptions ResolveSolveOptions(const colog::CompiledProgram& program,
+                                 SolveOptions base) {
+  const colog::SolverKnobsIR& knobs = program.knobs;
+  if (knobs.max_time_ms) base.time_limit_ms = *knobs.max_time_ms;
+  if (knobs.backend) {
+    // The planner already validated the spelling; fall back to B&B anyway.
+    solver::Backend b;
+    if (solver::ParseBackend(*knobs.backend, &b)) base.backend = b;
+  }
+  if (knobs.seed) base.seed = *knobs.seed;
+  if (knobs.restart_base_nodes) {
+    base.restart_base_nodes = *knobs.restart_base_nodes;
+  }
+  return base;
+}
+
+Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
+                                        WarmStartCache* warm_cache) const {
   SolveOutput out;
+  out.backend = options.backend;
+  out.seed = options.seed;
   Model model;
 
   // ---- Phase A: build the constraint network --------------------------------
@@ -746,11 +781,66 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options) const {
   Model::Options sopts;
   sopts.time_limit_ms = options.time_limit_ms;
   sopts.node_limit = options.node_limit;
+  sopts.backend = options.backend;
+  sopts.seed = options.seed;
+  sopts.restart_base_nodes = options.restart_base_nodes;
+  sopts.max_iterations = options.max_iterations;
+
+  // Warm start: map the cached previous solution onto this solve's freshly
+  // created variables by var-table row identity. The periodic invokeSolver
+  // loop usually re-solves a near-identical model, so yesterday's placement
+  // is an excellent first incumbent today.
+  const bool use_cache = warm_cache != nullptr && options.warm_start;
+  if (use_cache && !warm_cache->empty()) {
+    std::vector<int64_t> hints(model.num_vars(), Model::Options::kNoHint);
+    bool any = false;
+    for (const BridgeEval::VarRow& vr : sym_eval.var_rows()) {
+      auto tit = warm_cache->rows.find(*vr.table);
+      if (tit == warm_cache->rows.end()) continue;
+      auto rit = tit->second.find(vr.key);
+      if (rit == tit->second.end() ||
+          rit->second.values.size() != vr.vars.size()) {
+        continue;
+      }
+      for (size_t i = 0; i < vr.vars.size(); ++i) {
+        hints[static_cast<size_t>(vr.vars[i].id)] = rit->second.values[i];
+        any = true;
+      }
+    }
+    if (any) {
+      sopts.warm_start = std::move(hints);
+      out.warm_started = true;
+    }
+  }
+
   solver::Solution sol = model.Solve(sopts);
   out.status = sol.status;
   out.stats = sol.stats;
   out.model_memory_bytes = sol.stats.peak_memory_bytes;
   if (!sol.has_solution()) return out;
+
+  if (use_cache) {
+    ++warm_cache->generation;
+    for (const BridgeEval::VarRow& vr : sym_eval.var_rows()) {
+      std::vector<int64_t> vals;
+      vals.reserve(vr.vars.size());
+      for (IntVar v : vr.vars) vals.push_back(sol.ValueOf(v));
+      warm_cache->rows[*vr.table][vr.key] = {std::move(vals),
+                                             warm_cache->generation};
+    }
+    // Evict keys that have not appeared for max_idle_solves solves; drop
+    // emptied tables so empty() stays meaningful.
+    if (warm_cache->max_idle_solves > 0) {
+      for (auto& [table, entries] : warm_cache->rows) {
+        std::erase_if(entries, [&](const auto& kv) {
+          return warm_cache->generation - kv.second.last_used >
+                 warm_cache->max_idle_solves;
+        });
+      }
+      std::erase_if(warm_cache->rows,
+                    [](const auto& kv) { return kv.second.empty(); });
+    }
+  }
 
   // ---- Phase C: concrete re-evaluation under the solution --------------------
   BridgeEval conc_eval(program_, engine_, nullptr);

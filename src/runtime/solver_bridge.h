@@ -26,15 +26,63 @@
 
 namespace cologne::runtime {
 
-/// Per-solve knobs (the paper's SOLVER_MAX_TIME).
+/// Per-solve knobs (the paper's SOLVER_MAX_TIME plus this implementation's
+/// backend knobs; see colog::SolverKnobsIR for the in-language spellings).
 struct SolveOptions {
   double time_limit_ms = 10'000;
   uint64_t node_limit = 0;
+  /// Search strategy (SOLVER_BACKEND).
+  solver::Backend backend = solver::Backend::kBranchAndBound;
+  /// Seed for randomized search decisions (SOLVER_SEED).
+  uint64_t seed = 0x10C5;
+  /// Luby restart base for branch-and-bound, in nodes (SOLVER_RESTARTS);
+  /// 0 disables restarts.
+  uint64_t restart_base_nodes = 0;
+  /// Cap on backend improvement iterations; 0 = until the time budget.
+  uint64_t max_iterations = 0;
+  /// Feed the previous solution of this program back into the next solve as
+  /// a warm-start hint (the recurring invokeSolver loop of Section 4.2
+  /// usually re-solves a near-identical model).
+  bool warm_start = true;
+};
+
+/// Apply a compiled program's `param SOLVER_*` knobs on top of `base`.
+/// Knobs the program does not set keep their `base` values.
+SolveOptions ResolveSolveOptions(const colog::CompiledProgram& program,
+                                 SolveOptions base);
+
+/// \brief Last-solution cache keyed by var-table row identity.
+///
+/// Solver variables are recreated from scratch on every solve, so values
+/// cannot be carried by variable id; they are keyed by (var table, regular
+/// key columns) instead, which survives churn in the forall set. A binding
+/// that leaves the forall set (e.g. a VM below the CPU filter) keeps its
+/// last decision and re-warms if it returns — but only for
+/// `max_idle_solves` solves, after which it is evicted so long-running
+/// instances with churning keys stay bounded.
+struct WarmStartCache {
+  struct Entry {
+    std::vector<int64_t> values;  ///< Solver-cell values in column order.
+    uint64_t last_used = 0;       ///< Generation of the last hit/refresh.
+  };
+  /// var table -> (regular-column key row -> cached entry).
+  std::map<std::string, std::map<Row, Entry>> rows;
+  /// Bumped once per cache-refreshing solve.
+  uint64_t generation = 0;
+  /// Evict entries unseen for this many solves (0 = keep forever).
+  uint64_t max_idle_solves = 256;
+
+  bool empty() const { return rows.empty(); }
+  void clear() { rows.clear(); }
 };
 
 /// Result of one invokeSolver execution.
 struct SolveOutput {
   solver::SolveStatus status = solver::SolveStatus::kUnknown;
+  solver::Backend backend = solver::Backend::kBranchAndBound;
+  uint64_t seed = 0;
+  /// True when at least one cached value warm-started the search.
+  bool warm_started = false;
   solver::SolveStats stats;
   /// Concrete contents of every solver output table (var tables, derived
   /// solver tables, goal table) under the best solution found.
@@ -66,7 +114,12 @@ class SolverBridge {
   /// Run one complete COP execution. Returns an error Status only for
   /// program-level failures (malformed model); an infeasible or timed-out
   /// search is reported through SolveOutput::status.
-  Result<SolveOutput> Solve(const SolveOptions& options) const;
+  ///
+  /// When `warm_cache` is non-null and options.warm_start is set, the cached
+  /// previous solution seeds the search and the cache is refreshed with the
+  /// new solution afterwards (the cross-solve warm-start loop).
+  Result<SolveOutput> Solve(const SolveOptions& options,
+                            WarmStartCache* warm_cache = nullptr) const;
 
  private:
   const colog::CompiledProgram* program_;

@@ -1,0 +1,201 @@
+#include "solver/lns.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace cologne::solver {
+
+using internal::DiveEnd;
+using internal::Incumbent;
+using internal::SearchContext;
+
+bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
+  if (!inc->found || !ctx.optimizing()) return false;
+  auto at_bound = [&] {
+    return params.have_objective_bound &&
+           inc->objective == params.objective_bound;
+  };
+  if (at_bound()) return true;
+  const Model& model = ctx.model();
+  std::vector<int32_t> pool = ctx.order().DecisionIds();
+  const size_t n = pool.size();
+  if (n == 0) return false;
+
+  Rng rng(params.seed);
+  const size_t min_k = std::min<size_t>(n, 2);
+  const size_t max_k = std::max(min_k, n / 2);
+  const size_t start_k = std::clamp(n / 10 + 1, min_k, max_k);
+  size_t k = start_k;
+
+  // Improving neighborhoods get rare near a local optimum; keep sampling
+  // until the time budget runs out. The stale cap only terminates small
+  // models that reach a true neighborhood-local optimum quickly.
+  const int max_stale =
+      std::max(200, static_cast<int>(64 * (n / start_k + 1)));
+  int stale = 0;
+  uint64_t iters = 0;
+
+  while (stale < max_stale) {
+    if (params.max_iterations > 0 && iters >= params.max_iterations) break;
+    if (ctx.out_of_time() || ctx.node_limit_hit()) break;
+    ++iters;
+    ++ctx.stats.iterations;
+
+    // Relax a uniform random k-subset of the decision variables (partial
+    // Fisher-Yates; pool[0..k) is the neighborhood).
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + static_cast<size_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(n - 1 - i)));
+      std::swap(pool[i], pool[j]);
+    }
+
+    // Fix every non-relaxed decision to the incumbent, bound the objective
+    // to strictly-better, and propagate.
+    std::vector<IntDomain> doms = model.initial_domains();
+    bool ok = true;
+    for (size_t i = k; i < n; ++i) {
+      size_t var = static_cast<size_t>(pool[i]);
+      doms[var].Assign(inc->values[var]);
+      if (doms[var].empty()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      std::vector<int32_t> changed;
+      ok = ctx.ApplyBound(doms, &changed, *inc) &&
+           ctx.engine().PropagateAll(doms, &ctx.stats);
+    }
+
+    bool improved = false;
+    if (ok) {
+      const int64_t prev = inc->objective;
+      SearchContext::DiveLimits dl;
+      dl.node_budget = params.repair_node_budget;
+      dl.bound_objective = true;
+      ctx.Dive(std::move(doms), dl, inc);
+      improved = inc->objective != prev;
+      if (improved && at_bound()) return true;
+    }
+
+    if (improved) {
+      stale = 0;
+      // Intensify: smaller neighborhoods repair faster.
+      k = std::max(min_k, k - std::max<size_t>(1, k / 4));
+    } else {
+      ++stale;
+      // Diversify: widen the neighborhood, and periodically reset it (a
+      // restart) so the walk escapes the current basin.
+      k = std::min(max_k, k + 1);
+      if (stale > 0 && stale % 64 == 0) {
+        k = start_k;
+        ++ctx.stats.restarts;
+      }
+    }
+  }
+  return false;
+}
+
+Solution LnsSearch::Solve(const Model& model,
+                          const Model::Options& options) const {
+  SearchContext ctx(model, options);
+  Solution out;  // Solution::backend is stamped by the Solve dispatch.
+
+  std::vector<IntDomain> root = model.initial_domains();
+  if (!ctx.engine().PropagateAll(root, &ctx.stats)) {
+    out.status = SolveStatus::kInfeasible;
+    out.stats = ctx.stats;
+    out.stats.wall_ms = ctx.elapsed_ms();
+    return out;
+  }
+  // Optimality-by-propagation only holds for the *plain* root: a store fixed
+  // by warm-start hints is just a feasible point.
+  bool root_fixed = true;
+  for (const IntDomain& d : root) {
+    if (!d.IsFixed()) {
+      root_fixed = false;
+      break;
+    }
+  }
+
+  // ---- Initial assignment ---------------------------------------------------
+  // Propagation-guided greedy construction: a first-solution DFS dive (each
+  // assignment is followed by propagation, backtracking over dead ends),
+  // optionally narrowed first by the warm-start hint.
+  Incumbent inc;
+  size_t hints_applied = 0;
+  std::vector<IntDomain> start = ctx.ApplyWarmStart(root, &hints_applied);
+  SearchContext::DiveLimits first;
+  first.stop_on_first = true;
+  first.bound_objective = false;
+  first.hint = options.warm_start.empty() ? nullptr : &options.warm_start;
+  DiveEnd end = ctx.Dive(start, first, &inc);
+  if (!inc.found && start != root) {
+    // The hint narrowed the store into an unsatisfiable region; retry from
+    // the plain root (exhausting the *hinted* store proves nothing). When
+    // the hints changed nothing, the first dive already was the plain-root
+    // search and retrying would just repeat it.
+    end = ctx.Dive(root, first, &inc);
+  }
+
+  bool proven_exhausted = !inc.found && end == DiveEnd::kExhausted;
+
+  // ---- Incumbent sharpening -------------------------------------------------
+  // A short bounded constructive burst before the neighborhood loop: DFS
+  // with the objective cut from the first solution rapidly walks the
+  // incumbent down, giving LNS a strong starting point (the
+  // incumbent-seeding pattern of DAOOPT). Bounded by nodes — and a slice of
+  // the wall-clock budget when one is set — so it stays a small prefix of
+  // the solve.
+  bool proven_optimal = false;
+  if (inc.found && ctx.optimizing()) {
+    SearchContext::DiveLimits sharpen;
+    sharpen.bound_objective = true;
+    sharpen.node_budget = 5000;
+    if (options.time_limit_ms > 0) {
+      sharpen.soft_deadline_ms = options.time_limit_ms * 0.15;
+    }
+    sharpen.hint = first.hint;
+    // Exhausting a bounded DFS from the root *is* a complete search: the
+    // incumbent is then provably optimal and the neighborhood loop is moot.
+    proven_optimal =
+        ctx.Dive(root, sharpen, &inc) == DiveEnd::kExhausted;
+  }
+
+  // ---- Improvement ----------------------------------------------------------
+  // kSatisfy models stop at the first solution (the fallback the runtime
+  // relies on when a goal table is empty); optimizing models spend the rest
+  // of the budget on neighborhood search.
+  if (inc.found && ctx.optimizing() && !proven_optimal) {
+    LnsParams params;
+    params.seed = options.seed;
+    params.max_iterations = options.max_iterations;
+    params.have_objective_bound = true;
+    const IntDomain& od =
+        root[static_cast<size_t>(model.objective_var().id)];
+    params.objective_bound = ctx.minimizing() ? od.min() : od.max();
+    proven_optimal = LnsImprove(ctx, params, &inc);
+  }
+
+  ctx.stats.wall_ms = ctx.elapsed_ms();
+  ctx.stats.peak_memory_bytes = ctx.PeakMemoryBytes();
+  out.stats = ctx.stats;
+  if (inc.found) {
+    out.values = std::move(inc.values);
+    out.objective = inc.objective;
+    // LNS is incomplete: optimality is only claimed when the sharpening
+    // dive exhausted the space, the root was fixed by pure propagation, or
+    // the sense is satisfaction.
+    out.status =
+        (model.sense() == Sense::kSatisfy || root_fixed || proven_optimal)
+            ? SolveStatus::kOptimal
+            : SolveStatus::kFeasible;
+  } else {
+    out.status =
+        proven_exhausted ? SolveStatus::kInfeasible : SolveStatus::kUnknown;
+  }
+  return out;
+}
+
+}  // namespace cologne::solver

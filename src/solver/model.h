@@ -61,6 +61,9 @@ class Model {
   const IntDomain& InitialDomain(IntVar v) const {
     return domains_[static_cast<size_t>(v.id)];
   }
+  /// All initial domains (index = var id): the root store search backends
+  /// start from.
+  const std::vector<IntDomain>& initial_domains() const { return domains_; }
   const std::string& NameOf(IntVar v) const {
     return names_[static_cast<size_t>(v.id)];
   }
@@ -113,18 +116,43 @@ class Model {
   // --- Solving -------------------------------------------------------------
 
   struct Options {
+    /// Missing-entry sentinel for `warm_start`.
+    static constexpr int64_t kNoHint = INT64_MIN;
+
     /// Wall-clock budget; mirrors the paper's SOLVER_MAX_TIME (they used 10 s
     /// for ACloud). <= 0 means unlimited.
     double time_limit_ms = 10'000;
     /// Optional hard cap on explored nodes. 0 means unlimited.
     uint64_t node_limit = 0;
+    /// Search strategy (the SOLVER_BACKEND knob).
+    Backend backend = Backend::kBranchAndBound;
+    /// Seed for all randomized search decisions (the SOLVER_SEED knob);
+    /// identical seeds reproduce identical search decisions. For bit-for-bit
+    /// reproducible *solutions*, also replace the wall-clock limit with a
+    /// deterministic budget (max_iterations and/or node_limit).
+    uint64_t seed = 0x10C5;
+    /// Luby restart policy for the branch-and-bound backend: restart i gets a
+    /// node budget of `restart_base_nodes * luby(i)`, with randomized value
+    /// ordering after the first restart. 0 disables restarts.
+    uint64_t restart_base_nodes = 0;
+    /// Cap on backend improvement iterations (LNS neighborhoods / B&B
+    /// improvement dives). 0 means "until the time budget runs out"; a finite
+    /// cap makes runs wall-clock independent (deterministic tests).
+    uint64_t max_iterations = 0;
+    /// Optional warm-start hint: warm_start[var.id] is a suggested value or
+    /// kNoHint. Backends use it to seed the first incumbent and bias value
+    /// ordering; infeasible hints are repaired, never trusted.
+    std::vector<int64_t> warm_start;
   };
 
-  /// Run propagation + depth-first branch-and-bound.
+  /// Run propagation + the selected search backend (see
+  /// solver/search_backend.h).
   ///
-  /// Branching: first-fail variable selection (smallest domain first) with
-  /// ascending value order; on each incumbent the objective is bounded and
-  /// search continues (anytime behaviour under the time limit).
+  /// The default branch-and-bound backend branches with first-fail variable
+  /// selection (smallest domain first, decision variables before
+  /// auxiliaries) and ascending value order; on each incumbent the objective
+  /// is bounded and search continues (anytime behaviour under the time
+  /// limit).
   Solution Solve(const Options& options) const;
   /// Solve with default options.
   Solution Solve() const { return Solve(Options{}); }

@@ -1,306 +1,177 @@
-// Depth-first branch-and-bound search (Model::Solve).
+// Branch-and-bound search backend and the Model::Solve dispatch.
 //
 // Copy-based state restoration (as in Gecode's clone-based search engines):
 // each open node stores a full domain vector. Models in Cologne are small
 // (hundreds of variables per invokeSolver event), so cloning is cheap and
 // keeps backtracking trivially correct.
-#include <chrono>
-
+//
+// The backend is complete: left to run it proves optimality/infeasibility.
+// Under a time cap it is anytime — after the tree-search phase is cut off it
+// spends the remaining budget on the shared LNS improvement loop (lns.cc),
+// the pattern behind the paper's "close-to-optimal under a 10 s cap"
+// executions (Section 6.2). Optional Luby restarts (Options::
+// restart_base_nodes) rerun the dive under growing node budgets with
+// randomized value order, which helps on heavy-tailed instances.
 #include "common/rng.h"
+#include "solver/lns.h"
 #include "solver/model.h"
+#include "solver/search_backend.h"
+#include "solver/search_internal.h"
 
 namespace cologne::solver {
 
 namespace {
 
-struct Frame {
-  std::vector<IntDomain> doms;   // store after propagation at this node
-  IntVar var;                    // branching variable
-  std::vector<int64_t> values;   // values to try, in order
-  size_t next = 0;               // next value index to try
-};
+using internal::DiveEnd;
+using internal::Incumbent;
+using internal::Luby;
+using internal::SearchContext;
 
-// First-fail: smallest domain among unfixed variables; ties by lowest id.
-// Decision variables (if any are marked) are branched before auxiliaries.
-IntVar SelectVar(const Model& model, const std::vector<IntDomain>& doms) {
-  IntVar best;
-  uint64_t best_size = 0;
-  bool best_decision = false;
-  for (size_t i = 0; i < doms.size(); ++i) {
-    const IntDomain& d = doms[i];
-    if (d.IsFixed()) continue;
-    IntVar v{static_cast<int32_t>(i)};
-    bool dec = model.IsDecision(v);
-    uint64_t s = d.size();
-    if (!best.valid() || (dec && !best_decision) ||
-        (dec == best_decision && s < best_size)) {
-      best = v;
-      best_size = s;
-      best_decision = dec;
+class BranchAndBound : public SearchBackend {
+ public:
+  Solution Solve(const Model& model,
+                 const Model::Options& options) const override {
+    SearchContext ctx(model, options);
+    Solution out;  // Solution::backend is stamped by the Solve dispatch.
+
+    std::vector<IntDomain> root = model.initial_domains();
+    if (!ctx.engine().PropagateAll(root, &ctx.stats)) {
+      out.status = SolveStatus::kInfeasible;
+      out.stats = ctx.stats;
+      out.stats.wall_ms = ctx.elapsed_ms();
+      return out;
     }
-  }
-  return best;
-}
 
-bool AllFixed(const std::vector<IntDomain>& doms) {
-  for (const IntDomain& d : doms) {
-    if (!d.IsFixed()) return false;
-  }
-  return true;
-}
+    Incumbent inc;
 
-}  // namespace
+    // ---- Warm start --------------------------------------------------------
+    // Seed the incumbent from the caller's hint (the runtime bridge feeds
+    // back the previous invokeSolver solution here): assimilate the hints
+    // into the store, then complete with a short first-solution dive. A good
+    // early incumbent makes every subsequent branch-and-bound cut sharper.
+    if (!options.warm_start.empty()) {
+      size_t applied = 0;
+      std::vector<IntDomain> warmed = ctx.ApplyWarmStart(root, &applied);
+      if (applied > 0) {
+        SearchContext::DiveLimits seed_dive;
+        seed_dive.stop_on_first = true;
+        seed_dive.bound_objective = false;
+        seed_dive.node_budget = 10'000;
+        seed_dive.hint = &options.warm_start;
+        ctx.Dive(std::move(warmed), seed_dive, &inc);
+      }
+    }
 
-Solution Model::Solve(const Options& options) const {
-  using Clock = std::chrono::steady_clock;
-  const auto start = Clock::now();
-  auto elapsed_ms = [&] {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start)
-        .count();
-  };
+    // A warm-started satisfaction solve is already done: any solution is
+    // terminal, so skip the tree search entirely.
+    if (inc.found && model.sense() == Sense::kSatisfy) {
+      ctx.stats.wall_ms = ctx.elapsed_ms();
+      ctx.stats.peak_memory_bytes = ctx.PeakMemoryBytes();
+      out.stats = ctx.stats;
+      out.values = std::move(inc.values);
+      out.objective = inc.objective;
+      out.status = SolveStatus::kOptimal;
+      return out;
+    }
 
-  Solution out;
-  SolveStats& stats = out.stats;
-  PropagationEngine engine(&props_, domains_.size());
+    // Valid relaxation bound on the objective, from root propagation; lets
+    // the improvement phase stop (and claim optimality) when reached.
+    int64_t objective_bound = 0;
+    if (ctx.optimizing()) {
+      const IntDomain& od =
+          root[static_cast<size_t>(model.objective_var().id)];
+      objective_bound = ctx.minimizing() ? od.min() : od.max();
+    }
 
-  // Root propagation.
-  std::vector<IntDomain> root = domains_;
-  bool root_ok = engine.PropagateAll(root, &stats);
-  if (!root_ok) {
-    out.status = SolveStatus::kInfeasible;
-    out.stats.wall_ms = elapsed_ms();
+    // ---- Tree search -------------------------------------------------------
+    // Large models cannot be searched exhaustively within SOLVER_MAX_TIME;
+    // once an incumbent exists, reserve the remaining budget for the LNS
+    // improvement phase below.
+    SearchContext::DiveLimits limits;
+    limits.bound_objective = true;
+    limits.hint = options.warm_start.empty() ? nullptr : &options.warm_start;
+    if (ctx.optimizing() && options.time_limit_ms > 0) {
+      limits.soft_deadline_ms = options.time_limit_ms * 0.3;
+    }
+
+    bool cutoff = false;
+    if (options.restart_base_nodes == 0) {
+      DiveEnd end = ctx.Dive(std::move(root), limits, &inc);
+      cutoff = end == DiveEnd::kCutoff;
+    } else {
+      // Luby restarts: dive i gets base * luby(i) nodes; from the second
+      // dive on, value order is randomized to diversify. The incumbent (and
+      // with it the objective cut) carries across dives.
+      Rng rng(options.seed);
+      for (uint64_t i = 1;; ++i) {
+        SearchContext::DiveLimits dive = limits;
+        dive.node_budget = options.restart_base_nodes * Luby(i);
+        dive.shuffle_rng = i > 1 ? &rng : nullptr;
+        DiveEnd end = ctx.Dive(root, dive, &inc);
+        if (end == DiveEnd::kExhausted || end == DiveEnd::kFirstSolution) {
+          cutoff = false;
+          break;
+        }
+        cutoff = true;
+        if (ctx.out_of_time() || ctx.node_limit_hit() ||
+            (limits.soft_deadline_ms > 0 && inc.found &&
+             ctx.elapsed_ms() > limits.soft_deadline_ms)) {
+          break;
+        }
+        ++ctx.stats.restarts;
+      }
+    }
+
+    // ---- Anytime improvement tail -----------------------------------------
+    if (cutoff && inc.found && ctx.optimizing()) {
+      LnsParams params;
+      params.seed = options.seed;
+      params.max_iterations = options.max_iterations;
+      params.have_objective_bound = true;
+      params.objective_bound = objective_bound;
+      if (LnsImprove(ctx, params, &inc)) {
+        cutoff = false;  // incumbent reached the relaxation bound: optimal
+      }
+    }
+
+    ctx.stats.wall_ms = ctx.elapsed_ms();
+    ctx.stats.peak_memory_bytes = ctx.PeakMemoryBytes();
+    out.stats = ctx.stats;
+    if (inc.found) {
+      out.values = std::move(inc.values);
+      out.objective = inc.objective;
+      // With a cutoff we cannot claim optimality (except pure satisfaction,
+      // where any solution is terminal).
+      out.status = (cutoff && model.sense() != Sense::kSatisfy)
+                       ? SolveStatus::kFeasible
+                       : SolveStatus::kOptimal;
+    } else {
+      out.status = cutoff ? SolveStatus::kUnknown : SolveStatus::kInfeasible;
+    }
     return out;
   }
 
-  const bool minimizing = sense_ == Sense::kMinimize;
-  const bool maximizing = sense_ == Sense::kMaximize;
-  bool have_incumbent = false;
-  int64_t best_obj = 0;
-  std::vector<int64_t> best_values;
-  bool cutoff = false;  // time/node limit hit
-
-  std::vector<Frame> stack;
-  size_t peak_frames = 0;
-
-  auto record_solution = [&](const std::vector<IntDomain>& doms) {
-    std::vector<int64_t> vals(doms.size());
-    for (size_t i = 0; i < doms.size(); ++i) vals[i] = doms[i].value();
-    int64_t obj = objective_.valid()
-                      ? vals[static_cast<size_t>(objective_.id)]
-                      : 0;
-    if (!have_incumbent || (minimizing && obj < best_obj) ||
-        (maximizing && obj > best_obj) || sense_ == Sense::kSatisfy) {
-      have_incumbent = true;
-      best_obj = obj;
-      best_values = std::move(vals);
-      ++stats.solutions;
-    }
-  };
-
-  // Apply the branch-and-bound cut to a fresh store; false on failure.
-  auto apply_bound = [&](std::vector<IntDomain>& doms,
-                         std::vector<int32_t>& changed) {
-    if (!have_incumbent || sense_ == Sense::kSatisfy) return true;
-    IntDomain& od = doms[static_cast<size_t>(objective_.id)];
-    bool ch = minimizing ? od.ClampMax(best_obj - 1) : od.ClampMin(best_obj + 1);
-    if (od.empty()) return false;
-    if (ch) changed.push_back(objective_.id);
-    return true;
-  };
-
-  // Open the root node.
-  if (AllFixed(root)) {
-    record_solution(root);
-  } else {
-    IntVar v = SelectVar(*this, root);
-    Frame f;
-    f.var = v;
-    f.values = root[static_cast<size_t>(v.id)].Values();
-    f.doms = std::move(root);
-    stack.push_back(std::move(f));
+  const char* name() const override {
+    return BackendName(Backend::kBranchAndBound);
   }
+};
 
-  // Large models cannot be searched exhaustively within SOLVER_MAX_TIME;
-  // once an incumbent exists, reserve the remaining budget for the
-  // coordinate-descent improvement phase below.
-  const double bnb_budget_ms =
-      options.time_limit_ms > 0 ? options.time_limit_ms * 0.3 : 0;
+}  // namespace
 
-  while (!stack.empty()) {
-    if (options.node_limit > 0 && stats.nodes >= options.node_limit) {
-      cutoff = true;
-      break;
-    }
-    if (options.time_limit_ms > 0 && (stats.nodes & 0xFF) == 0) {
-      double t = elapsed_ms();
-      if (t > options.time_limit_ms ||
-          (have_incumbent && sense_ != Sense::kSatisfy && t > bnb_budget_ms)) {
-        cutoff = true;
-        break;
-      }
-    }
-    Frame& top = stack.back();
-    if (top.next >= top.values.size()) {
-      stack.pop_back();
-      continue;
-    }
-    int64_t value = top.values[top.next++];
-    ++stats.nodes;
-
-    std::vector<IntDomain> doms = top.doms;
-    doms[static_cast<size_t>(top.var.id)].Assign(value);
-    std::vector<int32_t> changed{top.var.id};
-    if (!apply_bound(doms, changed)) {
-      ++stats.failures;
-      continue;
-    }
-    if (!engine.PropagateFrom(doms, changed, &stats)) {
-      ++stats.failures;
-      continue;
-    }
-    if (AllFixed(doms)) {
-      record_solution(doms);
-      if (sense_ == Sense::kSatisfy) break;  // first solution suffices
-      continue;
-    }
-    IntVar v = SelectVar(*this, doms);
-    Frame f;
-    f.var = v;
-    f.values = doms[static_cast<size_t>(v.id)].Values();
-    f.doms = std::move(doms);
-    stack.push_back(std::move(f));
-    peak_frames = std::max(peak_frames, stack.size());
+std::unique_ptr<SearchBackend> MakeSearchBackend(Backend backend) {
+  switch (backend) {
+    case Backend::kBranchAndBound:
+      return std::make_unique<BranchAndBound>();
+    case Backend::kLns:
+      return std::make_unique<LnsSearch>();
   }
+  return std::make_unique<BranchAndBound>();
+}
 
-  // ---- Large-neighborhood improvement (anytime quality) --------------------
-  // When the branch-and-bound phase was cut off with an incumbent, spend the
-  // remaining budget on LNS: repeatedly re-fix most decision variables to
-  // the incumbent, free a sliding window of them, bound the objective to
-  // "strictly better", and re-dive with a small node budget. This is the
-  // standard anytime pattern for time-capped COP executions (the paper
-  // reports "close-to-optimal" solutions under a 10 s cap, Section 6.2).
-  if (cutoff && have_incumbent && (minimizing || maximizing)) {
-    std::vector<int32_t> decisions;
-    for (size_t i = 0; i < domains_.size(); ++i) {
-      IntVar v{static_cast<int32_t>(i)};
-      if (has_decisions_ ? IsDecision(v) : true) decisions.push_back(v.id);
-    }
-    size_t n = decisions.size();
-
-    // Bounded first-solution dive; any solution found is improving because
-    // the objective was pre-bounded. Returns true on success.
-    auto bounded_dive = [&](std::vector<IntDomain> doms,
-                            uint64_t node_budget) -> bool {
-      if (AllFixed(doms)) {
-        record_solution(doms);
-        return true;
-      }
-      std::vector<Frame> st;
-      {
-        IntVar v = SelectVar(*this, doms);
-        Frame f;
-        f.var = v;
-        f.values = doms[static_cast<size_t>(v.id)].Values();
-        f.doms = std::move(doms);
-        st.push_back(std::move(f));
-      }
-      uint64_t dive_nodes = 0;
-      while (!st.empty()) {
-        if (++dive_nodes > node_budget) return false;
-        if (options.time_limit_ms > 0 && (dive_nodes & 63) == 0 &&
-            elapsed_ms() > options.time_limit_ms) {
-          return false;
-        }
-        Frame& top = st.back();
-        if (top.next >= top.values.size()) {
-          st.pop_back();
-          continue;
-        }
-        int64_t value = top.values[top.next++];
-        ++stats.nodes;
-        std::vector<IntDomain> d2 = top.doms;
-        d2[static_cast<size_t>(top.var.id)].Assign(value);
-        std::vector<int32_t> changed{top.var.id};
-        if (!engine.PropagateFrom(d2, changed, &stats)) {
-          ++stats.failures;
-          continue;
-        }
-        if (AllFixed(d2)) {
-          record_solution(d2);
-          return true;
-        }
-        IntVar v = SelectVar(*this, d2);
-        Frame f;
-        f.var = v;
-        f.values = d2[static_cast<size_t>(v.id)].Values();
-        f.doms = std::move(d2);
-        st.push_back(std::move(f));
-      }
-      return false;
-    };
-
-    Rng rng(0x10C5);
-    size_t window = std::max<size_t>(2, std::min<size_t>(12, n / 3 + 1));
-    int stale = 0;
-    // Improving windows can be rare near a local optimum; keep sampling
-    // until the time budget runs out (the cap only matters for small models
-    // that reach a true window-local optimum quickly).
-    const int max_stale =
-        std::max(200, static_cast<int>(64 * (n / window + 1)));
-    while (n > 0 && stale < max_stale) {
-      if (options.time_limit_ms > 0 && elapsed_ms() > options.time_limit_ms) {
-        break;
-      }
-      size_t start = static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(n) - 1));
-      std::vector<char> freed(n, 0);
-      for (size_t k = 0; k < window; ++k) freed[(start + k) % n] = 1;
-
-      std::vector<IntDomain> doms = domains_;
-      bool ok = true;
-      for (size_t i = 0; i < n; ++i) {
-        if (freed[i]) continue;
-        int32_t var = decisions[i];
-        doms[static_cast<size_t>(var)].Assign(
-            best_values[static_cast<size_t>(var)]);
-        if (doms[static_cast<size_t>(var)].empty()) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        IntDomain& od = doms[static_cast<size_t>(objective_.id)];
-        if (minimizing) {
-          od.ClampMax(best_obj - 1);
-        } else {
-          od.ClampMin(best_obj + 1);
-        }
-        ok = !od.empty() && engine.PropagateAll(doms, &stats);
-      }
-      if (ok && bounded_dive(std::move(doms), 2000)) {
-        stale = 0;
-      } else {
-        ++stale;
-      }
-    }
-  }
-
-  stats.wall_ms = elapsed_ms();
-  stats.peak_memory_bytes =
-      MemoryEstimate() + peak_frames * domains_.size() *
-                             (sizeof(IntDomain) + 2 * sizeof(IntDomain::Range));
-
-  if (have_incumbent) {
-    out.values = std::move(best_values);
-    out.objective = best_obj;
-    // With a cutoff we cannot claim optimality (except pure satisfaction,
-    // where any solution is terminal).
-    out.status = (cutoff && sense_ != Sense::kSatisfy) ? SolveStatus::kFeasible
-                                                       : SolveStatus::kOptimal;
-  } else {
-    out.status = cutoff ? SolveStatus::kUnknown : SolveStatus::kInfeasible;
-  }
-  return out;
+Solution Model::Solve(const Options& options) const {
+  Solution s = MakeSearchBackend(options.backend)->Solve(*this, options);
+  s.backend = options.backend;
+  return s;
 }
 
 }  // namespace cologne::solver

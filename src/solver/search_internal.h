@@ -1,0 +1,365 @@
+// Shared machinery for the search backends (search.cc, lns.cc): branching
+// order, copy-based DFS dives, warm-start assimilation, Luby sequence.
+//
+// Internal to src/solver; not part of the public Model API.
+#ifndef COLOGNE_SOLVER_SEARCH_INTERNAL_H_
+#define COLOGNE_SOLVER_SEARCH_INTERNAL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/model.h"
+#include "solver/propagator.h"
+
+namespace cologne::solver::internal {
+
+/// Branching order: decision variables first, then auxiliaries, each segment
+/// ascending by id (matching the historical tie-break of lowest id first).
+///
+/// Select() keeps a per-search-path *watermark*: domains only narrow along a
+/// DFS path, so once the leading `w` variables of the order are fixed they
+/// stay fixed in the whole subtree and are never rescanned. In particular,
+/// while any decision variable is unfixed the auxiliary segment is not
+/// scanned at all — auxiliaries are usually functionally determined and used
+/// to dominate SelectVar cost on ACloud-sized models.
+class SearchOrder {
+ public:
+  explicit SearchOrder(const Model& model) {
+    const int32_t n = static_cast<int32_t>(model.num_vars());
+    order_.reserve(static_cast<size_t>(n));
+    for (int32_t id = 0; id < n; ++id) {
+      if (model.IsDecision(IntVar{id})) order_.push_back(id);
+    }
+    num_decisions_ = order_.size();
+    for (int32_t id = 0; id < n; ++id) {
+      if (!model.IsDecision(IntVar{id})) order_.push_back(id);
+    }
+  }
+
+  /// First-fail selection (smallest domain) among unfixed variables, decision
+  /// variables before auxiliaries, ties by lowest id. Advances `*watermark`
+  /// past the fixed prefix; invalid IntVar means everything is fixed.
+  IntVar Select(const std::vector<IntDomain>& doms, size_t* watermark) const {
+    size_t w = *watermark;
+    while (w < order_.size() &&
+           doms[static_cast<size_t>(order_[w])].IsFixed()) {
+      ++w;
+    }
+    *watermark = w;
+    if (w == order_.size()) return IntVar{};
+    // While an unfixed decision variable exists (w inside the decision
+    // segment), the scan stops at the segment boundary: auxiliaries are
+    // never branched before decisions.
+    const size_t end = w < num_decisions_ ? num_decisions_ : order_.size();
+    IntVar best;
+    uint64_t best_size = 0;
+    for (size_t i = w; i < end; ++i) {
+      const IntDomain& d = doms[static_cast<size_t>(order_[i])];
+      if (d.IsFixed()) continue;
+      uint64_t s = d.size();
+      if (!best.valid() || s < best_size) {
+        best = IntVar{order_[i]};
+        best_size = s;
+      }
+    }
+    return best;
+  }
+
+  /// Decision-variable ids (the relaxation pool for LNS); all variables when
+  /// the model marks none.
+  std::vector<int32_t> DecisionIds() const {
+    return std::vector<int32_t>(
+        order_.begin(),
+        order_.begin() + static_cast<ptrdiff_t>(
+                             num_decisions_ ? num_decisions_ : order_.size()));
+  }
+
+ private:
+  std::vector<int32_t> order_;
+  size_t num_decisions_ = 0;
+};
+
+/// Best solution found so far within one Solve call.
+struct Incumbent {
+  bool found = false;
+  int64_t objective = 0;
+  std::vector<int64_t> values;
+};
+
+/// How one DFS dive terminated.
+enum class DiveEnd {
+  kExhausted,      ///< Subtree fully explored.
+  kCutoff,         ///< Time / node-budget / node-limit cutoff.
+  kFirstSolution,  ///< Stopped at a solution (stop_on_first or kSatisfy).
+};
+
+/// Luby restart sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+inline uint64_t Luby(uint64_t i) {
+  if (i == 0) return 1;  // out-of-contract call; recursion below needs i >= 1
+  for (uint64_t k = 1;; ++k) {
+    uint64_t pow2 = uint64_t{1} << k;
+    if (i == pow2 - 1) return pow2 >> 1;
+    if (i < pow2 - 1) return Luby(i - (pow2 >> 1) + 1);
+  }
+}
+
+/// \brief Per-Solve search state shared by every phase of a backend: the
+/// propagation engine, branching order, wall clock, and statistics.
+class SearchContext {
+ public:
+  SearchContext(const Model& model, const Model::Options& options)
+      : model_(model),
+        options_(options),
+        engine_(&model.propagators(), model.num_vars()),
+        order_(model),
+        start_(std::chrono::steady_clock::now()) {}
+
+  const Model& model() const { return model_; }
+  const Model::Options& options() const { return options_; }
+  PropagationEngine& engine() { return engine_; }
+  const SearchOrder& order() const { return order_; }
+
+  bool minimizing() const { return model_.sense() == Sense::kMinimize; }
+  bool maximizing() const { return model_.sense() == Sense::kMaximize; }
+  bool optimizing() const { return minimizing() || maximizing(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  bool out_of_time() const {
+    return options_.time_limit_ms > 0 && elapsed_ms() > options_.time_limit_ms;
+  }
+  bool node_limit_hit() const {
+    return options_.node_limit > 0 && stats.nodes >= options_.node_limit;
+  }
+
+  struct DiveLimits {
+    uint64_t node_budget = 0;   ///< Nodes for this dive; 0 = unlimited.
+    bool stop_on_first = false; ///< Return at the first full assignment.
+    bool bound_objective = true;///< Apply the B&B cut from the incumbent.
+    /// Early soft deadline (elapsed ms) honoured once an incumbent exists —
+    /// the B&B backend uses it to reserve budget for the improvement phase.
+    double soft_deadline_ms = 0;
+    Rng* shuffle_rng = nullptr; ///< Randomize value order (restart dives).
+    /// Value-order hint: hint[var.id] tried first when present in the domain.
+    const std::vector<int64_t>* hint = nullptr;
+  };
+
+  /// Depth-first search from `root` (which must already be propagated and
+  /// consistent). Every improving full assignment is recorded into `inc`;
+  /// with bound_objective the objective is clamped to strictly-better after
+  /// each incumbent. For kSatisfy models the first solution terminates the
+  /// dive.
+  DiveEnd Dive(std::vector<IntDomain> root, const DiveLimits& limits,
+               Incumbent* inc) {
+    struct Frame {
+      std::vector<IntDomain> doms;
+      IntVar var;
+      std::vector<int64_t> values;
+      size_t next = 0;
+      size_t watermark = 0;
+    };
+    std::vector<Frame> stack;
+
+    // Returns true when `doms` is a full assignment (recorded, not pushed).
+    auto push_node = [&](std::vector<IntDomain> doms,
+                         size_t watermark) -> bool {
+      IntVar v = order_.Select(doms, &watermark);
+      if (!v.valid()) {
+        RecordSolution(doms, inc);
+        return true;
+      }
+      Frame f;
+      f.var = v;
+      f.values = doms[static_cast<size_t>(v.id)].Values();
+      OrderValues(v, limits, &f.values);
+      f.watermark = watermark;
+      f.doms = std::move(doms);
+      stack.push_back(std::move(f));
+      peak_frames = std::max(peak_frames, stack.size());
+      return false;
+    };
+
+    if (push_node(std::move(root), 0)) return DiveEnd::kFirstSolution;
+
+    uint64_t dive_nodes = 0;
+    while (!stack.empty()) {
+      if (limits.node_budget > 0 && dive_nodes >= limits.node_budget) {
+        return DiveEnd::kCutoff;
+      }
+      if (node_limit_hit()) return DiveEnd::kCutoff;
+      if ((stats.nodes & 0xFF) == 0 && options_.time_limit_ms > 0) {
+        double t = elapsed_ms();
+        if (t > options_.time_limit_ms ||
+            (limits.soft_deadline_ms > 0 && inc->found &&
+             t > limits.soft_deadline_ms)) {
+          return DiveEnd::kCutoff;
+        }
+      }
+      Frame& top = stack.back();
+      if (top.next >= top.values.size()) {
+        stack.pop_back();
+        continue;
+      }
+      int64_t value = top.values[top.next++];
+      ++stats.nodes;
+      ++dive_nodes;
+
+      std::vector<IntDomain> doms = top.doms;
+      const IntVar var = top.var;
+      const size_t watermark = top.watermark;
+      doms[static_cast<size_t>(var.id)].Assign(value);
+      std::vector<int32_t> changed{var.id};
+      if (limits.bound_objective && !ApplyBound(doms, &changed, *inc)) {
+        ++stats.failures;
+        continue;
+      }
+      if (!engine_.PropagateFrom(doms, changed, &stats)) {
+        ++stats.failures;
+        continue;
+      }
+      // NOTE: `top` may dangle after push_node reallocates the stack.
+      if (push_node(std::move(doms), watermark)) {
+        if (limits.stop_on_first || model_.sense() == Sense::kSatisfy) {
+          return DiveEnd::kFirstSolution;
+        }
+      }
+    }
+    return DiveEnd::kExhausted;
+  }
+
+  /// Record a fully fixed store into `inc` when it improves on it.
+  void RecordSolution(const std::vector<IntDomain>& doms, Incumbent* inc) {
+    std::vector<int64_t> vals(doms.size());
+    for (size_t i = 0; i < doms.size(); ++i) vals[i] = doms[i].value();
+    IntVar obj_var = model_.objective_var();
+    int64_t obj =
+        obj_var.valid() ? vals[static_cast<size_t>(obj_var.id)] : 0;
+    if (!inc->found || (minimizing() && obj < inc->objective) ||
+        (maximizing() && obj > inc->objective) ||
+        model_.sense() == Sense::kSatisfy) {
+      inc->found = true;
+      inc->objective = obj;
+      inc->values = std::move(vals);
+      ++stats.solutions;
+    }
+  }
+
+  /// Clamp the objective domain of `doms` to strictly-better-than-incumbent;
+  /// false when the clamp empties it.
+  bool ApplyBound(std::vector<IntDomain>& doms, std::vector<int32_t>* changed,
+                  const Incumbent& inc) {
+    if (!inc.found || !optimizing()) return true;
+    IntVar obj_var = model_.objective_var();
+    IntDomain& od = doms[static_cast<size_t>(obj_var.id)];
+    bool ch = minimizing() ? od.ClampMax(inc.objective - 1)
+                           : od.ClampMin(inc.objective + 1);
+    if (od.empty()) return false;
+    if (ch) changed->push_back(obj_var.id);
+    return true;
+  }
+
+  /// Assimilate warm-start hints into a propagated root store: hinted
+  /// decision variables are assigned one at a time, each followed by
+  /// propagation, and any hint that fails is dropped (stale hints repair
+  /// instead of poisoning the store). Returns the narrowed store and sets
+  /// `*applied` to the number of hints that stuck.
+  std::vector<IntDomain> ApplyWarmStart(std::vector<IntDomain> doms,
+                                        size_t* applied) {
+    *applied = 0;
+    const std::vector<int64_t>& hint = options_.warm_start;
+    if (hint.empty()) return doms;
+    std::vector<std::pair<size_t, int64_t>> wanted;
+    for (int32_t id : order_.DecisionIds()) {
+      size_t i = static_cast<size_t>(id);
+      if (i >= hint.size() || hint[i] == Model::Options::kNoHint) continue;
+      if (doms[i].IsFixed()) {
+        if (doms[i].value() == hint[i]) ++*applied;
+        continue;
+      }
+      if (doms[i].Contains(hint[i])) wanted.push_back({i, hint[i]});
+    }
+    if (wanted.empty()) return doms;
+
+    // Fast path: hints usually come from the previous near-identical solve
+    // and are mutually consistent — assign them all and propagate once.
+    {
+      std::vector<IntDomain> trial = doms;
+      std::vector<int32_t> changed;
+      changed.reserve(wanted.size());
+      bool ok = true;
+      for (const auto& [i, v] : wanted) {
+        trial[i].Assign(v);
+        if (trial[i].empty()) {
+          ok = false;
+          break;
+        }
+        changed.push_back(static_cast<int32_t>(i));
+      }
+      if (ok && engine_.PropagateFrom(trial, changed, &stats)) {
+        *applied += wanted.size();
+        return trial;
+      }
+    }
+
+    // Slow path: some hint went stale; assimilate one variable at a time so
+    // the bad hints are dropped instead of poisoning the store.
+    for (const auto& [i, v] : wanted) {
+      if (doms[i].IsFixed() || !doms[i].Contains(v)) continue;
+      std::vector<IntDomain> trial = doms;
+      trial[i].Assign(v);
+      std::vector<int32_t> changed{static_cast<int32_t>(i)};
+      if (engine_.PropagateFrom(trial, changed, &stats)) {
+        doms = std::move(trial);
+        ++*applied;
+      }
+    }
+    return doms;
+  }
+
+  /// Approximate peak search memory, mirroring the historical estimate.
+  size_t PeakMemoryBytes() const {
+    return model_.MemoryEstimate() +
+           peak_frames * model_.num_vars() *
+               (sizeof(IntDomain) + 2 * sizeof(IntDomain::Range));
+  }
+
+  SolveStats stats;
+  size_t peak_frames = 0;
+
+ private:
+  void OrderValues(IntVar v, const DiveLimits& limits,
+                   std::vector<int64_t>* values) const {
+    if (limits.shuffle_rng != nullptr && values->size() > 1) {
+      for (size_t i = values->size() - 1; i > 0; --i) {
+        size_t j = static_cast<size_t>(
+            limits.shuffle_rng->UniformInt(0, static_cast<int64_t>(i)));
+        std::swap((*values)[i], (*values)[j]);
+      }
+    }
+    if (limits.hint != nullptr &&
+        static_cast<size_t>(v.id) < limits.hint->size()) {
+      int64_t h = (*limits.hint)[static_cast<size_t>(v.id)];
+      if (h != Model::Options::kNoHint) {
+        auto it = std::find(values->begin(), values->end(), h);
+        if (it != values->end()) {
+          std::rotate(values->begin(), it, it + 1);
+        }
+      }
+    }
+  }
+
+  const Model& model_;
+  const Model::Options& options_;
+  PropagationEngine engine_;
+  SearchOrder order_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cologne::solver::internal
+
+#endif  // COLOGNE_SOLVER_SEARCH_INTERNAL_H_

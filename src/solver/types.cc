@@ -100,6 +100,26 @@ std::string LinExpr::ToString() const {
   return out;
 }
 
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kBranchAndBound: return "bnb";
+    case Backend::kLns: return "lns";
+  }
+  return "?";
+}
+
+bool ParseBackend(const std::string& name, Backend* out) {
+  if (name == "bnb" || name == "branch_and_bound") {
+    *out = Backend::kBranchAndBound;
+    return true;
+  }
+  if (name == "lns") {
+    *out = Backend::kLns;
+    return true;
+  }
+  return false;
+}
+
 const char* SolveStatusName(SolveStatus s) {
   switch (s) {
     case SolveStatus::kOptimal: return "optimal";

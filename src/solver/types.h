@@ -62,6 +62,18 @@ struct LinExpr {
   std::string ToString() const;
 };
 
+/// Pluggable search strategies (Model::Options::backend).
+enum class Backend : uint8_t {
+  kBranchAndBound,  ///< Copy-based depth-first branch-and-bound (complete).
+  kLns,             ///< Large Neighborhood Search (anytime, incomplete).
+};
+
+/// Human-readable backend name ("bnb", "lns") — also the spelling accepted
+/// by the Colog SOLVER_BACKEND knob.
+const char* BackendName(Backend b);
+/// Parse a backend name; false when `name` is not a known backend.
+bool ParseBackend(const std::string& name, Backend* out);
+
 /// Search outcome classification.
 enum class SolveStatus : uint8_t {
   kOptimal,     ///< Search space exhausted; best solution is optimal.
@@ -80,6 +92,11 @@ struct SolveStats {
   uint64_t failures = 0;     ///< Dead ends encountered.
   uint64_t solutions = 0;    ///< Feasible solutions found (B&B improvements).
   uint64_t propagations = 0; ///< Propagator executions.
+  uint64_t iterations = 0;   ///< Backend improvement iterations (LNS
+                             ///< neighborhoods repaired / B&B improvement
+                             ///< dives after the tree-search phase).
+  uint64_t restarts = 0;     ///< Search restarts (Luby restarts for B&B,
+                             ///< diversification resets for LNS).
   double wall_ms = 0;        ///< Elapsed wall-clock milliseconds.
   size_t peak_memory_bytes = 0;  ///< Approximate peak search-state memory.
 };
@@ -89,6 +106,7 @@ struct Solution {
   SolveStatus status = SolveStatus::kUnknown;
   std::vector<int64_t> values;  ///< values[var.id] = assigned value.
   int64_t objective = 0;        ///< Meaningful for minimize/maximize goals.
+  Backend backend = Backend::kBranchAndBound;  ///< Strategy that produced it.
   SolveStats stats;
 
   bool has_solution() const {

@@ -302,5 +302,47 @@ TEST(CodegenTest, SlocIgnoresBlanksAndComments) {
   EXPECT_EQ(CountSloc("// comment\n\nint x;\n  // c2\n y;\n"), 2u);
 }
 
+// --- Solver-knob extraction (planner) --------------------------------------
+
+TEST(SolverKnobsTest, KnobsExtractedIntoCompiledProgram) {
+  auto r = CompileColog(
+      "param SOLVER_BACKEND = \"lns\".\n"
+      "param SOLVER_MAX_TIME = 750.\n"
+      "param SOLVER_SEED = 13.\n"
+      "param SOLVER_RESTARTS = 256.\n"
+      "goal satisfy.\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SolverKnobsIR& knobs = r.value().knobs;
+  ASSERT_TRUE(knobs.backend.has_value());
+  EXPECT_EQ(*knobs.backend, "lns");
+  ASSERT_TRUE(knobs.max_time_ms.has_value());
+  EXPECT_DOUBLE_EQ(*knobs.max_time_ms, 750);
+  ASSERT_TRUE(knobs.seed.has_value());
+  EXPECT_EQ(*knobs.seed, 13u);
+  ASSERT_TRUE(knobs.restart_base_nodes.has_value());
+  EXPECT_EQ(*knobs.restart_base_nodes, 256u);
+}
+
+TEST(SolverKnobsTest, UnknownOrInvalidKnobsRejected) {
+  auto unknown = CompileColog("param SOLVER_TEMPERATURE = 3.\ngoal satisfy.\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown solver knob"),
+            std::string::npos);
+
+  auto bad_backend =
+      CompileColog("param SOLVER_BACKEND = \"tabu\".\ngoal satisfy.\n");
+  ASSERT_FALSE(bad_backend.ok());
+  EXPECT_NE(bad_backend.status().message().find("SOLVER_BACKEND"),
+            std::string::npos);
+
+  auto bad_time =
+      CompileColog("param SOLVER_MAX_TIME = -5.\ngoal satisfy.\n");
+  EXPECT_FALSE(bad_time.ok());
+
+  auto bad_seed =
+      CompileColog("param SOLVER_SEED = \"x\".\ngoal satisfy.\n");
+  EXPECT_FALSE(bad_seed.ok());
+}
+
 }  // namespace
 }  // namespace cologne::colog

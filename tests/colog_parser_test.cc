@@ -213,5 +213,28 @@ TEST(ParserTest, RejectsMissingDot) {
   EXPECT_FALSE(Parse("var assign(V) toAssign(V).").ok());
 }
 
+// --- Reserved solver knobs (SOLVER_BACKEND / SOLVER_SEED / ...) -----------
+
+TEST(ParserTest, SolverKnobsParseAsParams) {
+  auto r = Parse(
+      "param SOLVER_BACKEND = \"lns\".\n"
+      "param SOLVER_MAX_TIME = 500.\n"
+      "param SOLVER_SEED = 7.\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().params.size(), 3u);
+  EXPECT_EQ(r.value().params[0].name, "SOLVER_BACKEND");
+  EXPECT_EQ(r.value().params[0].value->as_string(), "lns");
+}
+
+TEST(ParserTest, SolverKnobRequiresValue) {
+  auto r = Parse("param SOLVER_BACKEND.\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("requires a literal value"),
+            std::string::npos)
+      << r.status().ToString();
+  // Plain open parameters (bound later via extra_params) still parse.
+  EXPECT_TRUE(Parse("param max_migrates.\n").ok());
+}
+
 }  // namespace
 }  // namespace cologne::colog

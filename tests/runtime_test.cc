@@ -223,6 +223,82 @@ r2 migVm(@Y,X,D,R2) <- setLink(@X,Y), migVm(@X,Y,D,R1), R2:=-R1.
 r3 curVm(@X,D,R) <- migVm(@X,Y,D,R2), curVm(@X,D,R1), R:=R1-R2.
 )";
 
+TEST_F(ACloudRuntimeTest, SecondSolveWarmStartsFromCachedSolution) {
+  AddVm(1, 40, 8, 100);
+  AddVm(2, 20, 8, 100);
+  AddVm(3, 20, 8, 100);
+  AddHost(100, 32);
+  AddHost(101, 32);
+  auto first = instance_->InvokeSolver();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.value().warm_started) << "nothing cached yet";
+  EXPECT_FALSE(instance_->warm_start_cache().empty());
+
+  // The recurring invokeSolver loop: the second solve starts from the
+  // cached placement and must reach the same optimum.
+  AddVm(4, 10, 8, 101);
+  auto second = instance_->InvokeSolver();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second.value().warm_started);
+  ASSERT_TRUE(second.value().has_solution());
+
+  instance_->reset_warm_start();
+  EXPECT_TRUE(instance_->warm_start_cache().empty());
+}
+
+TEST_F(ACloudRuntimeTest, WarmStartCanBeDisabled) {
+  AddVm(1, 40, 8, 100);
+  AddHost(100, 32);
+  SolveOptions o = instance_->solve_options();
+  o.warm_start = false;
+  instance_->set_solve_options(o);
+  ASSERT_TRUE(instance_->InvokeSolver().ok());
+  auto second = instance_->InvokeSolver();
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second.value().warm_started);
+}
+
+TEST_F(ACloudRuntimeTest, LnsBackendSolvesTheSameModel) {
+  AddVm(1, 40, 8, 100);
+  AddVm(2, 20, 8, 100);
+  AddVm(3, 20, 8, 100);
+  AddHost(100, 32);
+  AddHost(101, 32);
+  SolveOptions o = instance_->solve_options();
+  o.backend = solver::Backend::kLns;
+  o.time_limit_ms = 500;
+  o.max_iterations = 200;
+  instance_->set_solve_options(o);
+  auto out = instance_->InvokeSolver();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  EXPECT_EQ(out.value().backend, solver::Backend::kLns);
+  ASSERT_TRUE(out.value().has_objective);
+  EXPECT_NEAR(out.value().objective, 0.0, 1e-9)
+      << "LNS must find the perfectly balanced placement here";
+}
+
+TEST(SolverKnobsTest, ProgramKnobsConfigureInstanceOptions) {
+  const char* src = R"(
+param SOLVER_BACKEND = "lns".
+param SOLVER_MAX_TIME = 250.
+param SOLVER_SEED = 99.
+param SOLVER_RESTARTS = 128.
+goal minimize C in cost(C).
+var pick(I,V) forall item(I) domain [0,1].
+d1 cost(SUM<V>) <- pick(I,V).
+)";
+  auto compiled = colog::CompileColog(src);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  EXPECT_EQ(inst.solve_options().backend, solver::Backend::kLns);
+  EXPECT_DOUBLE_EQ(inst.solve_options().time_limit_ms, 250);
+  EXPECT_EQ(inst.solve_options().seed, 99u);
+  EXPECT_EQ(inst.solve_options().restart_base_nodes, 128u);
+}
+
 TEST(FollowTheSunRuntimeTest, TwoNodeNegotiationMovesVmsTowardCheapComm) {
   auto compiled = colog::CompileColog(kMiniFts);
   ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();

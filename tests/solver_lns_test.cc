@@ -1,0 +1,300 @@
+// Tests for the pluggable search backends: LNS determinism under a fixed
+// seed, warm-start reuse across Solve calls, LNS-vs-B&B quality at equal
+// time budgets on the paper's two model shapes (ACloud assignment, wireless
+// channel selection), restart accounting, and the kSatisfy fallback.
+#include "solver/lns.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "solver/model.h"
+#include "solver/search_backend.h"
+
+namespace cologne::solver {
+namespace {
+
+// ACloud-shaped model: `vms` VMs on `hosts` hosts via 0/1 decision
+// variables, exactly one host per VM, minimize the squared load imbalance.
+std::unique_ptr<Model> MakeACloudModel(int vms, int hosts) {
+  auto m = std::make_unique<Model>();
+  std::vector<std::vector<IntVar>> v(static_cast<size_t>(vms));
+  for (int i = 0; i < vms; ++i) {
+    LinExpr one;
+    for (int h = 0; h < hosts; ++h) {
+      IntVar b = m->NewBool();
+      m->MarkDecision(b);
+      v[static_cast<size_t>(i)].push_back(b);
+      one += LinExpr(b);
+    }
+    m->PostRel(one, Rel::kEq, LinExpr(1));
+  }
+  LinExpr obj;
+  for (int h = 0; h < hosts; ++h) {
+    LinExpr load;
+    for (int i = 0; i < vms; ++i) {
+      load += LinExpr::Term(10 + (i * 13) % 50,
+                            v[static_cast<size_t>(i)][static_cast<size_t>(h)]);
+    }
+    obj += LinExpr(m->MakeSquare(load));
+  }
+  m->Minimize(obj);
+  return m;
+}
+
+// Wireless-shaped model: per-link channel decisions in [1, channels],
+// minimize the number of adjacent links on interfering (distance < 2)
+// channels.
+std::unique_ptr<Model> MakeWirelessModel(int links, int channels) {
+  auto m = std::make_unique<Model>();
+  std::vector<IntVar> ch;
+  for (int i = 0; i < links; ++i) {
+    IntVar c = m->NewInt(1, channels);
+    m->MarkDecision(c);
+    ch.push_back(c);
+  }
+  LinExpr cost;
+  for (int i = 0; i + 1 < links; ++i) {
+    IntVar diff = m->MakeAbs(LinExpr(ch[static_cast<size_t>(i)]) -
+                             LinExpr(ch[static_cast<size_t>(i + 1)]));
+    cost += LinExpr(m->ReifyRel(LinExpr(diff), Rel::kLt, LinExpr(2)));
+  }
+  m->Minimize(cost);
+  return m;
+}
+
+TEST(LnsTest, FeasibleOnACloudShape) {
+  auto m = MakeACloudModel(12, 4);
+  Model::Options o;
+  o.backend = Backend::kLns;
+  o.time_limit_ms = 200;
+  Solution s = m->Solve(o);
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.backend, Backend::kLns);
+  EXPECT_GT(s.stats.iterations, 0u);
+  // Every VM placed on exactly one host.
+  for (int i = 0; i < 12; ++i) {
+    int64_t placed = 0;
+    for (int h = 0; h < 4; ++h) {
+      placed += s.values[static_cast<size_t>(i * 4 + h)];
+    }
+    EXPECT_EQ(placed, 1) << "vm " << i;
+  }
+}
+
+TEST(LnsTest, DeterministicUnderFixedSeed) {
+  // No wall-clock limit + an iteration cap makes the run machine
+  // independent: identical seeds must reproduce identical solutions.
+  auto run = [](uint64_t seed) {
+    auto m = MakeACloudModel(10, 4);
+    Model::Options o;
+    o.backend = Backend::kLns;
+    o.time_limit_ms = 0;
+    o.max_iterations = 50;
+    o.seed = seed;
+    return m->Solve(o);
+  };
+  Solution a = run(42);
+  Solution b = run(42);
+  ASSERT_TRUE(a.has_solution());
+  ASSERT_TRUE(b.has_solution());
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+}
+
+TEST(LnsTest, ObjectiveBeatsBnbAtEqualNodeBudget) {
+  // Deterministic form of the equal-budget comparison: the same node budget
+  // for both backends with no wall clock involved, so the assertion cannot
+  // jitter. A model too big to search exhaustively in the budget — the
+  // regime the ISSUE targets, where anytime local search dominates.
+  auto bnb_model = MakeACloudModel(28, 4);
+  Model::Options bo;
+  bo.time_limit_ms = 0;
+  bo.node_limit = 6000;
+  Solution bnb = bnb_model->Solve(bo);
+
+  auto lns_model = MakeACloudModel(28, 4);
+  Model::Options lo = bo;
+  lo.backend = Backend::kLns;
+  Solution lns = lns_model->Solve(lo);
+
+  ASSERT_TRUE(bnb.has_solution());
+  ASSERT_TRUE(lns.has_solution());
+  EXPECT_LE(lns.objective, bnb.objective)
+      << "LNS incumbent must be at least as good as B&B's at an equal budget";
+}
+
+TEST(LnsTest, ObjectiveNoWorseThanBnbAtEqual100MsBudget) {
+  // Wall-clock form at the ISSUE's 100 ms: both backends converge to
+  // near-identical quality here, so allow a 1% slack for scheduler jitter
+  // around ties (the deterministic node-budget test above is strict).
+  const double budget_ms = 100;
+  auto bnb_model = MakeACloudModel(28, 4);
+  Model::Options bo;
+  bo.time_limit_ms = budget_ms;
+  Solution bnb = bnb_model->Solve(bo);
+
+  auto lns_model = MakeACloudModel(28, 4);
+  Model::Options lo;
+  lo.backend = Backend::kLns;
+  lo.time_limit_ms = budget_ms;
+  Solution lns = lns_model->Solve(lo);
+
+  ASSERT_TRUE(bnb.has_solution());
+  ASSERT_TRUE(lns.has_solution());
+  EXPECT_LE(lns.objective, bnb.objective + bnb.objective / 100);
+}
+
+TEST(LnsTest, ObjectiveNoWorseThanBnbOnWirelessShape) {
+  // Equal node budgets (the deterministic equal-budget form, as above) so
+  // the strict comparison cannot jitter on a loaded CI runner.
+  auto bnb_model = MakeWirelessModel(32, 8);
+  Model::Options bo;
+  bo.time_limit_ms = 0;
+  bo.node_limit = 6000;
+  Solution bnb = bnb_model->Solve(bo);
+
+  auto lns_model = MakeWirelessModel(32, 8);
+  Model::Options lo = bo;
+  lo.backend = Backend::kLns;
+  Solution lns = lns_model->Solve(lo);
+
+  ASSERT_TRUE(bnb.has_solution());
+  ASSERT_TRUE(lns.has_solution());
+  EXPECT_LE(lns.objective, bnb.objective);
+}
+
+TEST(LnsTest, SatisfySenseFallsBackToFirstSolution) {
+  // kSatisfy models must return promptly with the first feasible assignment
+  // instead of spinning neighborhoods (the bridge relies on this when the
+  // goal table is empty).
+  Model m;
+  IntVar x = m.NewInt(0, 9);
+  IntVar y = m.NewInt(0, 9);
+  m.MarkDecision(x);
+  m.MarkDecision(y);
+  m.PostRel(LinExpr(x) + LinExpr(y), Rel::kEq, LinExpr(7));
+  Model::Options o;
+  o.backend = Backend::kLns;
+  Solution s = m.Solve(o);
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.ValueOf(x) + s.ValueOf(y), 7);
+  EXPECT_EQ(s.stats.iterations, 0u) << "no improvement loop for kSatisfy";
+}
+
+TEST(LnsTest, InfeasibleModelReported) {
+  Model m;
+  IntVar x = m.NewInt(0, 5);
+  m.MarkDecision(x);
+  m.PostRel(LinExpr(x), Rel::kGt, LinExpr(10));
+  Model::Options o;
+  o.backend = Backend::kLns;
+  Solution s = m.Solve(o);
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(WarmStartTest, HintSeedsEqualIncumbentUnderTinyNodeLimit) {
+  // First solve to optimality, then re-solve with the solution as a hint and
+  // a node limit too small to find anything from scratch: the warm start
+  // must carry the incumbent across.
+  auto m = MakeACloudModel(8, 4);
+  Model::Options full;
+  full.time_limit_ms = 5000;
+  Solution s1 = m->Solve(full);
+  ASSERT_TRUE(s1.has_solution());
+
+  Model::Options cold;
+  cold.node_limit = 3;
+  Solution s_cold = m->Solve(cold);
+  EXPECT_FALSE(s_cold.has_solution())
+      << "3 nodes cannot complete a 32-decision assignment from scratch";
+
+  Model::Options warm = cold;
+  warm.warm_start = s1.values;
+  Solution s2 = m->Solve(warm);
+  ASSERT_TRUE(s2.has_solution());
+  EXPECT_EQ(s2.objective, s1.objective);
+}
+
+TEST(WarmStartTest, StaleHintsAreRepairedNotTrusted) {
+  // A hint that violates the constraints must not poison the solve.
+  Model m;
+  IntVar x = m.NewInt(0, 9);
+  IntVar y = m.NewInt(0, 9);
+  m.MarkDecision(x);
+  m.MarkDecision(y);
+  m.PostRel(LinExpr(x) + LinExpr(y), Rel::kEq, LinExpr(4));
+  m.Minimize(LinExpr(x));
+  Model::Options o;
+  o.warm_start = {9, 9};  // infeasible pair
+  Solution s = m.Solve(o);
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.objective, 0);
+  EXPECT_EQ(s.ValueOf(x) + s.ValueOf(y), 4);
+}
+
+TEST(WarmStartTest, LnsUsesHintAsInitialAssignment) {
+  auto m = MakeACloudModel(8, 4);
+  Model::Options full;
+  full.time_limit_ms = 5000;
+  Solution s1 = m->Solve(full);
+  ASSERT_TRUE(s1.has_solution());
+
+  Model::Options warm;
+  warm.backend = Backend::kLns;
+  warm.time_limit_ms = 0;
+  warm.max_iterations = 5;
+  warm.warm_start = s1.values;
+  Solution s2 = m->Solve(warm);
+  ASSERT_TRUE(s2.has_solution());
+  EXPECT_LE(s2.objective, s1.objective)
+      << "starting from the optimum, LNS can never end up worse";
+}
+
+TEST(RestartTest, LubyRestartsAreCountedAndHarmless) {
+  auto m = MakeACloudModel(12, 4);
+  Model::Options o;
+  o.time_limit_ms = 150;
+  o.restart_base_nodes = 64;
+  o.seed = 7;
+  Solution s = m->Solve(o);
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_GT(s.stats.restarts, 0u);
+}
+
+TEST(RestartTest, RestartsStillProveOptimalityOnSmallModels) {
+  // On a model small enough to exhaust, the restarting B&B must reach the
+  // same optimum as the plain one.
+  auto plain = MakeACloudModel(5, 3);
+  Model::Options po;
+  po.time_limit_ms = 10'000;
+  Solution p = plain->Solve(po);
+
+  auto restarting = MakeACloudModel(5, 3);
+  Model::Options ro = po;
+  ro.restart_base_nodes = 32;
+  Solution r = restarting->Solve(ro);
+
+  ASSERT_TRUE(p.has_solution());
+  ASSERT_TRUE(r.has_solution());
+  EXPECT_EQ(p.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(p.objective, r.objective);
+}
+
+TEST(BackendFactoryTest, NamesRoundTrip) {
+  EXPECT_STREQ(MakeSearchBackend(Backend::kBranchAndBound)->name(), "bnb");
+  EXPECT_STREQ(MakeSearchBackend(Backend::kLns)->name(), "lns");
+  Backend b;
+  ASSERT_TRUE(ParseBackend("lns", &b));
+  EXPECT_EQ(b, Backend::kLns);
+  ASSERT_TRUE(ParseBackend("bnb", &b));
+  EXPECT_EQ(b, Backend::kBranchAndBound);
+  EXPECT_FALSE(ParseBackend("tabu", &b));
+}
+
+}  // namespace
+}  // namespace cologne::solver

@@ -356,6 +356,39 @@ TEST(ModelTest, StatsArePopulated) {
   EXPECT_GE(s.stats.wall_ms, 0.0);
 }
 
+// --- Variable-selection regression tests ----------------------------------
+// The selection order is observable through which solution a satisfaction
+// search reaches first; these pin the contract down so the watermark-based
+// SelectVar rewrite cannot silently change it.
+
+TEST(ModelTest, SelectVarBreaksSizeTiesByLowestId) {
+  // x1 and x2 tie on domain size; the search must branch x1 (lower id)
+  // first with ascending values: x1=0 propagates x2=2.
+  Model m;
+  IntVar x1 = m.NewInt(0, 2);
+  IntVar x2 = m.NewInt(0, 2);
+  m.PostRel(LinExpr(x1) + LinExpr(x2), Rel::kEq, LinExpr(2));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(x1), 0);
+  EXPECT_EQ(s.ValueOf(x2), 2);
+}
+
+TEST(ModelTest, SelectVarPrefersDecisionOverSmallerAuxiliary) {
+  // z has the smaller domain, but x is the marked decision variable and must
+  // be branched first: x=0 fails (z would need 2), x=1 succeeds with z=1.
+  // Size-first selection would instead branch z=0 and land on x=2.
+  Model m;
+  IntVar z = m.NewInt(0, 1);
+  IntVar x = m.NewInt(0, 2);
+  m.MarkDecision(x);
+  m.PostRel(LinExpr(x) + LinExpr(z), Rel::kEq, LinExpr(2));
+  Solution s = m.Solve();
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.ValueOf(x), 1);
+  EXPECT_EQ(s.ValueOf(z), 1);
+}
+
 // --- Property tests: branch-and-bound equals brute force ------------------
 
 struct RandomCopCase {
