@@ -1,15 +1,45 @@
 // Microbenchmarks (google-benchmark) for the constraint solver substrate,
-// including backend comparisons (B&B vs LNS) at equal time budgets: the
-// per-iteration `objective` counter is the quality signal to compare.
+// including backend comparisons (B&B vs LNS vs portfolio vs parallel LNS) at
+// equal time budgets: the per-iteration `objective` counter is the quality
+// signal to compare. Each backend-comparison benchmark also emits one
+// SolveRecord JSON row (consumed by the CI bench-smoke job).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
+#include <string>
 
+#include "common/stats.h"
 #include "solver/model.h"
 
 using namespace cologne::solver;
 
 namespace {
+
+// google-benchmark invokes each benchmark function several times (iteration
+// estimation, then the measured run). Registering rows by benchmark key and
+// printing once at exit keeps exactly one JSON row per benchmark — the final
+// (measured) run's — in the bench-smoke artifact.
+std::map<std::string, cologne::SolveRecord>& RecordRegistry() {
+  static std::map<std::string, cologne::SolveRecord> records;
+  return records;
+}
+
+void EmitRecordAtExit(const std::string& key, cologne::SolveRecord rec) {
+  RecordRegistry();  // construct before atexit: the map must outlive it
+  static const bool registered = [] {
+    atexit([] {
+      for (const auto& [key, rec] : RecordRegistry()) {
+        printf("%s\n", rec.ToJsonLine().c_str());
+      }
+    });
+    return true;
+  }();
+  (void)registered;
+  RecordRegistry()[key] = std::move(rec);
+}
 
 // The ACloud kernel: `vms` VMs on 4 hosts, minimize squared load imbalance.
 std::unique_ptr<Model> MakeAssignmentModel(int vms) {
@@ -40,22 +70,42 @@ std::unique_ptr<Model> MakeAssignmentModel(int vms) {
 }
 
 // Backend shoot-out at an equal wall-clock budget; report the incumbent
-// objective so the qualities are directly comparable.
-void RunBackendComparison(benchmark::State& state, Backend backend) {
+// objective so the qualities are directly comparable. `workers` > 1 selects
+// the concurrent backends' race width.
+void RunBackendComparison(benchmark::State& state, Backend backend,
+                          int workers = 1) {
   int vms = static_cast<int>(state.range(0));
   auto m = MakeAssignmentModel(vms);
   double obj_sum = 0;
+  cologne::SolveRecord rec;
+  rec.workers = 1;
   for (auto _ : state) {
     Model::Options o;
     o.time_limit_ms = 25;
     o.backend = backend;
     o.seed = 0x5EED;
+    o.num_workers = workers;
     Solution s = m->Solve(o);
     benchmark::DoNotOptimize(s.objective);
     obj_sum += s.has_solution() ? static_cast<double>(s.objective) : 0;
+    rec.nodes += s.stats.nodes;
+    rec.iterations += s.stats.iterations;
+    rec.restarts += s.stats.restarts;
+    rec.wall_ms += s.stats.wall_ms;
+    rec.seed = o.seed;
+    // Effective race width (wall-clock solves cap at the core count), not
+    // the requested one.
+    if (!s.stats.per_worker.empty()) rec.workers = s.stats.per_worker.size();
   }
-  state.counters["objective"] =
-      obj_sum / static_cast<double>(state.iterations());
+  double mean_obj = obj_sum / static_cast<double>(state.iterations());
+  state.counters["objective"] = mean_obj;
+  rec.bench = std::string("micro_assignment/") + std::to_string(vms);
+  rec.backend = BackendName(backend);
+  rec.objective = mean_obj;
+  rec.has_objective = true;
+  // Key built before the move: argument evaluation order is unspecified.
+  std::string key = rec.bench + "/" + rec.backend;
+  EmitRecordAtExit(key, std::move(rec));
 }
 
 }  // namespace
@@ -149,6 +199,17 @@ static void BM_AssignmentBackendLns(benchmark::State& state) {
   RunBackendComparison(state, Backend::kLns);
 }
 BENCHMARK(BM_AssignmentBackendLns)->Arg(10)->Arg(20)->Arg(32);
+
+// Concurrent backends at the same budget, 4 workers (the ISSUE's race width).
+static void BM_AssignmentBackendPortfolio(benchmark::State& state) {
+  RunBackendComparison(state, Backend::kPortfolio, 4);
+}
+BENCHMARK(BM_AssignmentBackendPortfolio)->Arg(10)->Arg(20)->Arg(32);
+
+static void BM_AssignmentBackendParallelLns(benchmark::State& state) {
+  RunBackendComparison(state, Backend::kParallelLns, 4);
+}
+BENCHMARK(BM_AssignmentBackendParallelLns)->Arg(10)->Arg(20)->Arg(32);
 
 // Luby-restart variant of the B&B backend on the same kernel.
 static void BM_AssignmentBackendBnbRestarts(benchmark::State& state) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "apps/programs.h"
@@ -199,10 +201,25 @@ Result<int> ACloudScenario::RunCologne(int dc, runtime::Instance* inst,
   if (movable.empty()) return 0;
 
   COLOGNE_ASSIGN_OR_RETURN(out, inst->InvokeSolver());
+  // Per-solve trace for diagnosing replay regressions (set ACLOUD_DEBUG=1).
+  if (getenv("ACLOUD_DEBUG") != nullptr) {
+    fprintf(stderr,
+            "DBG dc=%d status=%s vars=%zu movable=%zu wall=%.1f obj=%.2f "
+            "nodes=%llu iters=%llu\n",
+            dc, solver::SolveStatusName(out.status), out.model_vars,
+            movable.size(), out.stats.wall_ms, out.objective,
+            static_cast<unsigned long long>(out.stats.nodes),
+            static_cast<unsigned long long>(out.stats.iterations));
+  }
   m->solve_ms += out.stats.wall_ms;
   m->solver_nodes += out.stats.nodes;
   m->solver_iterations += out.stats.iterations;
   m->solver_restarts += out.stats.restarts;
+  if (!out.stats.per_worker.empty()) {
+    m->solver_workers =
+        std::max(m->solver_workers,
+                 static_cast<uint64_t>(out.stats.per_worker.size()));
+  }
   if (!out.has_solution()) return 0;
 
   // Apply the placement: assign(Vid,Hid,1) => VM Vid runs on host Hid.
@@ -254,6 +271,7 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
       runtime::SolveOptions opts = inst->solve_options();
       opts.time_limit_ms = config_.solver_time_ms;
       opts.backend = config_.solver_backend;
+      opts.num_workers = config_.solver_workers;
       opts.seed = config_.solver_seed;
       opts.warm_start = config_.solver_warm_start;
       inst->set_solve_options(opts);

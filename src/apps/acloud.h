@@ -46,6 +46,8 @@ struct ACloudConfig {
   double solver_time_ms = 1500;
   /// Search backend per COP execution (compared by bench_fig2_3_acloud).
   solver::Backend solver_backend = solver::Backend::kBranchAndBound;
+  /// Worker threads for the concurrent backends (portfolio / parallel_lns).
+  int solver_workers = 1;
   uint64_t solver_seed = 0x10C5;
   /// Reuse each DC's previous placement as a warm start for the next solve.
   bool solver_warm_start = true;
@@ -62,6 +64,9 @@ struct ACloudInterval {
   uint64_t solver_nodes = 0;       ///< Search nodes this interval.
   uint64_t solver_iterations = 0;  ///< Backend improvement iterations.
   uint64_t solver_restarts = 0;    ///< Backend restarts.
+  /// Widest effective worker race this interval (1 for sequential backends;
+  /// wall-clock solves cap the requested width at the core count).
+  uint64_t solver_workers = 1;
 };
 
 /// \brief Trace replay of the ACloud workload under one policy.

@@ -250,10 +250,22 @@ Status ExtractSolverKnobs(const std::map<std::string, Value>& params,
       if (!value.is_string() ||
           !solver::ParseBackend(value.as_string(), &parsed)) {
         return Status(Status::PlanError(
-            "SOLVER_BACKEND must be \"bnb\" or \"lns\", got " +
+            "SOLVER_BACKEND must be \"bnb\", \"lns\", \"portfolio\" or "
+            "\"parallel_lns\", got " +
             value.ToString()));
       }
       knobs->backend = value.as_string();
+      continue;
+    }
+    if (name == "SOLVER_WORKERS") {
+      // Worker-thread count for the concurrent backends; bounded so a typo
+      // cannot fork an unbounded race.
+      if (!value.is_int() || value.as_int() < 1 || value.as_int() > 256) {
+        return Status(Status::PlanError(
+            "SOLVER_WORKERS must be an integer in [1, 256], got " +
+            value.ToString()));
+      }
+      knobs->workers = static_cast<uint64_t>(value.as_int());
       continue;
     }
     if (name == "SOLVER_MAX_TIME") {

@@ -52,12 +52,16 @@ struct GoalIR {
 struct SolverKnobsIR {
   /// SOLVER_MAX_TIME: per-solve wall-clock budget in milliseconds.
   std::optional<double> max_time_ms;
-  /// SOLVER_BACKEND: "bnb" (branch-and-bound) or "lns".
+  /// SOLVER_BACKEND: "bnb" (branch-and-bound), "lns", "portfolio", or
+  /// "parallel_lns".
   std::optional<std::string> backend;
   /// SOLVER_SEED: seed for randomized search decisions.
   std::optional<uint64_t> seed;
   /// SOLVER_RESTARTS: Luby restart base (nodes) for the B&B backend.
   std::optional<uint64_t> restart_base_nodes;
+  /// SOLVER_WORKERS: worker threads for the concurrent backends (portfolio /
+  /// parallel_lns); 1..256.
+  std::optional<uint64_t> workers;
 };
 
 /// Per-class rule counts (reported by the Table 2 benchmark).

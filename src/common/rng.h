@@ -9,6 +9,15 @@
 
 namespace cologne {
 
+/// One SplitMix64 scrambling step: the repo's canonical way to derive
+/// decorrelated deterministic seeds (Rng seeding, per-worker search seeds).
+inline uint64_t SplitMix64(uint64_t x) {
+  uint64_t z = x + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// \brief SplitMix64-seeded xoshiro256** generator.
 ///
 /// Small, fast, and deterministic.  Not cryptographic; used only for workload
@@ -21,11 +30,8 @@ class Rng {
   void Seed(uint64_t seed) {
     uint64_t x = seed;
     for (auto& s : state_) {
+      s = SplitMix64(x);
       x += 0x9E3779B97F4A7C15ull;
-      uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      s = z ^ (z >> 31);
     }
   }
 

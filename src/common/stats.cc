@@ -31,9 +31,10 @@ double Percentile(std::vector<double> xs, double p) {
 
 std::string SolveRecord::ToJsonLine() const {
   std::string out = StrFormat(
-      "{\"bench\":\"%s\",\"backend\":\"%s\",\"seed\":%llu,\"nodes\":%llu,"
-      "\"iterations\":%llu,\"restarts\":%llu,\"wall_ms\":%.2f",
+      "{\"bench\":\"%s\",\"backend\":\"%s\",\"seed\":%llu,\"workers\":%llu,"
+      "\"nodes\":%llu,\"iterations\":%llu,\"restarts\":%llu,\"wall_ms\":%.2f",
       bench.c_str(), backend.c_str(), static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(workers),
       static_cast<unsigned long long>(nodes),
       static_cast<unsigned long long>(iterations),
       static_cast<unsigned long long>(restarts), wall_ms);

@@ -744,6 +744,7 @@ SolveOptions ResolveSolveOptions(const colog::CompiledProgram& program,
   if (knobs.restart_base_nodes) {
     base.restart_base_nodes = *knobs.restart_base_nodes;
   }
+  if (knobs.workers) base.num_workers = static_cast<int>(*knobs.workers);
   return base;
 }
 
@@ -784,6 +785,7 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   sopts.backend = options.backend;
   sopts.seed = options.seed;
   sopts.restart_base_nodes = options.restart_base_nodes;
+  sopts.num_workers = options.num_workers;
   sopts.max_iterations = options.max_iterations;
 
   // Warm start: map the cached previous solution onto this solve's freshly

@@ -38,6 +38,9 @@ struct SolveOptions {
   /// Luby restart base for branch-and-bound, in nodes (SOLVER_RESTARTS);
   /// 0 disables restarts.
   uint64_t restart_base_nodes = 0;
+  /// Worker threads for the concurrent backends (SOLVER_WORKERS): portfolio
+  /// race width / parallel-LNS walk count. Sequential backends ignore it.
+  int num_workers = 1;
   /// Cap on backend improvement iterations; 0 = until the time budget.
   uint64_t max_iterations = 0;
   /// Feed the previous solution of this program back into the next solve as

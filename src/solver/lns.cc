@@ -25,7 +25,10 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
   Rng rng(params.seed);
   const size_t min_k = std::min<size_t>(n, 2);
   const size_t max_k = std::max(min_k, n / 2);
-  const size_t start_k = std::clamp(n / 10 + 1, min_k, max_k);
+  const size_t start_k = std::clamp(
+      params.relax_base > 0 ? static_cast<size_t>(params.relax_base)
+                            : n / 10 + 1,
+      min_k, max_k);
   size_t k = start_k;
 
   // Improving neighborhoods get rare near a local optimum; keep sampling
@@ -35,10 +38,18 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
       std::max(200, static_cast<int>(64 * (n / start_k + 1)));
   int stale = 0;
   uint64_t iters = 0;
+  uint64_t shared_seen = 0;
 
   while (stale < max_stale) {
     if (params.max_iterations > 0 && iters >= params.max_iterations) break;
-    if (ctx.out_of_time() || ctx.node_limit_hit()) break;
+    if (ctx.ShouldStop()) break;
+    // Periodic adoption: when a concurrent walk published a better incumbent,
+    // continue this walk from there (the shared-incumbent pattern of
+    // Fioretto et al.'s distributed LNS).
+    if (ctx.AdoptShared(inc, &shared_seen)) {
+      stale = 0;
+      if (at_bound()) return true;
+    }
     ++iters;
     ++ctx.stats.iterations;
 
@@ -171,6 +182,7 @@ Solution LnsSearch::Solve(const Model& model,
     LnsParams params;
     params.seed = options.seed;
     params.max_iterations = options.max_iterations;
+    params.relax_base = options.lns_relax_base;
     params.have_objective_bound = true;
     const IntDomain& od =
         root[static_cast<size_t>(model.objective_var().id)];

@@ -23,6 +23,10 @@ struct LnsParams {
   uint64_t max_iterations = 0;
   /// Node budget of each repair dive (the "time slice" of the sub-B&B).
   uint64_t repair_node_budget = 2000;
+  /// Starting neighborhood size; 0 = adaptive default (#decisions / 10 + 1).
+  /// Portfolio workers vary this (Model::Options::lns_relax_base) so their
+  /// walks explore differently-sized basins.
+  uint64_t relax_base = 0;
   /// Valid relaxation bound on the objective (the propagated root store's
   /// objective min for minimize / max for maximize). When the incumbent
   /// reaches it, the loop stops and reports proven optimality instead of

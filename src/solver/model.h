@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "solver/domain.h"
 #include "solver/propagator.h"
+#include "solver/sync.h"
 #include "solver/types.h"
 
 namespace cologne::solver {
@@ -143,6 +144,28 @@ class Model {
     /// kNoHint. Backends use it to seed the first incumbent and bias value
     /// ordering; infeasible hints are repaired, never trusted.
     std::vector<int64_t> warm_start;
+    /// Worker threads for the concurrent backends (the SOLVER_WORKERS knob):
+    /// kPortfolio races this many heterogeneous configurations, kParallelLns
+    /// runs this many seeded neighborhood walks. Sequential backends ignore
+    /// it. time_limit_ms is the shared wall-clock deadline of the race;
+    /// node_limit and max_iterations apply per worker. Wall-clock-bounded
+    /// solves cap the race at the hardware thread count (time-slicing more
+    /// workers than cores starves each of its share of the deadline);
+    /// deterministic budgets always race the full width.
+    int num_workers = 1;
+    /// Starting LNS neighborhood size (relax-k); 0 = adaptive default
+    /// (#decisions / 10 + 1). Portfolio workers vary it to diversify.
+    uint64_t lns_relax_base = 0;
+    /// Cooperative cancellation: search returns (with the best incumbent so
+    /// far) soon after the token is cancelled. Not owned; may be null.
+    const CancelToken* cancel = nullptr;
+    /// Cross-worker incumbent sharing (set by the concurrent backends, null
+    /// for standalone solves): local improvements are published here, the
+    /// published bound sharpens branch-and-bound cuts, and LNS periodically
+    /// adopts a better shared incumbent. Not owned.
+    IncumbentStore* shared = nullptr;
+    /// This worker's index into `shared`'s publication marks.
+    int worker_id = 0;
   };
 
   /// Run propagation + the selected search backend (see

@@ -1,0 +1,264 @@
+#include "solver/portfolio.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "solver/lns.h"
+#include "solver/sync.h"
+
+namespace cologne::solver {
+
+namespace {
+
+// Decorrelate per-worker seeds from the base seed so two workers never
+// replay the same randomized walk.
+uint64_t MixSeed(uint64_t seed, uint64_t salt) {
+  return SplitMix64(seed + 0x9E3779B97F4A7C15ull * salt);
+}
+
+struct WorkerConfig {
+  Model::Options options;
+  std::string label;
+};
+
+// Race width actually used. Wall-clock-bounded solves are capped at the
+// hardware thread count: time-slicing N workers over fewer cores starves
+// every one of them of its share of the deadline (each would get budget/N of
+// CPU), so oversubscribing strictly loses. Deterministic budgets (node or
+// iteration limits with no wall clock) are per-worker CPU work and immune to
+// time-slicing, so the requested width always races — which also keeps the
+// shared-incumbent machinery exercised on single-core CI runners.
+int EffectiveWorkers(const Model::Options& options) {
+  // 256 mirrors the planner's SOLVER_WORKERS bound; C++ callers bypass that
+  // validation, and an unbounded request would abort on thread exhaustion.
+  int workers = std::clamp(options.num_workers, 1, 256);
+  if (options.time_limit_ms > 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) workers = std::min(workers, static_cast<int>(hw));
+  }
+  return workers;
+}
+
+size_t CountDecisions(const Model& model) {
+  size_t n = 0;
+  for (size_t id = 0; id < model.num_vars(); ++id) {
+    if (model.IsDecision(IntVar{static_cast<int32_t>(id)})) ++n;
+  }
+  return n > 0 ? n : model.num_vars();
+}
+
+// Run every configured worker to completion on its own thread and merge the
+// race outcome. Each worker publishes improvements into `store` as it finds
+// them (SearchContext::RecordSolution); a worker whose Solve returns a proof
+// (kOptimal / kInfeasible) cancels the rest of the race.
+Solution RunRace(const Model& model, std::vector<WorkerConfig> configs,
+                 IncumbentStore& store, CancelToken& cancel) {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t n = configs.size();
+  std::vector<Solution> results(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&model, &configs, &results, &store, &cancel, i] {
+      const Model::Options& opts = configs[i].options;
+      Solution s = MakeSearchBackend(opts.backend)->Solve(model, opts);
+      // Final publication is normally redundant (improvements stream out of
+      // RecordSolution) but covers solutions adopted-then-kept verbatim.
+      if (s.has_solution()) store.Offer(s.objective, s.values, static_cast<int>(i));
+      if (s.status == SolveStatus::kOptimal ||
+          s.status == SolveStatus::kInfeasible) {
+        cancel.Cancel();
+      }
+      results[i] = std::move(s);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  Solution out;
+  SolveStats& st = out.stats;
+  bool any_proof = false;
+  bool any_infeasible = false;
+  for (size_t i = 0; i < n; ++i) {
+    const SolveStats& ws = results[i].stats;
+    st.nodes += ws.nodes;
+    st.failures += ws.failures;
+    st.solutions += ws.solutions;
+    st.propagations += ws.propagations;
+    st.iterations += ws.iterations;
+    st.restarts += ws.restarts;
+    st.peak_memory_bytes = std::max(st.peak_memory_bytes, ws.peak_memory_bytes);
+    any_proof |= results[i].status == SolveStatus::kOptimal ||
+                 results[i].status == SolveStatus::kInfeasible;
+    any_infeasible |= results[i].status == SolveStatus::kInfeasible;
+
+    WorkerSolveStats w;
+    w.config = std::move(configs[i].label);
+    w.nodes = ws.nodes;
+    w.iterations = ws.iterations;
+    w.restarts = ws.restarts;
+    IncumbentStore::WorkerMark mark = store.mark(static_cast<int>(i));
+    w.improvements = mark.improvements;
+    w.last_improve_ms = mark.last_improve_ms;
+    st.per_worker.push_back(std::move(w));
+  }
+
+  int winner = -1;
+  int64_t objective = 0;
+  std::vector<int64_t> values;
+  if (store.Snapshot(&objective, &values, &winner)) {
+    out.values = std::move(values);
+    out.objective = objective;
+    // Any worker that finished with a proof certifies the shared best: a
+    // complete search that exhausted while pruning against the shared bound
+    // shows nothing strictly better exists — even when it reports
+    // kInfeasible because the bound cut away its whole local tree.
+    out.status = any_proof ? SolveStatus::kOptimal : SolveStatus::kFeasible;
+    if (winner >= 0 && static_cast<size_t>(winner) < st.per_worker.size()) {
+      st.per_worker[static_cast<size_t>(winner)].winner = true;
+    }
+  } else {
+    // No worker published a solution: infeasibility only on a real proof.
+    out.status =
+        any_infeasible ? SolveStatus::kInfeasible : SolveStatus::kUnknown;
+  }
+  st.wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  return out;
+}
+
+// Worker options common to both backends: sequential sub-backend wired to
+// the race's shared state. Every worker inherits the caller's warm-start
+// hint, so the runtime's cross-solve cache seeds the whole race.
+Model::Options WorkerBase(const Model::Options& base, IncumbentStore* store,
+                          CancelToken* cancel, int worker) {
+  Model::Options o = base;
+  o.num_workers = 1;
+  o.shared = store;
+  o.cancel = cancel;
+  o.worker_id = worker;
+  return o;
+}
+
+// The portfolio mix, cycled over workers: complete B&B (can prove
+// optimality), an LNS walk with the caller's seed, B&B with Luby restarts,
+// then further LNS walks with distinct seeds and relax-k.
+std::vector<WorkerConfig> BuildPortfolio(const Model& model,
+                                         const Model::Options& base,
+                                         int workers, IncumbentStore* store,
+                                         CancelToken* cancel) {
+  const size_t decisions = CountDecisions(model);
+  std::vector<WorkerConfig> configs;
+  configs.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    WorkerConfig cfg;
+    cfg.options = WorkerBase(base, store, cancel, i);
+    Model::Options& o = cfg.options;
+    switch (i % 4) {
+      case 0:
+        o.backend = Backend::kBranchAndBound;
+        if (i == 0) {
+          cfg.label =
+              o.restart_base_nodes > 0
+                  ? StrFormat("bnb+luby(%llu)", static_cast<unsigned long long>(
+                                                    o.restart_base_nodes))
+                  : "bnb";
+        } else {
+          // Second and later rounds of the cycle: plain B&B would replay
+          // round one's deterministic tree, so diversify with a mixed seed
+          // and a restart base distinct from the case-2 workers'.
+          o.seed = MixSeed(base.seed, static_cast<uint64_t>(i));
+          o.restart_base_nodes =
+              (base.restart_base_nodes > 0 ? base.restart_base_nodes : 256)
+              << std::min(i / 4, 4);
+          cfg.label = StrFormat(
+              "bnb+luby(%llu)",
+              static_cast<unsigned long long>(o.restart_base_nodes));
+        }
+        break;
+      case 1:
+        o.backend = Backend::kLns;
+        o.seed = i == 1 ? base.seed : MixSeed(base.seed, static_cast<uint64_t>(i));
+        cfg.label = StrFormat("lns(seed=%llu)",
+                              static_cast<unsigned long long>(o.seed));
+        break;
+      case 2:
+        o.backend = Backend::kBranchAndBound;
+        o.restart_base_nodes =
+            base.restart_base_nodes > 0 ? base.restart_base_nodes : 512;
+        o.seed = MixSeed(base.seed, static_cast<uint64_t>(i));
+        cfg.label = StrFormat(
+            "bnb+luby(%llu)",
+            static_cast<unsigned long long>(o.restart_base_nodes));
+        break;
+      default: {
+        o.backend = Backend::kLns;
+        o.seed = MixSeed(base.seed, static_cast<uint64_t>(i));
+        // Distinct relax-k per walk: alternate tight and wide neighborhoods
+        // around the adaptive default.
+        o.lns_relax_base = (i / 4) % 2 == 0
+                               ? 2
+                               : static_cast<uint64_t>(decisions / 4 + 1);
+        cfg.label = StrFormat("lns(seed=%llu,k=%llu)",
+                              static_cast<unsigned long long>(o.seed),
+                              static_cast<unsigned long long>(o.lns_relax_base));
+        break;
+      }
+    }
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+}  // namespace
+
+Solution PortfolioSearch::Solve(const Model& model,
+                                const Model::Options& options) const {
+  const int workers = EffectiveWorkers(options);
+  IncumbentStore store(model.sense() != Sense::kMaximize, workers);
+  CancelToken cancel(options.cancel);
+  return RunRace(model,
+                 BuildPortfolio(model, options, workers, &store, &cancel),
+                 store, cancel);
+}
+
+Solution ParallelLnsSearch::Solve(const Model& model,
+                                  const Model::Options& options) const {
+  const int workers = EffectiveWorkers(options);
+  // Single worker: run the sequential backend untouched (no shared state, no
+  // extra thread) so a fixed seed reproduces LnsSearch bit-for-bit.
+  if (workers == 1) return LnsSearch().Solve(model, options);
+
+  IncumbentStore store(model.sense() != Sense::kMaximize, workers);
+  CancelToken cancel(options.cancel);
+  const size_t decisions = CountDecisions(model);
+  std::vector<WorkerConfig> configs;
+  configs.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    WorkerConfig cfg;
+    cfg.options = WorkerBase(options, &store, &cancel, i);
+    Model::Options& o = cfg.options;
+    o.backend = Backend::kLns;
+    o.seed = i == 0 ? options.seed : MixSeed(options.seed, static_cast<uint64_t>(i));
+    // Every third walk explores wide neighborhoods; the rest keep the
+    // caller's (or adaptive) relax-k.
+    if (i % 3 == 2) o.lns_relax_base = static_cast<uint64_t>(decisions / 4 + 1);
+    cfg.label =
+        o.lns_relax_base > 0
+            ? StrFormat("lns(seed=%llu,k=%llu)",
+                        static_cast<unsigned long long>(o.seed),
+                        static_cast<unsigned long long>(o.lns_relax_base))
+            : StrFormat("lns(seed=%llu)",
+                        static_cast<unsigned long long>(o.seed));
+    configs.push_back(std::move(cfg));
+  }
+  return RunRace(model, std::move(configs), store, cancel);
+}
+
+}  // namespace cologne::solver

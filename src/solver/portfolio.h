@@ -1,0 +1,50 @@
+// Concurrent search backends: portfolio racing and parallel LNS.
+//
+// Cologne shards one optimization across per-node solvers (the paper's
+// per-data-center instances); these backends apply the same idea across
+// cores within one invokeSolver event. Both run N workers against a shared
+// IncumbentStore under one wall-clock deadline and a cooperative CancelToken
+// (solver/sync.h):
+//
+//  * PortfolioSearch races heterogeneous configurations — complete B&B,
+//    B&B with Luby restarts, and LNS walks with distinct seeds and relax-k —
+//    publishing every improvement; the first worker to prove optimality (or
+//    infeasibility) cancels the rest.
+//  * ParallelLnsSearch runs N independently seeded LNS walks that
+//    periodically adopt the best shared incumbent, mirroring Fioretto et
+//    al.'s distributed LNS at thread granularity.
+//
+// Determinism contract: ParallelLnsSearch with num_workers == 1 delegates to
+// the sequential LnsSearch, so a fixed seed reproduces its solutions
+// bit-for-bit. With more workers, results depend on publication timing.
+#ifndef COLOGNE_SOLVER_PORTFOLIO_H_
+#define COLOGNE_SOLVER_PORTFOLIO_H_
+
+#include "solver/search_backend.h"
+
+namespace cologne::solver {
+
+/// \brief Races heterogeneous search configurations on one shared deadline.
+class PortfolioSearch : public SearchBackend {
+ public:
+  Solution Solve(const Model& model,
+                 const Model::Options& options) const override;
+  const char* name() const override {
+    return BackendName(Backend::kPortfolio);
+  }
+};
+
+/// \brief N seeded LNS walks sharing (and periodically adopting) one
+/// incumbent.
+class ParallelLnsSearch : public SearchBackend {
+ public:
+  Solution Solve(const Model& model,
+                 const Model::Options& options) const override;
+  const char* name() const override {
+    return BackendName(Backend::kParallelLns);
+  }
+};
+
+}  // namespace cologne::solver
+
+#endif  // COLOGNE_SOLVER_PORTFOLIO_H_

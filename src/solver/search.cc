@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "solver/lns.h"
 #include "solver/model.h"
+#include "solver/portfolio.h"
 #include "solver/search_backend.h"
 #include "solver/search_internal.h"
 
@@ -103,17 +104,26 @@ class BranchAndBound : public SearchBackend {
       // dive on, value order is randomized to diversify. The incumbent (and
       // with it the objective cut) carries across dives.
       Rng rng(options.seed);
+      std::vector<int64_t> incumbent_hint;
       for (uint64_t i = 1;; ++i) {
         SearchContext::DiveLimits dive = limits;
         dive.node_budget = options.restart_base_nodes * Luby(i);
         dive.shuffle_rng = i > 1 ? &rng : nullptr;
+        // Warm-start-aware restarts: once an incumbent exists, it becomes
+        // the value-order hint of every later dive — each restart descends
+        // into the incumbent's basin first while the shuffle diversifies the
+        // rest of the tree, instead of re-rolling value order blindly.
+        if (i > 1 && inc.found) {
+          incumbent_hint = inc.values;
+          dive.hint = &incumbent_hint;
+        }
         DiveEnd end = ctx.Dive(root, dive, &inc);
         if (end == DiveEnd::kExhausted || end == DiveEnd::kFirstSolution) {
           cutoff = false;
           break;
         }
         cutoff = true;
-        if (ctx.out_of_time() || ctx.node_limit_hit() ||
+        if (ctx.ShouldStop() ||
             (limits.soft_deadline_ms > 0 && inc.found &&
              ctx.elapsed_ms() > limits.soft_deadline_ms)) {
           break;
@@ -127,6 +137,7 @@ class BranchAndBound : public SearchBackend {
       LnsParams params;
       params.seed = options.seed;
       params.max_iterations = options.max_iterations;
+      params.relax_base = options.lns_relax_base;
       params.have_objective_bound = true;
       params.objective_bound = objective_bound;
       if (LnsImprove(ctx, params, &inc)) {
@@ -164,6 +175,10 @@ std::unique_ptr<SearchBackend> MakeSearchBackend(Backend backend) {
       return std::make_unique<BranchAndBound>();
     case Backend::kLns:
       return std::make_unique<LnsSearch>();
+    case Backend::kPortfolio:
+      return std::make_unique<PortfolioSearch>();
+    case Backend::kParallelLns:
+      return std::make_unique<ParallelLnsSearch>();
   }
   return std::make_unique<BranchAndBound>();
 }

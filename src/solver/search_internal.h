@@ -136,6 +136,31 @@ class SearchContext {
   bool node_limit_hit() const {
     return options_.node_limit > 0 && stats.nodes >= options_.node_limit;
   }
+  bool cancelled() const {
+    return options_.cancel != nullptr && options_.cancel->cancelled();
+  }
+  /// Combined stop condition of the improvement loops: budget exhausted or
+  /// a concurrent worker cancelled the race.
+  bool ShouldStop() const {
+    return cancelled() || out_of_time() || node_limit_hit();
+  }
+
+  /// Adopt the shared incumbent when a concurrent worker published one that
+  /// strictly improves on `inc` (no-op for sequential solves). `seen_version`
+  /// is the caller's poll cursor into the store's version counter.
+  bool AdoptShared(Incumbent* inc, uint64_t* seen_version) {
+    if (options_.shared == nullptr) return false;
+    int64_t obj = 0;
+    std::vector<int64_t> values;
+    if (!options_.shared->AdoptIfBetter(inc->found, inc->objective,
+                                        seen_version, &obj, &values)) {
+      return false;
+    }
+    inc->found = true;
+    inc->objective = obj;
+    inc->values = std::move(values);
+    return true;
+  }
 
   struct DiveLimits {
     uint64_t node_budget = 0;   ///< Nodes for this dive; 0 = unlimited.
@@ -192,12 +217,15 @@ class SearchContext {
         return DiveEnd::kCutoff;
       }
       if (node_limit_hit()) return DiveEnd::kCutoff;
-      if ((stats.nodes & 0xFF) == 0 && options_.time_limit_ms > 0) {
-        double t = elapsed_ms();
-        if (t > options_.time_limit_ms ||
-            (limits.soft_deadline_ms > 0 && inc->found &&
-             t > limits.soft_deadline_ms)) {
-          return DiveEnd::kCutoff;
+      if ((stats.nodes & 0xFF) == 0) {
+        if (cancelled()) return DiveEnd::kCutoff;
+        if (options_.time_limit_ms > 0) {
+          double t = elapsed_ms();
+          if (t > options_.time_limit_ms ||
+              (limits.soft_deadline_ms > 0 && inc->found &&
+               t > limits.soft_deadline_ms)) {
+            return DiveEnd::kCutoff;
+          }
         }
       }
       Frame& top = stack.back();
@@ -246,18 +274,35 @@ class SearchContext {
       inc->objective = obj;
       inc->values = std::move(vals);
       ++stats.solutions;
+      // Racing with other workers: publish the improvement. The store keeps
+      // it only when it beats every other worker's best.
+      if (options_.shared != nullptr) {
+        options_.shared->Offer(obj, inc->values, options_.worker_id);
+      }
     }
   }
 
-  /// Clamp the objective domain of `doms` to strictly-better-than-incumbent;
-  /// false when the clamp empties it.
+  /// Clamp the objective domain of `doms` to strictly-better-than-incumbent
+  /// (the tighter of the local incumbent and the shared race bound, when a
+  /// concurrent worker published one); false when the clamp empties it.
   bool ApplyBound(std::vector<IntDomain>& doms, std::vector<int32_t>* changed,
                   const Incumbent& inc) {
-    if (!inc.found || !optimizing()) return true;
+    if (!optimizing()) return true;
+    bool have = inc.found;
+    int64_t bound = inc.objective;
+    if (options_.shared != nullptr) {
+      int64_t shared_bound = 0;
+      if (options_.shared->BestObjective(&shared_bound) &&
+          (!have || (minimizing() ? shared_bound < bound
+                                  : shared_bound > bound))) {
+        have = true;
+        bound = shared_bound;
+      }
+    }
+    if (!have) return true;
     IntVar obj_var = model_.objective_var();
     IntDomain& od = doms[static_cast<size_t>(obj_var.id)];
-    bool ch = minimizing() ? od.ClampMax(inc.objective - 1)
-                           : od.ClampMin(inc.objective + 1);
+    bool ch = minimizing() ? od.ClampMax(bound - 1) : od.ClampMin(bound + 1);
     if (od.empty()) return false;
     if (ch) changed->push_back(obj_var.id);
     return true;

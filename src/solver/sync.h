@@ -1,0 +1,167 @@
+// Cross-worker synchronization primitives for the concurrent search backends
+// (portfolio racing and parallel LNS, solver/portfolio.{h,cc}).
+//
+// Both primitives are cooperative: single-threaded backends never touch them
+// (Model::Options carries null pointers by default), so sequential solves pay
+// nothing and stay bit-for-bit deterministic.
+#ifndef COLOGNE_SOLVER_SYNC_H_
+#define COLOGNE_SOLVER_SYNC_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cologne::solver {
+
+/// \brief Cooperative cancellation flag checked from search inner loops.
+///
+/// Tokens chain: a worker's token is cancelled when either it or any ancestor
+/// is, so a caller-supplied token keeps working when a backend wraps it in a
+/// per-race token of its own.
+class CancelToken {
+ public:
+  explicit CancelToken(const CancelToken* parent = nullptr)
+      : parent_(parent) {}
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->cancelled());
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_;
+};
+
+/// \brief Mutex-guarded best-solution store shared by concurrent search
+/// workers.
+///
+/// Workers publish every local improvement through Offer(); the store keeps
+/// the globally best assignment, stamps who found it and when, and exposes a
+/// lock-free objective bound (`BestObjective`) that branch-and-bound pruning
+/// reads on the hot path without taking the mutex.
+class IncumbentStore {
+ public:
+  /// `minimize` fixes the comparison direction for the whole race;
+  /// `num_workers` sizes the per-worker publication marks.
+  explicit IncumbentStore(bool minimize, int num_workers = 1)
+      : minimize_(minimize),
+        marks_(static_cast<size_t>(num_workers > 0 ? num_workers : 1)),
+        start_(std::chrono::steady_clock::now()) {}
+  IncumbentStore(const IncumbentStore&) = delete;
+  IncumbentStore& operator=(const IncumbentStore&) = delete;
+
+  /// Per-worker publication accounting (read after the race via `mark`).
+  struct WorkerMark {
+    uint64_t improvements = 0;   ///< Offers that became the global best.
+    double last_improve_ms = 0;  ///< Store-relative stamp of the last one.
+  };
+
+  /// Publish `values` with objective `objective` found by `worker`. Keeps it
+  /// only when it strictly improves the current best (or is the first);
+  /// returns true in that case.
+  bool Offer(int64_t objective, const std::vector<int64_t>& values,
+             int worker) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (found_ && !Better(objective, objective_)) return false;
+    found_ = true;
+    objective_ = objective;
+    values_ = values;
+    winner_ = worker;
+    version_.fetch_add(1, std::memory_order_release);
+    // Bound before flag (release/acquire pair with BestObjective): a reader
+    // that sees the flag must see a valid bound, never the initial zero.
+    bound_.store(objective, std::memory_order_relaxed);
+    has_bound_.store(true, std::memory_order_release);
+    if (static_cast<size_t>(worker) < marks_.size()) {
+      WorkerMark& m = marks_[static_cast<size_t>(worker)];
+      ++m.improvements;
+      m.last_improve_ms = elapsed_ms();
+    }
+    return true;
+  }
+
+  /// Lock-free read of the best published objective; false when nothing has
+  /// been published yet. Safe to call from search inner loops. May return a
+  /// slightly stale (older, still valid) bound — bounds only improve.
+  bool BestObjective(int64_t* out) const {
+    if (!has_bound_.load(std::memory_order_acquire)) return false;
+    *out = bound_.load(std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Monotone publication counter; lets pollers skip the mutex when nothing
+  /// changed since the version they last saw.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Copy out the current best when it exists and strictly improves on the
+  /// caller's incumbent (`have_local`/`local_objective`). `*seen_version` is
+  /// refreshed either way so unchanged stores are skipped cheaply next time.
+  bool AdoptIfBetter(bool have_local, int64_t local_objective,
+                     uint64_t* seen_version, int64_t* objective,
+                     std::vector<int64_t>* values) const {
+    uint64_t v = version();
+    if (v == *seen_version) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    *seen_version = version_.load(std::memory_order_relaxed);
+    if (!found_) return false;
+    if (have_local && !Better(objective_, local_objective)) return false;
+    *objective = objective_;
+    *values = values_;
+    return true;
+  }
+
+  /// Copy out the final best (race end). False when no worker published.
+  bool Snapshot(int64_t* objective, std::vector<int64_t>* values,
+                int* winner = nullptr) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!found_) return false;
+    *objective = objective_;
+    *values = values_;
+    if (winner != nullptr) *winner = winner_;
+    return true;
+  }
+
+  WorkerMark mark(int worker) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<size_t>(worker) >= marks_.size()) return {};
+    return marks_[static_cast<size_t>(worker)];
+  }
+
+  /// Milliseconds since the store was created (the race clock all worker
+  /// publication stamps are relative to).
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  bool minimize() const { return minimize_; }
+
+ private:
+  bool Better(int64_t a, int64_t b) const {
+    return minimize_ ? a < b : a > b;
+  }
+
+  const bool minimize_;
+  mutable std::mutex mu_;
+  bool found_ = false;
+  int64_t objective_ = 0;
+  std::vector<int64_t> values_;
+  int winner_ = -1;
+  std::vector<WorkerMark> marks_;
+  std::atomic<uint64_t> version_{0};
+  // Denormalized copy of `objective_` for lock-free pruning reads.
+  std::atomic<bool> has_bound_{false};
+  std::atomic<int64_t> bound_{0};
+  const std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cologne::solver
+
+#endif  // COLOGNE_SOLVER_SYNC_H_

@@ -104,6 +104,8 @@ const char* BackendName(Backend b) {
   switch (b) {
     case Backend::kBranchAndBound: return "bnb";
     case Backend::kLns: return "lns";
+    case Backend::kPortfolio: return "portfolio";
+    case Backend::kParallelLns: return "parallel_lns";
   }
   return "?";
 }
@@ -115,6 +117,14 @@ bool ParseBackend(const std::string& name, Backend* out) {
   }
   if (name == "lns") {
     *out = Backend::kLns;
+    return true;
+  }
+  if (name == "portfolio") {
+    *out = Backend::kPortfolio;
+    return true;
+  }
+  if (name == "parallel_lns") {
+    *out = Backend::kParallelLns;
     return true;
   }
   return false;

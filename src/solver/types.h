@@ -66,10 +66,12 @@ struct LinExpr {
 enum class Backend : uint8_t {
   kBranchAndBound,  ///< Copy-based depth-first branch-and-bound (complete).
   kLns,             ///< Large Neighborhood Search (anytime, incomplete).
+  kPortfolio,       ///< Race heterogeneous configurations on one deadline.
+  kParallelLns,     ///< N seeded LNS walks sharing one incumbent.
 };
 
-/// Human-readable backend name ("bnb", "lns") — also the spelling accepted
-/// by the Colog SOLVER_BACKEND knob.
+/// Human-readable backend name ("bnb", "lns", "portfolio", "parallel_lns") —
+/// also the spelling accepted by the Colog SOLVER_BACKEND knob.
 const char* BackendName(Backend b);
 /// Parse a backend name; false when `name` is not a known backend.
 bool ParseBackend(const std::string& name, Backend* out);
@@ -86,6 +88,18 @@ enum class SolveStatus : uint8_t {
 /// Human-readable status name.
 const char* SolveStatusName(SolveStatus s);
 
+/// Per-worker accounting for the concurrent backends (portfolio racing and
+/// parallel LNS). Sequential backends leave SolveStats::per_worker empty.
+struct WorkerSolveStats {
+  std::string config;        ///< Worker configuration, e.g. "lns(seed=7)".
+  uint64_t nodes = 0;        ///< Choice points this worker explored.
+  uint64_t iterations = 0;   ///< Improvement iterations this worker ran.
+  uint64_t restarts = 0;     ///< Restarts this worker performed.
+  uint64_t improvements = 0; ///< Shared-incumbent publications that won.
+  double last_improve_ms = 0;///< Race-relative stamp of the last publication.
+  bool winner = false;       ///< Produced the final incumbent.
+};
+
 /// Search statistics reported by Model::Solve.
 struct SolveStats {
   uint64_t nodes = 0;        ///< Choice points explored.
@@ -99,6 +113,9 @@ struct SolveStats {
                              ///< diversification resets for LNS).
   double wall_ms = 0;        ///< Elapsed wall-clock milliseconds.
   size_t peak_memory_bytes = 0;  ///< Approximate peak search-state memory.
+  /// Concurrent backends only: one entry per racing worker (counters above
+  /// are the sums/maxima across workers).
+  std::vector<WorkerSolveStats> per_worker;
 };
 
 /// Result of Model::Solve: status, assignment (by variable id), objective.

@@ -310,6 +310,7 @@ TEST(SolverKnobsTest, KnobsExtractedIntoCompiledProgram) {
       "param SOLVER_MAX_TIME = 750.\n"
       "param SOLVER_SEED = 13.\n"
       "param SOLVER_RESTARTS = 256.\n"
+      "param SOLVER_WORKERS = 4.\n"
       "goal satisfy.\n");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   const SolverKnobsIR& knobs = r.value().knobs;
@@ -321,6 +322,18 @@ TEST(SolverKnobsTest, KnobsExtractedIntoCompiledProgram) {
   EXPECT_EQ(*knobs.seed, 13u);
   ASSERT_TRUE(knobs.restart_base_nodes.has_value());
   EXPECT_EQ(*knobs.restart_base_nodes, 256u);
+  ASSERT_TRUE(knobs.workers.has_value());
+  EXPECT_EQ(*knobs.workers, 4u);
+}
+
+TEST(SolverKnobsTest, ConcurrentBackendSpellingsAccepted) {
+  for (const char* name : {"portfolio", "parallel_lns"}) {
+    auto r = CompileColog("param SOLVER_BACKEND = \"" + std::string(name) +
+                          "\".\ngoal satisfy.\n");
+    ASSERT_TRUE(r.ok()) << name << ": " << r.status().ToString();
+    ASSERT_TRUE(r.value().knobs.backend.has_value());
+    EXPECT_EQ(*r.value().knobs.backend, name);
+  }
 }
 
 TEST(SolverKnobsTest, UnknownOrInvalidKnobsRejected) {
@@ -342,6 +355,16 @@ TEST(SolverKnobsTest, UnknownOrInvalidKnobsRejected) {
   auto bad_seed =
       CompileColog("param SOLVER_SEED = \"x\".\ngoal satisfy.\n");
   EXPECT_FALSE(bad_seed.ok());
+
+  // SOLVER_WORKERS is bounded to [1, 256].
+  auto zero_workers =
+      CompileColog("param SOLVER_WORKERS = 0.\ngoal satisfy.\n");
+  ASSERT_FALSE(zero_workers.ok());
+  EXPECT_NE(zero_workers.status().message().find("SOLVER_WORKERS"),
+            std::string::npos);
+  auto too_many_workers =
+      CompileColog("param SOLVER_WORKERS = 1000.\ngoal satisfy.\n");
+  EXPECT_FALSE(too_many_workers.ok());
 }
 
 }  // namespace

@@ -162,7 +162,9 @@ TEST_F(ACloudRuntimeTest, MigrationLimitChangesSolution) {
   // Both VMs stay on host 100 even though splitting balances better.
   datalog::Table* assign = inst.engine().GetTable("assign");
   for (const Row& row : assign->Rows()) {
-    if (row[2].as_int() == 1) EXPECT_EQ(row[1].as_int(), 100);
+    if (row[2].as_int() == 1) {
+      EXPECT_EQ(row[1].as_int(), 100);
+    }
   }
 }
 
@@ -284,6 +286,7 @@ param SOLVER_BACKEND = "lns".
 param SOLVER_MAX_TIME = 250.
 param SOLVER_SEED = 99.
 param SOLVER_RESTARTS = 128.
+param SOLVER_WORKERS = 3.
 goal minimize C in cost(C).
 var pick(I,V) forall item(I) domain [0,1].
 d1 cost(SUM<V>) <- pick(I,V).
@@ -297,6 +300,7 @@ d1 cost(SUM<V>) <- pick(I,V).
   EXPECT_DOUBLE_EQ(inst.solve_options().time_limit_ms, 250);
   EXPECT_EQ(inst.solve_options().seed, 99u);
   EXPECT_EQ(inst.solve_options().restart_base_nodes, 128u);
+  EXPECT_EQ(inst.solve_options().num_workers, 3);
 }
 
 TEST(FollowTheSunRuntimeTest, TwoNodeNegotiationMovesVmsTowardCheapComm) {

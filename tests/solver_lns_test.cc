@@ -10,37 +10,10 @@
 
 #include "solver/model.h"
 #include "solver/search_backend.h"
+#include "solver_test_util.h"
 
 namespace cologne::solver {
 namespace {
-
-// ACloud-shaped model: `vms` VMs on `hosts` hosts via 0/1 decision
-// variables, exactly one host per VM, minimize the squared load imbalance.
-std::unique_ptr<Model> MakeACloudModel(int vms, int hosts) {
-  auto m = std::make_unique<Model>();
-  std::vector<std::vector<IntVar>> v(static_cast<size_t>(vms));
-  for (int i = 0; i < vms; ++i) {
-    LinExpr one;
-    for (int h = 0; h < hosts; ++h) {
-      IntVar b = m->NewBool();
-      m->MarkDecision(b);
-      v[static_cast<size_t>(i)].push_back(b);
-      one += LinExpr(b);
-    }
-    m->PostRel(one, Rel::kEq, LinExpr(1));
-  }
-  LinExpr obj;
-  for (int h = 0; h < hosts; ++h) {
-    LinExpr load;
-    for (int i = 0; i < vms; ++i) {
-      load += LinExpr::Term(10 + (i * 13) % 50,
-                            v[static_cast<size_t>(i)][static_cast<size_t>(h)]);
-    }
-    obj += LinExpr(m->MakeSquare(load));
-  }
-  m->Minimize(obj);
-  return m;
-}
 
 // Wireless-shaped model: per-link channel decisions in [1, channels],
 // minimize the number of adjacent links on interfering (distance < 2)
@@ -67,7 +40,10 @@ TEST(LnsTest, FeasibleOnACloudShape) {
   auto m = MakeACloudModel(12, 4);
   Model::Options o;
   o.backend = Backend::kLns;
-  o.time_limit_ms = 200;
+  // Iteration-capped, no wall clock: the improvement loop always runs even
+  // on a slow sanitizer build or a loaded CI runner.
+  o.time_limit_ms = 0;
+  o.max_iterations = 40;
   Solution s = m->Solve(o);
   ASSERT_TRUE(s.has_solution());
   EXPECT_EQ(s.backend, Backend::kLns);
@@ -130,6 +106,9 @@ TEST(LnsTest, ObjectiveNoWorseThanBnbAtEqual100MsBudget) {
   // Wall-clock form at the ISSUE's 100 ms: both backends converge to
   // near-identical quality here, so allow a 1% slack for scheduler jitter
   // around ties (the deterministic node-budget test above is strict).
+  if (kSanitizerBuild) {
+    GTEST_SKIP() << "wall-clock comparison skipped under sanitizers";
+  }
   const double budget_ms = 100;
   auto bnb_model = MakeACloudModel(28, 4);
   Model::Options bo;
@@ -257,7 +236,10 @@ TEST(WarmStartTest, LnsUsesHintAsInitialAssignment) {
 TEST(RestartTest, LubyRestartsAreCountedAndHarmless) {
   auto m = MakeACloudModel(12, 4);
   Model::Options o;
-  o.time_limit_ms = 150;
+  // Node-budgeted, no wall clock: the 64-node Luby dives always cycle a few
+  // times before the 4000-node cap, however slow the build.
+  o.time_limit_ms = 0;
+  o.node_limit = 4000;
   o.restart_base_nodes = 64;
   o.seed = 7;
   Solution s = m->Solve(o);
