@@ -1,37 +1,147 @@
 // Figure 4: Follow-the-Sun — normalized total cost as distributed solving
-// converges, for 2..10 data centers.
+// converges, for 2..10 data centers. A churn section then replays a fixed
+// 4-DC workload under injected faults (0%/5%/20% loss and one mid-run node
+// crash), emitting objective-vs-time rows to BENCH_churn.json so the
+// robustness trajectory is recorded alongside the happy-path figures.
 #include <cstdio>
+#include <string>
 
 #include "apps/followsun.h"
+#include "common/stats.h"
+#include "common/strings.h"
 
 using namespace cologne;
 using namespace cologne::apps;
 
-int main() {
-  printf("Figure 4: total cost as distributed solving converges\n");
-  printf("(normalized to 100%% at t=0; one line per network size)\n\n");
-  for (int n : {2, 4, 6, 8, 10}) {
+namespace {
+
+// Loss on every link for the whole run, plus (optionally) one crash with
+// restart two rounds later.
+net::FaultPlan ChurnPlan(double loss, bool crash, int num_dcs,
+                         uint64_t seed) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  if (loss > 0) {
+    for (int a = 0; a < num_dcs; ++a) {
+      for (int b = a + 1; b < num_dcs; ++b) {
+        net::LinkFault f;
+        f.a = a;
+        f.b = b;
+        f.loss.push_back({0.0, 1e9, loss});
+        plan.links.push_back(std::move(f));
+      }
+    }
+  }
+  if (crash) {
+    net::CrashFault c;
+    c.node = 1;
+    c.t = 7.0;        // mid-negotiation (round 2)
+    c.restart_t = 17.0;
+    plan.crashes.push_back(c);
+  }
+  return plan;
+}
+
+int RunChurn(FILE* out_file) {
+  struct Case {
+    const char* label;
+    double loss;
+    bool crash;
+  };
+  const Case cases[] = {
+      {"loss0", 0.0, false},
+      {"loss5", 0.05, false},
+      {"loss20", 0.20, false},
+      {"crash1", 0.0, true},
+  };
+  printf("\nChurn: objective vs time under loss/crash (BENCH_churn.json)\n");
+  for (const Case& c : cases) {
     FtsConfig cfg;
-    cfg.num_dcs = n;
-    cfg.seed = 100 + static_cast<uint64_t>(n);
-    FollowTheSunScenario scenario(cfg);
-    auto r = scenario.Run();
+    cfg.num_dcs = 4;
+    cfg.seed = 104;
+    cfg.fault_plan = ChurnPlan(c.loss, c.crash, cfg.num_dcs, cfg.seed);
+    FollowTheSunScenario faulted(cfg);
+    auto r = faulted.Run();
     if (!r.ok()) {
-      printf("n=%d failed: %s\n", n, r.status().ToString().c_str());
+      printf("churn case %s failed: %s\n", c.label,
+             r.status().ToString().c_str());
       return 1;
     }
     const FtsResult& res = r.value();
-    printf("%2d data centers: ", n);
     for (const FtsSample& s : res.series) {
-      printf("t=%.0fs:%.1f%% ", s.t_s, s.normalized);
+      std::string row = StrFormat(
+          "{\"bench\":\"followsun_churn\",\"case\":\"%s\",\"loss_pct\":%.1f,"
+          "\"crash\":%d,\"seed\":%llu,\"t_s\":%.1f,\"cost\":%.1f,"
+          "\"normalized\":%.2f,\"failed_rounds\":%d,\"recovered_rounds\":%d,"
+          "\"drops\":%llu}",
+          c.label, c.loss * 100, c.crash ? 1 : 0,
+          static_cast<unsigned long long>(cfg.seed), s.t_s, s.total_cost,
+          s.normalized, res.failed_rounds, res.recovered_rounds,
+          static_cast<unsigned long long>(res.messages_dropped));
+      printf("%s\n", row.c_str());
+      if (out_file != nullptr) fprintf(out_file, "%s\n", row.c_str());
     }
-    printf("\n                 cost reduction %.1f%%, converged in %.0fs "
-           "(%d rounds), %d VM units migrated\n",
-           res.reduction_pct, res.converge_time_s, res.rounds,
-           res.total_vms_migrated);
+    // Summary SolveRecord row with the churn columns for the shared
+    // bench-smoke schema validation.
+    SolveRecord rec;
+    rec.bench = std::string("followsun_churn_") + c.label;
+    rec.backend = "bnb";
+    rec.seed = cfg.seed;
+    rec.wall_ms = res.avg_link_solve_ms;
+    rec.objective = res.final_cost;
+    rec.has_objective = true;
+    rec.loss_pct = c.loss * 100;
+    rec.crashes = static_cast<uint64_t>(res.crashes);
+    rec.drops = res.messages_dropped;
+    rec.failed_rounds = static_cast<uint64_t>(res.failed_rounds);
+    rec.recovered_rounds = static_cast<uint64_t>(res.recovered_rounds);
+    printf("%s\n", rec.ToJsonLine().c_str());
+    printf("  %s: final %.1f (%.1f%% of initial), %d rounds, "
+           "%d failed, %d recovered, %llu drops, %d crashes\n",
+           c.label, res.final_cost,
+           res.final_cost / res.initial_cost * 100, res.rounds,
+           res.failed_rounds, res.recovered_rounds,
+           static_cast<unsigned long long>(res.messages_dropped),
+           res.crashes);
   }
-  printf("\n(paper: reduction ranges from 40.4%% at 2 DCs down to 11.2%% at\n"
-         " 10 DCs — the distributed approximation weakens as the problem\n"
-         " grows; larger networks also take longer to converge)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional arg: churn-only mode for CI smoke ("churn").
+  bool churn_only = argc > 1 && std::string(argv[1]) == "churn";
+  if (!churn_only) {
+    printf("Figure 4: total cost as distributed solving converges\n");
+    printf("(normalized to 100%% at t=0; one line per network size)\n\n");
+    for (int n : {2, 4, 6, 8, 10}) {
+      FtsConfig cfg;
+      cfg.num_dcs = n;
+      cfg.seed = 100 + static_cast<uint64_t>(n);
+      FollowTheSunScenario scenario(cfg);
+      auto r = scenario.Run();
+      if (!r.ok()) {
+        printf("n=%d failed: %s\n", n, r.status().ToString().c_str());
+        return 1;
+      }
+      const FtsResult& res = r.value();
+      printf("%2d data centers: ", n);
+      for (const FtsSample& s : res.series) {
+        printf("t=%.0fs:%.1f%% ", s.t_s, s.normalized);
+      }
+      printf("\n                 cost reduction %.1f%%, converged in %.0fs "
+             "(%d rounds), %d VM units migrated\n",
+             res.reduction_pct, res.converge_time_s, res.rounds,
+             res.total_vms_migrated);
+    }
+    printf("\n(paper: reduction ranges from 40.4%% at 2 DCs down to 11.2%% at\n"
+           " 10 DCs — the distributed approximation weakens as the problem\n"
+           " grows; larger networks also take longer to converge)\n");
+  }
+
+  FILE* churn = fopen("BENCH_churn.json", "w");
+  int rc = RunChurn(churn);
+  if (churn != nullptr) fclose(churn);
+  return rc;
 }

@@ -172,6 +172,8 @@ Result<int> ACloudScenario::RunCologne(int dc, runtime::Instance* inst,
                     Value::Int(config_.vm_mem_gb)});
     want_origin.insert({Value::Int(vm.id), Value::Int(vm.host)});
   }
+  // Fact refresh goes through the instance's durable journal (ApplyFact), so
+  // a crashed DC rebuilds its last-known workload on restart.
   for (const std::string& table : {std::string("vm"), std::string("origin")}) {
     const auto& want = table == "vm" ? want_vm : want_origin;
     for (const Row& row : eng.GetTable(table)->Rows()) {
@@ -181,22 +183,22 @@ Result<int> ACloudScenario::RunCologne(int dc, runtime::Instance* inst,
       for (const Row& w : want) {
         if (w[0] == row[0]) keep = true;
       }
-      if (!keep) COLOGNE_RETURN_IF_ERROR(eng.Apply(table, row, -1));
+      if (!keep) COLOGNE_RETURN_IF_ERROR(inst->ApplyFact(table, row, -1));
     }
     for (const Row& row : want) {
-      COLOGNE_RETURN_IF_ERROR(eng.Apply(table, row, +1));
+      COLOGNE_RETURN_IF_ERROR(inst->ApplyFact(table, row, +1));
     }
   }
   for (int h = lo_host; h < hi_host; ++h) {
-    COLOGNE_RETURN_IF_ERROR(eng.Apply(
+    COLOGNE_RETURN_IF_ERROR(inst->ApplyFact(
         "host",
         {Value::Int(h), Value::Int(residual[static_cast<size_t>(h)]),
          Value::Int(0)},
         +1));
-    COLOGNE_RETURN_IF_ERROR(eng.Apply(
+    COLOGNE_RETURN_IF_ERROR(inst->ApplyFact(
         "hostMemThres", {Value::Int(h), Value::Int(config_.host_mem_gb)}, +1));
   }
-  COLOGNE_RETURN_IF_ERROR(eng.Flush());
+  COLOGNE_RETURN_IF_ERROR(inst->Flush());
 
   if (movable.empty()) return 0;
 
@@ -275,6 +277,9 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
       opts.seed = config_.solver_seed;
       opts.warm_start = config_.solver_warm_start;
       inst->set_solve_options(opts);
+      if (config_.solve_trace != nullptr) {
+        inst->set_trace(config_.solve_trace);
+      }
       instances.push_back(std::move(inst));
     }
   }
@@ -282,13 +287,42 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
   std::vector<ACloudInterval> out;
   int intervals =
       static_cast<int>(config_.duration_hours * 3600 / config_.interval_s);
+  const bool cologne_policy =
+      policy == ACloudPolicy::kACloud || policy == ACloudPolicy::kACloudM;
   for (int step = 0; step <= intervals; ++step) {
     double t_s = step * config_.interval_s;
+    if (config_.solve_trace != nullptr) config_.solve_trace->SetTime(t_s);
     ApplyWorkloadOps(t_s);
     UpdateLoads(t_s);
 
     ACloudInterval m;
     m.t_hours = t_s / 3600.0;
+    // Injected instance crash/restart (Cologne policies only: the other
+    // policies hold no per-DC engine state to lose).
+    if (cologne_policy && step == config_.crash_interval &&
+        config_.crash_dc >= 0 && config_.crash_dc < config_.num_dcs) {
+      runtime::Instance* victim =
+          instances[static_cast<size_t>(config_.crash_dc)].get();
+      COLOGNE_RETURN_IF_ERROR(victim->Crash());
+      if (config_.solve_trace != nullptr) {
+        config_.solve_trace->Fault(
+            "crash", "\"node\":" + std::to_string(config_.crash_dc));
+      }
+    }
+    if (cologne_policy && step == config_.restart_interval &&
+        config_.crash_dc >= 0 && config_.crash_dc < config_.num_dcs &&
+        instances[static_cast<size_t>(config_.crash_dc)]->crashed()) {
+      runtime::Instance* victim =
+          instances[static_cast<size_t>(config_.crash_dc)].get();
+      COLOGNE_RETURN_IF_ERROR(
+          victim->Restart(config_.crash_retain_warm_start));
+      COLOGNE_RETURN_IF_ERROR(victim->ReplayBaseFacts());
+      m.recovered = true;
+      if (config_.solve_trace != nullptr) {
+        config_.solve_trace->Fault(
+            "restart", "\"node\":" + std::to_string(config_.crash_dc));
+      }
+    }
     switch (policy) {
       case ACloudPolicy::kDefault:
         break;
@@ -300,6 +334,10 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
       case ACloudPolicy::kACloud:
       case ACloudPolicy::kACloudM:
         for (int dc = 0; dc < config_.num_dcs; ++dc) {
+          if (instances[static_cast<size_t>(dc)]->crashed()) {
+            ++m.skipped_dcs;
+            continue;
+          }
           COLOGNE_ASSIGN_OR_RETURN(
               n, RunCologne(dc, instances[static_cast<size_t>(dc)].get(), &m));
           m.migrations += n;

@@ -53,6 +53,19 @@ struct ACloudConfig {
   bool solver_warm_start = true;
   uint64_t seed = 7;
   TraceConfig trace;
+  // --- Fault injection -------------------------------------------------------
+  /// DC whose Cologne instance crashes mid-replay (-1 = no crash). While
+  /// down, the DC performs no placement (its interval is skipped).
+  int crash_dc = -1;
+  /// Interval index at which the crash happens.
+  int crash_interval = -1;
+  /// Interval index at which the instance restarts, rebuilding its tables
+  /// from the durable base-fact journal (-1 = stays down).
+  int restart_interval = -1;
+  /// Keep the warm-start cache across the crash (both paths are tested).
+  bool crash_retain_warm_start = false;
+  /// Record invokeSolver outcomes + crash/restart transitions (optional).
+  runtime::TraceRecorder* solve_trace = nullptr;
 };
 
 /// Per-interval measurements (one row of Figures 2 and 3).
@@ -67,6 +80,10 @@ struct ACloudInterval {
   /// Widest effective worker race this interval (1 for sequential backends;
   /// wall-clock solves cap the requested width at the core count).
   uint64_t solver_workers = 1;
+  /// DCs that performed no placement this interval (crashed instance).
+  int skipped_dcs = 0;
+  /// True on the interval where a crashed instance rebuilt and rejoined.
+  bool recovered = false;
 };
 
 /// \brief Trace replay of the ACloud workload under one policy.

@@ -1,6 +1,7 @@
 #include "apps/followsun.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "apps/programs.h"
@@ -40,6 +41,10 @@ Result<FtsResult> FollowTheSunScenario::Run() {
   sys_ = std::make_unique<runtime::System>(&prog_, static_cast<size_t>(n),
                                            sopts);
   COLOGNE_RETURN_IF_ERROR(sys_->Init());
+  if (config_.trace != nullptr) {
+    config_.trace->Header("followsun", config_.seed, config_.fault_plan);
+    sys_->SetTrace(config_.trace);
+  }
   std::set<std::pair<NodeId, NodeId>> edges;
   auto add_edge = [&](NodeId a, NodeId b) {
     if (a == b) return;
@@ -105,17 +110,100 @@ Result<FtsResult> FollowTheSunScenario::Run() {
   result.initial_cost = GlobalCost();
   result.series.push_back({0, result.initial_cost, 100.0});
 
-  // ---- Negotiation rounds ----------------------------------------------------
   std::set<std::pair<NodeId, NodeId>> pending(links_.begin(), links_.end());
+  std::map<std::pair<NodeId, NodeId>, int> fail_count;
+
+  // ---- Fault plan + recovery hook ------------------------------------------
+  // A restarted node re-reads its VM inventory from the hypervisor (the
+  // mirrors), discards any half-open negotiation session, and re-negotiates
+  // each of its links: its in-memory decisions died with it, and every
+  // negotiation is a cost-non-increasing local improvement step, so the
+  // renegotiation pass pulls the disturbed region back toward the no-fault
+  // optimum.
+  auto refresh_inventory = [this, N](NodeId x) {
+    runtime::Instance& inst = sys_->node(x);
+    if (inst.crashed()) return;
+    for (int d = 0; d < config_.num_dcs; ++d) {
+      (void)inst.InsertFact(
+          "curVm", {N(x), Value::Int(d),
+                    Value::Int(cur_vm_[static_cast<size_t>(x)][static_cast<size_t>(d)])});
+    }
+  };
+  sys_->SetRestartHook([this, refresh_inventory, &pending](NodeId x) {
+    runtime::Instance& inst = sys_->node(x);
+    if (config_.refresh_on_restart) {
+      // The renegotiation sessions below start with an inventory exchange:
+      // the restarted node and its peers re-read ground truth, squashing
+      // any divergence accumulated through earlier message loss.
+      refresh_inventory(x);
+      for (const auto& link : links_) {
+        if (link.first == x) refresh_inventory(link.second);
+        if (link.second == x) refresh_inventory(link.first);
+      }
+    }
+    datalog::Table* set_link = inst.engine().GetTable("setLink");
+    if (set_link != nullptr) {
+      for (const Row& row : set_link->Rows()) {
+        int guard = 0;
+        while (set_link->Contains(row) && guard++ < 8) {
+          (void)inst.DeleteFact("setLink", row);
+        }
+      }
+    }
+    for (const auto& link : links_) {
+      if (link.first == x || link.second == x) pending.insert(link);
+    }
+  });
+  if (!config_.fault_plan.empty()) {
+    COLOGNE_RETURN_IF_ERROR(sys_->ApplyFaultPlan(config_.fault_plan));
+  }
+
+  // ---- Negotiation rounds ----------------------------------------------------
+  const int max_rounds =
+      config_.max_rounds > 0
+          ? config_.max_rounds
+          : static_cast<int>(links_.size()) * (3 + config_.converge_sweeps) + 8;
   double round_start = 0;
-  Status failure;  // first negotiation error, surfaced at the end
-  while (!pending.empty()) {
+  Status failure;  // first negotiation error, surfaced for fault-free runs
+  const bool faulty = !config_.fault_plan.empty();
+  int extra_passes = 0;
+  double last_pass_cost = result.initial_cost + 1;  // first pass always runs
+  while (result.rounds < max_rounds) {
+    if (pending.empty() && !sys_->AnyRestartPending()) {
+      // The pass is complete; renegotiate every link until a full pass
+      // leaves the global cost unchanged (periodic negotiation converging
+      // to a fixpoint). A pass that *worsened* the cost — divergence from
+      // messages lost mid-negotiation — keeps sweeping so later, cleaner
+      // passes repair the damage.
+      double cost_now = GlobalCost();
+      if (extra_passes >= config_.converge_sweeps) break;
+      if (std::abs(cost_now - last_pass_cost) < 1e-9) break;  // fixpoint
+      last_pass_cost = cost_now;
+      ++extra_passes;
+      if (faulty && config_.refresh_on_restart) {
+        // Periodic anti-entropy: each sweep opens with an inventory sync
+        // plus a reliable send-log resync so divergence accumulated through
+        // message loss (lost r2/r3 updates, lost localized tmp tuples)
+        // cannot compound across passes — the anytime-DCOP recipe for
+        // tolerating lossy transports.
+        for (int x = 0; x < n; ++x) refresh_inventory(x);
+        for (int x = 0; x < n; ++x) (void)sys_->ResyncNode(x);
+      }
+      pending.insert(links_.begin(), links_.end());
+    }
     ++result.rounds;
     // Greedy matching: busy nodes negotiate at most one link per round.
     std::vector<char> busy(static_cast<size_t>(n), 0);
     std::vector<std::pair<NodeId, NodeId>> this_round;
     for (auto [a, b] : links_) {
       if (!pending.count({a, b})) continue;
+      if (sys_->NodePermanentlyDown(a) || sys_->NodePermanentlyDown(b)) {
+        pending.erase({a, b});
+        ++result.abandoned_links;
+        continue;
+      }
+      // A temporarily-down endpoint keeps the link pending for a later round.
+      if (sys_->node(a).crashed() || sys_->node(b).crashed()) continue;
       if (busy[static_cast<size_t>(a)] || busy[static_cast<size_t>(b)]) continue;
       busy[static_cast<size_t>(a)] = busy[static_cast<size_t>(b)] = 1;
       this_round.push_back({a, b});
@@ -124,13 +212,30 @@ Result<FtsResult> FollowTheSunScenario::Run() {
     for (auto [a, b] : this_round) {
       // Footnote 1: the node with the larger identifier initiates.
       NodeId init = std::max(a, b), peer = std::min(a, b);
-      sys_->sim().Schedule(round_start + 0.1, [this, init, peer, N] {
+      auto link = std::make_pair(a, b);
+      sys_->sim().ScheduleAt(round_start + 0.1, [this, init, peer, N] {
         (void)sys_->InsertFact(init, "setLink", {N(init), N(peer)});
         (void)sys_->InsertFact(peer, "setLink", {N(peer), N(init)});
       });
       double mc = static_cast<double>(mig_cost_[{peer, init}]);
-      sys_->sim().Schedule(
-          round_start + 2.0, [this, init, peer, N, mc, &result, &failure] {
+      sys_->sim().ScheduleAt(
+          round_start + 2.0,
+          [this, init, peer, link, N, mc, &result, &failure, &pending,
+           &fail_count, faulty] {
+            auto requeue = [&] {
+              ++result.failed_rounds;
+              ++fail_count[link];
+              if (sys_->NodePermanentlyDown(link.first) ||
+                  sys_->NodePermanentlyDown(link.second)) {
+                ++result.abandoned_links;
+              } else {
+                pending.insert(link);
+              }
+            };
+            if (sys_->node(init).crashed() || sys_->node(peer).crashed()) {
+              requeue();
+              return;
+            }
             runtime::Instance& inst = sys_->node(init);
             // Read-modify-write so program-declared SOLVER_* knobs survive.
             runtime::SolveOptions o = inst.solve_options();
@@ -138,8 +243,16 @@ Result<FtsResult> FollowTheSunScenario::Run() {
             inst.set_solve_options(o);
             auto out = inst.InvokeSolver();
             if (!out.ok()) {
-              if (failure.ok()) failure = out.status();
+              if (faulty) {
+                requeue();
+              } else if (failure.ok()) {
+                failure = out.status();
+              }
               return;
+            }
+            if (auto fit = fail_count.find(link); fit != fail_count.end()) {
+              ++result.recovered_rounds;
+              fail_count.erase(fit);  // count one recovery per failure streak
             }
             result.avg_link_solve_ms += out.value().stats.wall_ms;
             // Account migrations and mirror curVm updates (r3 applied them
@@ -150,6 +263,18 @@ Result<FtsResult> FollowTheSunScenario::Run() {
               int64_t moved = row[3].as_int();
               if (moved == 0) continue;
               int d = static_cast<int>(row[2].as_int());
+              // Physical clamp: a hypervisor cannot migrate VMs it does not
+              // run. Only binds when message loss has let a node's engine
+              // view drift from ground truth (no-op on consistent state,
+              // where constraint c3 already guarantees feasibility).
+              if (moved > 0) {
+                moved = std::min(
+                    moved, cur_vm_[static_cast<size_t>(init)][static_cast<size_t>(d)]);
+              } else {
+                moved = -std::min(
+                    -moved, cur_vm_[static_cast<size_t>(peer)][static_cast<size_t>(d)]);
+              }
+              if (moved == 0) continue;
               cur_vm_[static_cast<size_t>(init)][static_cast<size_t>(d)] -= moved;
               cur_vm_[static_cast<size_t>(peer)][static_cast<size_t>(d)] += moved;
               accumulated_mig_cost_ +=
@@ -158,7 +283,7 @@ Result<FtsResult> FollowTheSunScenario::Run() {
             }
           });
       // Clear the negotiation before the next round begins.
-      sys_->sim().Schedule(round_start + 4.0, [this, init, peer, N] {
+      sys_->sim().ScheduleAt(round_start + 4.0, [this, init, peer, N] {
         (void)sys_->node(init).DeleteFact("setLink", {N(init), N(peer)});
         (void)sys_->node(peer).DeleteFact("setLink", {N(peer), N(init)});
       });
@@ -168,6 +293,7 @@ Result<FtsResult> FollowTheSunScenario::Run() {
     result.series.push_back(
         {round_start, GlobalCost(), GlobalCost() / result.initial_cost * 100});
   }
+  result.abandoned_links += static_cast<int>(pending.size());
   sys_->RunToQuiescence();
   COLOGNE_RETURN_IF_ERROR(failure);
 
@@ -178,6 +304,10 @@ Result<FtsResult> FollowTheSunScenario::Run() {
   result.total_vms_migrated = total_moved_;
   if (!links_.empty()) {
     result.avg_link_solve_ms /= static_cast<double>(links_.size());
+  }
+  result.messages_dropped = sys_->network().TotalDropped();
+  for (int x = 0; x < n; ++x) {
+    result.crashes += static_cast<int>(sys_->node(x).crash_count());
   }
   // Figure 5: per-node communication overhead over the run.
   double bytes = 0;

@@ -1,16 +1,20 @@
 // Follow-the-Sun scenario driver (paper Sections 4.3 and 6.3): distributed
 // per-link VM-migration negotiation across geo-distributed data centers over
-// the simulated network.
+// the simulated network, optionally under an injected fault plan (link
+// flaps, loss, partitions, node crashes) with failed-round retry.
 #ifndef COLOGNE_APPS_FOLLOWSUN_H_
 #define COLOGNE_APPS_FOLLOWSUN_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "colog/planner.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "net/fault_plan.h"
 #include "runtime/system.h"
+#include "runtime/trace_replay.h"
 
 namespace cologne::apps {
 
@@ -33,6 +37,25 @@ struct FtsConfig {
   bool migration_limit = false;  ///< Adds d11/c3 (<= max_migrates per link).
   int max_migrates = 20;
   uint64_t seed = 11;
+  /// Injected faults (empty = the happy path). Applied after the workload
+  /// facts have shipped, so window/crash times are negotiation-phase times.
+  net::FaultPlan fault_plan;
+  /// Record every delivery/drop/fault/solve into this trace (optional).
+  runtime::TraceRecorder* trace = nullptr;
+  /// On node restart, re-insert the node's current VM inventory (curVm) —
+  /// the hypervisor re-reads ground truth on boot. Disable to test pure
+  /// journal-replay recovery.
+  bool refresh_on_restart = true;
+  /// Negotiation-round cap; 0 = auto (3x the link count + 8). Rounds whose
+  /// negotiation fails (crashed endpoint, solve failure) are retried until
+  /// the cap.
+  int max_rounds = 0;
+  /// After the initial pass over all links, renegotiate every link for up
+  /// to this many additional passes until a pass leaves the global cost
+  /// unchanged (the paper's periodic negotiation converging to a fixpoint;
+  /// under churn, later clean passes repair loss-induced divergence). 0 =
+  /// single-pass behavior.
+  int converge_sweeps = 4;
 };
 
 /// One point of the Figure 4 series.
@@ -53,6 +76,14 @@ struct FtsResult {
   int total_vms_migrated = 0;        ///< Sum of |R| across links.
   double avg_link_solve_ms = 0;      ///< Section 6.3: per-link COP time.
   int rounds = 0;
+  // --- Churn accounting ------------------------------------------------------
+  int failed_rounds = 0;      ///< Negotiations that failed and were requeued.
+  int recovered_rounds = 0;   ///< Previously-failed negotiations that later
+                              ///< completed (post-restart recovery).
+  int abandoned_links = 0;    ///< Links never negotiated (permanent crash /
+                              ///< round cap).
+  uint64_t messages_dropped = 0;  ///< In-flight losses across all nodes.
+  int crashes = 0;                ///< Node crashes observed during the run.
 };
 
 /// \brief Runs the distributed Follow-the-Sun program to a fixpoint.
@@ -60,12 +91,18 @@ struct FtsResult {
 /// Each round (paper's 5 s periodic timer) pairs up idle adjacent nodes
 /// (larger id initiates, per the paper's footnote 1); the initiator runs the
 /// local COP and the r2/r3 rules propagate decisions and update allocations.
+/// Failed negotiations (crashed endpoint, solver error) are retried in later
+/// rounds; a restarted node rejoins via the System's anti-entropy replay
+/// plus an inventory refresh.
 class FollowTheSunScenario {
  public:
   explicit FollowTheSunScenario(const FtsConfig& config);
 
   /// Execute all link negotiations; returns the cost/traffic measurements.
   Result<FtsResult> Run();
+
+  /// The system of the last Run() (for post-run state inspection in tests).
+  runtime::System* system() { return sys_.get(); }
 
  private:
   double GlobalCost() const;

@@ -179,6 +179,11 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
   sopts.seed = config_.seed;
   runtime::System sys(&prog, static_cast<size_t>(num_nodes()), sopts);
   COLOGNE_RETURN_IF_ERROR(sys.Init());
+  if (config_.trace != nullptr) {
+    config_.trace->Header("wireless_distributed", config_.seed,
+                          config_.fault_plan);
+    sys.SetTrace(config_.trace);
+  }
   auto N = [](int v) { return Value::Node(v); };
   for (const Link& l : links_) {
     COLOGNE_RETURN_IF_ERROR(sys.AddLink(l.first, l.second));
@@ -197,13 +202,50 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
 
   ChannelAssignment result;
   Status failure;
+  const bool faulty = !config_.fault_plan.empty();
   std::set<Link> pending(links_.begin(), links_.end());
+  std::map<Link, int> fail_count;
+
+  // A rebooted node drops any half-open negotiation session and
+  // re-negotiates its links: its assign decisions (solver output) died with
+  // its engine and must be re-derived.
+  sys.SetRestartHook([this, &sys, &pending](NodeId x) {
+    runtime::Instance& inst = sys.node(x);
+    for (const Link& link : links_) {
+      if (link.first == x || link.second == x) pending.insert(link);
+    }
+    datalog::Table* set_link = inst.engine().GetTable("setLink");
+    if (set_link == nullptr) return;
+    for (const Row& row : set_link->Rows()) {
+      int guard = 0;
+      while (set_link->Contains(row) && guard++ < 8) {
+        (void)inst.DeleteFact("setLink", row);
+      }
+    }
+  });
+  if (!config_.fault_plan.empty()) {
+    COLOGNE_RETURN_IF_ERROR(sys.ApplyFaultPlan(config_.fault_plan));
+  }
+
+  const int max_rounds = config_.max_rounds > 0
+                             ? config_.max_rounds
+                             : static_cast<int>(links_.size()) * 3 + 8;
+  int rounds = 0;
   double round_start = 0;
-  while (!pending.empty()) {
+  while ((!pending.empty() || sys.AnyRestartPending()) && rounds < max_rounds) {
+    ++rounds;
     std::vector<char> busy(static_cast<size_t>(num_nodes()), 0);
     std::vector<Link> this_round;
     for (const Link& l : links_) {
       if (!pending.count(l)) continue;
+      if (sys.NodePermanentlyDown(l.first) ||
+          sys.NodePermanentlyDown(l.second)) {
+        pending.erase(l);  // abandoned: derived from the missing channel below
+        continue;
+      }
+      if (sys.node(l.first).crashed() || sys.node(l.second).crashed()) {
+        continue;  // retry once the endpoint is back
+      }
       if (busy[static_cast<size_t>(l.first)] ||
           busy[static_cast<size_t>(l.second)]) {
         continue;
@@ -216,20 +258,45 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
     for (const Link& l : this_round) {
       int init = std::max(l.first, l.second);
       int peer = std::min(l.first, l.second);
-      sys.sim().Schedule(round_start + 0.1, [&sys, init, peer, N] {
+      sys.sim().ScheduleAt(round_start + 0.1, [&sys, init, peer, N] {
         (void)sys.InsertFact(init, "setLink", {N(init), N(peer)});
       });
-      sys.sim().Schedule(
-          round_start + 2.0, [this, &sys, &result, &failure, init] {
+      sys.sim().ScheduleAt(
+          round_start + 2.0,
+          [this, &sys, &result, &failure, &pending, &fail_count, l, init,
+           peer, faulty] {
+            auto requeue = [&] {
+              ++result.failed_rounds;
+              ++fail_count[l];
+              if (!sys.NodePermanentlyDown(l.first) &&
+                  !sys.NodePermanentlyDown(l.second)) {
+                pending.insert(l);
+              }
+            };
+            if (sys.node(init).crashed() || sys.node(peer).crashed()) {
+              requeue();
+              return;
+            }
             runtime::Instance& inst = sys.node(init);
             runtime::SolveOptions o = inst.solve_options();
             o.time_limit_ms = config_.link_solve_ms;
             inst.set_solve_options(o);
             auto out = inst.InvokeSolver();
-            if (!out.ok() && failure.ok()) failure = out.status();
-            if (out.ok()) result.total_solve_ms += out.value().stats.wall_ms;
+            if (!out.ok()) {
+              if (faulty) {
+                requeue();
+              } else if (failure.ok()) {
+                failure = out.status();
+              }
+              return;
+            }
+            if (auto fit = fail_count.find(l); fit != fail_count.end()) {
+              ++result.recovered_rounds;
+              fail_count.erase(fit);  // count one recovery per failure streak
+            }
+            result.total_solve_ms += out.value().stats.wall_ms;
           });
-      sys.sim().Schedule(round_start + 4.0, [&sys, init, peer, N] {
+      sys.sim().ScheduleAt(round_start + 4.0, [&sys, init, peer, N] {
         (void)sys.node(init).DeleteFact("setLink", {N(init), N(peer)});
       });
     }
@@ -240,6 +307,8 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
   COLOGNE_RETURN_IF_ERROR(failure);
 
   // Collect assignments from each initiator's materialized assign table.
+  // Links that never got a channel (endpoint dead for good, round cap, or a
+  // crashed initiator that lost its decisions) are the abandoned set.
   for (const Link& l : links_) {
     int init = std::max(l.first, l.second);
     const datalog::Table* assign = sys.node(init).engine().GetTable("assign");
@@ -250,7 +319,13 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
       }
     }
   }
+  result.abandoned_links =
+      static_cast<int>(links_.size() - result.channel.size());
   result.converge_time_s = round_start;
+  result.messages_dropped = sys.network().TotalDropped();
+  for (int v = 0; v < num_nodes(); ++v) {
+    result.crashes += static_cast<int>(sys.node(v).crash_count());
+  }
   double bytes = 0;
   for (int v = 0; v < num_nodes(); ++v) {
     bytes += static_cast<double>(sys.network().StatsOf(v).bytes_sent);

@@ -12,7 +12,9 @@
 #include "colog/planner.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "net/fault_plan.h"
 #include "runtime/system.h"
+#include "runtime/trace_replay.h"
 
 namespace cologne::apps {
 
@@ -44,6 +46,12 @@ struct WirelessConfig {
   double solver_time_ms = 4000;      ///< Centralized COP budget.
   double link_solve_ms = 200;        ///< Per-link COP budget (distributed).
   uint64_t seed = 3;
+  /// Injected faults for the distributed protocols (empty = happy path).
+  net::FaultPlan fault_plan;
+  /// Record deliveries/drops/faults/solves of distributed runs (optional).
+  runtime::TraceRecorder* trace = nullptr;
+  /// Negotiation-round cap for distributed runs; 0 = auto (3x links + 8).
+  int max_rounds = 0;
 };
 
 /// An undirected link (a < b).
@@ -56,6 +64,12 @@ struct ChannelAssignment {
   double per_node_kBps = 0;      ///< Distributed protocols only.
   double total_solve_ms = 0;
   double interference_cost = 0;  ///< Conflicting adjacent link pairs.
+  // --- Churn accounting (distributed protocols under a fault plan) ----------
+  int failed_rounds = 0;         ///< Negotiations that failed and requeued.
+  int recovered_rounds = 0;      ///< Failed negotiations that later completed.
+  int abandoned_links = 0;       ///< Links never assigned a channel.
+  uint64_t messages_dropped = 0; ///< In-flight losses across all nodes.
+  int crashes = 0;               ///< Node crashes observed during the run.
 };
 
 /// \brief The wireless testbed model: topology, interference, throughput.

@@ -39,6 +39,16 @@ std::string SolveRecord::ToJsonLine() const {
       static_cast<unsigned long long>(iterations),
       static_cast<unsigned long long>(restarts), wall_ms);
   if (has_objective) out += StrFormat(",\"objective\":%.4f", objective);
+  if (loss_pct > 0 || crashes > 0 || drops > 0 || failed_rounds > 0 ||
+      recovered_rounds > 0) {
+    out += StrFormat(
+        ",\"loss_pct\":%.1f,\"crashes\":%llu,\"drops\":%llu,"
+        "\"failed_rounds\":%llu,\"recovered_rounds\":%llu",
+        loss_pct, static_cast<unsigned long long>(crashes),
+        static_cast<unsigned long long>(drops),
+        static_cast<unsigned long long>(failed_rounds),
+        static_cast<unsigned long long>(recovered_rounds));
+  }
   out += "}";
   return out;
 }

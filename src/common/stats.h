@@ -65,6 +65,12 @@ struct SolveRecord {
   double wall_ms = 0;
   double objective = 0;
   bool has_objective = false;
+  // --- Churn columns (fault-injected runs; zero on the happy path) ----------
+  double loss_pct = 0;       ///< Injected message-loss percentage.
+  uint64_t crashes = 0;      ///< Node crashes during the run.
+  uint64_t drops = 0;        ///< Messages lost in flight.
+  uint64_t failed_rounds = 0;     ///< Negotiations that failed and requeued.
+  uint64_t recovered_rounds = 0;  ///< Failed negotiations later completed.
 
   /// Render as a single JSON object, e.g.
   /// {"bench":"acloud","backend":"lns","seed":7,...,"objective":3.20}.

@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cologne {
 
@@ -56,6 +57,35 @@ std::string StrFormat(const char* fmt, ...) {
 std::string ToLower(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string DoubleToShortestString(double v) {
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::string s = StrFormat("%.*g", prec, v);
+    if (strtod(s.c_str(), nullptr) == v) return s;
+  }
+  return StrFormat("%.17g", v);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
   return out;
 }
 

@@ -26,6 +26,15 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// Lowercase an ASCII string.
 std::string ToLower(std::string_view s);
 
+/// Shortest decimal string that round-trips `v` exactly through strtod
+/// (tries %.15g, %.16g, %.17g). Used for canonical trace/fault-plan JSON,
+/// where byte-identical output across runs must not lose precision.
+std::string DoubleToShortestString(double v);
+
+/// Escape `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace cologne
 
 #endif  // COLOGNE_COMMON_STRINGS_H_

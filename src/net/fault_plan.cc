@@ -1,0 +1,459 @@
+#include "net/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace cologne::net {
+
+namespace {
+
+bool InWindow(const LinkFault::Window& w, double t) {
+  return t >= w.t0 && t < w.t1;
+}
+
+bool SameLink(const LinkFault& f, NodeId a, NodeId b) {
+  return (f.a == a && f.b == b) || (f.a == b && f.b == a);
+}
+
+double ActiveParam(const std::vector<LinkFault::Window>& ws, double t) {
+  for (const LinkFault::Window& w : ws) {
+    if (InWindow(w, t)) return w.p;
+  }
+  return 0;
+}
+
+void AppendWindows(std::string* out, const char* key,
+                   const std::vector<LinkFault::Window>& ws, bool with_p) {
+  if (ws.empty()) return;
+  *out += StrFormat(",\"%s\":[", key);
+  for (size_t i = 0; i < ws.size(); ++i) {
+    if (i) *out += ',';
+    *out += '[';
+    *out += DoubleToShortestString(ws[i].t0);
+    *out += ',';
+    *out += DoubleToShortestString(ws[i].t1);
+    if (with_p) {
+      *out += ',';
+      *out += DoubleToShortestString(ws[i].p);
+    }
+    *out += ']';
+  }
+  *out += ']';
+}
+
+// ---- Minimal JSON reader (canonical subset emitted by ToJson) ---------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+  Status error = Status::OK();
+
+  void Skip() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+
+  bool Fail(const std::string& msg) {
+    if (error.ok()) {
+      error = Status::ParseError("fault plan JSON: " + msg);
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p >= end || *p != '"') return Fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      if (*p == '\\' && p + 1 < end) {
+        ++p;
+        switch (*p) {
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          default: *out += *p;
+        }
+      } else {
+        *out += *p;
+      }
+      ++p;
+    }
+    if (p >= end) return Fail("unterminated string");
+    ++p;
+    return true;
+  }
+
+  bool Parse(JsonValue* out) {
+    Skip();
+    if (p >= end) return Fail("unexpected end of input");
+    char c = *p;
+    if (c == '{') {
+      ++p;
+      out->kind = JsonValue::Kind::kObject;
+      Skip();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        Skip();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        Skip();
+        if (p >= end || *p != ':') return Fail("expected ':'");
+        ++p;
+        JsonValue v;
+        if (!Parse(&v)) return false;
+        out->obj.emplace_back(std::move(key), std::move(v));
+        Skip();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++p;
+      out->kind = JsonValue::Kind::kArray;
+      Skip();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!Parse(&v)) return false;
+        out->arr.push_back(std::move(v));
+        Skip();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      const char* word = c == 't' ? "true" : "false";
+      size_t len = c == 't' ? 4 : 5;
+      if (static_cast<size_t>(end - p) < len ||
+          std::string_view(p, len) != word) {
+        return Fail("bad literal");
+      }
+      out->b = c == 't';
+      p += len;
+      return true;
+    }
+    if (c == 'n') {
+      if (static_cast<size_t>(end - p) < 4 || std::string_view(p, 4) != "null") {
+        return Fail("bad literal");
+      }
+      p += 4;
+      return true;
+    }
+    char* num_end = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->num = strtod(p, &num_end);
+    if (num_end == p || num_end > end) return Fail("bad number");
+    p = num_end;
+    return true;
+  }
+};
+
+Result<std::vector<LinkFault::Window>> ReadWindows(const JsonValue& v,
+                                                   bool with_p) {
+  std::vector<LinkFault::Window> out;
+  for (const JsonValue& wv : v.arr) {
+    if (wv.arr.size() < 2) {
+      return Status::ParseError("fault plan JSON: window needs [t0,t1]");
+    }
+    LinkFault::Window w;
+    w.t0 = wv.arr[0].num;
+    w.t1 = wv.arr[1].num;
+    if (with_p && wv.arr.size() >= 3) w.p = wv.arr[2].num;
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool LinkFault::DownAt(double t) const {
+  for (const Window& w : down) {
+    if (InWindow(w, t)) return true;
+  }
+  return false;
+}
+
+double LinkFault::LossAt(double t) const { return ActiveParam(loss, t); }
+
+double LinkFault::DupAt(double t) const { return ActiveParam(duplicate, t); }
+
+double LinkFault::ReorderAt(double t) const { return ActiveParam(reorder, t); }
+
+const LinkFault* FaultPlan::FindLink(NodeId a, NodeId b) const {
+  for (const LinkFault& f : links) {
+    if (SameLink(f, a, b)) return &f;
+  }
+  return nullptr;
+}
+
+bool FaultPlan::PartitionedAt(NodeId a, NodeId b, double t) const {
+  for (const PartitionFault& part : partitions) {
+    if (t < part.t0 || t >= part.t1) continue;
+    bool in_a = std::binary_search(part.group.begin(), part.group.end(), a);
+    bool in_b = std::binary_search(part.group.begin(), part.group.end(), b);
+    if (in_a != in_b) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::SeveredAt(NodeId a, NodeId b, double t,
+                          const char** reason) const {
+  const LinkFault* f = FindLink(a, b);
+  if (f != nullptr && f->DownAt(t)) {
+    if (reason != nullptr) *reason = "link_down";
+    return true;
+  }
+  if (PartitionedAt(a, b, t)) {
+    if (reason != nullptr) *reason = "partition";
+    return true;
+  }
+  return false;
+}
+
+double FaultPlan::LossProbAt(NodeId a, NodeId b, double t) const {
+  const LinkFault* f = FindLink(a, b);
+  return f == nullptr ? 0 : f->LossAt(t);
+}
+
+double FaultPlan::DupProbAt(NodeId a, NodeId b, double t) const {
+  const LinkFault* f = FindLink(a, b);
+  return f == nullptr ? 0 : f->DupAt(t);
+}
+
+double FaultPlan::ReorderJitterAt(NodeId a, NodeId b, double t) const {
+  const LinkFault* f = FindLink(a, b);
+  return f == nullptr ? 0 : f->ReorderAt(t);
+}
+
+const CrashFault* FaultPlan::FindCrash(NodeId node) const {
+  for (const CrashFault& c : crashes) {
+    if (c.node == node) return &c;
+  }
+  return nullptr;
+}
+
+std::string FaultPlan::ToJson() const {
+  std::string out =
+      StrFormat("{\"seed\":%llu", static_cast<unsigned long long>(seed));
+  if (!links.empty()) {
+    out += ",\"links\":[";
+    for (size_t i = 0; i < links.size(); ++i) {
+      const LinkFault& f = links[i];
+      if (i) out += ',';
+      out += StrFormat("{\"a\":%d,\"b\":%d", f.a, f.b);
+      AppendWindows(&out, "down", f.down, /*with_p=*/false);
+      AppendWindows(&out, "loss", f.loss, /*with_p=*/true);
+      AppendWindows(&out, "dup", f.duplicate, /*with_p=*/true);
+      AppendWindows(&out, "reorder", f.reorder, /*with_p=*/true);
+      out += '}';
+    }
+    out += ']';
+  }
+  if (!partitions.empty()) {
+    out += ",\"partitions\":[";
+    for (size_t i = 0; i < partitions.size(); ++i) {
+      const PartitionFault& part = partitions[i];
+      if (i) out += ',';
+      out += "{\"group\":[";
+      for (size_t j = 0; j < part.group.size(); ++j) {
+        if (j) out += ',';
+        out += StrFormat("%d", part.group[j]);
+      }
+      out += StrFormat("],\"t0\":%s,\"t1\":%s}",
+                       DoubleToShortestString(part.t0).c_str(),
+                       DoubleToShortestString(part.t1).c_str());
+    }
+    out += ']';
+  }
+  if (!crashes.empty()) {
+    out += ",\"crashes\":[";
+    for (size_t i = 0; i < crashes.size(); ++i) {
+      const CrashFault& c = crashes[i];
+      if (i) out += ',';
+      out += StrFormat("{\"node\":%d,\"t\":%s,\"restart\":%s,\"retain_warm\":%d}",
+                       c.node, DoubleToShortestString(c.t).c_str(),
+                       DoubleToShortestString(c.restart_t).c_str(),
+                       c.retain_warm_start ? 1 : 0);
+    }
+    out += ']';
+  }
+  out += '}';
+  return out;
+}
+
+Result<FaultPlan> FaultPlan::FromJson(const std::string& json) {
+  JsonParser parser{json.data(), json.data() + json.size()};
+  JsonValue root;
+  if (!parser.Parse(&root)) return parser.error;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::ParseError("fault plan JSON: expected object");
+  }
+  FaultPlan plan;
+  if (const JsonValue* v = root.Get("seed")) {
+    plan.seed = static_cast<uint64_t>(v->num);
+  }
+  if (const JsonValue* v = root.Get("links")) {
+    for (const JsonValue& lv : v->arr) {
+      LinkFault f;
+      if (const JsonValue* a = lv.Get("a")) f.a = static_cast<NodeId>(a->num);
+      if (const JsonValue* b = lv.Get("b")) f.b = static_cast<NodeId>(b->num);
+      if (const JsonValue* w = lv.Get("down")) {
+        COLOGNE_ASSIGN_OR_RETURN(ws, ReadWindows(*w, false));
+        f.down = std::move(ws);
+      }
+      if (const JsonValue* w = lv.Get("loss")) {
+        COLOGNE_ASSIGN_OR_RETURN(ws, ReadWindows(*w, true));
+        f.loss = std::move(ws);
+      }
+      if (const JsonValue* w = lv.Get("dup")) {
+        COLOGNE_ASSIGN_OR_RETURN(ws, ReadWindows(*w, true));
+        f.duplicate = std::move(ws);
+      }
+      if (const JsonValue* w = lv.Get("reorder")) {
+        COLOGNE_ASSIGN_OR_RETURN(ws, ReadWindows(*w, true));
+        f.reorder = std::move(ws);
+      }
+      plan.links.push_back(std::move(f));
+    }
+  }
+  if (const JsonValue* v = root.Get("partitions")) {
+    for (const JsonValue& pv : v->arr) {
+      PartitionFault part;
+      if (const JsonValue* g = pv.Get("group")) {
+        for (const JsonValue& m : g->arr) {
+          part.group.push_back(static_cast<NodeId>(m.num));
+        }
+        // SeveredAt binary-searches the member set; hand-edited plans may
+        // list members in any order.
+        std::sort(part.group.begin(), part.group.end());
+      }
+      if (const JsonValue* t = pv.Get("t0")) part.t0 = t->num;
+      if (const JsonValue* t = pv.Get("t1")) part.t1 = t->num;
+      plan.partitions.push_back(std::move(part));
+    }
+  }
+  if (const JsonValue* v = root.Get("crashes")) {
+    for (const JsonValue& cv : v->arr) {
+      CrashFault c;
+      if (const JsonValue* n = cv.Get("node")) c.node = static_cast<NodeId>(n->num);
+      if (const JsonValue* t = cv.Get("t")) c.t = t->num;
+      if (const JsonValue* t = cv.Get("restart")) c.restart_t = t->num;
+      if (const JsonValue* r = cv.Get("retain_warm")) {
+        c.retain_warm_start =
+            r->kind == JsonValue::Kind::kBool ? r->b : r->num != 0;
+      }
+      plan.crashes.push_back(c);
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, size_t num_nodes,
+                            const std::vector<std::pair<NodeId, NodeId>>& links,
+                            const RandomConfig& config) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(SplitMix64(seed ^ 0xFA017FA017ull));
+  auto window = [&](double max_len) {
+    LinkFault::Window w;
+    double len = rng.UniformDouble(0.25, std::max(max_len, 0.5));
+    w.t0 = rng.UniformDouble(config.t_min_s,
+                             std::max(config.horizon_s - len, config.t_min_s + 0.1));
+    w.t1 = w.t0 + len;
+    return w;
+  };
+  for (const auto& [a, b] : links) {
+    LinkFault f;
+    f.a = a;
+    f.b = b;
+    if (rng.Bernoulli(config.flap_prob)) f.down.push_back(window(config.max_flap_s));
+    if (rng.Bernoulli(config.loss_prob)) {
+      LinkFault::Window w = window(config.horizon_s / 2);
+      w.p = rng.UniformDouble(0.05, config.max_loss);
+      f.loss.push_back(w);
+    }
+    if (rng.Bernoulli(config.dup_prob)) {
+      LinkFault::Window w = window(config.horizon_s / 2);
+      w.p = rng.UniformDouble(0.05, config.max_dup);
+      f.duplicate.push_back(w);
+    }
+    if (rng.Bernoulli(config.reorder_prob)) {
+      LinkFault::Window w = window(config.horizon_s / 2);
+      w.p = rng.UniformDouble(config.max_reorder_s / 4, config.max_reorder_s);
+      f.reorder.push_back(w);
+    }
+    if (!f.down.empty() || !f.loss.empty() || !f.duplicate.empty() ||
+        !f.reorder.empty()) {
+      plan.links.push_back(std::move(f));
+    }
+  }
+  if (num_nodes >= 2 && rng.Bernoulli(config.partition_prob)) {
+    PartitionFault part;
+    part.group.push_back(static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(num_nodes) - 1)));
+    LinkFault::Window w = window(config.max_partition_s);
+    part.t0 = w.t0;
+    part.t1 = w.t1;
+    plan.partitions.push_back(std::move(part));
+  }
+  if (num_nodes >= 1 && rng.Bernoulli(config.crash_prob)) {
+    CrashFault c;
+    c.node = static_cast<NodeId>(
+        rng.UniformInt(0, static_cast<int64_t>(num_nodes) - 1));
+    c.t = rng.UniformDouble(config.t_min_s, config.horizon_s * 0.6);
+    if (config.allow_no_restart && rng.Bernoulli(0.25)) {
+      c.restart_t = -1;
+    } else {
+      c.restart_t = c.t + rng.UniformDouble(1.0, std::max(config.max_down_s, 1.5));
+    }
+    c.retain_warm_start = config.retain_warm_start;
+    plan.crashes.push_back(c);
+  }
+  return plan;
+}
+
+}  // namespace cologne::net

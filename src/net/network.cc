@@ -54,9 +54,33 @@ void Network::SetReceiver(NodeId n, Receiver r) {
   receivers_[static_cast<size_t>(n)] = std::move(r);
 }
 
+void Network::Emit(NetEvent::Kind kind, NodeId from, NodeId to,
+                   const Message& msg, const char* detail) {
+  if (!hook_) return;
+  NetEvent ev;
+  ev.kind = kind;
+  ev.t = sim_->Now();
+  ev.from = from;
+  ev.to = to;
+  ev.msg = &msg;
+  ev.detail = detail;
+  hook_(ev);
+}
+
+void Network::Deliver(NodeId from, NodeId to, const Message& msg, size_t size,
+                      const char* detail) {
+  TrafficStats& r = stats_[static_cast<size_t>(to)];
+  ++r.messages_received;
+  r.bytes_received += size;
+  Emit(NetEvent::Kind::kDeliver, from, to, msg, detail);
+  if (receivers_[static_cast<size_t>(to)]) {
+    receivers_[static_cast<size_t>(to)](from, to, msg);
+  }
+}
+
 Status Network::Send(NodeId from, NodeId to, Message msg) {
   if (from == to) {
-    // Local delivery: no latency, no traffic accounting.
+    // Local delivery: no latency, no traffic accounting, no faults.
     if (receivers_[static_cast<size_t>(to)]) {
       Message m = std::move(msg);
       sim_->Schedule(0.0, [this, from, to, m = std::move(m)] {
@@ -72,27 +96,82 @@ Status Network::Send(NodeId from, NodeId to, Message msg) {
   }
   const LinkConfig& cfg = it->second.config;
   size_t size = msg.WireSize();
+  double now = sim_->Now();
+  msg.sent_s = now;
   TrafficStats& s = stats_[static_cast<size_t>(from)];
   ++s.messages_sent;
   s.bytes_sent += size;
+  Emit(NetEvent::Kind::kSend, from, to, msg, msg.reliable ? "replay" : "");
+
+  // Fault evaluation (one link-fault lookup per send). Reliable
+  // reconciliation traffic skips drop faults and reorder jitter — the
+  // anti-entropy protocol depends on in-order delivery — but still pays
+  // latency and serialization. The draw order (loss, fault-loss, jitter,
+  // dup) is fixed so identical plans consume the RNG stream identically.
+  const net::LinkFault* lf = fault_plan_.FindLink(from, to);
+  const char* drop_reason = nullptr;
+  bool severed = (lf != nullptr && lf->DownAt(now))
+                     ? (drop_reason = "link_down", true)
+                     : fault_plan_.PartitionedAt(from, to, now)
+                           ? (drop_reason = "partition", true)
+                           : false;
+  if (severed && !msg.reliable) {
+    ++s.messages_dropped;
+    Emit(NetEvent::Kind::kDrop, from, to, msg, drop_reason);
+    return Status::OK();
+  }
   if (cfg.drop_prob > 0 && rng_.Bernoulli(cfg.drop_prob)) {
-    return Status::OK();  // dropped in flight
+    if (!msg.reliable) {
+      ++s.messages_dropped;
+      Emit(NetEvent::Kind::kDrop, from, to, msg, "loss");
+      return Status::OK();
+    }
+  }
+  double fault_loss = lf == nullptr ? 0 : lf->LossAt(now);
+  if (fault_loss > 0 && rng_.Bernoulli(fault_loss) && !msg.reliable) {
+    ++s.messages_dropped;
+    Emit(NetEvent::Kind::kDrop, from, to, msg, "loss");
+    return Status::OK();
   }
   double delay =
       cfg.latency_s + static_cast<double>(size) * 8.0 / cfg.bandwidth_bps;
-  sim_->Schedule(delay, [this, from, to, m = std::move(msg), size] {
-    TrafficStats& r = stats_[static_cast<size_t>(to)];
-    ++r.messages_received;
-    r.bytes_received += size;
-    if (receivers_[static_cast<size_t>(to)]) {
-      receivers_[static_cast<size_t>(to)](from, to, m);
-    }
+  double jitter_cap = lf == nullptr ? 0 : lf->ReorderAt(now);
+  if (jitter_cap > 0) {
+    double jitter = rng_.UniformDouble(0, jitter_cap);
+    if (!msg.reliable) delay += jitter;
+  }
+  double dup_prob = lf == nullptr ? 0 : lf->DupAt(now);
+  bool duplicate = dup_prob > 0 && rng_.Bernoulli(dup_prob) && !msg.reliable;
+  const char* detail = msg.reliable ? "replay" : "";
+  Message copy;
+  if (duplicate) {
+    // The copy follows the original at the same timestamp (FIFO tie-break),
+    // so receivers observe a back-to-back duplicate. The duplicate pays
+    // bandwidth like any other transmission.
+    ++s.messages_sent;
+    s.bytes_sent += size;
+    Emit(NetEvent::Kind::kDup, from, to, msg, "");
+    copy = msg;
+  }
+  sim_->Schedule(delay, [this, from, to, m = std::move(msg), size, detail] {
+    Deliver(from, to, m, size, detail);
   });
+  if (duplicate) {
+    sim_->Schedule(delay, [this, from, to, m = std::move(copy), size] {
+      Deliver(from, to, m, size, "dup");
+    });
+  }
   return Status::OK();
 }
 
 void Network::ResetStats() {
   for (TrafficStats& s : stats_) s = TrafficStats{};
+}
+
+uint64_t Network::TotalDropped() const {
+  uint64_t total = 0;
+  for (const TrafficStats& s : stats_) total += s.messages_dropped;
+  return total;
 }
 
 }  // namespace cologne::net

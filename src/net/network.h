@@ -2,7 +2,10 @@
 //
 // Models what the original Cologne used ns-3 for: UDP-style, per-link latency
 // and (optional) loss, with per-node byte counters for the bandwidth
-// measurements in Figure 5 of the paper.
+// measurements in Figure 5 of the paper. A FaultPlan (fault_plan.h) layers
+// deterministic link flaps, partitions, and loss/duplication/reordering
+// windows on top; every send/deliver/drop is observable through the event
+// hook so runs can be traced and replayed bit-for-bit.
 #ifndef COLOGNE_NET_NETWORK_H_
 #define COLOGNE_NET_NETWORK_H_
 
@@ -14,6 +17,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/value.h"
+#include "net/fault_plan.h"
 #include "net/simulator.h"
 
 namespace cologne::net {
@@ -24,6 +28,17 @@ struct Message {
   std::string table;
   Row row;
   int sign = 1;
+  /// Sender incarnation (bumped when a node restarts after a crash); the
+  /// runtime drops deliveries from stale incarnations.
+  uint32_t epoch = 0;
+  /// Virtual send time, stamped by Network::Send. Receivers that resynced
+  /// at time T drop ordinary messages sent at or before T: their content is
+  /// already covered by the reliable send-log replay.
+  double sent_s = 0;
+  /// Reconciliation traffic (crash-recovery / anti-entropy state replay)
+  /// rides a reliable channel: it pays latency and bandwidth but ignores
+  /// loss/down faults.
+  bool reliable = false;
 
   /// Approximate wire size: 20-byte UDP/IP-ish header + payload.
   size_t WireSize() const;
@@ -42,6 +57,21 @@ struct TrafficStats {
   uint64_t messages_received = 0;
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
+  uint64_t messages_dropped = 0;   ///< In-flight losses, counted at the sender.
+};
+
+/// One observable network transition, surfaced through Network's event hook
+/// (the runtime's TraceRecorder serializes these into the canonical trace).
+struct NetEvent {
+  enum class Kind { kSend, kDeliver, kDrop, kDup };
+  Kind kind = Kind::kSend;
+  double t = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  const Message* msg = nullptr;
+  /// Drop reason ("loss", "link_down", "partition") or send/deliver detail
+  /// ("replay" for reliable reconciliation traffic); may be empty.
+  const char* detail = "";
 };
 
 /// \brief A static topology of nodes and bidirectional links carrying
@@ -67,9 +97,18 @@ class Network {
   using Receiver = std::function<void(NodeId, NodeId, const Message&)>;
   void SetReceiver(NodeId n, Receiver r);
 
+  /// Install a fault plan; link-level windows apply from the current virtual
+  /// time on. Crash events are interpreted by runtime::System, not here.
+  void SetFaultPlan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Observer for send/deliver/drop/duplicate transitions (tracing).
+  using EventHook = std::function<void(const NetEvent&)>;
+  void SetEventHook(EventHook hook) { hook_ = std::move(hook); }
+
   /// Send `msg` from `from` to neighbor `to`. Self-sends deliver with zero
   /// latency. Sends to non-neighbors fail (Cologne rules only ever
-  /// communicate along links).
+  /// communicate along links). Fault-plan drops return OK, like link loss.
   Status Send(NodeId from, NodeId to, Message msg);
 
   const TrafficStats& StatsOf(NodeId n) const {
@@ -77,15 +116,26 @@ class Network {
   }
   void ResetStats();
 
+  /// Sum of messages_dropped across all nodes.
+  uint64_t TotalDropped() const;
+
  private:
   struct Link {
     LinkConfig config;
   };
+
+  void Emit(NetEvent::Kind kind, NodeId from, NodeId to, const Message& msg,
+            const char* detail);
+  void Deliver(NodeId from, NodeId to, const Message& msg, size_t size,
+               const char* detail);
+
   Simulator* sim_;
   Rng rng_;
   std::vector<Receiver> receivers_;
   std::vector<TrafficStats> stats_;
   std::map<std::pair<NodeId, NodeId>, Link> links_;  // key: (min, max)
+  FaultPlan fault_plan_;
+  EventHook hook_;
 
   static std::pair<NodeId, NodeId> Key(NodeId a, NodeId b) {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);

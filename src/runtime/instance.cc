@@ -6,34 +6,101 @@
 
 namespace cologne::runtime {
 
-Status Instance::Init() {
+Status Instance::InitEngine() {
   for (const auto& [name, schema] : program_->tables) {
     COLOGNE_RETURN_IF_ERROR(engine_.DeclareTable(schema));
   }
   for (const datalog::RuleIR& rule : program_->engine_rules) {
     COLOGNE_RETURN_IF_ERROR(engine_.AddRule(rule));
   }
+  return Status::OK();
+}
+
+Status Instance::Init() {
+  COLOGNE_RETURN_IF_ERROR(InitEngine());
   solve_options_ = ResolveSolveOptions(*program_, solve_options_);
   return Status::OK();
 }
 
+Status Instance::ApplyFact(const std::string& table, Row row, int sign) {
+  if (crashed_) {
+    return Status::RuntimeError("node " + std::to_string(id_) +
+                                " is crashed; fact rejected");
+  }
+  COLOGNE_RETURN_IF_ERROR(engine_.Apply(table, row, sign));
+  base_log_.push_back(BaseFact{table, std::move(row), sign});
+  return Status::OK();
+}
+
 Status Instance::InsertFact(const std::string& table, Row row) {
-  COLOGNE_RETURN_IF_ERROR(engine_.Apply(table, row, +1));
+  COLOGNE_RETURN_IF_ERROR(ApplyFact(table, std::move(row), +1));
   return engine_.Flush();
 }
 
 Status Instance::DeleteFact(const std::string& table, Row row) {
-  COLOGNE_RETURN_IF_ERROR(engine_.Apply(table, row, -1));
+  COLOGNE_RETURN_IF_ERROR(ApplyFact(table, std::move(row), -1));
   return engine_.Flush();
 }
 
+Status Instance::Crash() {
+  if (crashed_) return Status::OK();
+  crashed_ = true;
+  ++crash_count_;
+  // Rebuild the engine empty-but-declared: in-flight deltas, derived state,
+  // and the sender hook are gone, but readers (scenario drivers collecting
+  // results) still find every table.
+  engine_ = datalog::Engine(EngineSelf());
+  COLOGNE_RETURN_IF_ERROR(InitEngine());
+  owned_rows_.clear();
+  return Status::OK();
+}
+
+Status Instance::Restart(bool retain_warm_start) {
+  if (!crashed_) {
+    return Status::RuntimeError("node " + std::to_string(id_) +
+                                " is not crashed; cannot restart");
+  }
+  crashed_ = false;
+  ++epoch_;
+  if (!retain_warm_start) warm_cache_.clear();
+  // Crash() already rebuilt a declared-empty engine; keep it and let the
+  // caller re-install the sender before replaying the journal.
+  return Status::OK();
+}
+
+Status Instance::ReplayBaseFacts() {
+  if (crashed_) {
+    return Status::RuntimeError("node " + std::to_string(id_) +
+                                " is crashed; cannot replay");
+  }
+  // Chronological replay reproduces keyed-replacement order exactly; each
+  // delta flushes so derived state (and re-shipped localized tuples) follow
+  // the same order as the original execution.
+  for (const BaseFact& fact : base_log_) {
+    COLOGNE_RETURN_IF_ERROR(engine_.Apply(fact.table, fact.row, fact.sign));
+    COLOGNE_RETURN_IF_ERROR(engine_.Flush());
+  }
+  return Status::OK();
+}
+
 Result<SolveOutput> Instance::InvokeSolver() {
+  if (crashed_) {
+    if (trace_ != nullptr) {
+      trace_->Solve(id_, "down", false, 0, 0, false);
+    }
+    return Status::RuntimeError("node " + std::to_string(id_) +
+                                " is crashed; solver unavailable");
+  }
   SolverBridge bridge(program_, &engine_);
   COLOGNE_ASSIGN_OR_RETURN(out, bridge.Solve(solve_options_, &warm_cache_));
   ++solve_count_;
   total_solve_ms_ += out.stats.wall_ms;
   if (out.has_solution()) {
     COLOGNE_RETURN_IF_ERROR(Writeback(out.tables));
+  }
+  if (trace_ != nullptr) {
+    trace_->Solve(id_, solver::SolveStatusName(out.status), out.has_objective,
+                  out.objective, out.model_vars, out.warm_started);
   }
   return out;
 }

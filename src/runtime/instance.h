@@ -2,6 +2,14 @@
 // writeback path that materializes optimization output as engine tables
 // (paper Section 5.1, "materialized as RapidNet tables, which may trigger
 // reevaluation of other rules via incremental view maintenance").
+//
+// Fault model: the instance journals every application-level base fact
+// (InsertFact/DeleteFact/ApplyFact) into a durable log. Crash() drops all
+// volatile state — engine tables, derived tuples, solver writeback diff
+// base, optionally the warm-start cache — while the log survives, modeling
+// stable storage. Restart() + ReplayBaseFacts() rebuild the engine and
+// re-run incremental evaluation from the log; the node's epoch is bumped so
+// peers can fence off stale in-flight messages (runtime::System wires this).
 #ifndef COLOGNE_RUNTIME_INSTANCE_H_
 #define COLOGNE_RUNTIME_INSTANCE_H_
 
@@ -13,6 +21,7 @@
 #include "common/status.h"
 #include "datalog/engine.h"
 #include "runtime/solver_bridge.h"
+#include "runtime/trace_replay.h"
 
 namespace cologne::runtime {
 
@@ -25,8 +34,7 @@ namespace cologne::runtime {
 class Instance {
  public:
   Instance(NodeId id, const colog::CompiledProgram* program)
-      : id_(id), program_(program),
-        engine_(program->distributed ? id : datalog::Engine::kCentralized) {}
+      : id_(id), program_(program), engine_(EngineSelf()) {}
 
   /// Declare tables and install engine rules. Call once before use.
   Status Init();
@@ -36,13 +44,44 @@ class Instance {
   const datalog::Engine& engine() const { return engine_; }
   const colog::CompiledProgram& program() const { return *program_; }
 
-  /// Insert/delete a base fact and run incremental evaluation.
+  /// Insert/delete a base fact and run incremental evaluation. The fact is
+  /// journaled durably and survives a crash.
   Status InsertFact(const std::string& table, Row row);
   Status DeleteFact(const std::string& table, Row row);
 
+  /// Journal + apply one base-fact delta without flushing (batch form used
+  /// by the trace-replay drivers); pair with Flush().
+  Status ApplyFact(const std::string& table, Row row, int sign);
+  /// Drain the engine's delta queue to fixpoint.
+  Status Flush() { return engine_.Flush(); }
+
+  // --- Crash / restart -------------------------------------------------------
+
+  /// True while the node is down: facts, solves, and deliveries fail.
+  bool crashed() const { return crashed_; }
+  /// Incarnation counter; bumped on every Restart(). Messages stamped with
+  /// an older epoch are stale and must be dropped by the receiver.
+  uint32_t epoch() const { return epoch_; }
+  uint64_t crash_count() const { return crash_count_; }
+
+  /// Drop all volatile state (tables, derived tuples, solver writeback diff
+  /// base). The engine is rebuilt empty-but-declared so readers never see
+  /// dangling tables. The base-fact journal and warm-start cache survive.
+  Status Crash();
+
+  /// Come back up with a fresh engine (epoch bumped). `retain_warm_start`
+  /// keeps the pre-crash warm-start cache; otherwise it is cleared. Callers
+  /// must re-install the engine sender (System::RestartNode does) before
+  /// ReplayBaseFacts().
+  Status Restart(bool retain_warm_start);
+
+  /// Re-apply the durable journal in chronological order, re-running
+  /// incremental evaluation (re-derives and re-ships localized tuples).
+  Status ReplayBaseFacts();
+
   /// Run one COP execution (the paper's invokeSolver event): build the
   /// model from current engine state, search, write back the optimization
-  /// output, and flush downstream rules.
+  /// output, and flush downstream rules. Fails when the node is crashed.
   Result<SolveOutput> InvokeSolver();
 
   /// Per-solve knobs (SOLVER_MAX_TIME, SOLVER_BACKEND, SOLVER_SEED, ...).
@@ -58,13 +97,27 @@ class Instance {
   WarmStartCache& warm_start_cache() { return warm_cache_; }
   void reset_warm_start() { warm_cache_.clear(); }
 
+  /// Trace sink for invokeSolver outcomes (deterministic fields only).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   /// Cumulative number of InvokeSolver calls.
   uint64_t solve_count() const { return solve_count_; }
   /// Wall-clock milliseconds spent inside the solver across all calls.
   double total_solve_ms() const { return total_solve_ms_; }
 
  private:
+  NodeId EngineSelf() const {
+    return program_->distributed ? id_ : datalog::Engine::kCentralized;
+  }
+  /// Declare tables + install rules on a fresh engine (Init and Restart).
+  Status InitEngine();
   Status Writeback(const std::map<std::string, std::vector<Row>>& tables);
+
+  struct BaseFact {
+    std::string table;
+    Row row;
+    int sign;
+  };
 
   NodeId id_;
   const colog::CompiledProgram* program_;
@@ -74,6 +127,12 @@ class Instance {
   /// Rows this node wrote to each solver output table on the previous solve
   /// (sorted, deduplicated) — the diff base for replacement.
   std::map<std::string, std::vector<Row>> owned_rows_;
+  /// Durable journal of application-level base facts, replayed on restart.
+  std::vector<BaseFact> base_log_;
+  bool crashed_ = false;
+  uint32_t epoch_ = 0;
+  uint64_t crash_count_ = 0;
+  TraceRecorder* trace_ = nullptr;
   uint64_t solve_count_ = 0;
   double total_solve_ms_ = 0;
 };

@@ -1,6 +1,10 @@
 #include "runtime/system.h"
 
+#include <algorithm>
+#include <set>
+
 #include "common/logging.h"
+#include "common/strings.h"
 
 namespace cologne::runtime {
 
@@ -11,35 +15,101 @@ System::System(const colog::CompiledProgram* program, size_t num_nodes,
     NodeId id = net_.AddNode();
     nodes_.push_back(std::make_unique<Instance>(id, program_));
   }
+  sent_log_.resize(num_nodes);
+  rx_.resize(num_nodes);
+  restart_pending_.assign(num_nodes, 0);
 }
 
 Status System::Init() {
   for (auto& node : nodes_) {
     COLOGNE_RETURN_IF_ERROR(node->Init());
-    NodeId id = node->id();
-    // Outbound: engine-derived remote tuples enter the network.
-    node->engine().SetSender([this, id](NodeId dest, const std::string& table,
-                                        const Row& row, int sign) {
-      net::Message msg;
-      msg.table = table;
-      msg.row = row;
-      msg.sign = sign;
-      Status s = net_.Send(id, dest, std::move(msg));
-      if (!s.ok()) {
-        COLOGNE_WARN("node " + std::to_string(id) + ": " + s.ToString());
-      }
-    });
-    // Inbound: delivered tuples apply as deltas and run the local fixpoint.
-    net_.SetReceiver(id, [this, id](NodeId, NodeId, const net::Message& msg) {
-      Instance& inst = this->node(id);
-      Status s = inst.engine().Apply(msg.table, msg.row, msg.sign);
-      if (s.ok()) s = inst.engine().Flush();
-      if (!s.ok()) {
-        COLOGNE_WARN("node " + std::to_string(id) + " rx: " + s.ToString());
-      }
-    });
+    WireNode(node->id());
   }
   return Status::OK();
+}
+
+void System::WireNode(NodeId id) {
+  Instance& inst = node(id);
+  // Outbound: engine-derived remote tuples enter the network, stamped with
+  // the sender's incarnation epoch and journaled for anti-entropy replay.
+  inst.engine().SetSender([this, id](NodeId dest, const std::string& table,
+                                     const Row& row, int sign) {
+    sent_log_[static_cast<size_t>(id)].push_back(
+        SentRecord{dest, table, row, sign});
+    net::Message msg;
+    msg.table = table;
+    msg.row = row;
+    msg.sign = sign;
+    msg.epoch = node(id).epoch();
+    Status s = net_.Send(id, dest, std::move(msg));
+    if (!s.ok()) {
+      COLOGNE_WARN("node " + std::to_string(id) + ": " + s.ToString());
+    }
+  });
+  // Inbound: receiver-side fault policy (crash drop, epoch fence, duplicate
+  // suppression), then apply the delta and run the local fixpoint.
+  net_.SetReceiver(id, [this, id](NodeId from, NodeId,
+                                  const net::Message& msg) {
+    Instance& inst = this->node(id);
+    if (inst.crashed()) {
+      if (trace_ != nullptr) trace_->RxDrop(from, id, msg.table, "node_down");
+      return;
+    }
+    bool suppressed = false;
+    if (from != id) {
+      const Instance& src = this->node(from);
+      if (msg.epoch != src.epoch()) {
+        // A message from a previous incarnation of `from` (sent before its
+        // crash, delivered after its restart) — fence it off.
+        if (trace_ != nullptr) {
+          trace_->RxDrop(from, id, msg.table, "stale_epoch");
+        }
+        return;
+      }
+      PeerState& ps = rx_[static_cast<size_t>(id)][from];
+      if (!msg.reliable && msg.sent_s <= ps.floor) {
+        // In flight across a restart/resync: the reliable send-log replay
+        // issued at `floor` already carries this delta.
+        if (trace_ != nullptr) {
+          trace_->RxDrop(from, id, msg.table, "superseded");
+        }
+        return;
+      }
+      if (ps.epoch_seen != msg.epoch) {
+        // First contact with a new incarnation outside the orchestrated
+        // restart path (RestartNode rolls embedded into debt eagerly; this
+        // covers direct Crash/Restart calls by tests).
+        for (auto& [key, count] : ps.embedded) ps.debt[key] += count;
+        ps.embedded.clear();
+        ps.epoch_seen = msg.epoch;
+      }
+      auto key = std::make_pair(msg.table, msg.row);
+      if (msg.sign > 0) {
+        auto it = ps.debt.find(key);
+        if (it != ps.debt.end() && it->second > 0) {
+          // Already embedded by the previous incarnation: pay off the debt
+          // instead of inflating the derivation count.
+          if (--it->second == 0) ps.debt.erase(it);
+          ++ps.embedded[key];
+          suppressed = true;
+        } else {
+          ++ps.embedded[key];
+        }
+      } else {
+        auto it = ps.embedded.find(key);
+        if (it != ps.embedded.end() && --it->second == 0) ps.embedded.erase(it);
+      }
+    }
+    if (suppressed) {
+      if (trace_ != nullptr) trace_->RxDrop(from, id, msg.table, "dedup");
+      return;
+    }
+    Status s = inst.engine().Apply(msg.table, msg.row, msg.sign);
+    if (s.ok()) s = inst.engine().Flush();
+    if (!s.ok()) {
+      COLOGNE_WARN("node " + std::to_string(id) + " rx: " + s.ToString());
+    }
+  });
 }
 
 void System::ScheduleSolve(NodeId node_id, double delay_s,
@@ -53,6 +123,270 @@ void System::ScheduleSolve(NodeId node_id, double delay_s,
     }
     if (on_done) on_done(r.value());
   });
+}
+
+void System::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_->SetClock([this] { return sim_.Now(); });
+  }
+  for (auto& n : nodes_) n->set_trace(trace);
+  net_.SetEventHook([this](const net::NetEvent& ev) {
+    if (trace_ != nullptr) trace_->Net(ev);
+  });
+}
+
+void System::ScheduleWindowMarkers(const net::FaultPlan& plan) {
+  // Pure trace markers: they record window transitions but change no state,
+  // so scheduling them unconditionally keeps traced and untraced runs on
+  // the same event sequence.
+  auto mark = [this](double t, const char* kind, std::string detail) {
+    sim_.ScheduleAt(t, [this, kind, detail = std::move(detail)] {
+      if (trace_ != nullptr) trace_->Fault(kind, detail);
+    });
+  };
+  for (const net::LinkFault& f : plan.links) {
+    std::string link = StrFormat("\"link\":\"%d-%d\"", f.a, f.b);
+    for (const auto& w : f.down) {
+      mark(w.t0, "link_down", link);
+      mark(w.t1, "link_up", link);
+    }
+    for (const auto& w : f.loss) {
+      mark(w.t0, "loss_on",
+           link + StrFormat(",\"p\":%s", DoubleToShortestString(w.p).c_str()));
+      mark(w.t1, "loss_off", link);
+    }
+    for (const auto& w : f.duplicate) {
+      mark(w.t0, "dup_on",
+           link + StrFormat(",\"p\":%s", DoubleToShortestString(w.p).c_str()));
+      mark(w.t1, "dup_off", link);
+    }
+    for (const auto& w : f.reorder) {
+      mark(w.t0, "reorder_on",
+           link + StrFormat(",\"jitter\":%s",
+                            DoubleToShortestString(w.p).c_str()));
+      mark(w.t1, "reorder_off", link);
+    }
+  }
+  for (const net::PartitionFault& part : plan.partitions) {
+    std::string group = "\"group\":[";
+    for (size_t i = 0; i < part.group.size(); ++i) {
+      if (i) group += ',';
+      group += StrFormat("%d", part.group[i]);
+    }
+    group += ']';
+    mark(part.t0, "partition_on", group);
+    mark(part.t1, "partition_off", group);
+  }
+}
+
+Status System::ApplyFaultPlan(const net::FaultPlan& plan) {
+  for (const net::CrashFault& c : plan.crashes) {
+    if (c.node < 0 || static_cast<size_t>(c.node) >= nodes_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("fault plan crashes unknown node %d", c.node));
+    }
+    if (c.restart_t >= 0 && c.restart_t < c.t) {
+      return Status::InvalidArgument(
+          StrFormat("fault plan restarts node %d before its crash", c.node));
+    }
+  }
+  fault_plan_ = plan;
+  net_.SetFaultPlan(plan);
+  ScheduleWindowMarkers(plan);
+  for (const net::CrashFault& c : plan.crashes) {
+    sim_.ScheduleAt(c.t, [this, node = c.node] {
+      Status s = CrashNode(node);
+      if (!s.ok()) COLOGNE_WARN("crash injection: " + s.ToString());
+    });
+    if (c.restart_t >= 0) {
+      restart_pending_[static_cast<size_t>(c.node)] = 1;
+      sim_.ScheduleAt(c.restart_t,
+                      [this, node = c.node, retain = c.retain_warm_start] {
+        Status s = RestartNode(node, retain);
+        if (!s.ok()) COLOGNE_WARN("restart injection: " + s.ToString());
+      });
+    }
+  }
+  return Status::OK();
+}
+
+Status System::CrashNode(NodeId id) {
+  if (id < 0 || static_cast<size_t>(id) >= nodes_.size()) {
+    return Status::InvalidArgument("unknown node");
+  }
+  Instance& inst = node(id);
+  if (inst.crashed()) return Status::OK();
+  if (trace_ != nullptr) {
+    trace_->Fault("crash", StrFormat("\"node\":%d", id));
+  }
+  COLOGNE_RETURN_IF_ERROR(inst.Crash());
+  // Everything this node had learned from peers is gone with its engine.
+  rx_[static_cast<size_t>(id)].clear();
+  return Status::OK();
+}
+
+Status System::RestartNode(NodeId id, bool retain_warm_start) {
+  if (id < 0 || static_cast<size_t>(id) >= nodes_.size()) {
+    return Status::InvalidArgument("unknown node");
+  }
+  Instance& inst = node(id);
+  if (!inst.crashed()) return Status::OK();
+  restart_pending_[static_cast<size_t>(id)] = 0;
+  if (trace_ != nullptr) {
+    trace_->Fault("restart",
+                  StrFormat("\"node\":%d,\"retain_warm\":%d", id,
+                            retain_warm_start ? 1 : 0));
+  }
+  // The new incarnation re-derives its contribution from scratch: roll every
+  // peer's embedded view of this node into debt so re-sent tuples pay it
+  // off instead of inflating counts.
+  COLOGNE_RETURN_IF_ERROR(inst.Restart(retain_warm_start));
+  double now = sim_.Now();
+  for (size_t y = 0; y < nodes_.size(); ++y) {
+    if (static_cast<NodeId>(y) == id) continue;
+    auto it = rx_[y].find(id);
+    if (it == rx_[y].end()) continue;
+    PeerState& ps = it->second;
+    for (auto& [key, count] : ps.embedded) ps.debt[key] += count;
+    ps.embedded.clear();
+    ps.epoch_seen = inst.epoch();
+    ++ps.sync_gen;
+  }
+  // This node's send log described its previous incarnation's contribution;
+  // the rebuild below regenerates the current one.
+  sent_log_[static_cast<size_t>(id)].clear();
+  WireNode(id);
+  COLOGNE_RETURN_IF_ERROR(inst.ReplayBaseFacts());
+  // Anti-entropy rejoin: every live peer replays what it ever shipped to
+  // this node, chronologically, over the reliable channel. Ordinary
+  // messages still in flight toward this node are superseded by the replay
+  // and fenced via the floor timestamp.
+  for (size_t y = 0; y < nodes_.size(); ++y) {
+    NodeId peer = static_cast<NodeId>(y);
+    if (peer == id || node(peer).crashed()) continue;
+    PeerState& ps = rx_[static_cast<size_t>(id)][peer];
+    ps.floor = now;
+    ++ps.sync_gen;
+    ReplaySentLog(peer, id, /*net_state=*/false);
+  }
+  // Reconciliation sweeps: once the re-derived and replayed sends have
+  // landed, any debt still outstanding is state the sender no longer
+  // stands behind.
+  for (size_t y = 0; y < nodes_.size(); ++y) {
+    NodeId peer = static_cast<NodeId>(y);
+    if (peer == id) continue;
+    ScheduleDebtReconcile(peer, id);  // peers' debt toward this node
+    ScheduleDebtReconcile(id, peer);  // this node's debt toward peers
+  }
+  if (restart_hook_) restart_hook_(id);
+  return Status::OK();
+}
+
+Status System::ResyncNode(NodeId id) {
+  if (id < 0 || static_cast<size_t>(id) >= nodes_.size()) {
+    return Status::InvalidArgument("unknown node");
+  }
+  if (node(id).crashed()) return Status::OK();
+  double now = sim_.Now();
+  for (size_t y = 0; y < nodes_.size(); ++y) {
+    NodeId peer = static_cast<NodeId>(y);
+    if (peer == id || node(peer).crashed()) continue;
+    PeerState& ps = rx_[static_cast<size_t>(id)][peer];
+    for (auto& [key, count] : ps.embedded) ps.debt[key] += count;
+    ps.embedded.clear();
+    ps.floor = now;
+    ++ps.sync_gen;
+    ReplaySentLog(peer, id, /*net_state=*/true);
+    ScheduleDebtReconcile(id, peer);
+  }
+  return Status::OK();
+}
+
+void System::ReplaySentLog(NodeId src, NodeId dst, bool net_state) {
+  auto send = [this, src, dst](const std::string& table, const Row& row,
+                               int sign) {
+    net::Message msg;
+    msg.table = table;
+    msg.row = row;
+    msg.sign = sign;
+    msg.epoch = node(src).epoch();
+    msg.reliable = true;
+    Status s = net_.Send(src, dst, std::move(msg));
+    if (!s.ok()) {
+      COLOGNE_WARN("send-log replay " + std::to_string(src) + "->" +
+                   std::to_string(dst) + ": " + s.ToString());
+    }
+  };
+  const auto& log = sent_log_[static_cast<size_t>(src)];
+  if (!net_state) {
+    for (const SentRecord& rec : log) {
+      if (rec.dest == dst) send(rec.table, rec.row, rec.sign);
+    }
+    return;
+  }
+  // Net mode: per-row net counts plus the order of each row's latest
+  // insertion, so keyed replacement at the receiver lands on the same
+  // surviving row it did originally.
+  std::map<std::pair<std::string, Row>, int64_t> net;
+  std::vector<std::pair<std::string, Row>> inserts;  // may contain stale dups
+  for (const SentRecord& rec : log) {
+    if (rec.dest != dst) continue;
+    auto key = std::make_pair(rec.table, rec.row);
+    net[key] += rec.sign;
+    if (rec.sign > 0) inserts.push_back(std::move(key));
+  }
+  // Keep only each row's last insertion, preserving relative order.
+  std::set<std::pair<std::string, Row>> seen;
+  std::vector<const std::pair<std::string, Row>*> order;
+  for (auto it = inserts.rbegin(); it != inserts.rend(); ++it) {
+    if (seen.insert(*it).second) order.push_back(&*it);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int64_t count = net[**it];
+    for (int64_t k = 0; k < count; ++k) send((*it)->first, (*it)->second, +1);
+  }
+}
+
+void System::ScheduleDebtReconcile(NodeId dst, NodeId src) {
+  auto it = rx_[static_cast<size_t>(dst)].find(src);
+  uint64_t gen = it == rx_[static_cast<size_t>(dst)].end()
+                     ? 0
+                     : it->second.sync_gen;
+  sim_.Schedule(options_.reconcile_delay_s, [this, dst, src, gen] {
+    if (node(dst).crashed()) return;
+    auto it = rx_[static_cast<size_t>(dst)].find(src);
+    if (it == rx_[static_cast<size_t>(dst)].end()) return;
+    PeerState& ps = it->second;
+    // A newer restart/resync superseded this sweep; its own sweep follows.
+    if (ps.sync_gen != gen || ps.debt.empty()) return;
+    Instance& inst = node(dst);
+    for (const auto& [key, count] : ps.debt) {
+      for (int64_t k = 0; k < count; ++k) {
+        Status s = inst.engine().Apply(key.first, key.second, -1);
+        if (!s.ok()) COLOGNE_WARN("debt reconcile: " + s.ToString());
+      }
+      if (trace_ != nullptr) {
+        trace_->RxDrop(src, dst, key.first, "reconcile");
+      }
+    }
+    ps.debt.clear();
+    Status s = inst.engine().Flush();
+    if (!s.ok()) COLOGNE_WARN("debt reconcile flush: " + s.ToString());
+  });
+}
+
+bool System::NodePermanentlyDown(NodeId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= nodes_.size()) return false;
+  return nodes_[static_cast<size_t>(id)]->crashed() &&
+         restart_pending_[static_cast<size_t>(id)] == 0;
+}
+
+bool System::AnyRestartPending() const {
+  for (char pending : restart_pending_) {
+    if (pending) return true;
+  }
+  return false;
 }
 
 }  // namespace cologne::runtime

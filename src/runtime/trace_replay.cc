@@ -1,0 +1,194 @@
+#include "runtime/trace_replay.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace cologne::runtime {
+
+namespace {
+
+const char* NetKindName(net::NetEvent::Kind kind) {
+  switch (kind) {
+    case net::NetEvent::Kind::kSend: return "send";
+    case net::NetEvent::Kind::kDeliver: return "deliver";
+    case net::NetEvent::Kind::kDrop: return "drop";
+    case net::NetEvent::Kind::kDup: return "dup";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void TraceRecorder::Header(const std::string& program, uint64_t seed,
+                           const net::FaultPlan& plan) {
+  Line(StrFormat("{\"ev\":\"header\",\"program\":\"%s\",\"seed\":%llu,"
+                 "\"fault_plan\":%s}",
+                 JsonEscape(program).c_str(),
+                 static_cast<unsigned long long>(seed),
+                 plan.ToJson().c_str()));
+}
+
+void TraceRecorder::Net(const net::NetEvent& ev) {
+  std::string line = StrFormat(
+      "{\"t\":%s,\"ev\":\"%s\",\"from\":%d,\"to\":%d,\"table\":\"%s\"",
+      DoubleToShortestString(ev.t).c_str(), NetKindName(ev.kind), ev.from,
+      ev.to, JsonEscape(ev.msg->table).c_str());
+  if (ev.kind == net::NetEvent::Kind::kDrop) {
+    line += StrFormat(",\"reason\":\"%s\"", ev.detail);
+  } else {
+    line += StrFormat(",\"row\":\"%s\",\"sign\":%d",
+                      JsonEscape(RowToString(ev.msg->row)).c_str(),
+                      ev.msg->sign);
+    if (ev.kind == net::NetEvent::Kind::kSend) {
+      line += StrFormat(",\"bytes\":%zu", ev.msg->WireSize());
+    }
+    if (ev.detail != nullptr && ev.detail[0] != '\0') {
+      line += StrFormat(",\"detail\":\"%s\"", ev.detail);
+    }
+  }
+  line += '}';
+  Line(std::move(line));
+}
+
+void TraceRecorder::Fault(const char* kind, const std::string& detail) {
+  std::string line =
+      StrFormat("{\"t\":%s,\"ev\":\"fault\",\"kind\":\"%s\"",
+                DoubleToShortestString(Now()).c_str(), kind);
+  if (!detail.empty()) {
+    line += ',';
+    line += detail;
+  }
+  line += '}';
+  Line(std::move(line));
+}
+
+void TraceRecorder::Solve(NodeId node, const char* status, bool has_objective,
+                          double objective, size_t vars, bool warm_started) {
+  std::string line = StrFormat(
+      "{\"t\":%s,\"ev\":\"solve\",\"node\":%d,\"status\":\"%s\"",
+      DoubleToShortestString(Now()).c_str(), node, status);
+  if (has_objective) {
+    line += StrFormat(",\"objective\":%s",
+                      DoubleToShortestString(objective).c_str());
+  }
+  line += StrFormat(",\"vars\":%zu,\"warm\":%d}", vars, warm_started ? 1 : 0);
+  Line(std::move(line));
+}
+
+void TraceRecorder::RxDrop(NodeId from, NodeId to, const std::string& table,
+                           const char* reason) {
+  Line(StrFormat(
+      "{\"t\":%s,\"ev\":\"rx_drop\",\"from\":%d,\"to\":%d,\"table\":\"%s\","
+      "\"reason\":\"%s\"}",
+      DoubleToShortestString(Now()).c_str(), from, to,
+      JsonEscape(table).c_str(), reason));
+}
+
+std::string TraceRecorder::ToString() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::RuntimeError("cannot open trace file for writing: " + path);
+  }
+  std::string body = ToString();
+  size_t written = fwrite(body.data(), 1, body.size(), f);
+  fclose(f);
+  if (written != body.size()) {
+    return Status::RuntimeError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ReadTraceLines(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  std::string body;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  fclose(f);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t pos = body.find('\n', start);
+    if (pos == std::string::npos) {
+      lines.push_back(body.substr(start));
+      break;
+    }
+    lines.push_back(body.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return lines;
+}
+
+std::string DiffTraces(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  size_t common = std::min(a.size(), b.size());
+  for (size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) {
+      return StrFormat("line %zu differs:\n  a: %s\n  b: %s", i + 1,
+                       a[i].c_str(), b[i].c_str());
+    }
+  }
+  if (a.size() != b.size()) {
+    return StrFormat("length differs: %zu vs %zu lines (first extra: %s)",
+                     a.size(), b.size(),
+                     (a.size() > b.size() ? a[common] : b[common]).c_str());
+  }
+  return "";
+}
+
+Result<TraceHeader> ParseTraceHeader(const std::string& header_line) {
+  // The header is canonical: fixed field order, fault_plan last.
+  auto find_field = [&](const char* key) -> size_t {
+    std::string needle = StrFormat("\"%s\":", key);
+    return header_line.find(needle);
+  };
+  size_t ev = header_line.find("\"ev\":\"header\"");
+  if (ev == std::string::npos) {
+    return Status::ParseError("not a trace header line");
+  }
+  TraceHeader out;
+  size_t prog = find_field("program");
+  if (prog != std::string::npos) {
+    size_t begin = header_line.find('"', prog + 10);
+    size_t end = header_line.find('"', begin + 1);
+    if (begin == std::string::npos || end == std::string::npos) {
+      return Status::ParseError("malformed program field");
+    }
+    out.program = header_line.substr(begin + 1, end - begin - 1);
+  }
+  size_t seed = find_field("seed");
+  if (seed != std::string::npos) {
+    out.seed = strtoull(header_line.c_str() + seed + 7, nullptr, 10);
+  }
+  size_t plan = find_field("fault_plan");
+  if (plan != std::string::npos) {
+    // The plan object runs to the final '}' of the line (it is the last
+    // field in the canonical header).
+    size_t begin = plan + 13;
+    size_t end = header_line.rfind('}');
+    if (end == std::string::npos || end <= begin) {
+      return Status::ParseError("malformed fault_plan field");
+    }
+    COLOGNE_ASSIGN_OR_RETURN(
+        parsed, net::FaultPlan::FromJson(header_line.substr(begin, end - begin)));
+    out.plan = std::move(parsed);
+  }
+  return out;
+}
+
+}  // namespace cologne::runtime

@@ -1,0 +1,101 @@
+// Deterministic execution traces and replay checking.
+//
+// A TraceRecorder captures every observable transition of a distributed run
+// as canonical JSON lines: message sends/deliveries/drops/duplicates, fault
+// transitions (link flaps, partitions, crashes, restarts, recovery replay),
+// and invokeSolver outcomes. Two runs of the same (program, seed, fault
+// plan) produce byte-identical traces — the determinism contract the
+// soak/golden tests enforce — and the header line alone (program + seed +
+// fault plan JSON) is enough to reproduce a failing run.
+//
+// Trace format: one JSON object per line.
+//   {"ev":"header","program":"followsun","seed":11,"fault_plan":{...}}
+//   {"t":0.1,"ev":"send","from":1,"to":0,"table":"tmp_d2","row":"(...)",
+//    "sign":1,"bytes":44}
+//   {"t":5.2,"ev":"fault","kind":"crash","node":2}
+//   {"t":7,"ev":"solve","node":3,"status":"optimal","objective":120,
+//    "vars":4,"warm":0}
+// Only virtual-time quantities appear; wall-clock fields (solve wall_ms,
+// search node counts under a wall-clock budget) are deliberately excluded.
+#ifndef COLOGNE_RUNTIME_TRACE_REPLAY_H_
+#define COLOGNE_RUNTIME_TRACE_REPLAY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "net/fault_plan.h"
+#include "net/network.h"
+
+namespace cologne::runtime {
+
+/// \brief Ordered log of canonical trace lines for one run.
+class TraceRecorder {
+ public:
+  /// Virtual-time source (e.g. the System's simulator clock). Without a
+  /// clock, the manually set time (SetTime) is used — the standalone ACloud
+  /// replay drives it per interval.
+  void SetClock(std::function<double()> clock) { clock_ = std::move(clock); }
+  void SetTime(double t) { manual_time_ = t; }
+  double Now() const { return clock_ ? clock_() : manual_time_; }
+
+  /// Emit the header line. Call once, first.
+  void Header(const std::string& program, uint64_t seed,
+              const net::FaultPlan& plan);
+
+  /// Serialize a network transition.
+  void Net(const net::NetEvent& ev);
+
+  /// A fault transition: kind in {"crash","restart","link_down","link_up",
+  /// "loss_on","loss_off","dup_on","dup_off","reorder_on","reorder_off",
+  /// "partition_on","partition_off"}. `detail` is pre-rendered JSON fields
+  /// (e.g. "\"node\":2"), appended verbatim.
+  void Fault(const char* kind, const std::string& detail);
+
+  /// An invokeSolver outcome (deterministic fields only).
+  void Solve(NodeId node, const char* status, bool has_objective,
+             double objective, size_t vars, bool warm_started);
+
+  /// An application-level drop at the receiving runtime (crashed node,
+  /// stale epoch, duplicate suppression).
+  void RxDrop(NodeId from, NodeId to, const std::string& table,
+              const char* reason);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::string ToString() const;
+  void Clear() { lines_.clear(); }
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  void Line(std::string line) { lines_.push_back(std::move(line)); }
+
+  std::function<double()> clock_;
+  double manual_time_ = 0;
+  std::vector<std::string> lines_;
+};
+
+/// Read a trace file into lines (trailing newline tolerated).
+Result<std::vector<std::string>> ReadTraceLines(const std::string& path);
+
+/// Compare two traces; returns the empty string when byte-identical,
+/// otherwise a human-readable description of the first divergence.
+std::string DiffTraces(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b);
+
+/// Parsed header of a recorded trace: everything needed to reproduce the
+/// run (re-compile `program`, re-seed, re-apply the fault plan).
+struct TraceHeader {
+  std::string program;
+  uint64_t seed = 0;
+  net::FaultPlan plan;
+};
+
+/// Parse the header line of a trace (the first line).
+Result<TraceHeader> ParseTraceHeader(const std::string& header_line);
+
+}  // namespace cologne::runtime
+
+#endif  // COLOGNE_RUNTIME_TRACE_REPLAY_H_

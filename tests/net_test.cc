@@ -1,6 +1,7 @@
 // Tests for the discrete-event simulator and the message network.
 #include <gtest/gtest.h>
 
+#include "net/fault_plan.h"
 #include "net/network.h"
 #include "net/simulator.h"
 
@@ -72,6 +73,269 @@ TEST(SimulatorTest, PendingAndExecutedCounters) {
   sim.Run();
   EXPECT_EQ(sim.pending(), 0u);
   EXPECT_EQ(sim.executed(), 2u);
+}
+
+// --- Simulator edge cases (ISSUE 3 satellite) --------------------------------
+
+TEST(SimulatorEdgeTest, CancelOfAlreadyFiredEventIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.Schedule(1.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.Cancel(id);  // already fired: must not underflow pending
+  EXPECT_EQ(sim.pending(), 0u);
+  // A later event is unaffected by the stale cancel.
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorEdgeTest, DoubleCancelDecrementsPendingOnce) {
+  Simulator sim;
+  EventId id = sim.Schedule(1.0, [] {});
+  sim.Schedule(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Cancel(id);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorEdgeTest, CancelSelfFromCallbackIsNoOp) {
+  Simulator sim;
+  EventId id = 0;
+  int fired = 0;
+  id = sim.Schedule(1.0, [&] {
+    ++fired;
+    sim.Cancel(id);  // cancelling the event currently executing
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorEdgeTest, ScheduleAtPastTimeClampsToNow) {
+  Simulator sim;
+  sim.Schedule(5.0, [] {});
+  sim.Run();
+  ASSERT_DOUBLE_EQ(sim.Now(), 5.0);
+  double fired_at = -1;
+  sim.ScheduleAt(2.0, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0) << "past-dated events fire at Now()";
+  // Negative relative delays clamp the same way.
+  fired_at = -1;
+  sim.Schedule(-3.0, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulatorEdgeTest, EqualTimestampFifoAcrossNestedScheduling) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1.0, [&] {
+    order.push_back(0);
+    // Nested zero-delay events land at the same timestamp but after every
+    // previously scheduled t=1 event (strict FIFO by sequence number).
+    sim.Schedule(0.0, [&] { order.push_back(3); });
+    sim.Schedule(0.0, [&] { order.push_back(4); });
+  });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(1.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorEdgeTest, RunUntilDeliversEventsScheduledExactlyAtT) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.Schedule(2.0, [&] {
+    fired.push_back(0);
+    // Scheduled *during* RunUntil(2.0) at exactly t=2: still delivered.
+    sim.Schedule(0.0, [&] { fired.push_back(1); });
+  });
+  sim.Schedule(2.0 + 1e-9, [&] { fired.push_back(2); });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorEdgeTest, RunUntilNeverMovesClockBackwards) {
+  Simulator sim;
+  sim.Schedule(5.0, [] {});
+  sim.Run();
+  sim.RunUntil(2.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorEdgeTest, CancelledEventsAreSkippedByRunUntil) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Cancel(id);
+  sim.RunUntil(1.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+// --- Fault plans -------------------------------------------------------------
+
+TEST(FaultPlanTest, WindowsAndPartitions) {
+  FaultPlan plan;
+  LinkFault f;
+  f.a = 0;
+  f.b = 1;
+  f.down.push_back({2.0, 4.0, 0});
+  f.loss.push_back({1.0, 5.0, 0.25});
+  plan.links.push_back(f);
+  PartitionFault part;
+  part.group = {2};
+  part.t0 = 3.0;
+  part.t1 = 6.0;
+  plan.partitions.push_back(part);
+
+  const char* reason = nullptr;
+  EXPECT_FALSE(plan.SeveredAt(0, 1, 1.9));
+  EXPECT_TRUE(plan.SeveredAt(0, 1, 2.0, &reason));
+  EXPECT_STREQ(reason, "link_down");
+  EXPECT_TRUE(plan.SeveredAt(1, 0, 3.9)) << "endpoints are unordered";
+  EXPECT_FALSE(plan.SeveredAt(0, 1, 4.0)) << "window is half-open";
+  EXPECT_DOUBLE_EQ(plan.LossProbAt(0, 1, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(plan.LossProbAt(0, 1, 5.0), 0.0);
+  // Partition separates node 2 from everyone; 0-1 stays connected.
+  EXPECT_TRUE(plan.SeveredAt(0, 2, 3.5, &reason));
+  EXPECT_STREQ(reason, "partition");
+  EXPECT_TRUE(plan.SeveredAt(2, 1, 3.5));
+  EXPECT_FALSE(plan.SeveredAt(0, 1, 4.5))
+      << "partition excludes links inside one side";
+  EXPECT_FALSE(plan.SeveredAt(0, 2, 6.0));
+}
+
+TEST(FaultPlanTest, JsonRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 42;
+  LinkFault f;
+  f.a = 0;
+  f.b = 3;
+  f.down.push_back({1.25, 3.5, 0});
+  f.loss.push_back({0.5, 10.0, 0.125});
+  f.duplicate.push_back({2.0, 4.0, 0.0625});
+  f.reorder.push_back({1.0, 9.0, 0.015625});
+  plan.links.push_back(f);
+  PartitionFault part;
+  part.group = {1, 2};
+  part.t0 = 5.5;
+  part.t1 = 7.75;
+  plan.partitions.push_back(part);
+  CrashFault c;
+  c.node = 2;
+  c.t = 6.125;
+  c.restart_t = 12.5;
+  c.retain_warm_start = true;
+  plan.crashes.push_back(c);
+
+  std::string json = plan.ToJson();
+  auto parsed = FaultPlan::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().ToJson(), json) << "canonical round trip";
+  EXPECT_EQ(parsed.value().seed, 42u);
+  ASSERT_EQ(parsed.value().crashes.size(), 1u);
+  EXPECT_TRUE(parsed.value().crashes[0].retain_warm_start);
+  EXPECT_DOUBLE_EQ(parsed.value().crashes[0].restart_t, 12.5);
+}
+
+TEST(FaultPlanTest, RandomIsDeterministic) {
+  std::vector<std::pair<NodeId, NodeId>> links{{0, 1}, {1, 2}, {0, 2}};
+  FaultPlan a = FaultPlan::Random(7, 3, links);
+  FaultPlan b = FaultPlan::Random(7, 3, links);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  FaultPlan c = FaultPlan::Random(8, 3, links);
+  EXPECT_NE(a.ToJson(), c.ToJson()) << "different seeds, different plans";
+}
+
+TEST(NetworkFaultTest, DownWindowDropsAndCounts) {
+  Simulator sim;
+  Network net(&sim);
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  ASSERT_TRUE(net.AddLink(a, b).ok());
+  FaultPlan plan;
+  LinkFault f;
+  f.a = a;
+  f.b = b;
+  f.down.push_back({0.0, 10.0, 0});
+  plan.links.push_back(f);
+  net.SetFaultPlan(plan);
+  int got = 0;
+  net.SetReceiver(b, [&](NodeId, NodeId, const Message&) { ++got; });
+  Message m;
+  m.table = "t";
+  ASSERT_TRUE(net.Send(a, b, m).ok());
+  sim.Run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.StatsOf(a).messages_dropped, 1u);
+  EXPECT_EQ(net.TotalDropped(), 1u);
+  // After the window, delivery resumes.
+  sim.Schedule(11.0, [] {});
+  sim.Run();
+  ASSERT_TRUE(net.Send(a, b, m).ok());
+  sim.Run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NetworkFaultTest, ReliableMessagesBypassDrops) {
+  Simulator sim;
+  Network net(&sim);
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  ASSERT_TRUE(net.AddLink(a, b).ok());
+  FaultPlan plan;
+  LinkFault f;
+  f.a = a;
+  f.b = b;
+  f.down.push_back({0.0, 10.0, 0});
+  f.loss.push_back({0.0, 10.0, 1.0});
+  plan.links.push_back(f);
+  net.SetFaultPlan(plan);
+  int got = 0;
+  net.SetReceiver(b, [&](NodeId, NodeId, const Message&) { ++got; });
+  Message m;
+  m.table = "t";
+  m.reliable = true;
+  ASSERT_TRUE(net.Send(a, b, m).ok());
+  sim.Run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net.TotalDropped(), 0u);
+}
+
+TEST(NetworkFaultTest, DuplicationDeliversTwiceInOrder) {
+  Simulator sim;
+  Network net(&sim);
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  ASSERT_TRUE(net.AddLink(a, b).ok());
+  FaultPlan plan;
+  LinkFault f;
+  f.a = a;
+  f.b = b;
+  f.duplicate.push_back({0.0, 10.0, 1.0});
+  plan.links.push_back(f);
+  net.SetFaultPlan(plan);
+  int got = 0;
+  net.SetReceiver(b, [&](NodeId, NodeId, const Message&) { ++got; });
+  Message m;
+  m.table = "t";
+  ASSERT_TRUE(net.Send(a, b, m).ok());
+  sim.Run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net.StatsOf(b).messages_received, 2u);
 }
 
 TEST(MessageTest, WireSize) {

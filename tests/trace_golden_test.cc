@@ -1,0 +1,134 @@
+// Golden-trace regression tests (ISSUE 3 satellite): small fixed-seed runs
+// of the three scenario drivers — each under a small fault plan — are
+// recorded as canonical traces and compared byte-for-byte against the files
+// in tests/golden/ on every CI run.
+//
+// To regenerate after an intentional behavior change:
+//   ./trace_golden_test --update-golden
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "apps/acloud.h"
+#include "apps/followsun.h"
+#include "apps/wireless.h"
+#include "net/fault_plan.h"
+#include "runtime/trace_replay.h"
+
+namespace cologne::runtime {
+namespace {
+
+bool g_update_golden = false;
+
+#ifndef COLOGNE_GOLDEN_DIR
+#define COLOGNE_GOLDEN_DIR "tests/golden"
+#endif
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(COLOGNE_GOLDEN_DIR) + "/" + name + ".trace";
+}
+
+void CompareOrUpdate(const TraceRecorder& trace, const std::string& name) {
+  ASSERT_GT(trace.lines().size(), 1u) << name << ": trace is empty";
+  std::string path = GoldenPath(name);
+  if (g_update_golden) {
+    Status s = trace.WriteFile(path);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    printf("updated %s (%zu lines)\n", path.c_str(), trace.lines().size());
+    return;
+  }
+  auto golden = ReadTraceLines(path);
+  ASSERT_TRUE(golden.ok())
+      << golden.status().ToString()
+      << "\n(run ./trace_golden_test --update-golden to record)";
+  EXPECT_EQ(DiffTraces(golden.value(), trace.lines()), "")
+      << name << ": trace diverged from " << path
+      << "\n(if the change is intentional, rerun with --update-golden)";
+}
+
+TEST(GoldenTraceTest, FollowTheSun) {
+  apps::FtsConfig cfg;
+  cfg.num_dcs = 3;
+  cfg.capacity = 20;
+  cfg.demand_hi = 5;
+  cfg.solver_time_ms = 10000;  // generous cap: tiny models prove optimality in ms
+  cfg.seed = 41;
+  // One crash with restart plus a loss window: exercises drop, crash,
+  // rejoin-replay, dedup, and reconcile trace events.
+  net::LinkFault lf;
+  lf.a = 0;
+  lf.b = 1;
+  lf.loss.push_back({2.0, 9.0, 0.3});
+  cfg.fault_plan.seed = 41;
+  cfg.fault_plan.links.push_back(lf);
+  net::CrashFault crash;
+  crash.node = 2;
+  crash.t = 6.0;
+  crash.restart_t = 12.0;
+  cfg.fault_plan.crashes.push_back(crash);
+
+  TraceRecorder trace;
+  cfg.trace = &trace;
+  apps::FollowTheSunScenario scenario(cfg);
+  auto r = scenario.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  CompareOrUpdate(trace, "followsun_small");
+}
+
+TEST(GoldenTraceTest, WirelessDistributed) {
+  apps::WirelessConfig cfg;
+  cfg.grid_w = 2;
+  cfg.grid_h = 2;
+  cfg.num_flows = 2;
+  cfg.link_solve_ms = 10000;  // generous cap: tiny models prove optimality in ms
+  cfg.seed = 43;
+  net::LinkFault lf;
+  lf.a = 0;
+  lf.b = 1;
+  lf.down.push_back({4.5, 8.0, 0});
+  lf.duplicate.push_back({0.0, 20.0, 0.5});
+  cfg.fault_plan.seed = 43;
+  cfg.fault_plan.links.push_back(lf);
+
+  TraceRecorder trace;
+  cfg.trace = &trace;
+  apps::WirelessScenario scenario(cfg);
+  auto r = scenario.AssignChannels(apps::WirelessProtocol::kDistributed);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  CompareOrUpdate(trace, "wireless_small");
+}
+
+TEST(GoldenTraceTest, ACloudReplay) {
+  apps::ACloudConfig cfg;
+  cfg.num_dcs = 2;
+  cfg.hosts_per_dc = 2;
+  cfg.vms_per_host = 3;
+  cfg.duration_hours = 0.5;
+  cfg.interval_s = 600;
+  cfg.solver_time_ms = 10000;  // generous cap: tiny models prove optimality in ms
+  cfg.crash_dc = 1;
+  cfg.crash_interval = 1;
+  cfg.restart_interval = 2;
+
+  TraceRecorder trace;
+  trace.Header("acloud", cfg.seed, net::FaultPlan{});
+  cfg.solve_trace = &trace;
+  apps::ACloudScenario scenario(cfg);
+  auto r = scenario.Run(apps::ACloudPolicy::kACloud);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  CompareOrUpdate(trace, "acloud_small");
+}
+
+}  // namespace
+}  // namespace cologne::runtime
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      cologne::runtime::g_update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}
