@@ -47,19 +47,40 @@ int RunChurn(FILE* out_file) {
     const char* label;
     double loss;
     bool crash;
+    int dcs = 4;
+    bool reliable = false;  ///< NET_RELIABLE transport + batched solves.
   };
+  // The 4-DC datagram cases replay PR 3's robustness trajectory; the 10-DC
+  // reliable cases are ISSUE 4's scale-up — batched incident-link solves
+  // over the retransmission/FIFO transport, anti-entropy sweeps retired.
   const Case cases[] = {
       {"loss0", 0.0, false},
       {"loss5", 0.05, false},
       {"loss20", 0.20, false},
       {"crash1", 0.0, true},
+      {"r10_loss5", 0.05, false, 10, true},
+      {"r10_loss20", 0.20, false, 10, true},
+      {"r10_crash", 0.0, true, 10, true},
   };
   printf("\nChurn: objective vs time under loss/crash (BENCH_churn.json)\n");
   for (const Case& c : cases) {
     FtsConfig cfg;
-    cfg.num_dcs = 4;
+    cfg.num_dcs = c.dcs;
     cfg.seed = 104;
-    cfg.fault_plan = ChurnPlan(c.loss, c.crash, cfg.num_dcs, cfg.seed);
+    if (c.reliable) {
+      cfg.net_reliable = true;
+      cfg.batch_links = true;
+      cfg.max_link_batch = 3;
+      cfg.capacity = 45;
+      cfg.demand_hi = 4;
+      cfg.link_loss_prob = c.loss;  // sustained loss; retransmission recovers
+      cfg.solver_backend = "lns";
+      cfg.solver_max_iterations = 8;
+      cfg.solver_time_ms = 0;
+      cfg.fault_plan = ChurnPlan(0, c.crash, cfg.num_dcs, cfg.seed);
+    } else {
+      cfg.fault_plan = ChurnPlan(c.loss, c.crash, cfg.num_dcs, cfg.seed);
+    }
     FollowTheSunScenario faulted(cfg);
     auto r = faulted.Run();
     if (!r.ok()) {
@@ -71,10 +92,11 @@ int RunChurn(FILE* out_file) {
     for (const FtsSample& s : res.series) {
       std::string row = StrFormat(
           "{\"bench\":\"followsun_churn\",\"case\":\"%s\",\"loss_pct\":%.1f,"
-          "\"crash\":%d,\"seed\":%llu,\"t_s\":%.1f,\"cost\":%.1f,"
+          "\"crash\":%d,\"dcs\":%d,\"reliable\":%d,\"seed\":%llu,"
+          "\"t_s\":%.1f,\"cost\":%.1f,"
           "\"normalized\":%.2f,\"failed_rounds\":%d,\"recovered_rounds\":%d,"
           "\"drops\":%llu}",
-          c.label, c.loss * 100, c.crash ? 1 : 0,
+          c.label, c.loss * 100, c.crash ? 1 : 0, c.dcs, c.reliable ? 1 : 0,
           static_cast<unsigned long long>(cfg.seed), s.t_s, s.total_cost,
           s.normalized, res.failed_rounds, res.recovered_rounds,
           static_cast<unsigned long long>(res.messages_dropped));
@@ -85,7 +107,7 @@ int RunChurn(FILE* out_file) {
     // bench-smoke schema validation.
     SolveRecord rec;
     rec.bench = std::string("followsun_churn_") + c.label;
-    rec.backend = "bnb";
+    rec.backend = c.reliable ? "lns" : "bnb";
     rec.seed = cfg.seed;
     rec.wall_ms = res.avg_link_solve_ms;
     rec.objective = res.final_cost;

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans the given markdown files (and directories, recursively) for inline
+links/images `[text](target)` and reference definitions `[id]: target`,
+and verifies that every relative target resolves to an existing file or
+directory. External schemes (http/https/mailto) and pure in-page anchors
+are skipped; `path#anchor` targets are checked for the path part only.
+
+Usage: scripts/check_markdown_links.py FILE_OR_DIR [...]
+Exits 1 if any link is broken, listing file:line for each.
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline [text](target) — also matches images; tolerates titles after a
+# space. Reference definitions: [id]: target
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def targets_in(line: str):
+    yield from INLINE.findall(line)
+    m = REFDEF.match(line)
+    if m:
+        yield m.group(1)
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in targets_in(line):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files: list[Path] = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"error: no such file: {arg}", file=sys.stderr)
+            return 2
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s), "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

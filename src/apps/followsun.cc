@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "apps/negotiation.h"
 #include "apps/programs.h"
 
 namespace cologne::apps {
@@ -11,7 +12,8 @@ namespace cologne::apps {
 FollowTheSunScenario::FollowTheSunScenario(const FtsConfig& config)
     : config_(config) {
   auto compiled = colog::CompileColog(FollowTheSunDistributedProgram(
-      config.migration_limit, config.capacity, config.max_migrates));
+      config.migration_limit, config.capacity, config.max_migrates,
+      config.batch_links));
   prog_ = std::move(compiled).value();
 }
 
@@ -38,6 +40,8 @@ Result<FtsResult> FollowTheSunScenario::Run() {
   // ---- Topology: ring + random chords up to the target average degree -----
   runtime::System::Options sopts;
   sopts.seed = config_.seed;
+  sopts.net_reliable = config_.net_reliable;
+  sopts.default_link.drop_prob = config_.link_loss_prob;
   sys_ = std::make_unique<runtime::System>(&prog_, static_cast<size_t>(n),
                                            sopts);
   COLOGNE_RETURN_IF_ERROR(sys_->Init());
@@ -165,7 +169,8 @@ Result<FtsResult> FollowTheSunScenario::Run() {
           : static_cast<int>(links_.size()) * (3 + config_.converge_sweeps) + 8;
   double round_start = 0;
   Status failure;  // first negotiation error, surfaced for fault-free runs
-  const bool faulty = !config_.fault_plan.empty();
+  const bool faulty =
+      !config_.fault_plan.empty() || config_.link_loss_prob > 0;
   int extra_passes = 0;
   double last_pass_cost = result.initial_cost + 1;  // first pass always runs
   while (result.rounds < max_rounds) {
@@ -180,79 +185,109 @@ Result<FtsResult> FollowTheSunScenario::Run() {
       if (std::abs(cost_now - last_pass_cost) < 1e-9) break;  // fixpoint
       last_pass_cost = cost_now;
       ++extra_passes;
-      if (faulty && config_.refresh_on_restart) {
+      if (faulty && config_.refresh_on_restart && !config_.net_reliable) {
         // Periodic anti-entropy: each sweep opens with an inventory sync
         // plus a reliable send-log resync so divergence accumulated through
         // message loss (lost r2/r3 updates, lost localized tmp tuples)
         // cannot compound across passes — the anytime-DCOP recipe for
-        // tolerating lossy transports.
+        // tolerating lossy *datagram* transports. Retired on reliable runs:
+        // the FIFO retransmission channel delivers everything, so there is
+        // no loss-induced divergence to repair.
         for (int x = 0; x < n; ++x) refresh_inventory(x);
         for (int x = 0; x < n; ++x) (void)sys_->ResyncNode(x);
       }
       pending.insert(links_.begin(), links_.end());
     }
     ++result.rounds;
-    // Greedy matching: busy nodes negotiate at most one link per round.
-    std::vector<char> busy(static_cast<size_t>(n), 0);
-    std::vector<std::pair<NodeId, NodeId>> this_round;
-    for (auto [a, b] : links_) {
-      if (!pending.count({a, b})) continue;
-      if (sys_->NodePermanentlyDown(a) || sys_->NodePermanentlyDown(b)) {
-        pending.erase({a, b});
-        ++result.abandoned_links;
-        continue;
-      }
-      // A temporarily-down endpoint keeps the link pending for a later round.
-      if (sys_->node(a).crashed() || sys_->node(b).crashed()) continue;
-      if (busy[static_cast<size_t>(a)] || busy[static_cast<size_t>(b)]) continue;
-      busy[static_cast<size_t>(a)] = busy[static_cast<size_t>(b)] = 1;
-      this_round.push_back({a, b});
-      pending.erase({a, b});
-    }
-    for (auto [a, b] : this_round) {
-      // Footnote 1: the node with the larger identifier initiates.
-      NodeId init = std::max(a, b), peer = std::min(a, b);
-      auto link = std::make_pair(a, b);
-      sys_->sim().ScheduleAt(round_start + 0.1, [this, init, peer, N] {
-        (void)sys_->InsertFact(init, "setLink", {N(init), N(peer)});
-        (void)sys_->InsertFact(peer, "setLink", {N(peer), N(init)});
+    // Greedy matching (apps/negotiation.h): classic mode pairs nodes one
+    // link per round; batched mode lets an initiator claim all its pending
+    // incident links with free peers and solve them as one batched model.
+    std::vector<NegotiationBatch<NodeId>> batches = ClaimBatches(
+        links_, &pending, static_cast<size_t>(n), config_.batch_links,
+        config_.max_link_batch,
+        [this, &result](const std::pair<NodeId, NodeId>& l) {
+          if (sys_->NodePermanentlyDown(l.first) ||
+              sys_->NodePermanentlyDown(l.second)) {
+            ++result.abandoned_links;
+            return LinkClaim::kDrop;
+          }
+          // A temporarily-down endpoint keeps the link pending for later.
+          if (sys_->node(l.first).crashed() || sys_->node(l.second).crashed()) {
+            return LinkClaim::kDefer;
+          }
+          return LinkClaim::kClaim;
+        });
+    for (const auto& [init, peers] : batches) {
+      result.max_batch =
+          std::max(result.max_batch, static_cast<int>(peers.size()));
+      sys_->sim().ScheduleAt(round_start + 0.1, [this, init, peers, N] {
+        for (NodeId peer : peers) {
+          (void)sys_->InsertFact(init, "setLink", {N(init), N(peer)});
+          (void)sys_->InsertFact(peer, "setLink", {N(peer), N(init)});
+        }
       });
-      double mc = static_cast<double>(mig_cost_[{peer, init}]);
       sys_->sim().ScheduleAt(
           round_start + 2.0,
-          [this, init, peer, link, N, mc, &result, &failure, &pending,
-           &fail_count, faulty] {
-            auto requeue = [&] {
-              ++result.failed_rounds;
-              ++fail_count[link];
-              if (sys_->NodePermanentlyDown(link.first) ||
-                  sys_->NodePermanentlyDown(link.second)) {
-                ++result.abandoned_links;
-              } else {
-                pending.insert(link);
+          [this, init, peers, N, &result, &failure, &pending, &fail_count,
+           faulty] {
+            auto link_of = [init](NodeId peer) {
+              return peer < init ? std::make_pair(peer, init)
+                                 : std::make_pair(init, peer);
+            };
+            auto requeue_all = [&] {
+              for (NodeId peer : peers) {
+                auto link = link_of(peer);
+                ++result.failed_rounds;
+                ++fail_count[link];
+                if (sys_->NodePermanentlyDown(link.first) ||
+                    sys_->NodePermanentlyDown(link.second)) {
+                  ++result.abandoned_links;
+                } else {
+                  pending.insert(link);
+                }
               }
             };
-            if (sys_->node(init).crashed() || sys_->node(peer).crashed()) {
-              requeue();
+            bool peer_down = sys_->node(init).crashed();
+            for (NodeId peer : peers) {
+              peer_down = peer_down || sys_->node(peer).crashed();
+            }
+            if (peer_down) {
+              // An endpoint died between setup and solve: the whole batch
+              // is retried (partial application would desynchronize r2/r3).
+              requeue_all();
               return;
             }
             runtime::Instance& inst = sys_->node(init);
             // Read-modify-write so program-declared SOLVER_* knobs survive.
             runtime::SolveOptions o = inst.solve_options();
             o.time_limit_ms = config_.solver_time_ms;
+            if (!config_.solver_backend.empty()) {
+              (void)solver::ParseBackend(config_.solver_backend, &o.backend);
+            }
+            if (config_.solver_max_iterations > 0) {
+              o.max_iterations = config_.solver_max_iterations;
+            }
             inst.set_solve_options(o);
-            auto out = inst.InvokeSolver();
+            // Batched: one model covering every link of the batch, grouped
+            // per (X, Y) link prefix of the migVm key for per-link LNS
+            // neighborhoods.
+            auto out = config_.batch_links ? inst.InvokeSolverBatched(2)
+                                           : inst.InvokeSolver();
             if (!out.ok()) {
               if (faulty) {
-                requeue();
+                requeue_all();
               } else if (failure.ok()) {
                 failure = out.status();
               }
               return;
             }
-            if (auto fit = fail_count.find(link); fit != fail_count.end()) {
-              ++result.recovered_rounds;
-              fail_count.erase(fit);  // count one recovery per failure streak
+            ++result.solves;
+            for (NodeId peer : peers) {
+              auto link = link_of(peer);
+              if (auto fit = fail_count.find(link); fit != fail_count.end()) {
+                ++result.recovered_rounds;
+                fail_count.erase(fit);  // one recovery per failure streak
+              }
             }
             result.avg_link_solve_ms += out.value().stats.wall_ms;
             // Account migrations and mirror curVm updates (r3 applied them
@@ -262,7 +297,9 @@ Result<FtsResult> FollowTheSunScenario::Run() {
             for (const Row& row : it->second) {
               int64_t moved = row[3].as_int();
               if (moved == 0) continue;
+              NodeId peer = row[1].as_node();
               int d = static_cast<int>(row[2].as_int());
+              double mc = static_cast<double>(mig_cost_[link_of(peer)]);
               // Physical clamp: a hypervisor cannot migrate VMs it does not
               // run. Only binds when message loss has let a node's engine
               // view drift from ground truth (no-op on consistent state,
@@ -283,9 +320,11 @@ Result<FtsResult> FollowTheSunScenario::Run() {
             }
           });
       // Clear the negotiation before the next round begins.
-      sys_->sim().ScheduleAt(round_start + 4.0, [this, init, peer, N] {
-        (void)sys_->node(init).DeleteFact("setLink", {N(init), N(peer)});
-        (void)sys_->node(peer).DeleteFact("setLink", {N(peer), N(init)});
+      sys_->sim().ScheduleAt(round_start + 4.0, [this, init, peers, N] {
+        for (NodeId peer : peers) {
+          (void)sys_->node(init).DeleteFact("setLink", {N(init), N(peer)});
+          (void)sys_->node(peer).DeleteFact("setLink", {N(peer), N(init)});
+        }
       });
     }
     round_start += config_.round_period_s;
@@ -302,7 +341,11 @@ Result<FtsResult> FollowTheSunScenario::Run() {
       (result.initial_cost - result.final_cost) / result.initial_cost * 100;
   result.converge_time_s = round_start;
   result.total_vms_migrated = total_moved_;
-  if (!links_.empty()) {
+  // Batched runs amortize one solve over several links; the honest per-COP
+  // figure divides by actual invocations, not the link count.
+  if (config_.batch_links) {
+    result.avg_link_solve_ms /= static_cast<double>(std::max(result.solves, 1));
+  } else if (!links_.empty()) {
     result.avg_link_solve_ms /= static_cast<double>(links_.size());
   }
   result.messages_dropped = sys_->network().TotalDropped();

@@ -56,6 +56,30 @@ struct FtsConfig {
   /// under churn, later clean passes repair loss-induced divergence). 0 =
   /// single-pass behavior.
   int converge_sweeps = 4;
+  /// Carry all traffic over the retransmission/FIFO reliable transport
+  /// (net/reliable_channel.h). Loss then no longer causes divergence, so
+  /// the driver-level anti-entropy sweeps (per-sweep inventory refresh +
+  /// System::ResyncNode) are retired on reliable runs.
+  bool net_reliable = false;
+  /// Uniform per-message drop probability on every link (the 5% / 20% soak
+  /// loss knob; composes with fault-plan loss windows).
+  double link_loss_prob = 0;
+  /// Batch per-link solves: each round a node aggregates all its claimable
+  /// incident links into ONE batched model solve (compiled with the summed
+  /// outflow rule d0; solver decision groups per link) instead of
+  /// negotiating one link per round. This is the per-node solver sharding
+  /// the paper's scalability story relies on.
+  bool batch_links = false;
+  /// Cap on links per batched solve; 0 = unlimited (all incident links).
+  int max_link_batch = 0;
+  /// Override the program's SOLVER_BACKEND for the per-round solves
+  /// ("bnb", "lns", "portfolio", "parallel_lns"); empty keeps the program
+  /// default. Large batched models want "lns".
+  std::string solver_backend;
+  /// Deterministic improvement budget forwarded to SolveOptions::
+  /// max_iterations (0 = wall-clock bounded). Scaled soaks set this (with
+  /// solver_time_ms = 0, unlimited) so traces stay wall-clock independent.
+  uint64_t solver_max_iterations = 0;
 };
 
 /// One point of the Figure 4 series.
@@ -76,6 +100,8 @@ struct FtsResult {
   int total_vms_migrated = 0;        ///< Sum of |R| across links.
   double avg_link_solve_ms = 0;      ///< Section 6.3: per-link COP time.
   int rounds = 0;
+  int solves = 0;             ///< invokeSolver executions across the run.
+  int max_batch = 0;          ///< Largest link batch covered by one solve.
   // --- Churn accounting ------------------------------------------------------
   int failed_rounds = 0;      ///< Negotiations that failed and were requeued.
   int recovered_rounds = 0;   ///< Previously-failed negotiations that later

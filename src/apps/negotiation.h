@@ -1,0 +1,104 @@
+// Greedy per-round negotiation matching, shared by the Follow-the-Sun and
+// wireless scenario drivers.
+//
+// Classic mode pairs nodes one link each per round (paper footnote 1: the
+// higher-id endpoint initiates). Batched mode lets an initiator claim
+// every pending incident link whose peer is still free — one batched model
+// solve per node per round — while a node never serves two negotiations at
+// once (its capacity/channel state is a shared resource).
+#ifndef COLOGNE_APPS_NEGOTIATION_H_
+#define COLOGNE_APPS_NEGOTIATION_H_
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace cologne::apps {
+
+/// Driver verdict on a pending link before claiming.
+enum class LinkClaim {
+  kClaim,  ///< Negotiable this round.
+  kDefer,  ///< Keep pending (e.g. an endpoint is temporarily crashed).
+  kDrop,   ///< Remove from pending without negotiating (abandoned).
+};
+
+/// One initiator and the peers it negotiates this round (one solve).
+template <typename Node>
+struct NegotiationBatch {
+  Node init;
+  std::vector<Node> peers;
+};
+
+/// Greedy matching over `links` (pairs of node ids). Links absent from
+/// `pending` are ignored; claimed and kDrop links are erased from it.
+/// `classify(link)` supplies the driver-specific verdict. Batched mode
+/// claims initiator-first (descending id, then peer ascending) so an
+/// initiator gathers all its incident links before lower nodes consume its
+/// peers; classic mode keeps the caller's link order, preserving the
+/// historical round schedule. `max_link_batch` caps links per batch
+/// (0 = unlimited; classic mode is implicitly 1). Returns batches in claim
+/// order — deterministic, so round schedules trace-reproducibly.
+template <typename Link, typename Classify>
+std::vector<NegotiationBatch<typename Link::first_type>> ClaimBatches(
+    const std::vector<Link>& links, std::set<Link>* pending,
+    size_t num_nodes, bool batch_links, int max_link_batch,
+    Classify&& classify) {
+  using Node = typename Link::first_type;
+  std::vector<Link> claim_order = links;
+  if (batch_links) {
+    std::sort(claim_order.begin(), claim_order.end(),
+              [](const Link& x, const Link& y) {
+                Node ix = std::max(x.first, x.second);
+                Node iy = std::max(y.first, y.second);
+                if (ix != iy) return ix > iy;
+                return std::min(x.first, x.second) <
+                       std::min(y.first, y.second);
+              });
+  }
+  // Roles: 0 = free, 1 = initiating this round, 2 = peer in a negotiation.
+  std::vector<char> role(num_nodes, 0);
+  std::vector<NegotiationBatch<Node>> batches;
+  std::map<Node, size_t> batch_of;
+  for (const Link& l : claim_order) {
+    if (!pending->count(l)) continue;
+    switch (classify(l)) {
+      case LinkClaim::kDrop:
+        pending->erase(l);
+        continue;
+      case LinkClaim::kDefer:
+        continue;
+      case LinkClaim::kClaim:
+        break;
+    }
+    Node init = std::max(l.first, l.second);
+    Node peer = std::min(l.first, l.second);
+    if (role[static_cast<size_t>(init)] == 2 ||
+        role[static_cast<size_t>(peer)] != 0) {
+      continue;
+    }
+    auto it = batch_of.find(init);
+    if (it == batch_of.end()) {
+      if (role[static_cast<size_t>(init)] != 0) continue;
+      it = batch_of.emplace(init, batches.size()).first;
+      batches.push_back({init, {}});
+    } else {
+      if (!batch_links) continue;  // one link per node per round
+      if (max_link_batch > 0 &&
+          static_cast<int>(batches[it->second].peers.size()) >=
+              max_link_batch) {
+        continue;
+      }
+    }
+    role[static_cast<size_t>(init)] = 1;
+    role[static_cast<size_t>(peer)] = 2;
+    batches[it->second].peers.push_back(peer);
+    pending->erase(l);
+  }
+  return batches;
+}
+
+}  // namespace cologne::apps
+
+#endif  // COLOGNE_APPS_NEGOTIATION_H_

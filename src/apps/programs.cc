@@ -42,7 +42,22 @@ c3 migrateCount(C) -> C<=max_migrates.
 }
 
 std::string FollowTheSunDistributedProgram(bool migration_limit, int cap,
-                                           int max_migrates) {
+                                           int max_migrates, bool batched) {
+  // Per-link form: d1 joins curVm with the (single) active link's migVm.
+  // Batched form: d0 sums the outflow over every active link first, so a
+  // node negotiating several links in one solve subtracts the total
+  // outflow, not one per-link copy (which would double-count nextVm rows).
+  const char* next_vm_rules = batched ? R"(
+// next-step VM allocations after migration (batched: total outflow)
+d0 outMig(@X,D,SUM<R2>) <- migVm(@X,Y,D,R2).
+d1 nextVm(@X,D,R) <- curVm(@X,D,R1),
+     outMig(@X,D,R2), R==R1-R2.
+)"
+                                      : R"(
+// next-step VM allocations after migration
+d1 nextVm(@X,D,R) <- curVm(@X,D,R1),
+     migVm(@X,Y,D,R2), R==R1-R2.
+)";
   std::string p = StrFormat(R"(
 // Distributed Follow-the-Sun orchestration (paper Section 4.3).
 param cap = %d.
@@ -57,10 +72,7 @@ goal minimize C in aggCost(@X,C).
 var migVm(@X,Y,D,R) forall toMigVm(@X,Y,D) domain [-cap,cap].
 
 r1 toMigVm(@X,Y,D) <- setLink(@X,Y), dc(@X,D).
-
-// next-step VM allocations after migration
-d1 nextVm(@X,D,R) <- curVm(@X,D,R1),
-     migVm(@X,Y,D,R2), R==R1-R2.
+%s
 d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1),
      migVm(@X,Y,D,R2), R==R1+R2.
 
@@ -99,7 +111,7 @@ r2 migVm(@Y,X,D,R2) <- setLink(@X,Y),
 r3 curVm(@X,D,R) <- migVm(@X,Y,D,R2),
      curVm(@X,D,R1), R:=R1-R2.
 )",
-                            cap);
+                            cap, next_vm_rules);
   if (migration_limit) {
     p += StrFormat(R"(
 // Policy customization (Section 4.3): bound per-link migration volume.
@@ -196,7 +208,7 @@ c3 uniqueChannel(X,Count) -> numInterface(X,K), Count<=K.
 }
 
 std::string WirelessDistributedProgram(int num_channels, int f_mindiff,
-                                       bool two_hop) {
+                                       bool two_hop, bool batched) {
   std::string cost_rule;
   if (two_hop) {
     cost_rule = R"(
@@ -211,6 +223,17 @@ d1 cost(@X,Y,Z,W,C) <- assign(@X,Y,C1), link(@Z,X),
 d1 cost(@X,Y,Z,W,C) <- assign(@X,Y,C1), link(@Z,X),
      assign(@Z,W,C2), (W==X && Z!=Y) || (Z==Y && W!=X),
      (C==1)==(|C1-C2|<f_mindiff).
+)";
+  }
+  if (batched) {
+    // Intra-batch interference: when one node negotiates several incident
+    // links in a single solve, d1's neighbor-shipped copies cannot see the
+    // sibling decisions (both are symbolic in this model), so the conflict
+    // between two links under simultaneous negotiation is penalized
+    // directly. Derives nothing when only one link is active.
+    cost_rule += R"(
+d1b cost(@X,Y,X,Z,C) <- assign(@X,Y,C1), assign(@X,Z,C2),
+     Y!=Z, (C==1)==(|C1-C2|<f_mindiff).
 )";
   }
   return StrFormat(R"(

@@ -26,10 +26,14 @@ std::string ACloudProgram(bool migration_limit, int max_migrates = 3);
 /// Distributed Follow-the-Sun (paper Section 4.3): per-link negotiation,
 /// symmetric propagation (r2) and allocation update (r3).
 /// `migration_limit` appends d11/c3; `cap` is the per-site VM capacity that
-/// bounds the migVm domain.
+/// bounds the migVm domain. `batched` switches the next-allocation rule d1
+/// to subtract the *summed* outflow over all active links (d0 outMig), so a
+/// node can negotiate several incident links in one batched solve; with a
+/// single active link the two forms are semantically identical.
 std::string FollowTheSunDistributedProgram(bool migration_limit,
                                            int cap = 60,
-                                           int max_migrates = 20);
+                                           int max_migrates = 20,
+                                           bool batched = false);
 
 /// Centralized Follow-the-Sun: one global COP over all links (the paper's
 /// 16-rule centralized variant referenced in Table 2).
@@ -41,10 +45,15 @@ std::string WirelessCentralizedProgram(bool two_hop, int num_channels = 8,
                                        int f_mindiff = 2);
 
 /// Distributed wireless channel selection (Appendix A.3): per-link greedy
-/// negotiation over the two-hop interference model.
+/// negotiation over the two-hop interference model. `batched` adds an
+/// intra-batch interference rule (d1b) over pairs of links under
+/// simultaneous negotiation at one node, so a batched multi-link solve
+/// penalizes conflicts between its own decisions; with a single active link
+/// d1b derives nothing.
 std::string WirelessDistributedProgram(int num_channels = 8,
                                        int f_mindiff = 2,
-                                       bool two_hop = true);
+                                       bool two_hop = true,
+                                       bool batched = false);
 
 }  // namespace cologne::apps
 

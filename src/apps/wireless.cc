@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "apps/negotiation.h"
 #include "apps/programs.h"
 
 namespace cologne::apps {
@@ -171,12 +172,14 @@ Result<ChannelAssignment> WirelessScenario::RunCentralized() {
 Result<ChannelAssignment> WirelessScenario::RunDistributed() {
   auto compiled = colog::CompileColog(WirelessDistributedProgram(
       config_.num_channels, config_.f_mindiff,
-      config_.interference_hops >= 2));
+      config_.interference_hops >= 2, config_.batch_links));
   if (!compiled.ok()) return compiled.status();
   colog::CompiledProgram prog = std::move(compiled).value();
 
   runtime::System::Options sopts;
   sopts.seed = config_.seed;
+  sopts.net_reliable = config_.net_reliable;
+  sopts.default_link.drop_prob = config_.link_loss_prob;
   runtime::System sys(&prog, static_cast<size_t>(num_nodes()), sopts);
   COLOGNE_RETURN_IF_ERROR(sys.Init());
   if (config_.trace != nullptr) {
@@ -202,7 +205,8 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
 
   ChannelAssignment result;
   Status failure;
-  const bool faulty = !config_.fault_plan.empty();
+  const bool faulty =
+      !config_.fault_plan.empty() || config_.link_loss_prob > 0;
   std::set<Link> pending(links_.begin(), links_.end());
   std::map<Link, int> fail_count;
 
@@ -234,70 +238,89 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
   double round_start = 0;
   while ((!pending.empty() || sys.AnyRestartPending()) && rounds < max_rounds) {
     ++rounds;
-    std::vector<char> busy(static_cast<size_t>(num_nodes()), 0);
-    std::vector<Link> this_round;
-    for (const Link& l : links_) {
-      if (!pending.count(l)) continue;
-      if (sys.NodePermanentlyDown(l.first) ||
-          sys.NodePermanentlyDown(l.second)) {
-        pending.erase(l);  // abandoned: derived from the missing channel below
-        continue;
-      }
-      if (sys.node(l.first).crashed() || sys.node(l.second).crashed()) {
-        continue;  // retry once the endpoint is back
-      }
-      if (busy[static_cast<size_t>(l.first)] ||
-          busy[static_cast<size_t>(l.second)]) {
-        continue;
-      }
-      busy[static_cast<size_t>(l.first)] = 1;
-      busy[static_cast<size_t>(l.second)] = 1;
-      this_round.push_back(l);
-      pending.erase(l);
-    }
-    for (const Link& l : this_round) {
-      int init = std::max(l.first, l.second);
-      int peer = std::min(l.first, l.second);
-      sys.sim().ScheduleAt(round_start + 0.1, [&sys, init, peer, N] {
-        (void)sys.InsertFact(init, "setLink", {N(init), N(peer)});
+    // Greedy matching (apps/negotiation.h): classic mode pairs nodes one
+    // link per round; batched mode lets an initiator claim all its pending
+    // incident links with free peers and solve them as one batched model.
+    std::vector<NegotiationBatch<int>> batches = ClaimBatches(
+        links_, &pending, static_cast<size_t>(num_nodes()),
+        config_.batch_links, config_.max_link_batch, [&sys](const Link& l) {
+          if (sys.NodePermanentlyDown(l.first) ||
+              sys.NodePermanentlyDown(l.second)) {
+            // Abandoned: derived from the missing channel afterwards.
+            return LinkClaim::kDrop;
+          }
+          if (sys.node(l.first).crashed() || sys.node(l.second).crashed()) {
+            return LinkClaim::kDefer;  // retry once the endpoint is back
+          }
+          return LinkClaim::kClaim;
+        });
+    for (const auto& [init, peers] : batches) {
+      result.max_batch =
+          std::max(result.max_batch, static_cast<int>(peers.size()));
+      sys.sim().ScheduleAt(round_start + 0.1, [&sys, init, peers, N] {
+        for (int peer : peers) {
+          (void)sys.InsertFact(init, "setLink", {N(init), N(peer)});
+        }
       });
       sys.sim().ScheduleAt(
           round_start + 2.0,
-          [this, &sys, &result, &failure, &pending, &fail_count, l, init,
-           peer, faulty] {
-            auto requeue = [&] {
-              ++result.failed_rounds;
-              ++fail_count[l];
-              if (!sys.NodePermanentlyDown(l.first) &&
-                  !sys.NodePermanentlyDown(l.second)) {
-                pending.insert(l);
+          [this, &sys, &result, &failure, &pending, &fail_count, init, peers,
+           faulty] {
+            auto link_of = [init](int peer) {
+              return peer < init ? Link{peer, init} : Link{init, peer};
+            };
+            auto requeue_all = [&] {
+              for (int peer : peers) {
+                Link l = link_of(peer);
+                ++result.failed_rounds;
+                ++fail_count[l];
+                if (!sys.NodePermanentlyDown(l.first) &&
+                    !sys.NodePermanentlyDown(l.second)) {
+                  pending.insert(l);
+                }
               }
             };
-            if (sys.node(init).crashed() || sys.node(peer).crashed()) {
-              requeue();
+            bool down = sys.node(init).crashed();
+            for (int peer : peers) down = down || sys.node(peer).crashed();
+            if (down) {
+              requeue_all();
               return;
             }
             runtime::Instance& inst = sys.node(init);
             runtime::SolveOptions o = inst.solve_options();
             o.time_limit_ms = config_.link_solve_ms;
+            if (!config_.solver_backend.empty()) {
+              (void)solver::ParseBackend(config_.solver_backend, &o.backend);
+            }
+            if (config_.solver_max_iterations > 0) {
+              o.max_iterations = config_.solver_max_iterations;
+            }
             inst.set_solve_options(o);
-            auto out = inst.InvokeSolver();
+            // Batched: decision groups per (X, Y) assign-key prefix.
+            auto out = config_.batch_links ? inst.InvokeSolverBatched(2)
+                                           : inst.InvokeSolver();
             if (!out.ok()) {
               if (faulty) {
-                requeue();
+                requeue_all();
               } else if (failure.ok()) {
                 failure = out.status();
               }
               return;
             }
-            if (auto fit = fail_count.find(l); fit != fail_count.end()) {
-              ++result.recovered_rounds;
-              fail_count.erase(fit);  // count one recovery per failure streak
+            ++result.solves;
+            for (int peer : peers) {
+              Link l = link_of(peer);
+              if (auto fit = fail_count.find(l); fit != fail_count.end()) {
+                ++result.recovered_rounds;
+                fail_count.erase(fit);  // one recovery per failure streak
+              }
             }
             result.total_solve_ms += out.value().stats.wall_ms;
           });
-      sys.sim().ScheduleAt(round_start + 4.0, [&sys, init, peer, N] {
-        (void)sys.node(init).DeleteFact("setLink", {N(init), N(peer)});
+      sys.sim().ScheduleAt(round_start + 4.0, [&sys, init, peers, N] {
+        for (int peer : peers) {
+          (void)sys.node(init).DeleteFact("setLink", {N(init), N(peer)});
+        }
       });
     }
     round_start += config_.round_period_s;

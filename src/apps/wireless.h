@@ -52,6 +52,23 @@ struct WirelessConfig {
   runtime::TraceRecorder* trace = nullptr;
   /// Negotiation-round cap for distributed runs; 0 = auto (3x links + 8).
   int max_rounds = 0;
+  /// Carry distributed-run traffic over the retransmission/FIFO reliable
+  /// transport (net/reliable_channel.h).
+  bool net_reliable = false;
+  /// Uniform per-message drop probability on every link of distributed runs.
+  double link_loss_prob = 0;
+  /// Batch per-link solves: an initiator aggregates all its claimable
+  /// incident links into one batched model solve per round (program variant
+  /// with the intra-batch interference rule d1b; solver decision groups per
+  /// link).
+  bool batch_links = false;
+  /// Cap on links per batched solve; 0 = unlimited.
+  int max_link_batch = 0;
+  /// Override SOLVER_BACKEND for distributed per-round solves; empty keeps
+  /// the program default.
+  std::string solver_backend;
+  /// Deterministic improvement budget (SolveOptions::max_iterations).
+  uint64_t solver_max_iterations = 0;
 };
 
 /// An undirected link (a < b).
@@ -64,6 +81,8 @@ struct ChannelAssignment {
   double per_node_kBps = 0;      ///< Distributed protocols only.
   double total_solve_ms = 0;
   double interference_cost = 0;  ///< Conflicting adjacent link pairs.
+  int solves = 0;                ///< invokeSolver executions (distributed).
+  int max_batch = 0;             ///< Largest link batch in one solve.
   // --- Churn accounting (distributed protocols under a fault plan) ----------
   int failed_rounds = 0;         ///< Negotiations that failed and requeued.
   int recovered_rounds = 0;      ///< Failed negotiations that later completed.

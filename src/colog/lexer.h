@@ -68,11 +68,12 @@ struct Token {
 /// Tokenize `source`. Comments: `//` and `#` to end of line.
 Result<std::vector<Token>> Lex(const std::string& source);
 
-/// True for the reserved solver-knob names accepted in `param` declarations
-/// (SOLVER_MAX_TIME, SOLVER_BACKEND, SOLVER_SEED, SOLVER_RESTARTS). They lex
-/// as kVariable like any ALL-CAPS identifier, but the parser requires them
-/// to carry a literal value and the planner consumes them into
-/// CompiledProgram::knobs instead of the rule-level parameter map.
+/// True for the reserved runtime-knob names accepted in `param` declarations
+/// (SOLVER_MAX_TIME, SOLVER_BACKEND, SOLVER_SEED, SOLVER_RESTARTS,
+/// SOLVER_WORKERS, NET_RELIABLE). They lex as kVariable like any ALL-CAPS
+/// identifier, but the parser requires them to carry a literal value and the
+/// planner consumes them into CompiledProgram::knobs instead of the
+/// rule-level parameter map.
 bool IsSolverKnobName(const std::string& name);
 
 /// Human-readable token-kind name for diagnostics.

@@ -235,11 +235,21 @@ Result<int64_t> EvalDomainBound(const SrcExpr& e,
   return v.as_int();
 }
 
-// Extract and validate the reserved `param SOLVER_*` knobs (lexed as plain
-// ALL-CAPS identifiers; see IsSolverKnobName in colog/lexer.h).
+// Extract and validate the reserved `param SOLVER_*` / `param NET_*` knobs
+// (lexed as plain ALL-CAPS identifiers; see IsSolverKnobName in
+// colog/lexer.h).
 Status ExtractSolverKnobs(const std::map<std::string, Value>& params,
                           SolverKnobsIR* knobs) {
   for (const auto& [name, value] : params) {
+    if (name == "NET_RELIABLE") {
+      // Transport selection is boolean; spelled 0/1 like the paper's knobs.
+      if (!value.is_int() || (value.as_int() != 0 && value.as_int() != 1)) {
+        return Status(Status::PlanError(
+            "NET_RELIABLE must be 0 or 1, got " + value.ToString()));
+      }
+      knobs->net_reliable = value.as_int() == 1;
+      continue;
+    }
     if (name.rfind("SOLVER_", 0) != 0) continue;
     if (!IsSolverKnobName(name)) {
       return Status(Status::PlanError("unknown solver knob " + name));

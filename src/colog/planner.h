@@ -62,6 +62,10 @@ struct SolverKnobsIR {
   /// SOLVER_WORKERS: worker threads for the concurrent backends (portfolio /
   /// parallel_lns); 1..256.
   std::optional<uint64_t> workers;
+  /// NET_RELIABLE: carry every engine-derived tuple over the retransmission
+  /// / FIFO reliable transport (net/reliable_channel.h) instead of the
+  /// UDP-style datagram path. 0 or 1.
+  std::optional<bool> net_reliable;
 };
 
 /// Per-class rule counts (reported by the Table 2 benchmark).

@@ -3,13 +3,38 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "net/reliable_channel.h"
 
 namespace cologne::net {
 
 size_t Message::WireSize() const {
   size_t n = 20 + table.size() + 1;  // header + table name + sign byte
+  if (seq != 0) n += 8;              // reliable-channel sequence number
   for (const Value& v : row) n += v.WireSize();
   return n;
+}
+
+Network::Network(Simulator* sim, uint64_t seed) : sim_(sim), rng_(seed) {
+  channel_ = std::make_unique<ReliableChannel>(sim, seed);
+  channel_->SetTransmit(
+      [this](NodeId from, NodeId to, Message msg, const char* detail) {
+        Transmit(from, to, std::move(msg), detail);
+      });
+  channel_->SetDeliver([this](NodeId from, NodeId to, const Message& msg) {
+    if (receivers_[static_cast<size_t>(to)]) {
+      receivers_[static_cast<size_t>(to)](from, to, msg);
+    }
+  });
+  channel_->SetEmit([this](NetEvent::Kind kind, NodeId from, NodeId to,
+                           const Message& msg, const char* detail) {
+    Emit(kind, from, to, msg, detail);
+  });
+}
+
+Network::~Network() = default;
+
+void Network::SetReliableConfig(const ReliableConfig& config) {
+  channel_->set_config(config);
 }
 
 NodeId Network::AddNode() {
@@ -67,12 +92,19 @@ void Network::Emit(NetEvent::Kind kind, NodeId from, NodeId to,
   hook_(ev);
 }
 
-void Network::Deliver(NodeId from, NodeId to, const Message& msg, size_t size,
-                      const char* detail) {
+void Network::Arrive(NodeId from, NodeId to, const Message& msg, size_t size,
+                     const char* detail) {
   TrafficStats& r = stats_[static_cast<size_t>(to)];
   ++r.messages_received;
   r.bytes_received += size;
   Emit(NetEvent::Kind::kDeliver, from, to, msg, detail);
+  if (reliable_transport_ && (msg.seq != 0 || msg.table == kAckTable)) {
+    // Sequenced data and acks belong to the channel: it suppresses
+    // duplicates, reassembles FIFO order, and hands in-order data to the
+    // runtime receiver through its DeliverFn.
+    channel_->OnArrival(from, to, msg);
+    return;
+  }
   if (receivers_[static_cast<size_t>(to)]) {
     receivers_[static_cast<size_t>(to)](from, to, msg);
   }
@@ -89,25 +121,42 @@ Status Network::Send(NodeId from, NodeId to, Message msg) {
     }
     return Status::OK();
   }
-  auto it = links_.find(Key(from, to));
-  if (it == links_.end()) {
+  if (links_.find(Key(from, to)) == links_.end()) {
     return Status::InvalidArgument(
         StrFormat("no link between node %d and node %d", from, to));
   }
-  const LinkConfig& cfg = it->second.config;
+  msg.sent_s = sim_->Now();
+  if (reliable_transport_ && msg.reliable) {
+    // Real reliability: the channel sequences the message and calls back
+    // into Transmit for the first transmission and every retransmission.
+    channel_->Send(from, to, std::move(msg));
+    return Status::OK();
+  }
+  const char* detail = msg.replay ? "replay" : "";
+  Transmit(from, to, std::move(msg), detail);
+  return Status::OK();
+}
+
+void Network::Transmit(NodeId from, NodeId to, Message msg,
+                       const char* detail) {
+  const LinkConfig& cfg = links_.find(Key(from, to))->second.config;
   size_t size = msg.WireSize();
   double now = sim_->Now();
-  msg.sent_s = now;
   TrafficStats& s = stats_[static_cast<size_t>(from)];
   ++s.messages_sent;
   s.bytes_sent += size;
-  Emit(NetEvent::Kind::kSend, from, to, msg, msg.reliable ? "replay" : "");
+  Emit(NetEvent::Kind::kSend, from, to, msg, detail);
 
-  // Fault evaluation (one link-fault lookup per send). Reliable
-  // reconciliation traffic skips drop faults and reorder jitter — the
-  // anti-entropy protocol depends on in-order delivery — but still pays
-  // latency and serialization. The draw order (loss, fault-loss, jitter,
-  // dup) is fixed so identical plans consume the RNG stream identically.
+  // Fault evaluation (one link-fault lookup per transmission). In legacy
+  // mode, reliable reconciliation traffic is immune to drop faults and
+  // reorder jitter — the orchestrated anti-entropy protocol depends on
+  // in-order delivery — but still pays latency and serialization. With the
+  // reliable transport enabled nothing is immune: sequenced packets are
+  // dropped/duplicated/jittered like any datagram and the channel's
+  // retransmission and reassembly recover. The draw order (loss,
+  // fault-loss, jitter, dup) is fixed so identical plans consume the RNG
+  // stream identically.
+  const bool immune = msg.reliable && !reliable_transport_;
   const net::LinkFault* lf = fault_plan_.FindLink(from, to);
   const char* drop_reason = nullptr;
   bool severed = (lf != nullptr && lf->DownAt(now))
@@ -115,34 +164,33 @@ Status Network::Send(NodeId from, NodeId to, Message msg) {
                      : fault_plan_.PartitionedAt(from, to, now)
                            ? (drop_reason = "partition", true)
                            : false;
-  if (severed && !msg.reliable) {
+  if (severed && !immune) {
     ++s.messages_dropped;
     Emit(NetEvent::Kind::kDrop, from, to, msg, drop_reason);
-    return Status::OK();
+    return;
   }
   if (cfg.drop_prob > 0 && rng_.Bernoulli(cfg.drop_prob)) {
-    if (!msg.reliable) {
+    if (!immune) {
       ++s.messages_dropped;
       Emit(NetEvent::Kind::kDrop, from, to, msg, "loss");
-      return Status::OK();
+      return;
     }
   }
   double fault_loss = lf == nullptr ? 0 : lf->LossAt(now);
-  if (fault_loss > 0 && rng_.Bernoulli(fault_loss) && !msg.reliable) {
+  if (fault_loss > 0 && rng_.Bernoulli(fault_loss) && !immune) {
     ++s.messages_dropped;
     Emit(NetEvent::Kind::kDrop, from, to, msg, "loss");
-    return Status::OK();
+    return;
   }
   double delay =
       cfg.latency_s + static_cast<double>(size) * 8.0 / cfg.bandwidth_bps;
   double jitter_cap = lf == nullptr ? 0 : lf->ReorderAt(now);
   if (jitter_cap > 0) {
     double jitter = rng_.UniformDouble(0, jitter_cap);
-    if (!msg.reliable) delay += jitter;
+    if (!immune) delay += jitter;
   }
   double dup_prob = lf == nullptr ? 0 : lf->DupAt(now);
-  bool duplicate = dup_prob > 0 && rng_.Bernoulli(dup_prob) && !msg.reliable;
-  const char* detail = msg.reliable ? "replay" : "";
+  bool duplicate = dup_prob > 0 && rng_.Bernoulli(dup_prob) && !immune;
   Message copy;
   if (duplicate) {
     // The copy follows the original at the same timestamp (FIFO tie-break),
@@ -154,14 +202,13 @@ Status Network::Send(NodeId from, NodeId to, Message msg) {
     copy = msg;
   }
   sim_->Schedule(delay, [this, from, to, m = std::move(msg), size, detail] {
-    Deliver(from, to, m, size, detail);
+    Arrive(from, to, m, size, detail);
   });
   if (duplicate) {
     sim_->Schedule(delay, [this, from, to, m = std::move(copy), size] {
-      Deliver(from, to, m, size, "dup");
+      Arrive(from, to, m, size, "dup");
     });
   }
-  return Status::OK();
 }
 
 void Network::ResetStats() {

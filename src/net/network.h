@@ -6,11 +6,22 @@
 // deterministic link flaps, partitions, and loss/duplication/reordering
 // windows on top; every send/deliver/drop is observable through the event
 // hook so runs can be traced and replayed bit-for-bit.
+//
+// Messages marked `reliable` are carried one of two ways:
+//  * Legacy mode (default): the send skips drop faults and reorder jitter —
+//    simulator magic, good enough for the orchestrated anti-entropy replay.
+//  * Reliable transport mode (SetReliableTransport(true), the Colog
+//    `param NET_RELIABLE` knob): the send rides the real retransmission /
+//    FIFO protocol of net/reliable_channel.h and pays every fault like any
+//    other packet; sequence numbers, cumulative acks and seeded-RTO
+//    retransmission recover from loss, and delivery is in order per
+//    directed link.
 #ifndef COLOGNE_NET_NETWORK_H_
 #define COLOGNE_NET_NETWORK_H_
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +33,9 @@
 
 namespace cologne::net {
 
+class ReliableChannel;
+struct ReliableConfig;
+
 /// A tuple-delta message: table name + row + sign (+1 insert / -1 delete).
 /// This is the only wire format the declarative networking engine needs.
 struct Message {
@@ -32,15 +46,23 @@ struct Message {
   /// runtime drops deliveries from stale incarnations.
   uint32_t epoch = 0;
   /// Virtual send time, stamped by Network::Send. Receivers that resynced
-  /// at time T drop ordinary messages sent at or before T: their content is
-  /// already covered by the reliable send-log replay.
+  /// at time T drop superseded ordinary messages sent at or before T: their
+  /// content is already covered by the send-log replay.
   double sent_s = 0;
-  /// Reconciliation traffic (crash-recovery / anti-entropy state replay)
-  /// rides a reliable channel: it pays latency and bandwidth but ignores
-  /// loss/down faults.
+  /// Carried over the reliable channel. In legacy mode (reliable transport
+  /// off) such sends skip drop faults and jitter; in reliable transport
+  /// mode they are sequenced, retransmitted and delivered FIFO.
   bool reliable = false;
+  /// Anti-entropy replay payload (crash-recovery / resync state replay),
+  /// set by runtime::System. Replay content supersedes ordinary in-flight
+  /// messages; the runtime's floor fencing keys off this flag.
+  bool replay = false;
+  /// Reliable-channel sequence number (0 = unsequenced datagram). For
+  /// packets of table kAckTable this is the cumulative acknowledgement.
+  uint64_t seq = 0;
 
-  /// Approximate wire size: 20-byte UDP/IP-ish header + payload.
+  /// Approximate wire size: 20-byte UDP/IP-ish header + payload (+8 when
+  /// sequenced by the reliable channel).
   size_t WireSize() const;
 };
 
@@ -69,8 +91,11 @@ struct NetEvent {
   NodeId from = 0;
   NodeId to = 0;
   const Message* msg = nullptr;
-  /// Drop reason ("loss", "link_down", "partition") or send/deliver detail
-  /// ("replay" for reliable reconciliation traffic); may be empty.
+  /// Drop reason ("loss", "link_down", "partition", and with the reliable
+  /// transport "dup_seq" / "rto_exhausted") or send/deliver detail
+  /// ("replay" for anti-entropy payloads, "rto" / "fast_rto" for channel
+  /// retransmissions, "ack" for acknowledgements, "dup" for fault-injected
+  /// duplicates); may be empty.
   const char* detail = "";
 };
 
@@ -78,8 +103,10 @@ struct NetEvent {
 /// tuple-delta messages.
 class Network {
  public:
-  explicit Network(Simulator* sim, uint64_t seed = 1)
-      : sim_(sim), rng_(seed) {}
+  explicit Network(Simulator* sim, uint64_t seed = 1);
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// Add a node; ids are dense and returned in creation order.
   NodeId AddNode();
@@ -106,6 +133,18 @@ class Network {
   using EventHook = std::function<void(const NetEvent&)>;
   void SetEventHook(EventHook hook) { hook_ = std::move(hook); }
 
+  /// Route messages marked `reliable` through the real retransmission/FIFO
+  /// protocol (net/reliable_channel.h) instead of the legacy fault-immunity
+  /// shortcut. Runtime plumbing: System enables this when the program sets
+  /// `param NET_RELIABLE = 1` (or System::Options::net_reliable).
+  void SetReliableTransport(bool on) { reliable_transport_ = on; }
+  bool reliable_transport() const { return reliable_transport_; }
+  /// The channel state machines (protocol counters, per-link introspection).
+  ReliableChannel& channel() { return *channel_; }
+  const ReliableChannel& channel() const { return *channel_; }
+  /// Replace the channel's protocol knobs (tests tighten RTOs and caps).
+  void SetReliableConfig(const ReliableConfig& config);
+
   /// Send `msg` from `from` to neighbor `to`. Self-sends deliver with zero
   /// latency. Sends to non-neighbors fail (Cologne rules only ever
   /// communicate along links). Fault-plan drops return OK, like link loss.
@@ -126,11 +165,19 @@ class Network {
 
   void Emit(NetEvent::Kind kind, NodeId from, NodeId to, const Message& msg,
             const char* detail);
-  void Deliver(NodeId from, NodeId to, const Message& msg, size_t size,
-               const char* detail);
+  /// One wire transmission: fault evaluation, latency/serialization delay,
+  /// then Arrive at the far end. Used for first sends, retransmissions and
+  /// acks alike; `msg.sent_s` must already be stamped.
+  void Transmit(NodeId from, NodeId to, Message msg, const char* detail);
+  /// A packet reached `to`: account it, then either hand it to the reliable
+  /// channel (sequenced data / acks) or deliver it to the runtime receiver.
+  void Arrive(NodeId from, NodeId to, const Message& msg, size_t size,
+              const char* detail);
 
   Simulator* sim_;
   Rng rng_;
+  bool reliable_transport_ = false;
+  std::unique_ptr<ReliableChannel> channel_;
   std::vector<Receiver> receivers_;
   std::vector<TrafficStats> stats_;
   std::map<std::pair<NodeId, NodeId>, Link> links_;  // key: (min, max)

@@ -1,0 +1,189 @@
+#include "net/reliable_channel.h"
+
+#include <algorithm>
+
+namespace cologne::net {
+
+void ReliableChannel::Send(NodeId from, NodeId to, Message msg) {
+  LinkKey key{from, to};
+  SenderState& ss = senders_[key];
+  if (ss.rto_s == 0) ss.rto_s = config_.rto_initial_s;
+  msg.seq = ss.next_seq++;
+  Pending p;
+  p.msg = msg;
+  p.attempts = 1;
+  const char* detail = msg.replay ? "replay" : "";
+  ss.window.emplace(msg.seq, std::move(p));
+  ++stats_.data_sent;
+  transmit_(from, to, std::move(msg), detail);
+  if (!ss.timer_armed) ArmTimer(key, ss);
+}
+
+void ReliableChannel::ArmTimer(const LinkKey& key, SenderState& ss) {
+  // Seeded multiplicative jitter desynchronizes retransmission bursts across
+  // links while staying deterministic (drawn in simulator-event order).
+  double rto = ss.rto_s * (1.0 + config_.rto_jitter_frac * rng_.UniformDouble());
+  ss.timer = sim_->Schedule(rto, [this, key] { OnTimer(key); });
+  ss.timer_armed = true;
+}
+
+void ReliableChannel::CancelTimer(SenderState& ss) {
+  if (ss.timer_armed) {
+    sim_->Cancel(ss.timer);
+    ss.timer_armed = false;
+  }
+}
+
+bool ReliableChannel::RetransmitOldest(const LinkKey& key, SenderState& ss,
+                                       const char* detail) {
+  while (!ss.window.empty()) {
+    auto it = ss.window.begin();
+    Pending& p = it->second;
+    if (p.attempts >= config_.max_attempts) {
+      // Safety valve: abandon the payload so simulations terminate even
+      // against a permanent blackhole. Finite fault windows never get
+      // here. The sequence slot must not just vanish — the receiver's
+      // FIFO stream would wedge on the hole forever — so it degrades into
+      // a skip marker with a fresh attempt budget; once the marker (or a
+      // later duplicate of it) gets through, the stream resynchronizes.
+      // A skip that itself exhausts its budget is truly unreachable:
+      // erase it (nothing flows on such a link anyway).
+      if (p.msg.table == kSkipTable) {
+        // The marker's budget counts toward the stream teardown, not
+        // another abandoned payload.
+        ss.window.erase(it);
+        continue;
+      }
+      ++stats_.gave_up;
+      if (emit_) {
+        emit_(NetEvent::Kind::kDrop, key.first, key.second, p.msg,
+              "rto_exhausted");
+      }
+      uint64_t seq = p.msg.seq;
+      p.msg = Message{};
+      p.msg.table = kSkipTable;
+      p.msg.seq = seq;
+      p.msg.reliable = true;
+      p.attempts = 0;
+    }
+    ++p.attempts;
+    transmit_(key.first, key.second, p.msg, detail);
+    return true;
+  }
+  return false;
+}
+
+void ReliableChannel::OnTimer(const LinkKey& key) {
+  SenderState& ss = senders_[key];
+  ss.timer_armed = false;
+  if (ss.window.empty()) return;
+  if (!RetransmitOldest(key, ss, "rto")) return;  // everything gave up
+  ++stats_.retransmits;  // counted only when something actually went out
+  ss.rto_s = std::min(ss.rto_s * config_.rto_backoff, config_.rto_max_s);
+  ArmTimer(key, ss);
+}
+
+void ReliableChannel::SendAck(NodeId from, NodeId to, uint64_t cumulative) {
+  // Acks are plain datagrams: never sequenced, never retransmitted (a lost
+  // ack is repaired by the data retransmission it would have suppressed).
+  Message ack;
+  ack.table = kAckTable;
+  ack.seq = cumulative;
+  ++stats_.acks_sent;
+  transmit_(from, to, std::move(ack), "ack");
+}
+
+void ReliableChannel::OnArrival(NodeId from, NodeId to, const Message& msg) {
+  if (msg.table == kAckTable) {
+    // An ack travels from the data receiver back to the data sender, so the
+    // stream it acknowledges is (to -> from).
+    OnAck(LinkKey{to, from}, msg);
+    return;
+  }
+  OnData(LinkKey{from, to}, msg);
+}
+
+void ReliableChannel::OnAck(const LinkKey& key, const Message& msg) {
+  auto sit = senders_.find(key);
+  if (sit == senders_.end()) return;  // stray ack for an unknown stream
+  SenderState& ss = sit->second;
+  uint64_t a = msg.seq;
+  if (a > ss.acked) {
+    // Progress: slide the window, reset backoff, restart the timer for
+    // whatever is still outstanding.
+    ss.acked = a;
+    ss.dup_acks = 0;
+    ss.window.erase(ss.window.begin(), ss.window.upper_bound(a));
+    ss.rto_s = config_.rto_initial_s;
+    CancelTimer(ss);
+    if (!ss.window.empty()) ArmTimer(key, ss);
+    return;
+  }
+  if (a == ss.acked && !ss.window.empty()) {
+    // Duplicate cumulative ack: the receiver saw something beyond a gap.
+    if (++ss.dup_acks >= config_.fast_retx_dup_acks) {
+      ss.dup_acks = 0;
+      ++stats_.fast_retransmits;
+      RetransmitOldest(key, ss, "fast_rto");
+    }
+  }
+}
+
+void ReliableChannel::OnData(const LinkKey& key, const Message& msg) {
+  ReceiverState& rs = receivers_[key];
+  const NodeId from = key.first, to = key.second;
+  if (msg.seq <= rs.delivered) {
+    // Already delivered (network duplication or a retransmission racing its
+    // ack): suppress, but re-ack in case the previous ack was lost.
+    ++stats_.dup_data;
+    if (emit_) emit_(NetEvent::Kind::kDrop, from, to, msg, "dup_seq");
+    SendAck(to, from, rs.delivered);
+    return;
+  }
+  if (msg.seq == rs.delivered + 1) {
+    // In order: deliver, then drain any buffered successors (FIFO
+    // release). Skip markers advance the stream without delivering — the
+    // sender abandoned that payload.
+    rs.delivered = msg.seq;
+    if (msg.table != kSkipTable) deliver_(from, to, msg);
+    auto it = rs.reorder.begin();
+    while (it != rs.reorder.end() && it->first == rs.delivered + 1) {
+      rs.delivered = it->first;
+      Message next = std::move(it->second);
+      it = rs.reorder.erase(it);
+      if (next.table != kSkipTable) deliver_(from, to, next);
+    }
+    SendAck(to, from, rs.delivered);
+    return;
+  }
+  // A gap: buffer for reassembly and emit a duplicate ack so the sender can
+  // fast-retransmit the missing packet.
+  if (rs.reorder.count(msg.seq)) {
+    ++stats_.dup_data;
+    if (emit_) emit_(NetEvent::Kind::kDrop, from, to, msg, "dup_seq");
+  } else if (rs.reorder.size() < config_.max_reorder_buffer) {
+    rs.reorder.emplace(msg.seq, msg);
+    ++stats_.reordered;
+  }
+  // else: buffer full; the retransmission path re-delivers it later.
+  SendAck(to, from, rs.delivered);
+}
+
+ReliableChannel::LinkState ReliableChannel::StateOf(NodeId from,
+                                                    NodeId to) const {
+  LinkState out;
+  auto sit = senders_.find({from, to});
+  if (sit != senders_.end()) {
+    out.next_seq = sit->second.next_seq;
+    out.acked = sit->second.acked;
+    out.in_flight = sit->second.window.size();
+  }
+  auto rit = receivers_.find({from, to});
+  if (rit != receivers_.end()) {
+    out.delivered = rit->second.delivered;
+    out.reorder_buffered = rit->second.reorder.size();
+  }
+  return out;
+}
+
+}  // namespace cologne::net

@@ -84,29 +84,47 @@ Status Instance::ReplayBaseFacts() {
 }
 
 Result<SolveOutput> Instance::InvokeSolver() {
+  return RunSolve(solve_options_, /*group_key_prefix=*/0);
+}
+
+Result<SolveOutput> Instance::InvokeSolverBatched(int group_key_prefix) {
+  return RunSolve(solve_options_, group_key_prefix);
+}
+
+Result<SolveOutput> Instance::RunSolve(const SolveOptions& options,
+                                       int group_key_prefix) {
   if (crashed_) {
     if (trace_ != nullptr) {
-      trace_->Solve(id_, "down", false, 0, 0, false);
+      trace_->Solve(id_, "down", false, 0, 0, 0, false);
     }
     return Status::RuntimeError("node " + std::to_string(id_) +
                                 " is crashed; solver unavailable");
   }
   SolverBridge bridge(program_, &engine_);
-  COLOGNE_ASSIGN_OR_RETURN(out, bridge.Solve(solve_options_, &warm_cache_));
+  COLOGNE_ASSIGN_OR_RETURN(
+      out, group_key_prefix > 0
+               ? bridge.SolveBatched(options, group_key_prefix, &warm_cache_)
+               : bridge.Solve(options, &warm_cache_));
   ++solve_count_;
   total_solve_ms_ += out.stats.wall_ms;
   if (out.has_solution()) {
-    COLOGNE_RETURN_IF_ERROR(Writeback(out.tables));
+    // Batched solves flush per delta: several migVm rows share one
+    // read-modify-write target (r3's curVm), and each must see the
+    // previous row's effect (see Writeback).
+    COLOGNE_RETURN_IF_ERROR(
+        Writeback(out.tables, /*flush_per_delta=*/group_key_prefix > 0));
   }
   if (trace_ != nullptr) {
     trace_->Solve(id_, solver::SolveStatusName(out.status), out.has_objective,
-                  out.objective, out.model_vars, out.warm_started);
+                  out.objective, out.model_vars, out.model_groups,
+                  out.warm_started);
   }
   return out;
 }
 
 Status Instance::Writeback(
-    const std::map<std::string, std::vector<Row>>& tables) {
+    const std::map<std::string, std::vector<Row>>& tables,
+    bool flush_per_delta) {
   // Normalize new rows per output table (sorted, deduplicated).
   std::map<std::string, std::vector<Row>> next;
   for (const std::string& name : program_->solver_output_tables) {
@@ -141,6 +159,10 @@ Status Instance::Writeback(
       if (old == nullptr ||
           !std::binary_search(old->begin(), old->end(), row)) {
         COLOGNE_RETURN_IF_ERROR(engine_.Apply(name, row, +1));
+        // Batched mode: run the fixpoint now so the next inserted row
+        // observes this one's post-solve effects (sequential per-delta
+        // semantics, matching what per-link solves produce one at a time).
+        if (flush_per_delta) COLOGNE_RETURN_IF_ERROR(engine_.Flush());
       }
     }
   }

@@ -84,6 +84,13 @@ class Instance {
   /// output, and flush downstream rules. Fails when the node is crashed.
   Result<SolveOutput> InvokeSolver();
 
+  /// Batched invokeSolver: one solve covering every negotiation unit in the
+  /// current engine state, with var rows grouped into per-unit decision
+  /// groups by `group_key_prefix` key columns (see SolverBridge::
+  /// SolveBatched). The scenario drivers use this to aggregate a node's
+  /// incident links into a single model solve per round.
+  Result<SolveOutput> InvokeSolverBatched(int group_key_prefix);
+
   /// Per-solve knobs (SOLVER_MAX_TIME, SOLVER_BACKEND, SOLVER_SEED, ...).
   /// Init() seeds these from the program's `param SOLVER_*` knobs; an
   /// explicit call afterwards overrides them (the runtime caller wins).
@@ -111,7 +118,19 @@ class Instance {
   }
   /// Declare tables + install rules on a fresh engine (Init and Restart).
   Status InitEngine();
-  Status Writeback(const std::map<std::string, std::vector<Row>>& tables);
+  /// Shared body of InvokeSolver / InvokeSolverBatched; a positive
+  /// `group_key_prefix` routes through SolverBridge::SolveBatched and
+  /// makes the writeback flush per delta.
+  Result<SolveOutput> RunSolve(const SolveOptions& options,
+                               int group_key_prefix);
+  /// Materialize solver output as engine deltas. `flush_per_delta` runs the
+  /// incremental fixpoint after every inserted row instead of once at the
+  /// end: batched solves write several migVm rows that address the same
+  /// read-modify-write state row (r3's curVm update), and each must observe
+  /// its predecessors' effect — the same interleaving the per-link protocol
+  /// produces one solve at a time.
+  Status Writeback(const std::map<std::string, std::vector<Row>>& tables,
+                   bool flush_per_delta);
 
   struct BaseFact {
     std::string table;

@@ -775,6 +775,29 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
     }
   }
 
+  // Batched solves: partition the var rows into decision groups by key
+  // prefix (one group per negotiation unit, e.g. per link of the batch) so
+  // group-aware backends relax per-unit neighborhoods. First-seen order
+  // keeps the grouping deterministic.
+  if (options.group_key_prefix > 0) {
+    std::vector<std::pair<Row, std::vector<IntVar>>> groups;  // ordered
+    std::map<std::pair<std::string, Row>, size_t> index;
+    for (const BridgeEval::VarRow& vr : sym_eval.var_rows()) {
+      Row prefix(vr.key.begin(),
+                 vr.key.begin() +
+                     std::min<size_t>(vr.key.size(),
+                                      static_cast<size_t>(
+                                          options.group_key_prefix)));
+      auto [it, inserted] =
+          index.try_emplace({*vr.table, prefix}, groups.size());
+      if (inserted) groups.push_back({prefix, {}});
+      auto& vars = groups[it->second].second;
+      vars.insert(vars.end(), vr.vars.begin(), vr.vars.end());
+    }
+    for (auto& [prefix, vars] : groups) model.MarkGroup(std::move(vars));
+    out.model_groups = model.decision_groups().size();
+  }
+
   out.model_vars = model.num_vars();
   out.model_propagators = model.num_propagators();
 
@@ -793,9 +816,12 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   // loop usually re-solves a near-identical model, so yesterday's placement
   // is an excellent first incumbent today.
   const bool use_cache = warm_cache != nullptr && options.warm_start;
+  std::vector<int64_t> hints;
+  bool any_hint = false;
+  if ((use_cache && !warm_cache->empty()) || options.group_key_prefix > 0) {
+    hints.assign(model.num_vars(), Model::Options::kNoHint);
+  }
   if (use_cache && !warm_cache->empty()) {
-    std::vector<int64_t> hints(model.num_vars(), Model::Options::kNoHint);
-    bool any = false;
     for (const BridgeEval::VarRow& vr : sym_eval.var_rows()) {
       auto tit = warm_cache->rows.find(*vr.table);
       if (tit == warm_cache->rows.end()) continue;
@@ -806,14 +832,31 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
       }
       for (size_t i = 0; i < vr.vars.size(); ++i) {
         hints[static_cast<size_t>(vr.vars[i].id)] = rit->second.values[i];
-        any = true;
+        any_hint = true;
       }
     }
-    if (any) {
-      sopts.warm_start = std::move(hints);
-      out.warm_started = true;
+    out.warm_started = any_hint;
+  }
+  if (options.group_key_prefix > 0) {
+    // Null-decision default for batched negotiation models: a decision cell
+    // with no cached value is hinted to 0 when its domain allows it (e.g.
+    // "migrate nothing" — the status quo each negotiation improves on).
+    // Without this, the first-solution dive of a wide multi-link model must
+    // discover a feasible point from scratch over [-cap, cap]^n, which is
+    // exponential exactly when batching makes n large. Infeasible hints are
+    // repaired by the search, never trusted.
+    for (const BridgeEval::VarRow& vr : sym_eval.var_rows()) {
+      for (solver::IntVar v : vr.vars) {
+        int64_t& h = hints[static_cast<size_t>(v.id)];
+        if (h == Model::Options::kNoHint &&
+            model.InitialDomain(v).Contains(0)) {
+          h = 0;
+          any_hint = true;
+        }
+      }
     }
   }
+  if (any_hint) sopts.warm_start = std::move(hints);
 
   solver::Solution sol = model.Solve(sopts);
   out.status = sol.status;

@@ -43,6 +43,12 @@ struct SolveOptions {
   int num_workers = 1;
   /// Cap on backend improvement iterations; 0 = until the time budget.
   uint64_t max_iterations = 0;
+  /// Batched-solve variable grouping: when > 0, var-table rows whose first
+  /// `group_key_prefix` regular key columns agree form one decision group
+  /// in the model (e.g. prefix 2 on migVm(X,Y,D,R) groups per (X,Y) link).
+  /// Group-aware backends relax whole groups as LNS neighborhoods; 0
+  /// disables grouping. See SolverBridge::SolveBatched.
+  int group_key_prefix = 0;
   /// Feed the previous solution of this program back into the next solve as
   /// a warm-start hint (the recurring invokeSolver loop of Section 4.2
   /// usually re-solves a near-identical model).
@@ -97,6 +103,8 @@ struct SolveOutput {
   size_t model_vars = 0;
   size_t model_propagators = 0;
   size_t model_memory_bytes = 0;
+  /// Decision groups marked for a batched solve (0 = ungrouped).
+  size_t model_groups = 0;
 
   bool has_solution() const {
     return status == solver::SolveStatus::kOptimal ||
@@ -123,6 +131,21 @@ class SolverBridge {
   /// new solution afterwards (the cross-solve warm-start loop).
   Result<SolveOutput> Solve(const SolveOptions& options,
                             WarmStartCache* warm_cache = nullptr) const;
+
+  /// Batched entry point: one model solve covering several negotiation
+  /// units at once (a node's incident links aggregated per round instead of
+  /// one solve per link). Identical to Solve except that var-table rows are
+  /// partitioned into decision groups by the first `group_key_prefix`
+  /// regular key columns, so group-aware backends (lns / parallel_lns)
+  /// relax per-unit neighborhoods and concurrent workers spread across the
+  /// batch.
+  Result<SolveOutput> SolveBatched(const SolveOptions& options,
+                                   int group_key_prefix,
+                                   WarmStartCache* warm_cache = nullptr) const {
+    SolveOptions o = options;
+    o.group_key_prefix = group_key_prefix;
+    return Solve(o, warm_cache);
+  }
 
  private:
   const colog::CompiledProgram* program_;

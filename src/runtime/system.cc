@@ -11,6 +11,12 @@ namespace cologne::runtime {
 System::System(const colog::CompiledProgram* program, size_t num_nodes,
                Options options)
     : program_(program), options_(options), net_(&sim_, options.seed) {
+  // The Colog `param NET_RELIABLE` knob or the runtime option turns on the
+  // real retransmission/FIFO transport; every engine-derived tuple is then
+  // marked reliable and survives loss without driver-level anti-entropy.
+  net_reliable_ =
+      options_.net_reliable || program_->knobs.net_reliable.value_or(false);
+  net_.SetReliableTransport(net_reliable_);
   for (size_t i = 0; i < num_nodes; ++i) {
     NodeId id = net_.AddNode();
     nodes_.push_back(std::make_unique<Instance>(id, program_));
@@ -41,6 +47,7 @@ void System::WireNode(NodeId id) {
     msg.row = row;
     msg.sign = sign;
     msg.epoch = node(id).epoch();
+    msg.reliable = net_reliable_;
     Status s = net_.Send(id, dest, std::move(msg));
     if (!s.ok()) {
       COLOGNE_WARN("node " + std::to_string(id) + ": " + s.ToString());
@@ -67,9 +74,11 @@ void System::WireNode(NodeId id) {
         return;
       }
       PeerState& ps = rx_[static_cast<size_t>(id)][from];
-      if (!msg.reliable && msg.sent_s <= ps.floor) {
-        // In flight across a restart/resync: the reliable send-log replay
-        // issued at `floor` already carries this delta.
+      if (!msg.replay && msg.sent_s <= ps.floor) {
+        // In flight across a restart/resync: the send-log replay issued at
+        // `floor` already carries this delta. Keyed on the replay flag, not
+        // the reliable flag — under NET_RELIABLE every ordinary message is
+        // reliable yet still superseded by a replay.
         if (trace_ != nullptr) {
           trace_->RxDrop(from, id, msg.table, "superseded");
         }
@@ -312,6 +321,7 @@ void System::ReplaySentLog(NodeId src, NodeId dst, bool net_state) {
     msg.sign = sign;
     msg.epoch = node(src).epoch();
     msg.reliable = true;
+    msg.replay = true;
     Status s = net_.Send(src, dst, std::move(msg));
     if (!s.ok()) {
       COLOGNE_WARN("send-log replay " + std::to_string(src) + "->" +

@@ -53,6 +53,10 @@ class System {
     /// rows the new incarnation no longer derives (must exceed the longest
     /// one-way link delay so the rejoin replay has landed).
     double reconcile_delay_s = 1.0;
+    /// Carry every engine-derived tuple over the real retransmission/FIFO
+    /// transport (net/reliable_channel.h). Also enabled by the program's
+    /// `param NET_RELIABLE = 1` knob; the union of the two wins.
+    bool net_reliable = false;
   };
 
   System(const colog::CompiledProgram* program, size_t num_nodes,
@@ -67,6 +71,9 @@ class System {
   net::Network& network() { return net_; }
   size_t num_nodes() const { return nodes_.size(); }
   Instance& node(NodeId id) { return *nodes_[static_cast<size_t>(id)]; }
+  /// True when ordinary traffic rides the reliable FIFO transport (the
+  /// NET_RELIABLE knob or Options::net_reliable).
+  bool net_reliable() const { return net_reliable_; }
 
   /// Add a communication link between two nodes.
   Status AddLink(NodeId a, NodeId b) {
@@ -174,6 +181,7 @@ class System {
   Options options_;
   net::Simulator sim_;
   net::Network net_;
+  bool net_reliable_ = false;
   std::vector<std::unique_ptr<Instance>> nodes_;
   std::vector<std::vector<SentRecord>> sent_log_;   // [src]
   std::vector<std::map<NodeId, PeerState>> rx_;     // [dst][src]

@@ -42,6 +42,13 @@ void TraceRecorder::Net(const net::NetEvent& ev) {
     line += StrFormat(",\"row\":\"%s\",\"sign\":%d",
                       JsonEscape(RowToString(ev.msg->row)).c_str(),
                       ev.msg->sign);
+    if (ev.msg->seq != 0) {
+      // Reliable-channel sequence number (cumulative ack for @ack packets);
+      // omitted for unsequenced datagrams so pre-channel traces are
+      // unchanged.
+      line += StrFormat(",\"seq\":%llu",
+                        static_cast<unsigned long long>(ev.msg->seq));
+    }
     if (ev.kind == net::NetEvent::Kind::kSend) {
       line += StrFormat(",\"bytes\":%zu", ev.msg->WireSize());
     }
@@ -66,7 +73,8 @@ void TraceRecorder::Fault(const char* kind, const std::string& detail) {
 }
 
 void TraceRecorder::Solve(NodeId node, const char* status, bool has_objective,
-                          double objective, size_t vars, bool warm_started) {
+                          double objective, size_t vars, size_t groups,
+                          bool warm_started) {
   std::string line = StrFormat(
       "{\"t\":%s,\"ev\":\"solve\",\"node\":%d,\"status\":\"%s\"",
       DoubleToShortestString(Now()).c_str(), node, status);
@@ -74,7 +82,9 @@ void TraceRecorder::Solve(NodeId node, const char* status, bool has_objective,
     line += StrFormat(",\"objective\":%s",
                       DoubleToShortestString(objective).c_str());
   }
-  line += StrFormat(",\"vars\":%zu,\"warm\":%d}", vars, warm_started ? 1 : 0);
+  line += StrFormat(",\"vars\":%zu", vars);
+  if (groups > 0) line += StrFormat(",\"groups\":%zu", groups);
+  line += StrFormat(",\"warm\":%d}", warm_started ? 1 : 0);
   Line(std::move(line));
 }
 

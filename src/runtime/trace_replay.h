@@ -54,9 +54,11 @@ class TraceRecorder {
   /// (e.g. "\"node\":2"), appended verbatim.
   void Fault(const char* kind, const std::string& detail);
 
-  /// An invokeSolver outcome (deterministic fields only).
+  /// An invokeSolver outcome (deterministic fields only). `groups` is the
+  /// batched-solve decision-group count; 0 (ungrouped) omits the field so
+  /// pre-batching traces are unchanged.
   void Solve(NodeId node, const char* status, bool has_objective,
-             double objective, size_t vars, bool warm_started);
+             double objective, size_t vars, size_t groups, bool warm_started);
 
   /// An application-level drop at the receiving runtime (crashed node,
   /// stale epoch, duplicate suppression).

@@ -18,17 +18,68 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
   };
   if (at_bound()) return true;
   const Model& model = ctx.model();
-  std::vector<int32_t> pool = ctx.order().DecisionIds();
-  const size_t n = pool.size();
+
+  // Relaxation units: whole decision groups when the model declares two or
+  // more (batched multi-link solves relax per-link neighborhoods, the
+  // per-agent neighborhoods of distributed LNS), individual decision
+  // variables otherwise. The singleton-unit path consumes the RNG stream
+  // exactly as the historical variable-level loop did.
+  std::vector<std::vector<int32_t>> units;
+  bool grouped = false;
+  {
+    std::vector<int32_t> decisions = ctx.order().DecisionIds();
+    const auto& groups = model.decision_groups();
+    if (groups.size() >= 2) {
+      std::vector<char> covered(model.num_vars(), 0);
+      for (const std::vector<IntVar>& g : groups) {
+        std::vector<int32_t> unit;
+        for (IntVar v : g) {
+          size_t id = static_cast<size_t>(v.id);
+          if (id < covered.size() && model.IsDecision(v) && !covered[id]) {
+            covered[id] = 1;
+            unit.push_back(v.id);
+          }
+        }
+        if (!unit.empty()) units.push_back(std::move(unit));
+      }
+      // Decisions outside every group relax together as one extra unit.
+      std::vector<int32_t> rest;
+      for (int32_t id : decisions) {
+        if (!covered[static_cast<size_t>(id)]) rest.push_back(id);
+      }
+      if (!rest.empty()) units.push_back(std::move(rest));
+      grouped = units.size() >= 2;
+    }
+    if (!grouped) {
+      units.clear();
+      for (int32_t id : decisions) units.push_back({id});
+    }
+  }
+  const size_t n = units.size();
   if (n == 0) return false;
 
   Rng rng(params.seed);
-  const size_t min_k = std::min<size_t>(n, 2);
-  const size_t max_k = std::max(min_k, n / 2);
-  const size_t start_k = std::clamp(
-      params.relax_base > 0 ? static_cast<size_t>(params.relax_base)
-                            : n / 10 + 1,
-      min_k, max_k);
+  size_t min_k, max_k, start_k;
+  if (grouped) {
+    // Relax at least one group and keep at least one fixed.
+    min_k = 1;
+    max_k = std::max<size_t>(1, n - 1);
+    start_k = std::clamp<size_t>(n / 3 + 1, min_k, max_k);
+    // Deterministic worker diversity: rotate the unit pool so concurrent
+    // walks (parallel_lns) open on different link neighborhoods.
+    size_t rot = static_cast<size_t>(ctx.options().worker_id) % n;
+    if (rot > 0) {
+      std::rotate(units.begin(), units.begin() + static_cast<ptrdiff_t>(rot),
+                  units.end());
+    }
+  } else {
+    min_k = std::min<size_t>(n, 2);
+    max_k = std::max(min_k, n / 2);
+    start_k = std::clamp(
+        params.relax_base > 0 ? static_cast<size_t>(params.relax_base)
+                              : n / 10 + 1,
+        min_k, max_k);
+  }
   size_t k = start_k;
 
   // Improving neighborhoods get rare near a local optimum; keep sampling
@@ -53,24 +104,26 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
     ++iters;
     ++ctx.stats.iterations;
 
-    // Relax a uniform random k-subset of the decision variables (partial
-    // Fisher-Yates; pool[0..k) is the neighborhood).
+    // Relax a uniform random k-subset of the relaxation units (partial
+    // Fisher-Yates; units[0..k) is the neighborhood).
     for (size_t i = 0; i < k; ++i) {
       size_t j = i + static_cast<size_t>(rng.UniformInt(
                          0, static_cast<int64_t>(n - 1 - i)));
-      std::swap(pool[i], pool[j]);
+      std::swap(units[i], units[j]);
     }
 
     // Fix every non-relaxed decision to the incumbent, bound the objective
     // to strictly-better, and propagate.
     std::vector<IntDomain> doms = model.initial_domains();
     bool ok = true;
-    for (size_t i = k; i < n; ++i) {
-      size_t var = static_cast<size_t>(pool[i]);
-      doms[var].Assign(inc->values[var]);
-      if (doms[var].empty()) {
-        ok = false;
-        break;
+    for (size_t i = k; ok && i < n; ++i) {
+      for (int32_t id : units[i]) {
+        size_t var = static_cast<size_t>(id);
+        doms[var].Assign(inc->values[var]);
+        if (doms[var].empty()) {
+          ok = false;
+          break;
+        }
       }
     }
     if (ok) {

@@ -25,7 +25,10 @@ struct LnsParams {
   uint64_t repair_node_budget = 2000;
   /// Starting neighborhood size; 0 = adaptive default (#decisions / 10 + 1).
   /// Portfolio workers vary this (Model::Options::lns_relax_base) so their
-  /// walks explore differently-sized basins.
+  /// walks explore differently-sized basins. Ignored when the model carries
+  /// two or more decision groups — neighborhoods are then whole groups
+  /// (start at #groups / 3 + 1, adapt in group units), and concurrent
+  /// workers rotate the group pool by Model::Options::worker_id.
   uint64_t relax_base = 0;
   /// Valid relaxation bound on the objective (the propagated root store's
   /// objective min for minimize / max for maximize). When the incumbent

@@ -59,6 +59,19 @@ class Model {
            is_decision_[static_cast<size_t>(v.id)] != 0;
   }
   bool has_decisions() const { return has_decisions_; }
+
+  /// Declare a group of decision variables that form one semantic unit —
+  /// e.g. all variables of one link in a batched multi-link negotiation
+  /// solve (the per-agent neighborhoods of Fioretto et al.'s distributed
+  /// LNS). Group-aware backends (LNS and the LNS-based concurrent backends)
+  /// relax whole groups as neighborhoods; models with fewer than two groups
+  /// keep variable-level neighborhoods. Empty groups are ignored.
+  void MarkGroup(std::vector<IntVar> vars) {
+    if (!vars.empty()) groups_.push_back(std::move(vars));
+  }
+  const std::vector<std::vector<IntVar>>& decision_groups() const {
+    return groups_;
+  }
   const IntDomain& InitialDomain(IntVar v) const {
     return domains_[static_cast<size_t>(v.id)];
   }
@@ -195,6 +208,7 @@ class Model {
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<Propagator>> props_;
   std::vector<char> is_decision_;
+  std::vector<std::vector<IntVar>> groups_;
   bool has_decisions_ = false;
   Sense sense_ = Sense::kSatisfy;
   IntVar objective_;

@@ -367,5 +367,38 @@ TEST(SolverKnobsTest, UnknownOrInvalidKnobsRejected) {
   EXPECT_FALSE(too_many_workers.ok());
 }
 
+TEST(SolverKnobsTest, NetReliableKnobExtractedAndValidated) {
+  // NET_RELIABLE = 1 turns on the retransmission/FIFO transport.
+  auto on = CompileColog("param NET_RELIABLE = 1.\ngoal satisfy.\n");
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  ASSERT_TRUE(on.value().knobs.net_reliable.has_value());
+  EXPECT_TRUE(*on.value().knobs.net_reliable);
+  // The knob is consumed into CompiledProgram::knobs, not the rule-level
+  // parameter map (same handling as SOLVER_*).
+  EXPECT_EQ(on.value().params.count("NET_RELIABLE"), 0u);
+
+  auto off = CompileColog("param NET_RELIABLE = 0.\ngoal satisfy.\n");
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  ASSERT_TRUE(off.value().knobs.net_reliable.has_value());
+  EXPECT_FALSE(*off.value().knobs.net_reliable);
+
+  auto unset = CompileColog("goal satisfy.\n");
+  ASSERT_TRUE(unset.ok());
+  EXPECT_FALSE(unset.value().knobs.net_reliable.has_value());
+
+  // Only 0/1 integers are accepted.
+  for (const char* bad :
+       {"param NET_RELIABLE = 2.\ngoal satisfy.\n",
+        "param NET_RELIABLE = \"yes\".\ngoal satisfy.\n",
+        "param NET_RELIABLE = 0.5.\ngoal satisfy.\n"}) {
+    auto r = CompileColog(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_NE(r.status().message().find("NET_RELIABLE"), std::string::npos)
+        << r.status().ToString();
+  }
+  // Valueless reserved knobs are rejected by the parser.
+  EXPECT_FALSE(CompileColog("param NET_RELIABLE.\ngoal satisfy.\n").ok());
+}
+
 }  // namespace
 }  // namespace cologne::colog

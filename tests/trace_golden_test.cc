@@ -99,6 +99,36 @@ TEST(GoldenTraceTest, WirelessDistributed) {
   CompareOrUpdate(trace, "wireless_small");
 }
 
+TEST(GoldenTraceTest, FollowTheSunReliableBatched) {
+  // ISSUE 4 surface: reliable FIFO transport (sequenced sends, acks,
+  // retransmissions after loss) plus batched multi-link solves (grouped
+  // solve records) in one pinned trace.
+  apps::FtsConfig cfg;
+  cfg.num_dcs = 4;
+  cfg.capacity = 25;
+  cfg.demand_hi = 5;
+  cfg.seed = 47;
+  cfg.net_reliable = true;
+  cfg.batch_links = true;
+  cfg.link_loss_prob = 0.1;
+  cfg.converge_sweeps = 1;  // keep the golden compact
+  // Batched models are too wide for B&B to *prove* optimality within a
+  // wall-clock cap on every CI machine, and a budget-dependent status
+  // would leak into the trace. The iteration-capped LNS budget (unlimited
+  // wall clock) is deterministic regardless of machine load.
+  cfg.solver_backend = "lns";
+  cfg.solver_max_iterations = 16;
+  cfg.solver_time_ms = 0;
+
+  TraceRecorder trace;
+  cfg.trace = &trace;
+  apps::FollowTheSunScenario scenario(cfg);
+  auto r = scenario.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.value().messages_dropped, 0u) << "loss should hit the wire";
+  CompareOrUpdate(trace, "followsun_reliable");
+}
+
 TEST(GoldenTraceTest, ACloudReplay) {
   apps::ACloudConfig cfg;
   cfg.num_dcs = 2;
