@@ -3,15 +3,35 @@
 // equal time budgets: the per-iteration `objective` counter is the quality
 // signal to compare. Each backend-comparison benchmark also emits one
 // SolveRecord JSON row (consumed by the CI bench-smoke job).
+//
+// Two extra modes, both over the same canonical fixed-seed micro instances
+// (deterministic node/iteration budgets, no wall clock):
+//   bench_micro_solver solverjson    writes BENCH_solver.json — one row per
+//                                    case with per-backend nodes/sec,
+//                                    propagations/sec, peak memory, trail
+//                                    saves, and domain-vector allocations
+//                                    (the IntDomain copy-counting hook) —
+//                                    the solver-core perf trajectory the CI
+//                                    bench-smoke job schema-validates.
+//   bench_micro_solver determinism   solves every case twice and fails
+//                                    (exit 1) on any node/failure/solution
+//                                    divergence — the CI Release gate that
+//                                    keeps solver perf work from silently
+//                                    changing the search tree.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
+#include "common/strings.h"
+#include "solver/domain.h"
 #include "solver/model.h"
 
 using namespace cologne::solver;
@@ -226,4 +246,196 @@ static void BM_AssignmentBackendBnbRestarts(benchmark::State& state) {
 }
 BENCHMARK(BM_AssignmentBackendBnbRestarts)->Arg(10)->Arg(20);
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------------
+// Canonical fixed-seed micro instances (solverjson / determinism modes).
+// Deterministic budgets only — node limits and iteration caps, no wall
+// clock — so identical seeds must reproduce identical search trees.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The grouped variant of the assignment kernel: one decision group per VM
+// (the batched per-link negotiation shape), driving group-unit LNS
+// neighborhoods.
+std::unique_ptr<Model> MakeGroupedAssignmentModel(int vms) {
+  const int hosts = 4;
+  auto m = std::make_unique<Model>();
+  std::vector<std::vector<IntVar>> v(static_cast<size_t>(vms));
+  for (int i = 0; i < vms; ++i) {
+    LinExpr one;
+    std::vector<IntVar> group;
+    for (int h = 0; h < hosts; ++h) {
+      IntVar b = m->NewBool();
+      m->MarkDecision(b);
+      v[static_cast<size_t>(i)].push_back(b);
+      group.push_back(b);
+      one += LinExpr(b);
+    }
+    m->MarkGroup(std::move(group));
+    m->PostRel(one, Rel::kEq, LinExpr(1));
+  }
+  LinExpr obj;
+  for (int h = 0; h < hosts; ++h) {
+    LinExpr load;
+    for (int i = 0; i < vms; ++i) {
+      load += LinExpr::Term(10 + (i * 7) % 40,
+                            v[static_cast<size_t>(i)][static_cast<size_t>(h)]);
+    }
+    obj += LinExpr(m->MakeSquare(load));
+  }
+  m->Minimize(obj);
+  return m;
+}
+
+// The wireless interference kernel with holey channel domains (primary-user
+// removals), abs/reified stacks.
+std::unique_ptr<Model> MakeInterferenceModel(int links) {
+  auto m = std::make_unique<Model>();
+  std::vector<IntVar> ch;
+  for (int i = 0; i < links; ++i) {
+    IntVar c = m->NewInt(1, 8);
+    m->MarkDecision(c);
+    m->RemoveValue(c, 3 + (i % 2));
+    ch.push_back(c);
+  }
+  LinExpr cost;
+  for (int i = 0; i + 1 < links; ++i) {
+    IntVar diff = m->MakeAbs(LinExpr(ch[static_cast<size_t>(i)]) -
+                             LinExpr(ch[static_cast<size_t>(i + 1)]));
+    cost += LinExpr(m->ReifyRel(LinExpr(diff), Rel::kLt, LinExpr(2)));
+  }
+  m->Minimize(cost);
+  return m;
+}
+
+struct MicroCase {
+  const char* name;
+  std::unique_ptr<Model> (*make)(int);
+  int size;
+  Backend backend;
+  uint64_t seed;
+  uint64_t node_limit;
+  uint64_t max_iterations;
+  uint64_t restart_base_nodes;
+};
+
+// `deep_dive_bnb` is the headline case of the trailed-store trajectory: a
+// 64-decision B&B dive deep enough that state restoration dominates.
+const MicroCase kMicroCases[] = {
+    {"deep_dive_bnb", MakeAssignmentModel, 16, Backend::kBranchAndBound,
+     0x5EED, 200'000, 0, 0},
+    {"bnb_assign10", MakeAssignmentModel, 10, Backend::kBranchAndBound,
+     0x5EED, 50'000, 50, 0},
+    {"bnb_luby_assign8", MakeAssignmentModel, 8, Backend::kBranchAndBound,
+     0xABCD, 30'000, 0, 256},
+    {"lns_assign12", MakeAssignmentModel, 12, Backend::kLns, 0x10C5, 0, 300,
+     0},
+    {"lns_grouped10", MakeGroupedAssignmentModel, 10, Backend::kLns, 0x77, 0,
+     250, 0},
+    {"bnb_interf12", MakeInterferenceModel, 12, Backend::kBranchAndBound,
+     0x1234, 40'000, 60, 0},
+};
+
+Model::Options MicroOptions(const MicroCase& c) {
+  Model::Options o;
+  o.time_limit_ms = 0;  // deterministic budgets only
+  o.backend = c.backend;
+  o.seed = c.seed;
+  o.node_limit = c.node_limit;
+  o.max_iterations = c.max_iterations;
+  o.restart_base_nodes = c.restart_base_nodes;
+  return o;
+}
+
+Solution RunMicroCase(const MicroCase& c) {
+  return c.make(c.size)->Solve(MicroOptions(c));
+}
+
+// One BENCH_solver.json row per canonical case.
+int RunSolverJson() {
+  FILE* out = fopen("BENCH_solver.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot open BENCH_solver.json for writing\n");
+    return 1;
+  }
+  for (const MicroCase& c : kMicroCases) {
+    // Build outside the timed window: the row measures the search core
+    // (nodes/sec, allocations during search), not model construction.
+    auto m = c.make(c.size);
+    const Model::Options o = MicroOptions(c);
+    const uint64_t allocs_before = DomainCopyCount();
+    const auto t0 = std::chrono::steady_clock::now();
+    Solution s = m->Solve(o);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    const uint64_t domain_allocs = DomainCopyCount() - allocs_before;
+    const double secs = wall_ms > 0 ? wall_ms / 1000.0 : 1e-9;
+    std::string row = cologne::StrFormat(
+        "{\"bench\":\"solver_micro\",\"case\":\"%s\",\"backend\":\"%s\","
+        "\"seed\":%llu,\"nodes\":%llu,\"propagations\":%llu,"
+        "\"wall_ms\":%.3f,\"nodes_per_sec\":%.0f,\"props_per_sec\":%.0f,"
+        "\"peak_mem_bytes\":%llu,\"trail_saves\":%llu,"
+        "\"domain_allocs\":%llu,\"objective\":%lld}",
+        c.name, BackendName(c.backend),
+        static_cast<unsigned long long>(c.seed),
+        static_cast<unsigned long long>(s.stats.nodes),
+        static_cast<unsigned long long>(s.stats.propagations), wall_ms,
+        static_cast<double>(s.stats.nodes) / secs,
+        static_cast<double>(s.stats.propagations) / secs,
+        static_cast<unsigned long long>(s.stats.peak_memory_bytes),
+        static_cast<unsigned long long>(s.stats.trail_saves),
+        static_cast<unsigned long long>(domain_allocs),
+        static_cast<long long>(s.has_solution() ? s.objective : 0));
+    fprintf(out, "%s\n", row.c_str());
+    printf("%s\n", row.c_str());
+  }
+  fclose(out);
+  return 0;
+}
+
+// Solve every canonical case twice; any divergence in the explored tree
+// (nodes / failures / solutions / propagations / objective) is a
+// determinism regression.
+int RunDeterminism() {
+  int rc = 0;
+  for (const MicroCase& c : kMicroCases) {
+    Solution a = RunMicroCase(c);
+    Solution b = RunMicroCase(c);
+    const bool same = a.stats.nodes == b.stats.nodes &&
+                      a.stats.failures == b.stats.failures &&
+                      a.stats.solutions == b.stats.solutions &&
+                      a.stats.propagations == b.stats.propagations &&
+                      a.objective == b.objective && a.values == b.values;
+    printf("%-18s %s nodes=%llu/%llu failures=%llu/%llu solutions=%llu/%llu\n",
+           c.name, same ? "OK" : "MISMATCH",
+           static_cast<unsigned long long>(a.stats.nodes),
+           static_cast<unsigned long long>(b.stats.nodes),
+           static_cast<unsigned long long>(a.stats.failures),
+           static_cast<unsigned long long>(b.stats.failures),
+           static_cast<unsigned long long>(a.stats.solutions),
+           static_cast<unsigned long long>(b.stats.solutions));
+    if (!same) rc = 1;
+  }
+  if (rc != 0) {
+    fprintf(stderr, "determinism check FAILED: identical seeds explored "
+                    "different search trees\n");
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "solverjson") == 0) {
+    return RunSolverJson();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "determinism") == 0) {
+    return RunDeterminism();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

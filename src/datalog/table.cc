@@ -79,9 +79,13 @@ const Row* Table::DisplacedBy(const Row& row) const {
 bool Table::EraseAll(const Row& row) {
   auto it = counts_.find(row);
   if (it == counts_.end()) return false;
+  // A negative-count row is tracked but was never visible: erasing it must
+  // report false per the header contract (and IndexRemove is a no-op for
+  // rows that never reached the indexes).
+  const bool was_visible = it->second > 0;
   counts_.erase(it);
   IndexRemove(row);
-  return true;
+  return was_visible;
 }
 
 bool Table::Contains(const Row& row) const { return visible_.count(row) > 0; }

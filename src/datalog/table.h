@@ -75,7 +75,9 @@ class Table {
   /// Rows whose values at `cols` equal `key` (in the same order). With empty
   /// `cols` this returns all visible rows. Builds a hash index per distinct
   /// column set on first use. The returned reference is invalidated by the
-  /// next Apply().
+  /// next mutation (Apply() or EraseAll()): copy the rows out before
+  /// mutating (see datalog_table_test's ProbeReferenceInvalidatedByNextApply
+  /// for the supported pattern).
   const std::vector<Row>& Probe(const std::vector<int>& cols, const Row& key);
 
   /// Visible row with the given primary-key values, if any (keyed tables).

@@ -98,10 +98,14 @@ bool IntDomain::IntersectWith(const IntDomain& other) {
 std::vector<int64_t> IntDomain::Values() const {
   std::vector<int64_t> out;
   out.reserve(static_cast<size_t>(size()));
-  for (const Range& r : ranges_) {
-    for (int64_t v = r.lo; v <= r.hi; ++v) out.push_back(v);
-  }
+  AppendValues(&out);
   return out;
+}
+
+void IntDomain::AppendValues(std::vector<int64_t>* out) const {
+  for (const Range& r : ranges_) {
+    for (int64_t v = r.lo; v <= r.hi; ++v) out->push_back(v);
+  }
 }
 
 bool IntDomain::operator==(const IntDomain& o) const {

@@ -2,11 +2,23 @@
 #ifndef COLOGNE_SOLVER_DOMAIN_H_
 #define COLOGNE_SOLVER_DOMAIN_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace cologne::solver {
+
+/// Process-wide count of IntDomain deep copies (each clones the range
+/// vector): bumped by every copy construction/assignment. Trail save records
+/// and any residual store cloning both route through here, so the counter is
+/// the apples-to-apples "domain-vector allocations" metric reported by
+/// bench_micro_solver's BENCH_solver.json rows. Relaxed ordering: the count
+/// is a statistic, not a synchronization point.
+inline std::atomic<uint64_t> g_domain_copies{0};
+inline uint64_t DomainCopyCount() {
+  return g_domain_copies.load(std::memory_order_relaxed);
+}
 
 /// Domain values are kept within +/-kDomainLimit so that linear-expression
 /// bound arithmetic cannot overflow int64 (intermediates use __int128).
@@ -31,6 +43,16 @@ class IntDomain {
   IntDomain() = default;
   /// Interval [lo, hi]; empty if lo > hi. Values clamped to +/-kDomainLimit.
   IntDomain(int64_t lo, int64_t hi);
+  IntDomain(const IntDomain& o) : ranges_(o.ranges_) {
+    g_domain_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  IntDomain& operator=(const IntDomain& o) {
+    ranges_ = o.ranges_;
+    g_domain_copies.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  IntDomain(IntDomain&&) = default;
+  IntDomain& operator=(IntDomain&&) = default;
   /// Singleton {v}.
   static IntDomain Singleton(int64_t v) { return IntDomain(v, v); }
 
@@ -61,6 +83,14 @@ class IntDomain {
 
   /// Iterate over contained values (domains used here are small).
   std::vector<int64_t> Values() const;
+  /// Append contained values to `*out` without clearing it; with a reused
+  /// scratch buffer this makes value enumeration allocation-free on the
+  /// search hot path.
+  void AppendValues(std::vector<int64_t>* out) const;
+  /// Replace the range list with `[p, p+n)` — the trailed store's backtrack
+  /// restore. Reuses the existing capacity (domains only shrink along a DFS
+  /// path, so this never allocates on the search hot path).
+  void RestoreRanges(const Range* p, size_t n) { ranges_.assign(p, p + n); }
   const std::vector<Range>& ranges() const { return ranges_; }
 
   bool operator==(const IntDomain& o) const;

@@ -82,6 +82,14 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
   }
   size_t k = start_k;
 
+  // Neighborhoods rebuild on the pristine initial domains (level 0 of the
+  // trailed store): unwind root propagation and any leftover hint levels,
+  // then stack one level per iteration — fix, bound, propagate, repair,
+  // backtrack — so each trial costs O(touched domains) instead of a full
+  // store clone.
+  DomainStore& st = ctx.store();
+  st.BacktrackTo(0);
+
   // Improving neighborhoods get rare near a local optimum; keep sampling
   // until the time budget runs out. The stale cap only terminates small
   // models that reach a true neighborhood-local optimum quickly.
@@ -113,14 +121,14 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
     }
 
     // Fix every non-relaxed decision to the incumbent, bound the objective
-    // to strictly-better, and propagate.
-    std::vector<IntDomain> doms = model.initial_domains();
+    // to strictly-better, and propagate — all on one trail level that the
+    // end of the iteration unwinds.
+    st.PushLevel();
     bool ok = true;
     for (size_t i = k; ok && i < n; ++i) {
       for (int32_t id : units[i]) {
-        size_t var = static_cast<size_t>(id);
-        doms[var].Assign(inc->values[var]);
-        if (doms[var].empty()) {
+        st.Assign(id, inc->values[static_cast<size_t>(id)]);
+        if (st.dom(id).empty()) {
           ok = false;
           break;
         }
@@ -128,20 +136,23 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
     }
     if (ok) {
       std::vector<int32_t> changed;
-      ok = ctx.ApplyBound(doms, &changed, *inc) &&
-           ctx.engine().PropagateAll(doms, &ctx.stats);
+      ok = ctx.ApplyBound(&changed, *inc) &&
+           ctx.engine().PropagateAll(st, &ctx.stats);
     }
 
     bool improved = false;
+    bool reached_bound = false;
     if (ok) {
       const int64_t prev = inc->objective;
       SearchContext::DiveLimits dl;
       dl.node_budget = params.repair_node_budget;
       dl.bound_objective = true;
-      ctx.Dive(std::move(doms), dl, inc);
+      ctx.Dive(dl, inc);
       improved = inc->objective != prev;
-      if (improved && at_bound()) return true;
+      reached_bound = improved && at_bound();
     }
+    st.Backtrack();
+    if (reached_bound) return true;
 
     if (improved) {
       stale = 0;
@@ -166,41 +177,49 @@ Solution LnsSearch::Solve(const Model& model,
   SearchContext ctx(model, options);
   Solution out;  // Solution::backend is stamped by the Solve dispatch.
 
-  std::vector<IntDomain> root = model.initial_domains();
-  if (!ctx.engine().PropagateAll(root, &ctx.stats)) {
+  if (!ctx.PropagateRoot()) {
+    ctx.FinalizeStats();
     out.status = SolveStatus::kInfeasible;
     out.stats = ctx.stats;
-    out.stats.wall_ms = ctx.elapsed_ms();
     return out;
   }
   // Optimality-by-propagation only holds for the *plain* root: a store fixed
   // by warm-start hints is just a feasible point.
   bool root_fixed = true;
-  for (const IntDomain& d : root) {
-    if (!d.IsFixed()) {
+  for (size_t i = 0; i < ctx.store().size(); ++i) {
+    if (!ctx.store()[i].IsFixed()) {
       root_fixed = false;
       break;
     }
+  }
+  // Valid relaxation bound on the objective, from the propagated root (read
+  // before any hint level narrows the store further).
+  int64_t objective_bound = 0;
+  if (ctx.optimizing()) {
+    const IntDomain& od = ctx.store().dom(model.objective_var().id);
+    objective_bound = ctx.minimizing() ? od.min() : od.max();
   }
 
   // ---- Initial assignment ---------------------------------------------------
   // Propagation-guided greedy construction: a first-solution DFS dive (each
   // assignment is followed by propagation, backtracking over dead ends),
-  // optionally narrowed first by the warm-start hint.
+  // optionally narrowed first by the warm-start hint (stacked as trail
+  // levels above the root).
   Incumbent inc;
   size_t hints_applied = 0;
-  std::vector<IntDomain> start = ctx.ApplyWarmStart(root, &hints_applied);
+  bool hint_narrowed = ctx.ApplyWarmStart(&hints_applied);
   SearchContext::DiveLimits first;
   first.stop_on_first = true;
   first.bound_objective = false;
   first.hint = options.warm_start.empty() ? nullptr : &options.warm_start;
-  DiveEnd end = ctx.Dive(start, first, &inc);
-  if (!inc.found && start != root) {
-    // The hint narrowed the store into an unsatisfiable region; retry from
-    // the plain root (exhausting the *hinted* store proves nothing). When
-    // the hints changed nothing, the first dive already was the plain-root
-    // search and retrying would just repeat it.
-    end = ctx.Dive(root, first, &inc);
+  DiveEnd end = ctx.Dive(first, &inc);
+  if (!inc.found && hint_narrowed) {
+    // The hint narrowed the store into an unsatisfiable region; unwind to
+    // the plain root and retry (exhausting the *hinted* store proves
+    // nothing). When the hints changed nothing, the first dive already was
+    // the plain-root search and retrying would just repeat it.
+    ctx.store().BacktrackTo(ctx.root_level());
+    end = ctx.Dive(first, &inc);
   }
 
   bool proven_exhausted = !inc.found && end == DiveEnd::kExhausted;
@@ -223,8 +242,8 @@ Solution LnsSearch::Solve(const Model& model,
     sharpen.hint = first.hint;
     // Exhausting a bounded DFS from the root *is* a complete search: the
     // incumbent is then provably optimal and the neighborhood loop is moot.
-    proven_optimal =
-        ctx.Dive(root, sharpen, &inc) == DiveEnd::kExhausted;
+    ctx.store().BacktrackTo(ctx.root_level());
+    proven_optimal = ctx.Dive(sharpen, &inc) == DiveEnd::kExhausted;
   }
 
   // ---- Improvement ----------------------------------------------------------
@@ -237,14 +256,11 @@ Solution LnsSearch::Solve(const Model& model,
     params.max_iterations = options.max_iterations;
     params.relax_base = options.lns_relax_base;
     params.have_objective_bound = true;
-    const IntDomain& od =
-        root[static_cast<size_t>(model.objective_var().id)];
-    params.objective_bound = ctx.minimizing() ? od.min() : od.max();
+    params.objective_bound = objective_bound;
     proven_optimal = LnsImprove(ctx, params, &inc);
   }
 
-  ctx.stats.wall_ms = ctx.elapsed_ms();
-  ctx.stats.peak_memory_bytes = ctx.PeakMemoryBytes();
+  ctx.FinalizeStats();
   out.stats = ctx.stats;
   if (inc.found) {
     out.values = std::move(inc.values);

@@ -45,6 +45,10 @@ struct LnsParams {
 /// Requires an existing incumbent and an optimizing sense; no-op otherwise.
 /// Updates `inc` in place and accounts iterations/restarts in ctx.stats.
 /// Returns true when the incumbent provably reached the objective bound.
+/// Rebuilds each trial neighborhood as one trail level over the store's
+/// pristine initial domains (ctx.store() level 0) — fix, bound, propagate,
+/// repair-dive, backtrack — so a trial costs O(touched domains), not a
+/// store clone; the store is left at level 0 on return.
 bool LnsImprove(internal::SearchContext& ctx, const LnsParams& params,
                 internal::Incumbent* inc);
 

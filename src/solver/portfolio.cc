@@ -54,8 +54,11 @@ size_t CountDecisions(const Model& model) {
 }
 
 // Run every configured worker to completion on its own thread and merge the
-// race outcome. Each worker publishes improvements into `store` as it finds
-// them (SearchContext::RecordSolution); a worker whose Solve returns a proof
+// race outcome. Each worker's backend builds its own SearchContext — and
+// with it its own trailed DomainStore, so the in-place domain mutation never
+// crosses threads; only the IncumbentStore and CancelToken are shared. Each
+// worker publishes improvements into `store` as it finds them
+// (SearchContext::RecordSolution); a worker whose Solve returns a proof
 // (kOptimal / kInfeasible) cancels the rest of the race.
 Solution RunRace(const Model& model, std::vector<WorkerConfig> configs,
                  IncumbentStore& store, CancelToken& cancel) {
@@ -92,6 +95,7 @@ Solution RunRace(const Model& model, std::vector<WorkerConfig> configs,
     st.propagations += ws.propagations;
     st.iterations += ws.iterations;
     st.restarts += ws.restarts;
+    st.trail_saves += ws.trail_saves;
     st.peak_memory_bytes = std::max(st.peak_memory_bytes, ws.peak_memory_bytes);
     any_proof |= results[i].status == SolveStatus::kOptimal ||
                  results[i].status == SolveStatus::kInfeasible;

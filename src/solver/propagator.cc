@@ -2,46 +2,6 @@
 
 namespace cologne::solver {
 
-bool PropCtx::ClampMin(IntVar v, int64_t lo) {
-  IntDomain& d = (*doms_)[static_cast<size_t>(v.id)];
-  if (d.ClampMin(lo)) {
-    if (d.empty()) return false;
-    Notify(v.id);
-  }
-  return true;
-}
-
-bool PropCtx::ClampMax(IntVar v, int64_t hi) {
-  IntDomain& d = (*doms_)[static_cast<size_t>(v.id)];
-  if (d.ClampMax(hi)) {
-    if (d.empty()) return false;
-    Notify(v.id);
-  }
-  return true;
-}
-
-bool PropCtx::Assign(IntVar v, int64_t val) {
-  IntDomain& d = (*doms_)[static_cast<size_t>(v.id)];
-  if (d.Assign(val)) {
-    if (d.empty()) return false;
-    Notify(v.id);
-  }
-  return !d.empty();
-}
-
-bool PropCtx::Remove(IntVar v, int64_t val) {
-  IntDomain& d = (*doms_)[static_cast<size_t>(v.id)];
-  if (d.Remove(val)) {
-    if (d.empty()) return false;
-    Notify(v.id);
-  }
-  return true;
-}
-
-void PropCtx::Notify(int32_t var_id) {
-  if (engine_ != nullptr) engine_->OnVarChanged(var_id);
-}
-
 PropagationEngine::PropagationEngine(
     const std::vector<std::unique_ptr<Propagator>>* props, size_t num_vars)
     : props_(props), watchers_(num_vars), in_queue_(props->size(), 0) {
@@ -63,22 +23,20 @@ void PropagationEngine::OnVarChanged(int32_t var_id) {
   for (size_t p : watchers_[static_cast<size_t>(var_id)]) Enqueue(p);
 }
 
-bool PropagationEngine::PropagateAll(std::vector<IntDomain>& doms,
-                                     SolveStats* stats) {
+bool PropagationEngine::PropagateAll(DomainStore& store, SolveStats* stats) {
   for (size_t i = 0; i < props_->size(); ++i) Enqueue(i);
-  return RunQueue(doms, stats);
+  return RunQueue(store, stats);
 }
 
-bool PropagationEngine::PropagateFrom(std::vector<IntDomain>& doms,
+bool PropagationEngine::PropagateFrom(DomainStore& store,
                                       const std::vector<int32_t>& changed_vars,
                                       SolveStats* stats) {
   for (int32_t v : changed_vars) OnVarChanged(v);
-  return RunQueue(doms, stats);
+  return RunQueue(store, stats);
 }
 
-bool PropagationEngine::RunQueue(std::vector<IntDomain>& doms,
-                                 SolveStats* stats) {
-  PropCtx ctx(&doms, this);
+bool PropagationEngine::RunQueue(DomainStore& store, SolveStats* stats) {
+  PropCtx ctx(&store, this);
   while (!queue_.empty()) {
     size_t idx = queue_.front();
     queue_.pop_front();
@@ -166,25 +124,42 @@ int64_t CeilDiv128(__int128 a, __int128 b) {
   return static_cast<int64_t>(q);
 }
 
-// Prune `e <= 0` to bounds consistency.
-bool PruneLe(PropCtx& ctx, const LinExpr& e) {
-  __int128 sum_min = e.constant;
+// Prune `sign*e + add <= 0` to bounds consistency. The sign/offset
+// parameterization covers every PruneLinear rewrite (>=, >, <, ==) without
+// materializing a negated LinExpr copy per propagation — the historical
+// `f = e; f.MulBy(-1)` heap-allocated a terms vector on the hot path. The
+// arithmetic is term-for-term identical to running the plain `e' <= 0` prune
+// on the rewritten expression.
+bool PruneLe(PropCtx& ctx, const LinExpr& e, int64_t sign = 1,
+             int64_t add = 0) {
+  __int128 sum_min = static_cast<__int128>(sign) * e.constant + add;
   for (const auto& [c, v] : e.terms) {
     const IntDomain& d = ctx.dom(v);
-    sum_min += static_cast<__int128>(c) * (c >= 0 ? d.min() : d.max());
+    const __int128 ce = static_cast<__int128>(sign) * c;
+    sum_min += ce * (ce >= 0 ? d.min() : d.max());
   }
   if (sum_min > 0) return false;
   for (const auto& [c, v] : e.terms) {
     const IntDomain& d = ctx.dom(v);
+    const __int128 ce = static_cast<__int128>(sign) * c;
     // min of the expression excluding this term's contribution at its min.
-    __int128 term_min = static_cast<__int128>(c) * (c >= 0 ? d.min() : d.max());
+    __int128 term_min = ce * (ce >= 0 ? d.min() : d.max());
     __int128 rest_min = sum_min - term_min;
-    // Need: c * x <= -rest_min.
+    // Need: ce * x <= -rest_min. The multiply-compare guard skips the
+    // division and the clamp call when the current bound already satisfies
+    // the budget (the overwhelmingly common case): ce*x over the domain
+    // violates the budget exactly when the clamp below would narrow it.
     __int128 budget = -rest_min;
-    if (c > 0) {
-      if (!ctx.ClampMax(v, FloorDiv128(budget, c))) return false;
-    } else if (c < 0) {
-      if (!ctx.ClampMin(v, CeilDiv128(budget, c))) return false;
+    if (ce > 0) {
+      if (ce * static_cast<__int128>(d.max()) > budget &&
+          !ctx.ClampMax(v, FloorDiv128(budget, ce))) {
+        return false;
+      }
+    } else if (ce < 0) {
+      if (ce * static_cast<__int128>(d.min()) > budget &&
+          !ctx.ClampMin(v, CeilDiv128(budget, ce))) {
+        return false;
+      }
     }
   }
   return true;
@@ -221,28 +196,14 @@ bool PruneLinear(PropCtx& ctx, const LinExpr& e, Rel rel) {
   switch (rel) {
     case Rel::kLe:
       return PruneLe(ctx, e);
-    case Rel::kLt: {
-      LinExpr f = e;
-      f.constant += 1;  // e < 0  <=>  e + 1 <= 0
-      return PruneLe(ctx, f);
-    }
-    case Rel::kGe: {
-      LinExpr f = e;
-      f.MulBy(-1);  // e >= 0  <=>  -e <= 0
-      return PruneLe(ctx, f);
-    }
-    case Rel::kGt: {
-      LinExpr f = e;
-      f.MulBy(-1);
-      f.constant += 1;
-      return PruneLe(ctx, f);
-    }
-    case Rel::kEq: {
-      if (!PruneLe(ctx, e)) return false;
-      LinExpr f = e;
-      f.MulBy(-1);
-      return PruneLe(ctx, f);
-    }
+    case Rel::kLt:
+      return PruneLe(ctx, e, 1, 1);  // e < 0  <=>  e + 1 <= 0
+    case Rel::kGe:
+      return PruneLe(ctx, e, -1);  // e >= 0  <=>  -e <= 0
+    case Rel::kGt:
+      return PruneLe(ctx, e, -1, 1);  // e > 0  <=>  -e + 1 <= 0
+    case Rel::kEq:
+      return PruneLe(ctx, e) && PruneLe(ctx, e, -1);
     case Rel::kNe:
       return PruneNe(ctx, e);
   }

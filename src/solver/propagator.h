@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "solver/domain.h"
+#include "solver/store.h"
 #include "solver/types.h"
 
 namespace cologne::solver {
@@ -22,17 +23,16 @@ class PropagationEngine;
 
 /// \brief Mutable view over the current domain store handed to propagators.
 ///
-/// All domain mutations go through PropCtx so that watchers of changed
-/// variables are re-queued automatically. Mutators return false exactly when
-/// the touched domain became empty (failure).
+/// All domain mutations go through PropCtx so that the trail records the
+/// pre-mutation domain (store undo) and watchers of changed variables are
+/// re-queued automatically. Mutators return false exactly when the touched
+/// domain became empty (failure).
 class PropCtx {
  public:
-  PropCtx(std::vector<IntDomain>* doms, PropagationEngine* engine)
-      : doms_(doms), engine_(engine) {}
+  PropCtx(DomainStore* store, PropagationEngine* engine)
+      : store_(store), engine_(engine) {}
 
-  const IntDomain& dom(IntVar v) const {
-    return (*doms_)[static_cast<size_t>(v.id)];
-  }
+  const IntDomain& dom(IntVar v) const { return store_->dom(v.id); }
   bool IsFixed(IntVar v) const { return dom(v).IsFixed(); }
   int64_t Min(IntVar v) const { return dom(v).min(); }
   int64_t Max(IntVar v) const { return dom(v).max(); }
@@ -45,7 +45,7 @@ class PropCtx {
 
  private:
   void Notify(int32_t var_id);
-  std::vector<IntDomain>* doms_;
+  DomainStore* store_;
   PropagationEngine* engine_;
 };
 
@@ -85,11 +85,12 @@ class PropagationEngine {
   PropagationEngine(const std::vector<std::unique_ptr<Propagator>>* props,
                     size_t num_vars);
 
-  /// Run all propagators to fixpoint on `doms`. False on failure.
-  bool PropagateAll(std::vector<IntDomain>& doms, SolveStats* stats);
+  /// Run all propagators to fixpoint on `store`. False on failure (the store
+  /// is left mid-propagation; the caller backtracks the level to recover).
+  bool PropagateAll(DomainStore& store, SolveStats* stats);
 
   /// Run to fixpoint starting from the watchers of the changed variables.
-  bool PropagateFrom(std::vector<IntDomain>& doms,
+  bool PropagateFrom(DomainStore& store,
                      const std::vector<int32_t>& changed_vars,
                      SolveStats* stats);
 
@@ -97,7 +98,7 @@ class PropagationEngine {
   void OnVarChanged(int32_t var_id);
 
  private:
-  bool RunQueue(std::vector<IntDomain>& doms, SolveStats* stats);
+  bool RunQueue(DomainStore& store, SolveStats* stats);
   void Enqueue(size_t prop_idx);
 
   const std::vector<std::unique_ptr<Propagator>>* props_;
@@ -127,6 +128,48 @@ bool PruneLinear(PropCtx& ctx, const LinExpr& e, Rel rel);
 // ---------------------------------------------------------------------------
 // Propagator factories (definitions in propagators.cc).
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// PropCtx inline mutators (below PropagationEngine: Notify needs its
+// definition). The no-change early-outs inside DomainStore are the fixpoint
+// common case; keeping the whole path inline costs a comparison, not a call.
+// ---------------------------------------------------------------------------
+
+inline void PropCtx::Notify(int32_t var_id) {
+  if (engine_ != nullptr) engine_->OnVarChanged(var_id);
+}
+
+inline bool PropCtx::ClampMin(IntVar v, int64_t lo) {
+  if (store_->ClampMin(v.id, lo)) {
+    if (store_->dom(v.id).empty()) return false;
+    Notify(v.id);
+  }
+  return true;
+}
+
+inline bool PropCtx::ClampMax(IntVar v, int64_t hi) {
+  if (store_->ClampMax(v.id, hi)) {
+    if (store_->dom(v.id).empty()) return false;
+    Notify(v.id);
+  }
+  return true;
+}
+
+inline bool PropCtx::Assign(IntVar v, int64_t val) {
+  if (store_->Assign(v.id, val)) {
+    if (store_->dom(v.id).empty()) return false;
+    Notify(v.id);
+  }
+  return !store_->dom(v.id).empty();
+}
+
+inline bool PropCtx::Remove(IntVar v, int64_t val) {
+  if (store_->Remove(v.id, val)) {
+    if (store_->dom(v.id).empty()) return false;
+    Notify(v.id);
+  }
+  return true;
+}
 
 /// e rel 0.
 std::unique_ptr<Propagator> MakeLinear(LinExpr e, Rel rel);

@@ -1,9 +1,9 @@
 // Branch-and-bound search backend and the Model::Solve dispatch.
 //
-// Copy-based state restoration (as in Gecode's clone-based search engines):
-// each open node stores a full domain vector. Models in Cologne are small
-// (hundreds of variables per invokeSolver event), so cloning is cheap and
-// keeps backtracking trivially correct.
+// Trailed state restoration (as in Gecode's recomputation-free engines): one
+// in-place domain store per solve, a level pushed per branching attempt, and
+// O(changed domains) undo on backtrack (solver/store.h). The explored tree
+// is bit-identical to the historical copy-based core's.
 //
 // The backend is complete: left to run it proves optimality/infeasibility.
 // Under a time cap it is anytime — after the tree-search phase is cut off it
@@ -35,11 +35,10 @@ class BranchAndBound : public SearchBackend {
     SearchContext ctx(model, options);
     Solution out;  // Solution::backend is stamped by the Solve dispatch.
 
-    std::vector<IntDomain> root = model.initial_domains();
-    if (!ctx.engine().PropagateAll(root, &ctx.stats)) {
+    if (!ctx.PropagateRoot()) {
+      ctx.FinalizeStats();
       out.status = SolveStatus::kInfeasible;
       out.stats = ctx.stats;
-      out.stats.wall_ms = ctx.elapsed_ms();
       return out;
     }
 
@@ -50,24 +49,26 @@ class BranchAndBound : public SearchBackend {
     // back the previous invokeSolver solution here): assimilate the hints
     // into the store, then complete with a short first-solution dive. A good
     // early incumbent makes every subsequent branch-and-bound cut sharper.
+    // The hint levels unwind afterwards so the tree search starts from the
+    // plain propagated root.
     if (!options.warm_start.empty()) {
       size_t applied = 0;
-      std::vector<IntDomain> warmed = ctx.ApplyWarmStart(root, &applied);
+      ctx.ApplyWarmStart(&applied);
       if (applied > 0) {
         SearchContext::DiveLimits seed_dive;
         seed_dive.stop_on_first = true;
         seed_dive.bound_objective = false;
         seed_dive.node_budget = 10'000;
         seed_dive.hint = &options.warm_start;
-        ctx.Dive(std::move(warmed), seed_dive, &inc);
+        ctx.Dive(seed_dive, &inc);
       }
+      ctx.store().BacktrackTo(ctx.root_level());
     }
 
     // A warm-started satisfaction solve is already done: any solution is
     // terminal, so skip the tree search entirely.
     if (inc.found && model.sense() == Sense::kSatisfy) {
-      ctx.stats.wall_ms = ctx.elapsed_ms();
-      ctx.stats.peak_memory_bytes = ctx.PeakMemoryBytes();
+      ctx.FinalizeStats();
       out.stats = ctx.stats;
       out.values = std::move(inc.values);
       out.objective = inc.objective;
@@ -79,8 +80,7 @@ class BranchAndBound : public SearchBackend {
     // the improvement phase stop (and claim optimality) when reached.
     int64_t objective_bound = 0;
     if (ctx.optimizing()) {
-      const IntDomain& od =
-          root[static_cast<size_t>(model.objective_var().id)];
+      const IntDomain& od = ctx.store().dom(model.objective_var().id);
       objective_bound = ctx.minimizing() ? od.min() : od.max();
     }
 
@@ -97,12 +97,13 @@ class BranchAndBound : public SearchBackend {
 
     bool cutoff = false;
     if (options.restart_base_nodes == 0) {
-      DiveEnd end = ctx.Dive(std::move(root), limits, &inc);
+      DiveEnd end = ctx.Dive(limits, &inc);
       cutoff = end == DiveEnd::kCutoff;
     } else {
       // Luby restarts: dive i gets base * luby(i) nodes; from the second
       // dive on, value order is randomized to diversify. The incumbent (and
-      // with it the objective cut) carries across dives.
+      // with it the objective cut) carries across dives; every dive starts
+      // from the propagated root the trail restores between restarts.
       Rng rng(options.seed);
       std::vector<int64_t> incumbent_hint;
       for (uint64_t i = 1;; ++i) {
@@ -117,7 +118,7 @@ class BranchAndBound : public SearchBackend {
           incumbent_hint = inc.values;
           dive.hint = &incumbent_hint;
         }
-        DiveEnd end = ctx.Dive(root, dive, &inc);
+        DiveEnd end = ctx.Dive(dive, &inc);
         if (end == DiveEnd::kExhausted || end == DiveEnd::kFirstSolution) {
           cutoff = false;
           break;
@@ -145,8 +146,7 @@ class BranchAndBound : public SearchBackend {
       }
     }
 
-    ctx.stats.wall_ms = ctx.elapsed_ms();
-    ctx.stats.peak_memory_bytes = ctx.PeakMemoryBytes();
+    ctx.FinalizeStats();
     out.stats = ctx.stats;
     if (inc.found) {
       out.values = std::move(inc.values);

@@ -1,5 +1,12 @@
 // Shared machinery for the search backends (search.cc, lns.cc): branching
-// order, copy-based DFS dives, warm-start assimilation, Luby sequence.
+// order, trailed DFS dives, warm-start assimilation, Luby sequence.
+//
+// State restoration is trailed (solver/store.h): branching pushes a level,
+// mutates the one shared store in place, and backtracks O(changed domains)
+// undo records — where the historical core cloned the whole domain vector at
+// every node. The explored tree is bit-identical to the copy-based core's:
+// backtracking replays the saved range vectors verbatim, so every branching
+// decision sees exactly the store the old code saw.
 //
 // Internal to src/solver; not part of the public Model API.
 #ifndef COLOGNE_SOLVER_SEARCH_INTERNAL_H_
@@ -12,6 +19,7 @@
 #include "common/rng.h"
 #include "solver/model.h"
 #include "solver/propagator.h"
+#include "solver/store.h"
 
 namespace cologne::solver::internal {
 
@@ -41,10 +49,9 @@ class SearchOrder {
   /// First-fail selection (smallest domain) among unfixed variables, decision
   /// variables before auxiliaries, ties by lowest id. Advances `*watermark`
   /// past the fixed prefix; invalid IntVar means everything is fixed.
-  IntVar Select(const std::vector<IntDomain>& doms, size_t* watermark) const {
+  IntVar Select(const DomainStore& store, size_t* watermark) const {
     size_t w = *watermark;
-    while (w < order_.size() &&
-           doms[static_cast<size_t>(order_[w])].IsFixed()) {
+    while (w < order_.size() && store.dom(order_[w]).IsFixed()) {
       ++w;
     }
     *watermark = w;
@@ -56,7 +63,7 @@ class SearchOrder {
     IntVar best;
     uint64_t best_size = 0;
     for (size_t i = w; i < end; ++i) {
-      const IntDomain& d = doms[static_cast<size_t>(order_[i])];
+      const IntDomain& d = store.dom(order_[i]);
       if (d.IsFixed()) continue;
       uint64_t s = d.size();
       if (!best.valid() || s < best_size) {
@@ -96,17 +103,30 @@ enum class DiveEnd {
 };
 
 /// Luby restart sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+/// Iterative (the sequence's self-similar suffix is peeled off in a loop):
+/// called once per restart on the hot path, so no recursion depth in log(i).
 inline uint64_t Luby(uint64_t i) {
-  if (i == 0) return 1;  // out-of-contract call; recursion below needs i >= 1
-  for (uint64_t k = 1;; ++k) {
-    uint64_t pow2 = uint64_t{1} << k;
-    if (i == pow2 - 1) return pow2 >> 1;
-    if (i < pow2 - 1) return Luby(i - (pow2 >> 1) + 1);
+  if (i == 0) return 1;  // out-of-contract call; the loop below needs i >= 1
+  for (;;) {
+    const uint64_t p = i + 1;  // i == 2^k - 1  <=>  i+1 is a power of two
+    if ((p & (p - 1)) == 0) return p >> 1;
+    // Otherwise peel the leading completed block: with 2^(k-1)-1 < i < 2^k-1,
+    // position i restates position i - 2^(k-1) + 1 of the same sequence.
+    uint64_t pow2 = uint64_t{1} << 1;
+    while (pow2 - 1 < i) pow2 <<= 1;
+    i -= (pow2 >> 1) - 1;
   }
 }
 
 /// \brief Per-Solve search state shared by every phase of a backend: the
-/// propagation engine, branching order, wall clock, and statistics.
+/// trailed domain store, propagation engine, branching order, wall clock,
+/// and statistics.
+///
+/// One store serves the whole solve. Level 0 holds the model's pristine
+/// initial domains (never mutated above level 0); PropagateRoot() pushes the
+/// root level and narrows it to the propagated root every dive starts from.
+/// Dive() always restores the store to its entry level before returning, so
+/// phases compose by push/backtrack instead of cloning root vectors.
 class SearchContext {
  public:
   SearchContext(const Model& model, const Model::Options& options)
@@ -114,12 +134,25 @@ class SearchContext {
         options_(options),
         engine_(&model.propagators(), model.num_vars()),
         order_(model),
-        start_(std::chrono::steady_clock::now()) {}
+        start_(std::chrono::steady_clock::now()) {
+    store_.Init(model.initial_domains());
+  }
 
   const Model& model() const { return model_; }
   const Model::Options& options() const { return options_; }
   PropagationEngine& engine() { return engine_; }
   const SearchOrder& order() const { return order_; }
+  DomainStore& store() { return store_; }
+
+  /// Push the root level and run all propagators to fixpoint; false means
+  /// the model is infeasible by propagation alone. Call once per solve,
+  /// before any dive; root_level() then marks the propagated root state.
+  bool PropagateRoot() {
+    store_.PushLevel();
+    root_level_ = store_.level();
+    return engine_.PropagateAll(store_, &stats);
+  }
+  int root_level() const { return root_level_; }
 
   bool minimizing() const { return model_.sense() == Sense::kMinimize; }
   bool maximizing() const { return model_.sense() == Sense::kMaximize; }
@@ -174,96 +207,115 @@ class SearchContext {
     const std::vector<int64_t>* hint = nullptr;
   };
 
-  /// Depth-first search from `root` (which must already be propagated and
-  /// consistent). Every improving full assignment is recorded into `inc`;
-  /// with bound_objective the objective is clamped to strictly-better after
-  /// each incumbent. For kSatisfy models the first solution terminates the
-  /// dive.
-  DiveEnd Dive(std::vector<IntDomain> root, const DiveLimits& limits,
-               Incumbent* inc) {
-    struct Frame {
-      std::vector<IntDomain> doms;
-      IntVar var;
-      std::vector<int64_t> values;
-      size_t next = 0;
-      size_t watermark = 0;
-    };
-    std::vector<Frame> stack;
+  /// Depth-first search from the store's current state (which must already
+  /// be propagated and consistent). Branching pushes one trail level per
+  /// attempted value; exhausted or failed subtrees backtrack in O(changed
+  /// domains). Every improving full assignment is recorded into `inc`; with
+  /// bound_objective the objective is clamped to strictly-better after each
+  /// incumbent. For kSatisfy models the first solution terminates the dive.
+  /// The store is restored to its entry level before returning.
+  DiveEnd Dive(const DiveLimits& limits, Incumbent* inc) {
+    const int base = store_.level();
+    frames_.clear();
 
-    // Returns true when `doms` is a full assignment (recorded, not pushed).
-    auto push_node = [&](std::vector<IntDomain> doms,
-                         size_t watermark) -> bool {
-      IntVar v = order_.Select(doms, &watermark);
+    // Materializes the current store as an open node: selects the branching
+    // variable and fills the depth's reusable value buffer. Returns true
+    // when the store is a full assignment (recorded, not pushed).
+    auto push_node = [&](size_t watermark, size_t depth) -> bool {
+      IntVar v = order_.Select(store_, &watermark);
       if (!v.valid()) {
-        RecordSolution(doms, inc);
+        RecordSolution(inc);
         return true;
       }
-      Frame f;
-      f.var = v;
-      f.values = doms[static_cast<size_t>(v.id)].Values();
-      OrderValues(v, limits, &f.values);
-      f.watermark = watermark;
-      f.doms = std::move(doms);
-      stack.push_back(std::move(f));
-      peak_frames = std::max(peak_frames, stack.size());
+      if (value_scratch_.size() <= depth) value_scratch_.resize(depth + 1);
+      std::vector<int64_t>& values = value_scratch_[depth];
+      values.clear();
+      store_.dom(v.id).AppendValues(&values);
+      OrderValues(v, limits, &values);
+      frames_.push_back(Frame{v, 0, watermark, values.size()});
       return false;
     };
 
-    if (push_node(std::move(root), 0)) return DiveEnd::kFirstSolution;
+    if (push_node(0, 0)) {
+      store_.BacktrackTo(base);
+      return DiveEnd::kFirstSolution;
+    }
 
     uint64_t dive_nodes = 0;
-    while (!stack.empty()) {
+    while (!frames_.empty()) {
       if (limits.node_budget > 0 && dive_nodes >= limits.node_budget) {
+        store_.BacktrackTo(base);
         return DiveEnd::kCutoff;
       }
-      if (node_limit_hit()) return DiveEnd::kCutoff;
+      if (node_limit_hit()) {
+        store_.BacktrackTo(base);
+        return DiveEnd::kCutoff;
+      }
       if ((stats.nodes & 0xFF) == 0) {
-        if (cancelled()) return DiveEnd::kCutoff;
+        if (cancelled()) {
+          store_.BacktrackTo(base);
+          return DiveEnd::kCutoff;
+        }
         if (options_.time_limit_ms > 0) {
           double t = elapsed_ms();
           if (t > options_.time_limit_ms ||
               (limits.soft_deadline_ms > 0 && inc->found &&
                t > limits.soft_deadline_ms)) {
+            store_.BacktrackTo(base);
             return DiveEnd::kCutoff;
           }
         }
       }
-      Frame& top = stack.back();
-      if (top.next >= top.values.size()) {
-        stack.pop_back();
+      Frame& top = frames_.back();
+      if (top.next >= top.num_values) {
+        // Subtree exhausted: drop the frame and (unless it is the dive
+        // root, which owns no level) undo its parent's branching level.
+        frames_.pop_back();
+        if (!frames_.empty()) store_.Backtrack();
         continue;
       }
-      int64_t value = top.values[top.next++];
+      // Copy the branching decision out of the frame: push_node below may
+      // grow `frames_` and invalidate `top` (the historical dangling-
+      // reference hazard of the copy-based loop).
+      const IntVar var = top.var;
+      const size_t watermark = top.watermark;
+      const size_t child_depth = frames_.size();
+      const int64_t value = value_scratch_[child_depth - 1][top.next++];
       ++stats.nodes;
       ++dive_nodes;
 
-      std::vector<IntDomain> doms = top.doms;
-      const IntVar var = top.var;
-      const size_t watermark = top.watermark;
-      doms[static_cast<size_t>(var.id)].Assign(value);
-      std::vector<int32_t> changed{var.id};
-      if (limits.bound_objective && !ApplyBound(doms, &changed, *inc)) {
+      store_.PushLevel();
+      store_.Assign(var.id, value);
+      changed_scratch_.clear();
+      changed_scratch_.push_back(var.id);
+      if (limits.bound_objective && !ApplyBound(&changed_scratch_, *inc)) {
         ++stats.failures;
+        store_.Backtrack();
         continue;
       }
-      if (!engine_.PropagateFrom(doms, changed, &stats)) {
+      if (!engine_.PropagateFrom(store_, changed_scratch_, &stats)) {
         ++stats.failures;
+        store_.Backtrack();
         continue;
       }
-      // NOTE: `top` may dangle after push_node reallocates the stack.
-      if (push_node(std::move(doms), watermark)) {
+      if (push_node(watermark, child_depth)) {
         if (limits.stop_on_first || model_.sense() == Sense::kSatisfy) {
+          store_.BacktrackTo(base);
           return DiveEnd::kFirstSolution;
         }
+        // Solution leaf: undo this attempt's level and continue with the
+        // parent frame's remaining values.
+        store_.Backtrack();
       }
     }
+    store_.BacktrackTo(base);  // no-op: every frame pop backtracked its level
     return DiveEnd::kExhausted;
   }
 
-  /// Record a fully fixed store into `inc` when it improves on it.
-  void RecordSolution(const std::vector<IntDomain>& doms, Incumbent* inc) {
-    std::vector<int64_t> vals(doms.size());
-    for (size_t i = 0; i < doms.size(); ++i) vals[i] = doms[i].value();
+  /// Record the store's (fully fixed) assignment into `inc` when it improves.
+  void RecordSolution(Incumbent* inc) {
+    std::vector<int64_t> vals(store_.size());
+    for (size_t i = 0; i < store_.size(); ++i) vals[i] = store_[i].value();
     IntVar obj_var = model_.objective_var();
     int64_t obj =
         obj_var.valid() ? vals[static_cast<size_t>(obj_var.id)] : 0;
@@ -282,11 +334,12 @@ class SearchContext {
     }
   }
 
-  /// Clamp the objective domain of `doms` to strictly-better-than-incumbent
+  /// Clamp the store's objective domain to strictly-better-than-incumbent
   /// (the tighter of the local incumbent and the shared race bound, when a
-  /// concurrent worker published one); false when the clamp empties it.
-  bool ApplyBound(std::vector<IntDomain>& doms, std::vector<int32_t>* changed,
-                  const Incumbent& inc) {
+  /// concurrent worker published one); false when the clamp empties it. The
+  /// clamp is trailed like any branching mutation, so backtracking the level
+  /// restores the pre-clamp domain.
+  bool ApplyBound(std::vector<int32_t>* changed, const Incumbent& inc) {
     if (!optimizing()) return true;
     bool have = inc.found;
     int64_t bound = inc.objective;
@@ -301,82 +354,106 @@ class SearchContext {
     }
     if (!have) return true;
     IntVar obj_var = model_.objective_var();
-    IntDomain& od = doms[static_cast<size_t>(obj_var.id)];
-    bool ch = minimizing() ? od.ClampMax(bound - 1) : od.ClampMin(bound + 1);
-    if (od.empty()) return false;
+    bool ch = minimizing() ? store_.ClampMax(obj_var.id, bound - 1)
+                           : store_.ClampMin(obj_var.id, bound + 1);
+    if (store_.dom(obj_var.id).empty()) return false;
     if (ch) changed->push_back(obj_var.id);
     return true;
   }
 
-  /// Assimilate warm-start hints into a propagated root store: hinted
-  /// decision variables are assigned one at a time, each followed by
-  /// propagation, and any hint that fails is dropped (stale hints repair
-  /// instead of poisoning the store). Returns the narrowed store and sets
-  /// `*applied` to the number of hints that stuck.
-  std::vector<IntDomain> ApplyWarmStart(std::vector<IntDomain> doms,
-                                        size_t* applied) {
+  /// Assimilate warm-start hints into the store (which must hold a
+  /// propagated root): hinted decision variables are assigned one at a time,
+  /// each followed by propagation, and any hint that fails is dropped (stale
+  /// hints repair instead of poisoning the store). Narrowing stacks trail
+  /// levels above the root; the caller unwinds with BacktrackTo(root_level).
+  /// Sets `*applied` to the number of hints that stuck and returns whether
+  /// the store narrowed at all.
+  bool ApplyWarmStart(size_t* applied) {
     *applied = 0;
     const std::vector<int64_t>& hint = options_.warm_start;
-    if (hint.empty()) return doms;
+    if (hint.empty()) return false;
     std::vector<std::pair<size_t, int64_t>> wanted;
     for (int32_t id : order_.DecisionIds()) {
       size_t i = static_cast<size_t>(id);
       if (i >= hint.size() || hint[i] == Model::Options::kNoHint) continue;
-      if (doms[i].IsFixed()) {
-        if (doms[i].value() == hint[i]) ++*applied;
+      if (store_[i].IsFixed()) {
+        if (store_[i].value() == hint[i]) ++*applied;
         continue;
       }
-      if (doms[i].Contains(hint[i])) wanted.push_back({i, hint[i]});
+      if (store_[i].Contains(hint[i])) wanted.push_back({i, hint[i]});
     }
-    if (wanted.empty()) return doms;
+    if (wanted.empty()) return false;
 
     // Fast path: hints usually come from the previous near-identical solve
     // and are mutually consistent — assign them all and propagate once.
     {
-      std::vector<IntDomain> trial = doms;
+      store_.PushLevel();
       std::vector<int32_t> changed;
       changed.reserve(wanted.size());
       bool ok = true;
       for (const auto& [i, v] : wanted) {
-        trial[i].Assign(v);
-        if (trial[i].empty()) {
+        store_.Assign(static_cast<int32_t>(i), v);
+        if (store_[i].empty()) {
           ok = false;
           break;
         }
         changed.push_back(static_cast<int32_t>(i));
       }
-      if (ok && engine_.PropagateFrom(trial, changed, &stats)) {
+      if (ok && engine_.PropagateFrom(store_, changed, &stats)) {
         *applied += wanted.size();
-        return trial;
+        return true;
       }
+      store_.Backtrack();
     }
 
     // Slow path: some hint went stale; assimilate one variable at a time so
-    // the bad hints are dropped instead of poisoning the store.
+    // the bad hints are dropped instead of poisoning the store. Each hint
+    // that sticks keeps its level on the stack.
+    bool narrowed = false;
     for (const auto& [i, v] : wanted) {
-      if (doms[i].IsFixed() || !doms[i].Contains(v)) continue;
-      std::vector<IntDomain> trial = doms;
-      trial[i].Assign(v);
-      std::vector<int32_t> changed{static_cast<int32_t>(i)};
-      if (engine_.PropagateFrom(trial, changed, &stats)) {
-        doms = std::move(trial);
+      if (store_[i].IsFixed() || !store_[i].Contains(v)) continue;
+      store_.PushLevel();
+      store_.Assign(static_cast<int32_t>(i), v);
+      changed_scratch_.clear();
+      changed_scratch_.push_back(static_cast<int32_t>(i));
+      if (engine_.PropagateFrom(store_, changed_scratch_, &stats)) {
         ++*applied;
+        narrowed = true;
+      } else {
+        store_.Backtrack();
       }
     }
-    return doms;
+    return narrowed;
   }
 
-  /// Approximate peak search memory, mirroring the historical estimate.
+  /// Peak search memory: the model plus the store's in-place domain array
+  /// and the trail's high-water mark (undo records + saved range vectors) —
+  /// the copy-based core reported peak open frames × store width here.
   size_t PeakMemoryBytes() const {
-    return model_.MemoryEstimate() +
-           peak_frames * model_.num_vars() *
-               (sizeof(IntDomain) + 2 * sizeof(IntDomain::Range));
+    return model_.MemoryEstimate() + store_.PeakMemoryBytes();
+  }
+
+  /// Stamp the end-of-solve statistics (wall clock, peak memory, trail
+  /// saves); every backend exit path calls this exactly once.
+  void FinalizeStats() {
+    stats.wall_ms = elapsed_ms();
+    stats.peak_memory_bytes = PeakMemoryBytes();
+    stats.trail_saves = store_.total_saves();
   }
 
   SolveStats stats;
-  size_t peak_frames = 0;
 
  private:
+  /// One open DFS node. Domains live in the shared trailed store (the level
+  /// pushed by the parent's branching attempt); the candidate values live in
+  /// the per-depth scratch buffer, reused across every node at that depth.
+  struct Frame {
+    IntVar var;
+    size_t next = 0;
+    size_t watermark = 0;
+    size_t num_values = 0;
+  };
+
   void OrderValues(IntVar v, const DiveLimits& limits,
                    std::vector<int64_t>* values) const {
     if (limits.shuffle_rng != nullptr && values->size() > 1) {
@@ -402,6 +479,14 @@ class SearchContext {
   const Model::Options& options_;
   PropagationEngine engine_;
   SearchOrder order_;
+  DomainStore store_;
+  int root_level_ = 0;
+  std::vector<Frame> frames_;
+  /// value_scratch_[depth]: candidate values of the open node at `depth`,
+  /// reused across the whole solve so value enumeration never allocates
+  /// after the deepest first descent.
+  std::vector<std::vector<int64_t>> value_scratch_;
+  std::vector<int32_t> changed_scratch_;
   std::chrono::steady_clock::time_point start_;
 };
 

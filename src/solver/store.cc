@@ -1,0 +1,67 @@
+#include "solver/store.h"
+
+#include <algorithm>
+
+namespace cologne::solver {
+
+void DomainStore::Init(std::vector<IntDomain> doms) {
+  doms_ = std::move(doms);
+  trail_.clear();
+  range_arena_.clear();
+  marks_.clear();
+  saved_at_.assign(doms_.size(), 0);
+  dom_bytes_ = 0;
+  for (const IntDomain& d : doms_) {
+    dom_bytes_ += sizeof(IntDomain) + d.ranges().size() * sizeof(IntDomain::Range);
+  }
+}
+
+void DomainStore::PushLevel() {
+  marks_.push_back(trail_.size());
+  peak_depth_ = std::max(peak_depth_, marks_.size());
+}
+
+void DomainStore::Backtrack() {
+  const size_t mark = marks_.back();
+  marks_.pop_back();
+  // Restore in reverse trail order: a variable saved by this level *and* an
+  // outer one gets the outer (older) ranges last, which is the correct
+  // pre-level state. The arena truncates with the records it backs.
+  for (size_t i = trail_.size(); i > mark; --i) {
+    const Saved& s = trail_[i - 1];
+    saved_at_[static_cast<size_t>(s.var)] = s.prev_saved_level;
+    doms_[static_cast<size_t>(s.var)].RestoreRanges(
+        range_arena_.data() + s.range_begin, s.range_len);
+  }
+  if (mark < trail_.size()) {
+    range_arena_.resize(trail_[mark].range_begin);
+    trail_.resize(mark);
+  }
+}
+
+void DomainStore::BacktrackTo(int level) {
+  while (this->level() > level) Backtrack();
+}
+
+void DomainStore::Save(int32_t id) {
+  const int32_t cur = static_cast<int32_t>(marks_.size());
+  if (cur == 0) return;  // level-0 mutations are permanent
+  int32_t& at = saved_at_[static_cast<size_t>(id)];
+  if (at == cur) return;  // this level already holds a save for `id`
+  const std::vector<IntDomain::Range>& ranges =
+      doms_[static_cast<size_t>(id)].ranges();
+  trail_.push_back({id, at, static_cast<uint32_t>(range_arena_.size()),
+                    static_cast<uint32_t>(ranges.size())});
+  range_arena_.insert(range_arena_.end(), ranges.begin(), ranges.end());
+  at = cur;
+  ++total_saves_;
+  peak_trail_entries_ = std::max(peak_trail_entries_, trail_.size());
+  peak_arena_ranges_ = std::max(peak_arena_ranges_, range_arena_.size());
+}
+
+size_t DomainStore::PeakMemoryBytes() const {
+  return dom_bytes_ + peak_trail_entries_ * sizeof(Saved) +
+         peak_arena_ranges_ * sizeof(IntDomain::Range);
+}
+
+}  // namespace cologne::solver

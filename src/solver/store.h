@@ -1,0 +1,132 @@
+// Trailed domain store: in-place domains + an undo trail, the state-restoring
+// core of the search backends.
+#ifndef COLOGNE_SOLVER_STORE_H_
+#define COLOGNE_SOLVER_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/domain.h"
+
+namespace cologne::solver {
+
+/// \brief A trailed domain store: one in-place `IntDomain` array plus a trail
+/// of save-once-per-level undo records, giving O(changed domains)
+/// backtracking where the historical copy-based search cloned the whole
+/// store (O(num_vars × ranges)) at every node.
+///
+/// Levels nest like DFS choice points. `PushLevel()` marks a point; each
+/// mutator records at most one save per (variable, level) — the domain's
+/// range vector as it stood when the level first touched it — and
+/// `Backtrack()` restores exactly the touched domains, in reverse trail
+/// order. Restoration replays the saved range vectors verbatim, so a
+/// backtracked store is bit-identical to the store before the level was
+/// pushed: search built on this store explores the same tree the copy-based
+/// core did (the determinism contract behind the golden traces).
+///
+/// Mutations at level 0 (no level pushed) are permanent: there is nothing
+/// below to restore to, so they bypass the trail.
+///
+/// Not thread-safe; concurrent backends give each racing worker its own
+/// store (one SearchContext per worker).
+class DomainStore {
+ public:
+  DomainStore() = default;
+
+  /// Reset to `doms` at level 0 with an empty trail. Peak/total accounting
+  /// carries across Init (one store serves one Solve call).
+  void Init(std::vector<IntDomain> doms);
+
+  size_t size() const { return doms_.size(); }
+  /// Current level: number of PushLevel() calls not yet backtracked.
+  int level() const { return static_cast<int>(marks_.size()); }
+  const IntDomain& dom(int32_t id) const {
+    return doms_[static_cast<size_t>(id)];
+  }
+  const IntDomain& operator[](size_t i) const { return doms_[i]; }
+
+  /// Mark a choice point: subsequent mutations are undone by Backtrack().
+  void PushLevel();
+  /// Undo every mutation since the matching PushLevel(). Requires level() > 0.
+  void Backtrack();
+  /// Backtrack until level() == `level` (no-op when already there or below).
+  void BacktrackTo(int level);
+
+  // --- Trail-recording mutators -------------------------------------------
+  // Mirrors of the IntDomain mutators; each saves the pre-mutation domain on
+  // the trail (once per level) before applying, and returns true exactly
+  // when the domain changed. A change can empty the domain (failure); the
+  // caller checks dom(id).empty(). Inline: the no-change early-outs are the
+  // propagation fixpoint's common case and must cost one comparison, not a
+  // call.
+  bool ClampMin(int32_t id, int64_t lo) {
+    IntDomain& d = doms_[static_cast<size_t>(id)];
+    if (d.empty() || lo <= d.min()) return false;
+    Save(id);
+    return d.ClampMin(lo);
+  }
+  bool ClampMax(int32_t id, int64_t hi) {
+    IntDomain& d = doms_[static_cast<size_t>(id)];
+    if (d.empty() || hi >= d.max()) return false;
+    Save(id);
+    return d.ClampMax(hi);
+  }
+  bool Remove(int32_t id, int64_t v) {
+    IntDomain& d = doms_[static_cast<size_t>(id)];
+    if (!d.Contains(v)) return false;
+    Save(id);
+    return d.Remove(v);
+  }
+  bool Assign(int32_t id, int64_t v) {
+    IntDomain& d = doms_[static_cast<size_t>(id)];
+    if (d.empty() || (d.IsFixed() && d.value() == v)) return false;
+    Save(id);
+    return d.Assign(v);
+  }
+
+  // --- Accounting -----------------------------------------------------------
+
+  /// Total save records pushed over the store's lifetime.
+  uint64_t total_saves() const { return total_saves_; }
+  /// High-water mark of live trail records.
+  size_t peak_trail_entries() const { return peak_trail_entries_; }
+  /// High-water mark of nested levels.
+  size_t peak_depth() const { return peak_depth_; }
+  /// High-water mark of trail memory (undo records + saved arena ranges)
+  /// plus the in-place domain array — the search-state footprint reported
+  /// by SolveStats::peak_memory_bytes.
+  size_t PeakMemoryBytes() const;
+
+ private:
+  /// One undo record. The saved range vector lives in the shared flat arena
+  /// (`range_arena_[range_begin, range_begin+range_len)`), so a save appends
+  /// to two flat vectors instead of heap-allocating a domain copy — after
+  /// the first deep descent the trail allocates nothing at all.
+  struct Saved {
+    int32_t var = -1;
+    /// saved_at_[var] before this save; restored on backtrack so outer
+    /// levels keep their own save-once bookkeeping.
+    int32_t prev_saved_level = 0;
+    uint32_t range_begin = 0;
+    uint32_t range_len = 0;
+  };
+
+  /// Record `id`'s current domain on the trail unless this level already did.
+  void Save(int32_t id);
+
+  std::vector<IntDomain> doms_;
+  std::vector<Saved> trail_;
+  std::vector<IntDomain::Range> range_arena_;  ///< Saved ranges, flat.
+  std::vector<size_t> marks_;      ///< trail_.size() at each PushLevel.
+  std::vector<int32_t> saved_at_;  ///< var -> level of newest save (0 = none).
+
+  uint64_t total_saves_ = 0;
+  size_t peak_trail_entries_ = 0;
+  size_t peak_depth_ = 0;
+  size_t peak_arena_ranges_ = 0;   ///< High-water mark of live saved ranges.
+  size_t dom_bytes_ = 0;           ///< Footprint of the domain array at Init.
+};
+
+}  // namespace cologne::solver
+
+#endif  // COLOGNE_SOLVER_STORE_H_

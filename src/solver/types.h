@@ -64,7 +64,7 @@ struct LinExpr {
 
 /// Pluggable search strategies (Model::Options::backend).
 enum class Backend : uint8_t {
-  kBranchAndBound,  ///< Copy-based depth-first branch-and-bound (complete).
+  kBranchAndBound,  ///< Trailed depth-first branch-and-bound (complete).
   kLns,             ///< Large Neighborhood Search (anytime, incomplete).
   kPortfolio,       ///< Race heterogeneous configurations on one deadline.
   kParallelLns,     ///< N seeded LNS walks sharing one incumbent.
@@ -111,6 +111,10 @@ struct SolveStats {
                              ///< dives after the tree-search phase).
   uint64_t restarts = 0;     ///< Search restarts (Luby restarts for B&B,
                              ///< diversification resets for LNS).
+  uint64_t trail_saves = 0;  ///< Undo records pushed by the trailed store
+                             ///< (touched-domain saves; the O(Δ) backtrack
+                             ///< cost where the copy-based core paid
+                             ///< O(num_vars) clones per node).
   double wall_ms = 0;        ///< Elapsed wall-clock milliseconds.
   size_t peak_memory_bytes = 0;  ///< Approximate peak search-state memory.
   /// Concurrent backends only: one entry per racing worker (counters above

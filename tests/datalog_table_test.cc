@@ -128,5 +128,115 @@ TEST(TableTest, EraseAllRemovesEverything) {
   EXPECT_FALSE(t.EraseAll(R({1})));
 }
 
+// ---------------------------------------------------------------------------
+// Lazy-index invalidation: once Probe() has built an index for a column set,
+// every later Apply / EraseAll / keyed displacement must keep it consistent,
+// and an index built *after* a batch of mutations must reflect exactly the
+// visible rows at build time.
+// ---------------------------------------------------------------------------
+
+TEST(TableProbeIndexTest, IndexStaysFreshAfterEraseAll) {
+  Table t(Schema("t", 2));
+  t.Apply(R({1, 10}), +1);
+  t.Apply(R({1, 11}), +1);
+  ASSERT_EQ(t.Probe({0}, R({1})).size(), 2u);  // force index build
+  EXPECT_TRUE(t.EraseAll(R({1, 10})));
+  const auto& rows = t.Probe({0}, R({1}));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].as_int(), 11);
+  // Scan probe (empty column set) agrees after the same EraseAll.
+  EXPECT_EQ(t.Probe({}, {}).size(), 1u);
+}
+
+TEST(TableProbeIndexTest, EraseAllOfInvisibleRowLeavesIndexIntact) {
+  Table t(Schema("t", 2));
+  t.Apply(R({1, 10}), +1);
+  t.Apply(R({1, 99}), -1);  // negative count: row counted but never visible
+  ASSERT_EQ(t.Probe({0}, R({1})).size(), 1u);
+  EXPECT_FALSE(t.EraseAll(R({1, 99})));  // was not visible
+  EXPECT_EQ(t.Probe({0}, R({1})).size(), 1u);
+  EXPECT_EQ(t.Probe({0}, R({1}))[0][1].as_int(), 10);
+}
+
+TEST(TableProbeIndexTest, IndexBuiltLazilyReflectsPriorMutations) {
+  Table t(Schema("t", 2));
+  t.Apply(R({1, 10}), +1);
+  t.Apply(R({1, 11}), +1);
+  t.Apply(R({2, 20}), +1);
+  t.EraseAll(R({1, 10}));
+  t.Apply(R({2, 21}), -1);  // negative count: must not appear in the index
+  // First probe on this column set builds the index now, over the visible
+  // rows only.
+  EXPECT_EQ(t.Probe({0}, R({1})).size(), 1u);
+  EXPECT_EQ(t.Probe({0}, R({2})).size(), 1u);
+  EXPECT_TRUE(t.Probe({0}, R({9})).empty());
+}
+
+TEST(TableProbeIndexTest, KeyedDisplacementKeepsIndexesConsistent) {
+  // The engine's primary-key replacement protocol: look up the displaced
+  // row, erase it, then insert the replacement. Secondary indexes built
+  // before the displacement must track both steps.
+  Table t(Schema("t", 3, {0, 1}));
+  t.Apply(R({1, 2, 30}), +1);
+  t.Apply(R({1, 3, 30}), +1);
+  ASSERT_EQ(t.Probe({2}, R({30})).size(), 2u);  // index on a non-key column
+
+  const Row* disp = t.DisplacedBy(R({1, 2, 40}));
+  ASSERT_NE(disp, nullptr);
+  Row displaced = *disp;  // copy: EraseAll invalidates the reference
+  EXPECT_TRUE(t.EraseAll(displaced));
+  EXPECT_EQ(t.Apply(R({1, 2, 40}), +1), +1);
+
+  EXPECT_EQ(t.Probe({2}, R({30})).size(), 1u);
+  EXPECT_EQ(t.Probe({2}, R({30}))[0][1].as_int(), 3);
+  ASSERT_EQ(t.Probe({2}, R({40})).size(), 1u);
+  EXPECT_EQ(t.Probe({2}, R({40}))[0][1].as_int(), 2);
+  const Row* by_key = t.FindByKey(R({1, 2}));
+  ASSERT_NE(by_key, nullptr);
+  EXPECT_EQ((*by_key)[2].as_int(), 40);
+}
+
+TEST(TableProbeIndexTest, ProbeReferenceInvalidatedByNextApply) {
+  // The documented contract: the reference returned by Probe() is only valid
+  // until the next Apply(). The supported pattern is copy-then-mutate; the
+  // copy must survive unchanged while a fresh probe sees the mutation.
+  Table t(Schema("t", 2));
+  t.Apply(R({1, 10}), +1);
+  const std::vector<Row>& live = t.Probe({0}, R({1}));
+  ASSERT_EQ(live.size(), 1u);
+  std::vector<Row> copied = live;  // consume the reference before Apply()
+  t.Apply(R({1, 11}), +1);         // invalidates `live`
+  EXPECT_EQ(copied.size(), 1u);
+  EXPECT_EQ(copied[0][1].as_int(), 10);
+  const std::vector<Row>& fresh = t.Probe({0}, R({1}));
+  EXPECT_EQ(fresh.size(), 2u);
+}
+
+TEST(TableProbeIndexTest, EmptiedBucketReappearsOnReinsert) {
+  Table t(Schema("t", 2));
+  t.Apply(R({1, 10}), +1);
+  ASSERT_EQ(t.Probe({0}, R({1})).size(), 1u);
+  t.Apply(R({1, 10}), -1);  // bucket empties and is erased from the index
+  EXPECT_TRUE(t.Probe({0}, R({1})).empty());
+  t.Apply(R({1, 12}), +1);  // bucket recreated
+  ASSERT_EQ(t.Probe({0}, R({1})).size(), 1u);
+  EXPECT_EQ(t.Probe({0}, R({1}))[0][1].as_int(), 12);
+}
+
+TEST(TableProbeIndexTest, MultipleIndexesTrackInterleavedMutations) {
+  Table t(Schema("t", 3));
+  t.Apply(R({1, 2, 3}), +1);
+  ASSERT_EQ(t.Probe({0}, R({1})).size(), 1u);      // index A
+  ASSERT_EQ(t.Probe({1, 2}, R({2, 3})).size(), 1u);  // index B
+  t.Apply(R({1, 5, 3}), +1);
+  t.EraseAll(R({1, 2, 3}));
+  t.Apply(R({4, 2, 3}), +1);
+  EXPECT_EQ(t.Probe({0}, R({1})).size(), 1u);
+  EXPECT_EQ(t.Probe({0}, R({4})).size(), 1u);
+  EXPECT_EQ(t.Probe({1, 2}, R({2, 3})).size(), 1u);
+  EXPECT_EQ(t.Probe({1, 2}, R({2, 3}))[0][0].as_int(), 4);
+  EXPECT_EQ(t.Probe({1, 2}, R({5, 3})).size(), 1u);
+}
+
 }  // namespace
 }  // namespace cologne::datalog
