@@ -1,12 +1,20 @@
 // Sections 6.2-6.4 overhead numbers: Colog compilation time, per-COP solver
 // time, and memory footprints for each case-study program.
+//
+//   bench_overhead            full report (compilation + ACloud COP)
+//   bench_overhead obsjson    observability overhead on the 10-DC batched
+//                             FTS soak, written to BENCH_obs.json
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 
+#include "apps/followsun.h"
 #include "apps/programs.h"
 #include "colog/planner.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/strings.h"
 #include "runtime/instance.h"
 
 using namespace cologne;
@@ -25,9 +33,98 @@ double CompileMs(const std::string& src, int reps = 10) {
          reps;
 }
 
+// The bench_fig4 r10 soak shape: 10 DCs over the reliable transport with
+// batched per-link solves — the heaviest recorded scenario, so the obs
+// layer's relative cost is measured where it matters.
+FtsConfig ObsSoakConfig(bool obs) {
+  FtsConfig cfg;
+  cfg.num_dcs = 10;
+  cfg.seed = 104;
+  cfg.net_reliable = true;
+  cfg.batch_links = true;
+  cfg.max_link_batch = 3;
+  cfg.capacity = 45;
+  cfg.demand_hi = 4;
+  cfg.solver_backend = "lns";
+  cfg.solver_max_iterations = 8;
+  cfg.solver_time_ms = 0;
+  cfg.obs_metrics = obs;
+  return cfg;
+}
+
+// One timed soak run; returns wall ms, or -1 on failure. The trace recorder
+// is attached in BOTH arms so the measured delta is the obs layer alone
+// (metric accumulation, provenance recording, `metrics` line emission) and
+// not the baseline trace plumbing.
+double TimedSoakMs(bool obs, runtime::TraceRecorder* trace) {
+  using Clock = std::chrono::steady_clock;
+  FtsConfig cfg = ObsSoakConfig(obs);
+  cfg.trace = trace;
+  FollowTheSunScenario scenario(cfg);
+  auto t0 = Clock::now();
+  auto r = scenario.Run();
+  double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  if (!r.ok()) {
+    fprintf(stderr, "obs soak (obs=%d) failed: %s\n", obs ? 1 : 0,
+            r.status().ToString().c_str());
+    return -1;
+  }
+  return ms;
+}
+
+// Observability overhead: alternate off/on runs, keep the per-arm minimum
+// (the standard noise-resistant estimator for "how fast can this go"), and
+// report the relative cost. Target is <=3%; the row records the measured
+// number either way so regressions are visible in the uploaded artifact.
+int RunObsJson() {
+  constexpr int kReps = 3;
+  constexpr double kTargetPct = 3.0;
+  double best_off = -1, best_on = -1;
+  size_t metrics_lines = 0, trace_lines_on = 0, trace_lines_off = 0;
+  for (int i = 0; i < kReps; ++i) {
+    runtime::TraceRecorder off_trace, on_trace;
+    double off = TimedSoakMs(false, &off_trace);
+    double on = TimedSoakMs(true, &on_trace);
+    if (off < 0 || on < 0) return 1;
+    if (best_off < 0 || off < best_off) best_off = off;
+    if (best_on < 0 || on < best_on) best_on = on;
+    trace_lines_off = off_trace.lines().size();
+    trace_lines_on = on_trace.lines().size();
+    metrics_lines = 0;
+    for (const std::string& line : on_trace.lines()) {
+      if (line.find("\"ev\":\"metrics\"") != std::string::npos) {
+        ++metrics_lines;
+      }
+    }
+  }
+  double overhead_pct = (best_on - best_off) / best_off * 100.0;
+  std::string row = StrFormat(
+      "{\"bench\":\"obs_overhead\",\"case\":\"r10_soak\",\"backend\":\"lns\","
+      "\"seed\":104,\"dcs\":10,\"reps\":%d,\"wall_ms_off\":%.1f,"
+      "\"wall_ms_on\":%.1f,\"overhead_pct\":%.2f,\"target_pct\":%.1f,"
+      "\"within_target\":%d,\"metrics_lines\":%zu,\"trace_lines_off\":%zu,"
+      "\"trace_lines_on\":%zu}",
+      kReps, best_off, best_on, overhead_pct, kTargetPct,
+      overhead_pct <= kTargetPct ? 1 : 0, metrics_lines, trace_lines_off,
+      trace_lines_on);
+  printf("%s\n", row.c_str());
+  printf("obs overhead on the 10-DC soak: %.2f%% (target <=%.1f%%)\n",
+         overhead_pct, kTargetPct);
+  FILE* out = fopen("BENCH_obs.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot open BENCH_obs.json for writing\n");
+    return 1;
+  }
+  fprintf(out, "%s\n", row.c_str());
+  fclose(out);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "obsjson") return RunObsJson();
   printf("Compilation time (avg of 10 runs)\n");
   printf("  %-32s %10s %26s\n", "program", "this impl", "paper (codegen+g++)");
   struct P {

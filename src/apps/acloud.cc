@@ -264,6 +264,12 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
   const colog::CompiledProgram& prog =
       policy == ACloudPolicy::kACloudM ? prog_limited_ : prog_plain_;
   std::vector<std::unique_ptr<runtime::Instance>> instances;
+  // Standalone driver (no runtime::System): the scenario owns the metrics
+  // registry itself and snapshots per COP interval instead of per round.
+  obs::MetricsRegistry metrics;
+  if (config_.obs_metrics) {
+    metrics.DeclareHistogram("solve.nodes", {0, 10, 100, 1000, 10000});
+  }
   if (policy == ACloudPolicy::kACloud || policy == ACloudPolicy::kACloudM) {
     for (int dc = 0; dc < config_.num_dcs; ++dc) {
       auto inst = std::make_unique<runtime::Instance>(dc, &prog);
@@ -280,6 +286,7 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
       if (config_.solve_trace != nullptr) {
         inst->set_trace(config_.solve_trace);
       }
+      if (config_.obs_metrics) inst->set_metrics(&metrics);
       instances.push_back(std::move(inst));
     }
   }
@@ -348,6 +355,10 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
     double total = 0;
     for (int dc = 0; dc < config_.num_dcs; ++dc) total += DcStdev(dc);
     m.avg_cpu_stdev = total / config_.num_dcs;
+    if (config_.obs_metrics && cologne_policy &&
+        config_.solve_trace != nullptr) {
+      config_.solve_trace->Metrics(static_cast<uint64_t>(step), metrics);
+    }
     out.push_back(m);
   }
   return out;

@@ -66,6 +66,10 @@ struct ACloudConfig {
   bool crash_retain_warm_start = false;
   /// Record invokeSolver outcomes + crash/restart transitions (optional).
   runtime::TraceRecorder* solve_trace = nullptr;
+  /// Deterministic observability for the Cologne policies: per-interval
+  /// `metrics` trace snapshots + solve provenance (needs solve_trace for
+  /// the snapshots to land anywhere).
+  bool obs_metrics = false;
 };
 
 /// Per-interval measurements (one row of Figures 2 and 3).

@@ -41,6 +41,7 @@ Result<FtsResult> FollowTheSunScenario::Run() {
   runtime::System::Options sopts;
   sopts.seed = config_.seed;
   sopts.net_reliable = config_.net_reliable;
+  sopts.obs_metrics = config_.obs_metrics;
   sopts.default_link.drop_prob = config_.link_loss_prob;
   sys_ = std::make_unique<runtime::System>(&prog_, static_cast<size_t>(n),
                                            sopts);
@@ -329,6 +330,9 @@ Result<FtsResult> FollowTheSunScenario::Run() {
     }
     round_start += config_.round_period_s;
     sys_->RunUntil(round_start);
+    // Round-boundary metrics snapshot (no-op, and no trace line, unless the
+    // observability knob is on).
+    sys_->SnapshotMetrics(static_cast<uint64_t>(result.rounds));
     result.series.push_back(
         {round_start, GlobalCost(), GlobalCost() / result.initial_cost * 100});
   }

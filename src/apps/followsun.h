@@ -61,6 +61,10 @@ struct FtsConfig {
   /// the driver-level anti-entropy sweeps (per-sweep inventory refresh +
   /// System::ResyncNode) are retired on reliable runs.
   bool net_reliable = false;
+  /// Deterministic observability: metrics registry + per-round `metrics`
+  /// trace snapshots + solve provenance (see docs/observability.md). The
+  /// program-level `param OBS_METRICS = 1` knob also enables it.
+  bool obs_metrics = false;
   /// Uniform per-message drop probability on every link (the 5% / 20% soak
   /// loss knob; composes with fault-plan loss windows).
   double link_loss_prob = 0;

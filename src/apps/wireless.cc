@@ -179,6 +179,7 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
   runtime::System::Options sopts;
   sopts.seed = config_.seed;
   sopts.net_reliable = config_.net_reliable;
+  sopts.obs_metrics = config_.obs_metrics;
   sopts.default_link.drop_prob = config_.link_loss_prob;
   runtime::System sys(&prog, static_cast<size_t>(num_nodes()), sopts);
   COLOGNE_RETURN_IF_ERROR(sys.Init());
@@ -325,6 +326,7 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
     }
     round_start += config_.round_period_s;
     sys.RunUntil(round_start);
+    sys.SnapshotMetrics(static_cast<uint64_t>(rounds));
   }
   sys.RunToQuiescence();
   COLOGNE_RETURN_IF_ERROR(failure);

@@ -55,6 +55,9 @@ struct WirelessConfig {
   /// Carry distributed-run traffic over the retransmission/FIFO reliable
   /// transport (net/reliable_channel.h).
   bool net_reliable = false;
+  /// Deterministic observability: metrics registry + per-round `metrics`
+  /// trace snapshots + solve provenance (distributed runs only).
+  bool obs_metrics = false;
   /// Uniform per-message drop probability on every link of distributed runs.
   double link_loss_prob = 0;
   /// Batch per-link solves: an initiator aggregates all its claimable

@@ -70,8 +70,9 @@ Result<std::vector<Token>> Lex(const std::string& source);
 
 /// True for the reserved runtime-knob names accepted in `param` declarations
 /// (SOLVER_MAX_TIME, SOLVER_BACKEND, SOLVER_SEED, SOLVER_RESTARTS,
-/// SOLVER_WORKERS, NET_RELIABLE). They lex as kVariable like any ALL-CAPS
-/// identifier, but the parser requires them to carry a literal value and the
+/// SOLVER_WORKERS, NET_RELIABLE, OBS_METRICS). They lex as kVariable like
+/// any ALL-CAPS identifier, but the parser requires them to carry a literal
+/// value and the
 /// planner consumes them into CompiledProgram::knobs instead of the
 /// rule-level parameter map.
 bool IsSolverKnobName(const std::string& name);

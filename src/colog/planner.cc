@@ -250,6 +250,14 @@ Status ExtractSolverKnobs(const std::map<std::string, Value>& params,
       knobs->net_reliable = value.as_int() == 1;
       continue;
     }
+    if (name == "OBS_METRICS") {
+      if (!value.is_int() || (value.as_int() != 0 && value.as_int() != 1)) {
+        return Status(Status::PlanError(
+            "OBS_METRICS must be 0 or 1, got " + value.ToString()));
+      }
+      knobs->obs_metrics = value.as_int() == 1;
+      continue;
+    }
     if (name.rfind("SOLVER_", 0) != 0) continue;
     if (!IsSolverKnobName(name)) {
       return Status(Status::PlanError("unknown solver knob " + name));

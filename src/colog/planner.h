@@ -66,6 +66,10 @@ struct SolverKnobsIR {
   /// / FIFO reliable transport (net/reliable_channel.h) instead of the
   /// UDP-style datagram path. 0 or 1.
   std::optional<bool> net_reliable;
+  /// OBS_METRICS: deterministic observability — the runtime metrics
+  /// registry, per-round `metrics` trace snapshots, and per-group solve
+  /// provenance in `solve` trace events. 0 or 1.
+  std::optional<bool> obs_metrics;
 };
 
 /// Per-class rule counts (reported by the Table 2 benchmark).

@@ -1,0 +1,99 @@
+#include "common/json.h"
+
+#include "common/strings.h"
+
+namespace cologne {
+
+JsonWriter& JsonWriter::Key(const char* name) {
+  if (!stack_.empty() && !stack_.back().array) {
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+  }
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty() && stack_.back().array) {
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+  }
+}
+
+JsonWriter& JsonWriter::Open(char brace, bool array) {
+  BeforeValue();
+  out_ += brace;
+  stack_.push_back({array, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::Close(char brace) {
+  if (!stack_.empty()) stack_.pop_back();
+  out_ += brace;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& v) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  out_ += StrFormat("%lld", static_cast<long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t v) {
+  BeforeValue();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  BeforeValue();
+  out_ += DoubleToShortestString(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Members(const std::string& json) {
+  if (json.empty()) return *this;
+  if (!stack_.empty() && !stack_.back().array) {
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+  }
+  out_ += json;
+  return *this;
+}
+
+std::string JsonWriter::Take() {
+  std::string out = std::move(out_);
+  out_.clear();
+  stack_.clear();
+  pending_key_ = false;
+  return out;
+}
+
+}  // namespace cologne

@@ -1,0 +1,71 @@
+// One canonical JSON writer shared by every emitter in the tree.
+//
+// The trace recorder (runtime/trace_replay.cc), the fault-plan serializer
+// (net/fault_plan.cc), the bench SolveRecord rows (common/stats.cc) and the
+// obs metrics snapshots (obs/metrics.cc) all print JSON object lines that
+// must be byte-stable across runs and platforms: fixed field order, no
+// whitespace, doubles via DoubleToShortestString (shortest round-trip), and
+// strings through one JsonEscape. Hand-rolled emitters drifted on escaping
+// (SolveRecord labels were pasted raw); routing everything through this
+// writer makes quotes and backslashes round-trip identically everywhere.
+#ifndef COLOGNE_COMMON_JSON_H_
+#define COLOGNE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cologne {
+
+/// \brief Append-only canonical JSON builder with automatic commas.
+///
+/// Calls mirror the output structure: BeginObject/Key/value.../EndObject.
+/// Values at array level and keys at object level get their separating
+/// comma inserted automatically; nothing else is ever emitted, so the
+/// result is canonical (no spaces, stable ordering = call ordering).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{', /*array=*/false); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('[', /*array=*/true); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  /// Object member name; the next value call supplies its value.
+  JsonWriter& Key(const char* name);
+
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& UInt(uint64_t v);
+  /// Canonical double: shortest string that round-trips (strings.h).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  /// Pre-rendered JSON, spliced verbatim (e.g. a nested ToJson()).
+  JsonWriter& Raw(const std::string& json);
+  /// Pre-rendered `"key":value[,...]` members, spliced into the current
+  /// object with the usual comma bookkeeping (trace fault details arrive
+  /// pre-rendered from the fault scheduler).
+  JsonWriter& Members(const std::string& json);
+
+  const std::string& str() const { return out_; }
+  /// Move the finished document out; the writer is reusable afterwards.
+  std::string Take();
+
+ private:
+  struct Frame {
+    bool array = false;
+    bool first = true;
+  };
+
+  JsonWriter& Open(char brace, bool array);
+  JsonWriter& Close(char brace);
+  /// Comma bookkeeping before a value (or container) is emitted.
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace cologne
+
+#endif  // COLOGNE_COMMON_JSON_H_

@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include "common/json.h"
 #include "common/strings.h"
 
 namespace cologne {
@@ -29,28 +30,37 @@ double Percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1 - frac) + xs[hi] * frac;
 }
 
+namespace {
+
+// Canonical float rendering for SolveRecord rows: round to a fixed number
+// of decimals (the old printf precisions), then emit the shortest
+// round-trip string like every other JSON emitter in the tree.
+double RoundTo(double v, double scale) { return std::round(v * scale) / scale; }
+
+}  // namespace
+
 std::string SolveRecord::ToJsonLine() const {
-  std::string out = StrFormat(
-      "{\"bench\":\"%s\",\"backend\":\"%s\",\"seed\":%llu,\"workers\":%llu,"
-      "\"nodes\":%llu,\"iterations\":%llu,\"restarts\":%llu,\"wall_ms\":%.2f",
-      bench.c_str(), backend.c_str(), static_cast<unsigned long long>(seed),
-      static_cast<unsigned long long>(workers),
-      static_cast<unsigned long long>(nodes),
-      static_cast<unsigned long long>(iterations),
-      static_cast<unsigned long long>(restarts), wall_ms);
-  if (has_objective) out += StrFormat(",\"objective\":%.4f", objective);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench);
+  w.Key("backend").String(backend);
+  w.Key("seed").UInt(seed);
+  w.Key("workers").UInt(workers);
+  w.Key("nodes").UInt(nodes);
+  w.Key("iterations").UInt(iterations);
+  w.Key("restarts").UInt(restarts);
+  w.Key("wall_ms").Double(RoundTo(wall_ms, 100));
+  if (has_objective) w.Key("objective").Double(RoundTo(objective, 10000));
   if (loss_pct > 0 || crashes > 0 || drops > 0 || failed_rounds > 0 ||
       recovered_rounds > 0) {
-    out += StrFormat(
-        ",\"loss_pct\":%.1f,\"crashes\":%llu,\"drops\":%llu,"
-        "\"failed_rounds\":%llu,\"recovered_rounds\":%llu",
-        loss_pct, static_cast<unsigned long long>(crashes),
-        static_cast<unsigned long long>(drops),
-        static_cast<unsigned long long>(failed_rounds),
-        static_cast<unsigned long long>(recovered_rounds));
+    w.Key("loss_pct").Double(RoundTo(loss_pct, 10));
+    w.Key("crashes").UInt(crashes);
+    w.Key("drops").UInt(drops);
+    w.Key("failed_rounds").UInt(failed_rounds);
+    w.Key("recovered_rounds").UInt(recovered_rounds);
   }
-  out += "}";
-  return out;
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace cologne

@@ -35,6 +35,26 @@ class RunningStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
 
+  /// Fold another accumulator into this one (Chan's parallel merge), as if
+  /// every observation of `o` had been Add()ed here. Merging with an empty
+  /// accumulator on either side is exact.
+  void Merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    size_t n = n_ + o.n_;
+    double d = o.mean_ - mean_;
+    mean_ += d * static_cast<double>(o.n_) / static_cast<double>(n);
+    m2_ += o.m2_ + d * d * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    n_ = n;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
   void Reset() { *this = RunningStats(); }
 
  private:

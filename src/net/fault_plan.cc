@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/strings.h"
 
@@ -25,23 +26,16 @@ double ActiveParam(const std::vector<LinkFault::Window>& ws, double t) {
   return 0;
 }
 
-void AppendWindows(std::string* out, const char* key,
+void AppendWindows(JsonWriter* w, const char* key,
                    const std::vector<LinkFault::Window>& ws, bool with_p) {
   if (ws.empty()) return;
-  *out += StrFormat(",\"%s\":[", key);
-  for (size_t i = 0; i < ws.size(); ++i) {
-    if (i) *out += ',';
-    *out += '[';
-    *out += DoubleToShortestString(ws[i].t0);
-    *out += ',';
-    *out += DoubleToShortestString(ws[i].t1);
-    if (with_p) {
-      *out += ',';
-      *out += DoubleToShortestString(ws[i].p);
-    }
-    *out += ']';
+  w->Key(key).BeginArray();
+  for (const LinkFault::Window& win : ws) {
+    w->BeginArray().Double(win.t0).Double(win.t1);
+    if (with_p) w->Double(win.p);
+    w->EndArray();
   }
-  *out += ']';
+  w->EndArray();
 }
 
 // ---- Minimal JSON reader (canonical subset emitted by ToJson) ---------------
@@ -277,52 +271,50 @@ const CrashFault* FaultPlan::FindCrash(NodeId node) const {
 }
 
 std::string FaultPlan::ToJson() const {
-  std::string out =
-      StrFormat("{\"seed\":%llu", static_cast<unsigned long long>(seed));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("seed").UInt(seed);
   if (!links.empty()) {
-    out += ",\"links\":[";
-    for (size_t i = 0; i < links.size(); ++i) {
-      const LinkFault& f = links[i];
-      if (i) out += ',';
-      out += StrFormat("{\"a\":%d,\"b\":%d", f.a, f.b);
-      AppendWindows(&out, "down", f.down, /*with_p=*/false);
-      AppendWindows(&out, "loss", f.loss, /*with_p=*/true);
-      AppendWindows(&out, "dup", f.duplicate, /*with_p=*/true);
-      AppendWindows(&out, "reorder", f.reorder, /*with_p=*/true);
-      out += '}';
+    w.Key("links").BeginArray();
+    for (const LinkFault& f : links) {
+      w.BeginObject();
+      w.Key("a").Int(f.a);
+      w.Key("b").Int(f.b);
+      AppendWindows(&w, "down", f.down, /*with_p=*/false);
+      AppendWindows(&w, "loss", f.loss, /*with_p=*/true);
+      AppendWindows(&w, "dup", f.duplicate, /*with_p=*/true);
+      AppendWindows(&w, "reorder", f.reorder, /*with_p=*/true);
+      w.EndObject();
     }
-    out += ']';
+    w.EndArray();
   }
   if (!partitions.empty()) {
-    out += ",\"partitions\":[";
-    for (size_t i = 0; i < partitions.size(); ++i) {
-      const PartitionFault& part = partitions[i];
-      if (i) out += ',';
-      out += "{\"group\":[";
-      for (size_t j = 0; j < part.group.size(); ++j) {
-        if (j) out += ',';
-        out += StrFormat("%d", part.group[j]);
-      }
-      out += StrFormat("],\"t0\":%s,\"t1\":%s}",
-                       DoubleToShortestString(part.t0).c_str(),
-                       DoubleToShortestString(part.t1).c_str());
+    w.Key("partitions").BeginArray();
+    for (const PartitionFault& part : partitions) {
+      w.BeginObject();
+      w.Key("group").BeginArray();
+      for (NodeId n : part.group) w.Int(n);
+      w.EndArray();
+      w.Key("t0").Double(part.t0);
+      w.Key("t1").Double(part.t1);
+      w.EndObject();
     }
-    out += ']';
+    w.EndArray();
   }
   if (!crashes.empty()) {
-    out += ",\"crashes\":[";
-    for (size_t i = 0; i < crashes.size(); ++i) {
-      const CrashFault& c = crashes[i];
-      if (i) out += ',';
-      out += StrFormat("{\"node\":%d,\"t\":%s,\"restart\":%s,\"retain_warm\":%d}",
-                       c.node, DoubleToShortestString(c.t).c_str(),
-                       DoubleToShortestString(c.restart_t).c_str(),
-                       c.retain_warm_start ? 1 : 0);
+    w.Key("crashes").BeginArray();
+    for (const CrashFault& c : crashes) {
+      w.BeginObject();
+      w.Key("node").Int(c.node);
+      w.Key("t").Double(c.t);
+      w.Key("restart").Double(c.restart_t);
+      w.Key("retain_warm").Int(c.retain_warm_start ? 1 : 0);
+      w.EndObject();
     }
-    out += ']';
+    w.EndArray();
   }
-  out += '}';
-  return out;
+  w.EndObject();
+  return w.Take();
 }
 
 Result<FaultPlan> FaultPlan::FromJson(const std::string& json) {

@@ -1,0 +1,92 @@
+#include "obs/metrics.h"
+
+#include "common/json.h"
+
+namespace cologne::obs {
+
+void Histogram::Observe(int64_t sample) {
+  size_t bucket = bounds.size();
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (sample <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts[bucket];
+  ++count;
+  sum += sample;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::DeclareHistogram(const std::string& name,
+                                       std::vector<int64_t> bounds) {
+  Histogram& h = hists_[name];
+  h.bounds = std::move(bounds);
+  h.counts.assign(h.bounds.size() + 1, 0);
+  h.count = 0;
+  h.sum = 0;
+}
+
+void MetricsRegistry::Observe(const std::string& name, int64_t sample) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) return;  // undeclared: ignore, keep snapshots stable
+  it->second.Observe(sample);
+}
+
+const Histogram* MetricsRegistry::histogram(const std::string& name) const {
+  auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+}
+
+void MetricsRegistry::AppendSnapshot(JsonWriter* w) const {
+  if (!counters_.empty()) {
+    w->Key("counters").BeginObject();
+    for (const auto& [name, value] : counters_) {
+      w->Key(name.c_str()).UInt(value);
+    }
+    w->EndObject();
+  }
+  if (!gauges_.empty()) {
+    w->Key("gauges").BeginObject();
+    for (const auto& [name, value] : gauges_) {
+      w->Key(name.c_str()).Int(value);
+    }
+    w->EndObject();
+  }
+  if (!hists_.empty()) {
+    w->Key("hist").BeginObject();
+    for (const auto& [name, h] : hists_) {
+      w->Key(name.c_str()).BeginObject();
+      w->Key("le").BeginArray();
+      for (int64_t b : h.bounds) w->Int(b);
+      w->EndArray();
+      w->Key("n").BeginArray();
+      for (uint64_t c : h.counts) w->UInt(c);
+      w->EndArray();
+      w->Key("count").UInt(h.count);
+      w->Key("sum").Int(h.sum);
+      w->EndObject();
+    }
+    w->EndObject();
+  }
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  AppendSnapshot(&w);
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace cologne::obs

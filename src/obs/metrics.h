@@ -1,0 +1,87 @@
+// Deterministic observability registry: named counters, gauges, and
+// fixed-bucket histograms shared by the runtime, the solver bridge, and
+// the scenario drivers.
+//
+// Everything stored here is integer-valued and derived only from the
+// simulated execution (virtual time, message counts, search statistics under
+// deterministic budgets), never from wall-clock measurements — so a
+// `metrics` snapshot serialized into a trace is byte-identical across runs
+// of the same (program, seed, fault plan), extending the determinism
+// contract of runtime/trace_replay.h to internal state. Names sort
+// lexicographically in snapshots (std::map storage), independent of
+// registration order.
+#ifndef COLOGNE_OBS_METRICS_H_
+#define COLOGNE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cologne {
+class JsonWriter;
+}
+
+namespace cologne::obs {
+
+/// \brief One fixed-bucket integer histogram: counts per bucket, plus
+/// count/sum, for distributions like search nodes per solve.
+///
+/// Bucket i holds samples <= bounds[i] (first matching bound); samples above
+/// the last bound land in the implicit overflow bucket, so counts has
+/// bounds.size() + 1 entries.
+struct Histogram {
+  std::vector<int64_t> bounds;    ///< Ascending inclusive upper bounds.
+  std::vector<uint64_t> counts;   ///< bounds.size() + 1 buckets.
+  uint64_t count = 0;             ///< Total samples observed.
+  int64_t sum = 0;                ///< Sum of all samples.
+
+  void Observe(int64_t sample);
+};
+
+/// \brief Registry of named metrics with a canonical JSON snapshot.
+///
+/// Counters are monotone uint64 totals (Add accumulates; Set overwrites,
+/// for absolute values mirrored from another owner like the network's
+/// traffic stats). Gauges are signed instantaneous values. Histograms must
+/// be declared with their bucket bounds before the first Observe.
+class MetricsRegistry {
+ public:
+  void Add(const std::string& name, uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  void Set(const std::string& name, uint64_t value) {
+    counters_[name] = value;
+  }
+  uint64_t counter(const std::string& name) const;
+
+  void SetGauge(const std::string& name, int64_t value) {
+    gauges_[name] = value;
+  }
+
+  void DeclareHistogram(const std::string& name, std::vector<int64_t> bounds);
+  void Observe(const std::string& name, int64_t sample);
+  const Histogram* histogram(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+  void Clear();
+
+  /// Canonical JSON object (common/json.h): sections `counters`, `gauges`
+  /// and `hist` in that order, each omitted when empty; names sorted;
+  /// histograms as {"le":[bounds],"n":[counts],"count":C,"sum":S}.
+  std::string SnapshotJson() const;
+  /// Append the same sections as members of the object `w` is currently
+  /// building (the trace recorder embeds snapshots in `metrics` lines).
+  void AppendSnapshot(JsonWriter* w) const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+  std::map<std::string, Histogram> hists_;
+};
+
+}  // namespace cologne::obs
+
+#endif  // COLOGNE_OBS_METRICS_H_

@@ -97,16 +97,39 @@ Result<SolveOutput> Instance::RunSolve(const SolveOptions& options,
     if (trace_ != nullptr) {
       trace_->Solve(id_, "down", false, 0, 0, 0, false);
     }
+    if (metrics_ != nullptr) metrics_->Add("solve.down");
     return Status::RuntimeError("node " + std::to_string(id_) +
                                 " is crashed; solver unavailable");
   }
+  SolveOptions opts = options;
+  // Provenance rides the same knob as the metrics stream: recording it
+  // without a sink would pay the bookkeeping for nothing, and the `prov`
+  // trace field must stay absent when OBS_METRICS is off.
+  if (metrics_ != nullptr) opts.record_provenance = true;
   SolverBridge bridge(program_, &engine_);
   COLOGNE_ASSIGN_OR_RETURN(
       out, group_key_prefix > 0
-               ? bridge.SolveBatched(options, group_key_prefix, &warm_cache_)
-               : bridge.Solve(options, &warm_cache_));
+               ? bridge.SolveBatched(opts, group_key_prefix, &warm_cache_)
+               : bridge.Solve(opts, &warm_cache_));
   ++solve_count_;
   total_solve_ms_ += out.stats.wall_ms;
+  if (metrics_ != nullptr) {
+    obs::MetricsRegistry& m = *metrics_;
+    m.Add("solve.count");
+    m.Add("solve.nodes", out.stats.nodes);
+    m.Add("solve.failures", out.stats.failures);
+    m.Add("solve.propagations", out.stats.propagations);
+    m.Add("solve.iterations", out.stats.iterations);
+    m.Add("solve.restarts", out.stats.restarts);
+    if (out.stats.lns_accepted > 0) {
+      m.Add("lns.accepted", out.stats.lns_accepted);
+    }
+    if (out.warm_started) m.Add("solve.warm");
+    for (const auto& [kind, count] : out.stats.propagations_by_kind) {
+      m.Add("prop." + kind, count);
+    }
+    m.Observe("solve.nodes", static_cast<int64_t>(out.stats.nodes));
+  }
   if (out.has_solution()) {
     // Batched solves flush per delta: several migVm rows share one
     // read-modify-write target (r3's curVm), and each must see the
@@ -117,7 +140,8 @@ Result<SolveOutput> Instance::RunSolve(const SolveOptions& options,
   if (trace_ != nullptr) {
     trace_->Solve(id_, solver::SolveStatusName(out.status), out.has_objective,
                   out.objective, out.model_vars, out.model_groups,
-                  out.warm_started);
+                  out.warm_started,
+                  out.provenance.empty() ? nullptr : &out.provenance);
   }
   return out;
 }

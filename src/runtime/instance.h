@@ -107,6 +107,13 @@ class Instance {
   /// Trace sink for invokeSolver outcomes (deterministic fields only).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Observability sink (OBS_METRICS): when set, every solve folds its
+  /// deterministic counters (nodes, failures, per-kind propagations, LNS
+  /// accepts, warm starts) into the registry and records per-group solve
+  /// provenance for the trace. Pass nullptr to detach (the default — the
+  /// solve path is then byte-for-byte the pre-observability one).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Cumulative number of InvokeSolver calls.
   uint64_t solve_count() const { return solve_count_; }
   /// Wall-clock milliseconds spent inside the solver across all calls.
@@ -152,6 +159,7 @@ class Instance {
   uint32_t epoch_ = 0;
   uint64_t crash_count_ = 0;
   TraceRecorder* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   uint64_t solve_count_ = 0;
   double total_solve_ms_ = 0;
 };

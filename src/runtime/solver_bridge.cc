@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <string_view>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -38,6 +39,18 @@ Rel RelOfOp(ExprOp op) {
     default: return Rel::kEq;
   }
 }
+
+// One hard constraint posted on behalf of a Colog rule, kept for provenance:
+// re-evaluating lhs/rhs under the incumbent tells whether the constraint was
+// binding (zero slack) there. Structural constraints the bridge posts for
+// aggregate encodings (MIN/MAX exactness ORs) are deliberately not recorded —
+// they carry no user-facing rule identity.
+struct PostedConstraint {
+  std::string label;  // originating rule label
+  LinExpr lhs;
+  Rel rel;
+  LinExpr rhs;
+};
 
 // A value during solver-rule evaluation: concrete or an affine expression
 // over model variables.
@@ -224,6 +237,11 @@ class BridgeEval {
     return sym_exprs_[static_cast<size_t>(idx)];
   }
 
+  /// Mirror every rule-originated PostRel into `out` (provenance recording).
+  void RecordConstraintsTo(std::vector<PostedConstraint>* out) {
+    record_ = out;
+  }
+
  private:
   // Rows of a table: bridge-local solver table first, engine table otherwise.
   std::vector<Row> RowsOf(const std::string& name) {
@@ -247,6 +265,11 @@ class BridgeEval {
   Value FromSVal(const SVal& s) {
     if (!s.symbolic) return s.concrete;
     return Value::Sym(Register(s.expr));
+  }
+
+  void RecordPost(const LinExpr& lhs, Rel rel, const LinExpr& rhs) {
+    if (record_ == nullptr || cur_rule_ == nullptr) return;
+    record_->push_back({cur_rule_->label, lhs, rel, rhs});
   }
 
   // ---- Atom matching --------------------------------------------------------
@@ -283,6 +306,7 @@ class BridgeEval {
         COLOGNE_ASSIGN_OR_RETURN(ea, a.AsExpr());
         COLOGNE_ASSIGN_OR_RETURN(eb, b.AsExpr());
         model_->PostRel(ea, Rel::kEq, eb);
+        RecordPost(ea, Rel::kEq, eb);
         continue;
       }
       return false;
@@ -443,6 +467,7 @@ class BridgeEval {
       COLOGNE_ASSIGN_OR_RETURN(ea, a.AsExpr());
       COLOGNE_ASSIGN_OR_RETURN(eb, b.AsExpr());
       model_->PostRel(ea, RelOfOp(e.op), eb);
+      RecordPost(ea, RelOfOp(e.op), eb);
       return GuardState::kPassed;
     }
     if (e.op == ExprOp::kAnd) {
@@ -456,6 +481,7 @@ class BridgeEval {
                                               : GuardState::kFailed;
     }
     model_->PostRel(v.expr, Rel::kEq, LinExpr(1));
+    RecordPost(v.expr, Rel::kEq, LinExpr(1));
     return GuardState::kPassed;
   }
 
@@ -720,6 +746,7 @@ class BridgeEval {
   std::map<Row, std::vector<SVal>> agg_groups_;
   const RuleIR* cur_rule_ = nullptr;
   bool cur_constraint_ = false;
+  std::vector<PostedConstraint>* record_ = nullptr;
 };
 
 // Evaluate a LinExpr under a solution.
@@ -727,6 +754,109 @@ int64_t EvalLin(const LinExpr& e, const solver::Solution& sol) {
   int64_t v = e.constant;
   for (const auto& [c, var] : e.terms) v += c * sol.ValueOf(var);
   return v;
+}
+
+// ---- Solve provenance (ISSUE 6) -------------------------------------------
+
+// Zero slack at the incumbent: the constraint holds with equality (for the
+// strict relations, the integer gap of exactly one). A satisfied `==` is
+// binding by definition; `!=` never is (its feasible set has no boundary a
+// solution can sit on).
+bool BindingAt(const PostedConstraint& c, const solver::Solution& sol) {
+  int64_t l = EvalLin(c.lhs, sol);
+  int64_t r = EvalLin(c.rhs, sol);
+  switch (c.rel) {
+    case Rel::kEq: return l == r;
+    case Rel::kNe: return false;
+    case Rel::kLe: return l == r;
+    case Rel::kLt: return l + 1 == r;
+    case Rel::kGe: return l == r;
+    case Rel::kGt: return l == r + 1;
+  }
+  return false;
+}
+
+// Render a grouping-prefix row as the provenance group key ("2" / "1,3").
+std::string GroupKeyString(const Row& prefix) {
+  std::string s;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (i > 0) s += ",";
+    s += prefix[i].ToString();
+  }
+  return s;
+}
+
+// Classify where one decision value came from: its warm-start cache hint, a
+// bound of its initial domain (propagation or a B&B objective clamp decided
+// it), or the search itself.
+const char* SrcOfValue(const Model& model, IntVar v,
+                       const std::vector<int64_t>& cache_hints,
+                       const solver::Solution& sol) {
+  int64_t val = sol.ValueOf(v);
+  size_t id = static_cast<size_t>(v.id);
+  if (id < cache_hints.size() && cache_hints[id] != Model::Options::kNoHint &&
+      cache_hints[id] == val) {
+    return "warm";
+  }
+  const auto& d0 = model.InitialDomain(v);
+  if (val == d0.min() || val == d0.max()) return "domain";
+  return "search";
+}
+
+// Assemble one SolveProvGroup per decision group (or one whole-model group
+// for an ungrouped solve): the binding constraints touching any group
+// variable, sorted and deduplicated, plus the value-source classification.
+std::vector<SolveProvGroup> BuildProvenance(
+    const Model& model, const std::vector<BridgeEval::VarRow>& var_rows,
+    const std::vector<std::string>& group_keys,
+    const std::vector<PostedConstraint>& posted,
+    const std::vector<int64_t>& cache_hints, const solver::Solution& sol) {
+  // Binding-constraint index per variable.
+  std::map<int32_t, std::vector<size_t>> touching;
+  for (size_t i = 0; i < posted.size(); ++i) {
+    if (!BindingAt(posted[i], sol)) continue;
+    for (const auto& [c, v] : posted[i].lhs.terms) touching[v.id].push_back(i);
+    for (const auto& [c, v] : posted[i].rhs.terms) touching[v.id].push_back(i);
+  }
+
+  std::vector<std::pair<std::string, std::vector<IntVar>>> groups;
+  const auto& marked = model.decision_groups();
+  if (!marked.empty() && marked.size() == group_keys.size()) {
+    for (size_t i = 0; i < marked.size(); ++i) {
+      groups.push_back({group_keys[i], marked[i]});
+    }
+  } else {
+    std::vector<IntVar> all;
+    for (const BridgeEval::VarRow& vr : var_rows) {
+      all.insert(all.end(), vr.vars.begin(), vr.vars.end());
+    }
+    groups.push_back({std::string(), std::move(all)});
+  }
+
+  std::vector<SolveProvGroup> out;
+  out.reserve(groups.size());
+  for (const auto& [key, vars] : groups) {
+    SolveProvGroup g;
+    g.key = key;
+    std::set<std::string> tight;
+    const char* src = nullptr;
+    bool mixed = false;
+    for (IntVar v : vars) {
+      const char* s = SrcOfValue(model, v, cache_hints, sol);
+      if (src == nullptr) {
+        src = s;
+      } else if (std::string_view(src) != s) {
+        mixed = true;
+      }
+      auto it = touching.find(v.id);
+      if (it == touching.end()) continue;
+      for (size_t ci : it->second) tight.insert(posted[ci].label);
+    }
+    g.src = src == nullptr ? "search" : (mixed ? "mixed" : src);
+    g.tight.assign(tight.begin(), tight.end());
+    out.push_back(std::move(g));
+  }
+  return out;
 }
 
 }  // namespace
@@ -757,6 +887,8 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
 
   // ---- Phase A: build the constraint network --------------------------------
   BridgeEval sym_eval(program_, engine_, &model);
+  std::vector<PostedConstraint> posted;
+  if (options.record_provenance) sym_eval.RecordConstraintsTo(&posted);
   std::vector<std::pair<IntVar, Value*>> var_cells;
   COLOGNE_RETURN_IF_ERROR(sym_eval.InstantiateVars(&var_cells));
 
@@ -779,6 +911,7 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   // prefix (one group per negotiation unit, e.g. per link of the batch) so
   // group-aware backends relax per-unit neighborhoods. First-seen order
   // keeps the grouping deterministic.
+  std::vector<std::string> group_keys;  // aligned with decision_groups()
   if (options.group_key_prefix > 0) {
     std::vector<std::pair<Row, std::vector<IntVar>>> groups;  // ordered
     std::map<std::pair<std::string, Row>, size_t> index;
@@ -794,7 +927,13 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
       auto& vars = groups[it->second].second;
       vars.insert(vars.end(), vr.vars.begin(), vr.vars.end());
     }
-    for (auto& [prefix, vars] : groups) model.MarkGroup(std::move(vars));
+    for (auto& [prefix, vars] : groups) {
+      // MarkGroup drops empty groups; keep the keys aligned with the model.
+      if (!vars.empty() && options.record_provenance) {
+        group_keys.push_back(GroupKeyString(prefix));
+      }
+      model.MarkGroup(std::move(vars));
+    }
     out.model_groups = model.decision_groups().size();
   }
 
@@ -837,6 +976,11 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
     }
     out.warm_started = any_hint;
   }
+  // Snapshot the cache-derived hints (before the null-decision defaults
+  // below) — the "warm" provenance classification means "the warm-start
+  // cache supplied this value", matching warm_started above, not "any hint".
+  std::vector<int64_t> cache_hints;
+  if (options.record_provenance) cache_hints = hints;
   if (options.group_key_prefix > 0) {
     // Null-decision default for batched negotiation models: a decision cell
     // with no cached value is hinted to 0 when its domain allows it (e.g.
@@ -863,6 +1007,11 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   out.stats = sol.stats;
   out.model_memory_bytes = sol.stats.peak_memory_bytes;
   if (!sol.has_solution()) return out;
+
+  if (options.record_provenance) {
+    out.provenance = BuildProvenance(model, sym_eval.var_rows(), group_keys,
+                                     posted, cache_hints, sol);
+  }
 
   if (use_cache) {
     ++warm_cache->generation;

@@ -22,6 +22,7 @@
 #include "colog/planner.h"
 #include "common/status.h"
 #include "datalog/engine.h"
+#include "runtime/trace_replay.h"
 #include "solver/model.h"
 
 namespace cologne::runtime {
@@ -53,6 +54,11 @@ struct SolveOptions {
   /// a warm-start hint (the recurring invokeSolver loop of Section 4.2
   /// usually re-solves a near-identical model).
   bool warm_start = true;
+  /// Record per-decision-group solve provenance (binding constraints at the
+  /// incumbent, value-source classification) into SolveOutput::provenance.
+  /// Enabled by the runtime when OBS_METRICS is on; off by default so the
+  /// pre-observability solve path (and its traces) is untouched.
+  bool record_provenance = false;
 };
 
 /// Apply a compiled program's `param SOLVER_*` knobs on top of `base`.
@@ -105,6 +111,10 @@ struct SolveOutput {
   size_t model_memory_bytes = 0;
   /// Decision groups marked for a batched solve (0 = ungrouped).
   size_t model_groups = 0;
+  /// Per-group provenance (SolveOptions::record_provenance); empty when
+  /// recording is off or no solution was found. An ungrouped solve reports
+  /// one group with an empty key covering every decision variable.
+  std::vector<SolveProvGroup> provenance;
 
   bool has_solution() const {
     return status == solver::SolveStatus::kOptimal ||

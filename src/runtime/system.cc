@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "net/reliable_channel.h"
 
 namespace cologne::runtime {
 
@@ -17,6 +18,13 @@ System::System(const colog::CompiledProgram* program, size_t num_nodes,
   net_reliable_ =
       options_.net_reliable || program_->knobs.net_reliable.value_or(false);
   net_.SetReliableTransport(net_reliable_);
+  obs_metrics_ =
+      options_.obs_metrics || program_->knobs.obs_metrics.value_or(false);
+  if (obs_metrics_) {
+    // Fixed buckets keep the histogram line stable across scenario sizes
+    // (search-tree size per solve, in choice points).
+    metrics_.DeclareHistogram("solve.nodes", {0, 10, 100, 1000, 10000});
+  }
   for (size_t i = 0; i < num_nodes; ++i) {
     NodeId id = net_.AddNode();
     nodes_.push_back(std::make_unique<Instance>(id, program_));
@@ -29,9 +37,46 @@ System::System(const colog::CompiledProgram* program, size_t num_nodes,
 Status System::Init() {
   for (auto& node : nodes_) {
     COLOGNE_RETURN_IF_ERROR(node->Init());
+    if (obs_metrics_) node->set_metrics(&metrics_);
     WireNode(node->id());
   }
   return Status::OK();
+}
+
+void System::SnapshotMetrics(uint64_t round) {
+  if (!obs_metrics_) return;
+  // Network totals are cumulative on the Network side; fold the delta into
+  // the registry's monotone counters.
+  auto sync = [this](const char* name, uint64_t total) {
+    uint64_t cur = metrics_.counter(name);
+    if (total > cur) metrics_.Add(name, total - cur);
+  };
+  uint64_t sent = 0, recv = 0, bytes_sent = 0, bytes_recv = 0;
+  for (const auto& n : nodes_) {
+    const net::TrafficStats& st = net_.StatsOf(n->id());
+    sent += st.messages_sent;
+    recv += st.messages_received;
+    bytes_sent += st.bytes_sent;
+    bytes_recv += st.bytes_received;
+  }
+  sync("net.msgs_sent", sent);
+  sync("net.msgs_recv", recv);
+  sync("net.bytes_sent", bytes_sent);
+  sync("net.bytes_recv", bytes_recv);
+  sync("net.dropped", net_.TotalDropped());
+  if (net_reliable_) {
+    const net::ChannelStats& ch = net_.channel().stats();
+    sync("ch.data_sent", ch.data_sent);
+    sync("ch.retransmits", ch.retransmits);
+    sync("ch.fast_retransmits", ch.fast_retransmits);
+    sync("ch.acks_sent", ch.acks_sent);
+    sync("ch.dup_data", ch.dup_data);
+    sync("ch.reordered", ch.reordered);
+    sync("ch.gave_up", ch.gave_up);
+  }
+  metrics_.SetGauge("sim.executed", static_cast<int64_t>(sim_.executed()));
+  metrics_.SetGauge("sim.pending", static_cast<int64_t>(sim_.pending()));
+  if (trace_ != nullptr) trace_->Metrics(round, metrics_);
 }
 
 void System::WireNode(NodeId id) {

@@ -57,6 +57,11 @@ class System {
     /// transport (net/reliable_channel.h). Also enabled by the program's
     /// `param NET_RELIABLE = 1` knob; the union of the two wins.
     bool net_reliable = false;
+    /// Deterministic observability (metrics registry + solve provenance).
+    /// Also enabled by the program's `param OBS_METRICS = 1` knob; the union
+    /// of the two wins. Off by default: traces are then byte-identical to
+    /// pre-observability runs.
+    bool obs_metrics = false;
   };
 
   System(const colog::CompiledProgram* program, size_t num_nodes,
@@ -74,6 +79,19 @@ class System {
   /// True when ordinary traffic rides the reliable FIFO transport (the
   /// NET_RELIABLE knob or Options::net_reliable).
   bool net_reliable() const { return net_reliable_; }
+  /// True when the observability layer is on (the OBS_METRICS knob or
+  /// Options::obs_metrics).
+  bool obs_metrics() const { return obs_metrics_; }
+  /// The system-wide metrics registry (solve counters accumulate here from
+  /// every node; network counters are pulled in at SnapshotMetrics time).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Sync the network/simulator counters into the registry and emit one
+  /// canonical `metrics` trace line stamped with `round`. No-op (and no
+  /// trace line) when obs_metrics() is off — scenario drivers call this
+  /// unconditionally at round boundaries. Integer-only, virtual-time-path
+  /// values: two identical runs emit byte-identical snapshots.
+  void SnapshotMetrics(uint64_t round);
 
   /// Add a communication link between two nodes.
   Status AddLink(NodeId a, NodeId b) {
@@ -182,6 +200,8 @@ class System {
   net::Simulator sim_;
   net::Network net_;
   bool net_reliable_ = false;
+  bool obs_metrics_ = false;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Instance>> nodes_;
   std::vector<std::vector<SentRecord>> sent_log_;   // [src]
   std::vector<std::map<NodeId, PeerState>> rx_;     // [dst][src]

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/json.h"
 #include "common/strings.h"
 
 namespace cologne::runtime {
@@ -24,77 +25,115 @@ const char* NetKindName(net::NetEvent::Kind kind) {
 
 void TraceRecorder::Header(const std::string& program, uint64_t seed,
                            const net::FaultPlan& plan) {
-  Line(StrFormat("{\"ev\":\"header\",\"program\":\"%s\",\"seed\":%llu,"
-                 "\"fault_plan\":%s}",
-                 JsonEscape(program).c_str(),
-                 static_cast<unsigned long long>(seed),
-                 plan.ToJson().c_str()));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ev").String("header");
+  w.Key("program").String(program);
+  w.Key("seed").UInt(seed);
+  w.Key("fault_plan").Raw(plan.ToJson());
+  w.EndObject();
+  Line(w.Take());
 }
 
 void TraceRecorder::Net(const net::NetEvent& ev) {
-  std::string line = StrFormat(
-      "{\"t\":%s,\"ev\":\"%s\",\"from\":%d,\"to\":%d,\"table\":\"%s\"",
-      DoubleToShortestString(ev.t).c_str(), NetKindName(ev.kind), ev.from,
-      ev.to, JsonEscape(ev.msg->table).c_str());
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("t").Double(ev.t);
+  w.Key("ev").String(NetKindName(ev.kind));
+  w.Key("from").Int(ev.from);
+  w.Key("to").Int(ev.to);
+  w.Key("table").String(ev.msg->table);
   if (ev.kind == net::NetEvent::Kind::kDrop) {
-    line += StrFormat(",\"reason\":\"%s\"", ev.detail);
+    w.Key("reason").String(ev.detail);
   } else {
-    line += StrFormat(",\"row\":\"%s\",\"sign\":%d",
-                      JsonEscape(RowToString(ev.msg->row)).c_str(),
-                      ev.msg->sign);
+    w.Key("row").String(RowToString(ev.msg->row));
+    w.Key("sign").Int(ev.msg->sign);
     if (ev.msg->seq != 0) {
       // Reliable-channel sequence number (cumulative ack for @ack packets);
       // omitted for unsequenced datagrams so pre-channel traces are
       // unchanged.
-      line += StrFormat(",\"seq\":%llu",
-                        static_cast<unsigned long long>(ev.msg->seq));
+      w.Key("seq").UInt(ev.msg->seq);
     }
     if (ev.kind == net::NetEvent::Kind::kSend) {
-      line += StrFormat(",\"bytes\":%zu", ev.msg->WireSize());
+      w.Key("bytes").UInt(ev.msg->WireSize());
     }
     if (ev.detail != nullptr && ev.detail[0] != '\0') {
-      line += StrFormat(",\"detail\":\"%s\"", ev.detail);
+      w.Key("detail").String(ev.detail);
     }
   }
-  line += '}';
-  Line(std::move(line));
+  w.EndObject();
+  Line(w.Take());
 }
 
 void TraceRecorder::Fault(const char* kind, const std::string& detail) {
-  std::string line =
-      StrFormat("{\"t\":%s,\"ev\":\"fault\",\"kind\":\"%s\"",
-                DoubleToShortestString(Now()).c_str(), kind);
-  if (!detail.empty()) {
-    line += ',';
-    line += detail;
-  }
-  line += '}';
-  Line(std::move(line));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("t").Double(Now());
+  w.Key("ev").String("fault");
+  w.Key("kind").String(kind);
+  w.Members(detail);
+  w.EndObject();
+  Line(w.Take());
 }
 
 void TraceRecorder::Solve(NodeId node, const char* status, bool has_objective,
                           double objective, size_t vars, size_t groups,
-                          bool warm_started) {
-  std::string line = StrFormat(
-      "{\"t\":%s,\"ev\":\"solve\",\"node\":%d,\"status\":\"%s\"",
-      DoubleToShortestString(Now()).c_str(), node, status);
-  if (has_objective) {
-    line += StrFormat(",\"objective\":%s",
-                      DoubleToShortestString(objective).c_str());
+                          bool warm_started,
+                          const std::vector<SolveProvGroup>* prov) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("t").Double(Now());
+  w.Key("ev").String("solve");
+  w.Key("node").Int(node);
+  w.Key("status").String(status);
+  if (has_objective) w.Key("objective").Double(objective);
+  w.Key("vars").UInt(vars);
+  if (groups > 0) w.Key("groups").UInt(groups);
+  w.Key("warm").Int(warm_started ? 1 : 0);
+  if (prov != nullptr && !prov->empty()) {
+    // Omitted entirely when provenance was not recorded (OBS_METRICS off),
+    // keeping pre-observability traces byte-identical.
+    w.Key("prov").BeginArray();
+    for (const SolveProvGroup& g : *prov) {
+      w.BeginObject();
+      if (!g.key.empty()) w.Key("g").String(g.key);
+      w.Key("src").String(g.src);
+      if (!g.tight.empty()) {
+        w.Key("tight").BeginArray();
+        for (const std::string& label : g.tight) w.String(label);
+        w.EndArray();
+      }
+      w.EndObject();
+    }
+    w.EndArray();
   }
-  line += StrFormat(",\"vars\":%zu", vars);
-  if (groups > 0) line += StrFormat(",\"groups\":%zu", groups);
-  line += StrFormat(",\"warm\":%d}", warm_started ? 1 : 0);
-  Line(std::move(line));
+  w.EndObject();
+  Line(w.Take());
+}
+
+void TraceRecorder::Metrics(uint64_t round, const obs::MetricsRegistry& reg) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("t").Double(Now());
+  w.Key("ev").String("metrics");
+  w.Key("round").UInt(round);
+  reg.AppendSnapshot(&w);
+  w.EndObject();
+  Line(w.Take());
 }
 
 void TraceRecorder::RxDrop(NodeId from, NodeId to, const std::string& table,
                            const char* reason) {
-  Line(StrFormat(
-      "{\"t\":%s,\"ev\":\"rx_drop\",\"from\":%d,\"to\":%d,\"table\":\"%s\","
-      "\"reason\":\"%s\"}",
-      DoubleToShortestString(Now()).c_str(), from, to,
-      JsonEscape(table).c_str(), reason));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("t").Double(Now());
+  w.Key("ev").String("rx_drop");
+  w.Key("from").Int(from);
+  w.Key("to").Int(to);
+  w.Key("table").String(table);
+  w.Key("reason").String(reason);
+  w.EndObject();
+  Line(w.Take());
 }
 
 std::string TraceRecorder::ToString() const {

@@ -28,8 +28,29 @@
 #include "common/value.h"
 #include "net/fault_plan.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace cologne::runtime {
+
+/// \brief Per-decision-group solve provenance (ISSUE 6): how this group's
+/// incumbent values were reached and which constraints were binding there.
+///
+/// Recorded by the solver bridge when OBS_METRICS is on; serialized into
+/// the `solve` trace event as `"prov":[...]` (omitted entirely when absent,
+/// so pre-observability traces are byte-identical).
+struct SolveProvGroup {
+  /// Decision-group key ("dc(2)"-style rendering of the grouping prefix);
+  /// empty for an ungrouped solve (the whole model is one group).
+  std::string key;
+  /// Value-source classification over the group's variables: "warm" (every
+  /// value equals its warm-start hint), "domain" (every value sits on a
+  /// domain bound — propagation or B&B clamp decided it), "search" (neither),
+  /// or "mixed".
+  std::string src;
+  /// Labels of constraints that touch the group and hold with zero slack at
+  /// the incumbent, sorted and deduplicated.
+  std::vector<std::string> tight;
+};
 
 /// \brief Ordered log of canonical trace lines for one run.
 class TraceRecorder {
@@ -56,9 +77,15 @@ class TraceRecorder {
 
   /// An invokeSolver outcome (deterministic fields only). `groups` is the
   /// batched-solve decision-group count; 0 (ungrouped) omits the field so
-  /// pre-batching traces are unchanged.
+  /// pre-batching traces are unchanged. `prov` (nullptr or empty = omitted)
+  /// appends the per-group binding-constraint provenance.
   void Solve(NodeId node, const char* status, bool has_objective,
-             double objective, size_t vars, size_t groups, bool warm_started);
+             double objective, size_t vars, size_t groups, bool warm_started,
+             const std::vector<SolveProvGroup>* prov = nullptr);
+
+  /// A metrics snapshot at a round boundary: the registry's counters,
+  /// gauges and histograms as one canonical `metrics` line.
+  void Metrics(uint64_t round, const obs::MetricsRegistry& registry);
 
   /// An application-level drop at the receiving runtime (crashed node,
   /// stale epoch, duplicate suppression).

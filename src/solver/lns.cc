@@ -152,6 +152,7 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
       reached_bound = improved && at_bound();
     }
     st.Backtrack();
+    if (improved) ++ctx.stats.lns_accepted;
     if (reached_bound) return true;
 
     if (improved) {

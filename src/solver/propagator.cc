@@ -4,7 +4,10 @@ namespace cologne::solver {
 
 PropagationEngine::PropagationEngine(
     const std::vector<std::unique_ptr<Propagator>>* props, size_t num_vars)
-    : props_(props), watchers_(num_vars), in_queue_(props->size(), 0) {
+    : props_(props),
+      watchers_(num_vars),
+      in_queue_(props->size(), 0),
+      run_counts_(props->size(), 0) {
   for (size_t i = 0; i < props->size(); ++i) {
     for (int32_t v : (*props)[i]->watched()) {
       watchers_[static_cast<size_t>(v)].push_back(i);
@@ -42,6 +45,7 @@ bool PropagationEngine::RunQueue(DomainStore& store, SolveStats* stats) {
     queue_.pop_front();
     in_queue_[idx] = 0;
     if (stats != nullptr) ++stats->propagations;
+    ++run_counts_[idx];
     if (!(*props_)[idx]->Propagate(ctx)) {
       // Failure: drain the queue so the engine is clean for the next node.
       while (!queue_.empty()) {

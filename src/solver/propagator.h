@@ -61,6 +61,9 @@ class Propagator {
   virtual bool Propagate(PropCtx& ctx) = 0;
   /// One-line description for tracing and test diagnostics.
   virtual std::string DebugString() const = 0;
+  /// Stable short kind name ("linear", "times", ...) keying the per-kind
+  /// propagation counters of the observability layer (obs/metrics.h).
+  virtual const char* kind() const { return "other"; }
   /// Variable ids this propagator must be re-run for when they change.
   const std::vector<int32_t>& watched() const { return watched_; }
 
@@ -97,6 +100,11 @@ class PropagationEngine {
   /// Called by PropCtx when a variable's domain changed.
   void OnVarChanged(int32_t var_id);
 
+  /// Executions per propagator index over the engine's lifetime (sums to
+  /// SolveStats::propagations); the search folds these into per-kind
+  /// counters at the end of a solve.
+  const std::vector<uint64_t>& run_counts() const { return run_counts_; }
+
  private:
   bool RunQueue(DomainStore& store, SolveStats* stats);
   void Enqueue(size_t prop_idx);
@@ -105,6 +113,7 @@ class PropagationEngine {
   std::vector<std::vector<size_t>> watchers_;  // var id -> propagator indices
   std::deque<size_t> queue_;
   std::vector<char> in_queue_;
+  std::vector<uint64_t> run_counts_;
 };
 
 // ---------------------------------------------------------------------------

@@ -29,6 +29,8 @@ class LinearProp : public Propagator {
     return e_.ToString() + " " + RelName(rel_) + " 0";
   }
 
+  const char* kind() const override { return "linear"; }
+
  private:
   LinExpr e_;
   Rel rel_;
@@ -61,6 +63,8 @@ class ReifiedLinearProp : public Propagator {
     return "x" + std::to_string(b_.id) + " <=> (" + e_.ToString() + " " +
            RelName(rel_) + " 0)";
   }
+
+  const char* kind() const override { return "reified"; }
 
  private:
   IntVar b_;
@@ -102,6 +106,8 @@ class TimesProp : public Propagator {
     return "x" + std::to_string(z_.id) + " == x" + std::to_string(x_.id) +
            " * x" + std::to_string(y_.id);
   }
+
+  const char* kind() const override { return "times"; }
 
  private:
   // Prune `target` given z and the other factor `other`.
@@ -176,6 +182,8 @@ class AbsProp : public Propagator {
     return "x" + std::to_string(z_.id) + " == |x" + std::to_string(x_.id) + "|";
   }
 
+  const char* kind() const override { return "abs"; }
+
  private:
   IntVar z_, x_;
 };
@@ -229,6 +237,8 @@ class OrProp : public Propagator {
            std::to_string(bs_.size()) + " vars)";
   }
 
+  const char* kind() const override { return "or"; }
+
  private:
   IntVar b_;
   std::vector<IntVar> bs_;
@@ -258,6 +268,8 @@ class MaxConstProp : public Propagator {
     return "x" + std::to_string(z_.id) + " == max(x" + std::to_string(x_.id) +
            ", " + std::to_string(c_) + ")";
   }
+
+  const char* kind() const override { return "max_const"; }
 
  private:
   IntVar z_, x_;

@@ -434,11 +434,17 @@ class SearchContext {
   }
 
   /// Stamp the end-of-solve statistics (wall clock, peak memory, trail
-  /// saves); every backend exit path calls this exactly once.
+  /// saves, per-kind propagation counts); every backend exit path calls
+  /// this exactly once.
   void FinalizeStats() {
     stats.wall_ms = elapsed_ms();
     stats.peak_memory_bytes = PeakMemoryBytes();
     stats.trail_saves = store_.total_saves();
+    const std::vector<uint64_t>& runs = engine_.run_counts();
+    const auto& props = model_.propagators();
+    for (size_t i = 0; i < runs.size() && i < props.size(); ++i) {
+      if (runs[i] > 0) stats.propagations_by_kind[props[i]->kind()] += runs[i];
+    }
   }
 
   SolveStats stats;

@@ -3,6 +3,7 @@
 #define COLOGNE_SOLVER_TYPES_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -111,6 +112,13 @@ struct SolveStats {
                              ///< dives after the tree-search phase).
   uint64_t restarts = 0;     ///< Search restarts (Luby restarts for B&B,
                              ///< diversification resets for LNS).
+  uint64_t lns_accepted = 0; ///< LNS neighborhood repairs that improved the
+                             ///< incumbent (iterations - lns_accepted were
+                             ///< rejected).
+  /// Propagator executions by propagator kind ("linear", "reified", ...);
+  /// sums to `propagations`. Filled by sequential backends at the end of a
+  /// solve (concurrent backends report only the aggregate counter).
+  std::map<std::string, uint64_t> propagations_by_kind;
   uint64_t trail_saves = 0;  ///< Undo records pushed by the trailed store
                              ///< (touched-domain saves; the O(Δ) backtrack
                              ///< cost where the copy-based core paid

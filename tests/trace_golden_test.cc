@@ -29,10 +29,35 @@ std::string GoldenPath(const std::string& name) {
   return std::string(COLOGNE_GOLDEN_DIR) + "/" + name + ".trace";
 }
 
+// Renders the identity fields of a parsed header for the refusal diff.
+std::string HeaderIdentity(const TraceHeader& h) {
+  return "program=" + h.program + " seed=" + std::to_string(h.seed) +
+         " fault_plan=" + h.plan.ToJson();
+}
+
 void CompareOrUpdate(const TraceRecorder& trace, const std::string& name) {
   ASSERT_GT(trace.lines().size(), 1u) << name << ": trace is empty";
   std::string path = GoldenPath(name);
   if (g_update_golden) {
+    // --update-golden exists to re-pin a trace after an intentional
+    // *behavior* change of the same run. If the run identity (program,
+    // seed, fault plan) changed, silently overwriting would swap the
+    // scenario out from under the golden — refuse and show the diff.
+    // Delete the golden file first if the identity change is intentional.
+    auto old_lines = ReadTraceLines(path);
+    if (old_lines.ok() && !old_lines.value().empty()) {
+      auto old_header = ParseTraceHeader(old_lines.value()[0]);
+      auto new_header = ParseTraceHeader(trace.lines()[0]);
+      ASSERT_TRUE(new_header.ok()) << new_header.status().ToString();
+      if (old_header.ok()) {
+        std::string before = HeaderIdentity(old_header.value());
+        std::string after = HeaderIdentity(new_header.value());
+        ASSERT_EQ(before, after)
+            << name << ": refusing --update-golden, run identity changed:\n"
+            << "  golden: " << before << "\n  new:    " << after
+            << "\n(delete " << path << " to record the new identity)";
+      }
+    }
     Status s = trace.WriteFile(path);
     ASSERT_TRUE(s.ok()) << s.ToString();
     printf("updated %s (%zu lines)\n", path.c_str(), trace.lines().size());
@@ -127,6 +152,44 @@ TEST(GoldenTraceTest, FollowTheSunReliableBatched) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_GT(r.value().messages_dropped, 0u) << "loss should hit the wire";
   CompareOrUpdate(trace, "followsun_reliable");
+}
+
+TEST(GoldenTraceTest, FollowTheSunObsMetrics) {
+  // ISSUE 6 surface: the ReliableBatched scenario with OBS_METRICS on —
+  // per-round `metrics` snapshots and per-group solve provenance pinned
+  // byte-for-byte. tools/explain's CI smoke queries this same golden.
+  apps::FtsConfig cfg;
+  cfg.num_dcs = 4;
+  cfg.capacity = 25;
+  cfg.demand_hi = 5;
+  cfg.seed = 47;
+  cfg.net_reliable = true;
+  cfg.batch_links = true;
+  cfg.link_loss_prob = 0.1;
+  cfg.converge_sweeps = 1;
+  cfg.solver_backend = "lns";
+  cfg.solver_max_iterations = 16;
+  cfg.solver_time_ms = 0;
+  cfg.obs_metrics = true;
+
+  TraceRecorder trace;
+  cfg.trace = &trace;
+  apps::FollowTheSunScenario scenario(cfg);
+  auto r = scenario.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Observability must be additive: stripping the metrics lines and prov
+  // fields must give back the exact followsun_reliable golden.
+  bool saw_metrics = false, saw_prov = false;
+  for (const std::string& line : trace.lines()) {
+    if (line.find("\"ev\":\"metrics\"") != std::string::npos) {
+      saw_metrics = true;
+    }
+    if (line.find("\"prov\":[") != std::string::npos) saw_prov = true;
+  }
+  EXPECT_TRUE(saw_metrics) << "no metrics snapshot landed in the trace";
+  EXPECT_TRUE(saw_prov) << "no solve provenance landed in the trace";
+  CompareOrUpdate(trace, "followsun_obs");
 }
 
 TEST(GoldenTraceTest, ACloudReplay) {
