@@ -1,14 +1,17 @@
 // Sections 6.2-6.4 overhead numbers: Colog compilation time, per-COP solver
 // time, and memory footprints for each case-study program.
 //
-//   bench_overhead            full report (compilation + ACloud COP)
-//   bench_overhead obsjson    observability overhead on the 10-DC batched
-//                             FTS soak, written to BENCH_obs.json
+//   bench_overhead             full report (compilation + ACloud COP)
+//   bench_overhead obsjson     observability overhead on the 10-DC batched
+//                              FTS soak, written to BENCH_obs.json
+//   bench_overhead resolvejson 1-fact-delta incremental re-solve latency vs
+//                              a cold solve (ISSUE 7), BENCH_resolve.json
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "apps/common_config.h"
 #include "apps/followsun.h"
 #include "apps/programs.h"
 #include "colog/planner.h"
@@ -16,6 +19,7 @@
 #include "common/stats.h"
 #include "common/strings.h"
 #include "runtime/instance.h"
+#include "runtime/system.h"
 
 using namespace cologne;
 using namespace cologne::apps;
@@ -121,10 +125,177 @@ int RunObsJson() {
   return 0;
 }
 
+// ---- Incremental re-solve latency (ISSUE 7) --------------------------------
+
+// One measured arm of the re-solve bench: a 10-DC reliable chain
+// (0-1-...-9, node i initiating the negotiation for link (i,i+1)), primed
+// to the system fixed point, then hit with a single fact delta at the tail
+// DC (its capacity collapses). Re-converging means every initiator
+// re-solves once; the delta only perturbs node 8's model, so with the
+// incremental path on, nodes 0..7 serve their cached solve from the
+// content-hash reuse check while node 8 rebuilds. The cold arm re-solves
+// every node from scratch — what every re-convergence sweep cost before
+// SOLVER_INCREMENTAL.
+struct ResolveArm {
+  double ms = -1;
+  int dirty = 0, clean = 0, reused = 0;
+  bool fallback = false;
+  double objective = 0;
+  bool ok = false;
+};
+
+constexpr NodeId kChainDcs = 10;
+constexpr NodeId kInitiators = kChainDcs - 1;
+constexpr int kDemands = 64;  // decision vars per negotiated link
+
+ResolveArm TimedResolve(bool incremental, const colog::CompiledProgram& prog) {
+  using Clock = std::chrono::steady_clock;
+  ResolveArm arm;
+  FtsConfig cfg = ObsSoakConfig(false);
+  cfg.solver_incremental = true;  // both arms prime the same steady state
+  runtime::System sys(&prog, kChainDcs, MakeSystemOptions(cfg));
+  if (!sys.Init().ok()) return arm;
+  auto N = [](NodeId n) { return Value::Node(n); };
+  auto I = [](int64_t v) { return Value::Int(v); };
+  for (NodeId i = 0; i + 1 < kChainDcs; ++i) {
+    (void)sys.AddLink(i, i + 1);
+    (void)sys.InsertFact(i, "link", {N(i), N(i + 1)});
+    (void)sys.InsertFact(i + 1, "link", {N(i + 1), N(i)});
+    (void)sys.InsertFact(i, "migCost", {N(i), N(i + 1), I(2)});
+  }
+  for (NodeId x = 0; x < kChainDcs; ++x) {
+    (void)sys.InsertFact(x, "resource", {N(x), I(200)});
+    (void)sys.InsertFact(x, "opCost", {N(x), I(1)});
+    for (int d = 0; d < kDemands; ++d) {
+      (void)sys.InsertFact(x, "curVm", {N(x), I(d), I((x + d) % 3 + 1)});
+      (void)sys.InsertFact(
+          x, "commCost",
+          {N(x), I(d), I(static_cast<int>(x) == d % 10 ? 1 : 40)});
+      if (x < kInitiators) (void)sys.InsertFact(x, "dc", {N(x), I(d)});
+    }
+  }
+  sys.RunToQuiescence();
+  for (NodeId i = 0; i < kInitiators; ++i) {
+    (void)sys.InsertFact(i, "setLink", {N(i), N(i + 1)});
+  }
+  sys.RunToQuiescence();
+
+  runtime::SolveRequest req = MakeSolveRequest(cfg, /*batched_prefix=*/2);
+  for (NodeId i = 0; i < kInitiators; ++i) {
+    runtime::Instance& inst = sys.node(i);
+    inst.set_solve_options(
+        OverlaySolveOptions(cfg, inst.solve_options(), cfg.solver_time_ms));
+  }
+  // Prime sweeps until the negotiation reaches its fixed point: every
+  // initiator's re-solve classifies clean (served from the reuse cache).
+  for (int sweep = 0; sweep < 20; ++sweep) {
+    int stable = 0;
+    for (NodeId i = 0; i < kInitiators; ++i) {
+      req.changed_tables = sys.node(i).touched_tables();
+      auto out = sys.node(i).Solve(req);
+      if (!out.ok()) return arm;
+      if (out.value().incr_dirty == 0) ++stable;
+      sys.RunToQuiescence();
+    }
+    if (stable == kInitiators) break;
+  }
+  // The 1-fact delta: the tail DC's capacity collapses (keyed replacement
+  // of its resource row), forcing link (8,9) to renegotiate. Only node 8's
+  // model reads that fact; every other initiator's inputs are untouched.
+  (void)sys.InsertFact(kChainDcs - 1, "resource", {N(kChainDcs - 1), I(126)});
+  sys.RunToQuiescence();
+
+  if (!incremental) {
+    for (NodeId i = 0; i < kInitiators; ++i) {
+      runtime::Instance& inst = sys.node(i);
+      inst.reset_warm_start();
+      runtime::SolveOptions o = inst.solve_options();
+      o.incremental = false;
+      inst.set_solve_options(o);
+    }
+    req.mode = runtime::SolveMode::kBatched;
+  }
+  // The measured unit: one full re-convergence sweep (every initiator
+  // re-solves once, then the writeback deltas drain).
+  auto t0 = Clock::now();
+  for (NodeId i = 0; i < kInitiators; ++i) {
+    req.changed_tables = sys.node(i).touched_tables();
+    auto out = sys.node(i).Solve(req);
+    if (!out.ok() || !out.value().has_solution()) return arm;
+    const runtime::SolveOutput& o = out.value();
+    if (o.incr_dirty > 0) arm.dirty += o.incr_dirty;
+    if (o.incr_clean > 0) arm.clean += o.incr_clean;
+    if (o.incr_reused) ++arm.reused;
+    if (o.incr_fallback) arm.fallback = true;
+    arm.objective += o.objective;
+  }
+  sys.RunToQuiescence();
+  arm.ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  arm.ok = true;
+  return arm;
+}
+
+// Re-solve latency after a 1-fact delta: alternate cold/incremental arms,
+// keep each arm's minimum over kReps runs, and report the speedup against
+// the >=5x target. Both arms sweep the identical post-delta system with the
+// same backend/budget knobs; the only difference is the incremental state.
+int RunResolveJson() {
+  constexpr int kReps = 3;
+  constexpr double kTarget = 5.0;
+  auto compiled = colog::CompileColog(
+      FollowTheSunDistributedProgram(false, 60, 20, /*batched=*/true));
+  if (!compiled.ok()) {
+    fprintf(stderr, "compile: %s\n", compiled.status().ToString().c_str());
+    return 1;
+  }
+  colog::CompiledProgram prog = std::move(compiled).value();
+  ResolveArm best_cold, best_incr;
+  for (int i = 0; i < kReps; ++i) {
+    ResolveArm cold = TimedResolve(false, prog);
+    ResolveArm incr = TimedResolve(true, prog);
+    if (!cold.ok || !incr.ok) {
+      fprintf(stderr, "resolve bench arm failed (cold ok=%d incr ok=%d)\n",
+              cold.ok ? 1 : 0, incr.ok ? 1 : 0);
+      return 1;
+    }
+    if (!best_cold.ok || cold.ms < best_cold.ms) best_cold = cold;
+    if (!best_incr.ok || incr.ms < best_incr.ms) best_incr = incr;
+  }
+  double speedup = best_incr.ms > 0 ? best_cold.ms / best_incr.ms : 0;
+  std::string row = StrFormat(
+      "{\"bench\":\"incr_resolve\",\"case\":\"r10_chain_sweep_1fact\","
+      "\"backend\":\"lns\",\"seed\":104,\"dcs\":10,\"reps\":%d,"
+      "\"wall_ms_cold\":%.3f,\"wall_ms_incr\":%.3f,\"speedup\":%.2f,"
+      "\"target\":%.1f,\"within_target\":%d,\"dirty\":%d,\"clean\":%d,"
+      "\"reused\":%d,\"fallback\":%d,\"objective_cold\":%.1f,"
+      "\"objective_incr\":%.1f}",
+      kReps, best_cold.ms, best_incr.ms, speedup, kTarget,
+      speedup >= kTarget ? 1 : 0, best_incr.dirty, best_incr.clean,
+      best_incr.reused, best_incr.fallback ? 1 : 0, best_cold.objective,
+      best_incr.objective);
+  printf("%s\n", row.c_str());
+  printf("1-fact-delta re-convergence sweep: cold %.3f ms, incremental "
+         "%.3f ms (%d/%d node solves reused), speedup %.2fx (target "
+         ">=%.1fx)\n",
+         best_cold.ms, best_incr.ms, best_incr.reused, kInitiators, speedup,
+         kTarget);
+  FILE* out = fopen("BENCH_resolve.json", "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot open BENCH_resolve.json for writing\n");
+    return 1;
+  }
+  fprintf(out, "%s\n", row.c_str());
+  fclose(out);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::string(argv[1]) == "obsjson") return RunObsJson();
+  if (argc > 1 && std::string(argv[1]) == "resolvejson") {
+    return RunResolveJson();
+  }
   printf("Compilation time (avg of 10 runs)\n");
   printf("  %-32s %10s %26s\n", "program", "this impl", "paper (codegen+g++)");
   struct P {
@@ -171,7 +342,7 @@ int main(int argc, char** argv) {
     o.backend = backend;
     inst.set_solve_options(o);
     inst.reset_warm_start();
-    auto out = inst.InvokeSolver();
+    auto out = inst.Solve();
     if (!out.ok()) {
       printf("solve failed: %s\n", out.status().ToString().c_str());
       return 1;

@@ -61,7 +61,7 @@ int main() {
   runtime::SolveOptions opts = inst1.solve_options();
   opts.time_limit_ms = 2000;
   inst1.set_solve_options(opts);
-  auto out1 = inst1.InvokeSolver();
+  auto out1 = inst1.Solve();
   if (!out1.ok()) {
     printf("%s\n", out1.status().ToString().c_str());
     return 1;
@@ -74,7 +74,7 @@ int main() {
   runtime::Instance inst2(0, &prog2);
   if (!inst2.Init().ok() || !Load(inst2, kVms, kHosts, 99).ok()) return 1;
   inst2.set_solve_options(opts);
-  auto out2 = inst2.InvokeSolver();
+  auto out2 = inst2.Solve();
   if (!out2.ok()) {
     printf("%s\n", out2.status().ToString().c_str());
     return 1;

@@ -39,7 +39,7 @@ Result<double> RunPolicy(const std::string& extra_rules) {
   runtime::SolveOptions o = inst.solve_options();
   o.time_limit_ms = 1000;
   inst.set_solve_options(o);
-  COLOGNE_ASSIGN_OR_RETURN(out, inst.InvokeSolver());
+  COLOGNE_ASSIGN_OR_RETURN(out, inst.Solve());
   if (!out.has_solution()) return Status::SolverError("no solution");
   return out.objective;
 }

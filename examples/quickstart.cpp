@@ -58,7 +58,7 @@ int main() {
 
   // 3. invokeSolver: build the constraint network, run branch-and-bound,
   //    materialize the optimization output back into engine tables.
-  auto out = instance.InvokeSolver();
+  auto out = instance.Solve();
   if (!out.ok()) {
     printf("solve error: %s\n", out.status().ToString().c_str());
     return 1;

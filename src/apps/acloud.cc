@@ -202,7 +202,7 @@ Result<int> ACloudScenario::RunCologne(int dc, runtime::Instance* inst,
 
   if (movable.empty()) return 0;
 
-  COLOGNE_ASSIGN_OR_RETURN(out, inst->InvokeSolver());
+  COLOGNE_ASSIGN_OR_RETURN(out, inst->Solve(MakeSolveRequest(config_, 0)));
   // Per-solve trace for diagnosing replay regressions (set ACLOUD_DEBUG=1).
   if (getenv("ACLOUD_DEBUG") != nullptr) {
     fprintf(stderr,
@@ -276,9 +276,8 @@ Result<std::vector<ACloudInterval>> ACloudScenario::Run(ACloudPolicy policy) {
       COLOGNE_RETURN_IF_ERROR(inst->Init());
       // Read-modify-write so program-declared SOLVER_* knobs survive
       // (the config fields below still win where set).
-      runtime::SolveOptions opts = inst->solve_options();
-      opts.time_limit_ms = config_.solver_time_ms;
-      opts.backend = config_.solver_backend;
+      runtime::SolveOptions opts = OverlaySolveOptions(
+          config_, inst->solve_options(), config_.solver_time_ms);
       opts.num_workers = config_.solver_workers;
       opts.seed = config_.solver_seed;
       opts.warm_start = config_.solver_warm_start;

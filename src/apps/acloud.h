@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/common_config.h"
 #include "apps/trace.h"
 #include "colog/planner.h"
 #include "common/status.h"
@@ -30,7 +31,15 @@ const char* ACloudPolicyName(ACloudPolicy p);
 /// 4-hour replay completes in bench time: 3 data centers, 4 VM hosts each
 /// (the paper's 5th host per DC is a storage server and hosts no VMs),
 /// 10-minute COP interval, VMs below 20 % CPU excluded from the vm table.
-struct ACloudConfig {
+/// The solver/observability knobs shared by every driver live in the
+/// CommonConfig base (the network-transport ones are unused here — this
+/// driver replays a trace against standalone instances, no simulated net).
+/// CommonConfig::solver_backend replaces the historical solver::Backend
+/// enum field: empty keeps the program default (branch-and-bound);
+/// bench_fig2_3_acloud sets the spelled-out names.
+struct ACloudConfig : CommonConfig {
+  ACloudConfig() { seed = 7; }
+
   int num_dcs = 3;
   int hosts_per_dc = 4;
   int vms_per_host = 15;  ///< Preallocated migratable VMs per host.
@@ -44,14 +53,11 @@ struct ACloudConfig {
   double heuristic_ratio = 1.05;
   int max_migrates = 3;        ///< Per DC per interval, ACloud (M) only.
   double solver_time_ms = 1500;
-  /// Search backend per COP execution (compared by bench_fig2_3_acloud).
-  solver::Backend solver_backend = solver::Backend::kBranchAndBound;
   /// Worker threads for the concurrent backends (portfolio / parallel_lns).
   int solver_workers = 1;
   uint64_t solver_seed = 0x10C5;
   /// Reuse each DC's previous placement as a warm start for the next solve.
   bool solver_warm_start = true;
-  uint64_t seed = 7;
   TraceConfig trace;
   // --- Fault injection -------------------------------------------------------
   /// DC whose Cologne instance crashes mid-replay (-1 = no crash). While
@@ -65,11 +71,9 @@ struct ACloudConfig {
   /// Keep the warm-start cache across the crash (both paths are tested).
   bool crash_retain_warm_start = false;
   /// Record invokeSolver outcomes + crash/restart transitions (optional).
+  /// CommonConfig::obs_metrics additionally folds per-interval `metrics`
+  /// snapshots + solve provenance into this trace.
   runtime::TraceRecorder* solve_trace = nullptr;
-  /// Deterministic observability for the Cologne policies: per-interval
-  /// `metrics` trace snapshots + solve provenance (needs solve_trace for
-  /// the snapshots to land anywhere).
-  bool obs_metrics = false;
 };
 
 /// Per-interval measurements (one row of Figures 2 and 3).

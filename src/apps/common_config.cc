@@ -1,0 +1,41 @@
+#include "apps/common_config.h"
+
+namespace cologne::apps {
+
+runtime::System::Options MakeSystemOptions(const CommonConfig& config) {
+  runtime::System::Options opts;
+  opts.seed = config.seed;
+  opts.net_reliable = config.net_reliable;
+  opts.obs_metrics = config.obs_metrics;
+  opts.default_link.drop_prob = config.link_loss_prob;
+  return opts;
+}
+
+runtime::SolveOptions OverlaySolveOptions(const CommonConfig& config,
+                                          runtime::SolveOptions base,
+                                          double time_limit_ms) {
+  if (time_limit_ms >= 0) base.time_limit_ms = time_limit_ms;
+  if (!config.solver_backend.empty()) {
+    (void)solver::ParseBackend(config.solver_backend, &base.backend);
+  }
+  if (config.solver_max_iterations > 0) {
+    base.max_iterations = config.solver_max_iterations;
+  }
+  if (config.solver_incremental) base.incremental = true;
+  return base;
+}
+
+runtime::SolveRequest MakeSolveRequest(const CommonConfig& config,
+                                       int batched_prefix) {
+  runtime::SolveRequest req;
+  if (config.solver_incremental) {
+    req.mode = runtime::SolveMode::kIncremental;
+    req.group_key_prefix = batched_prefix;
+  } else if (config.batch_links) {
+    req.mode = runtime::SolveMode::kBatched;
+    req.group_key_prefix = batched_prefix;
+  }
+  return req;
+}
+
+}  // namespace cologne::apps

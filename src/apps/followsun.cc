@@ -38,13 +38,8 @@ Result<FtsResult> FollowTheSunScenario::Run() {
   Rng rng(config_.seed);
 
   // ---- Topology: ring + random chords up to the target average degree -----
-  runtime::System::Options sopts;
-  sopts.seed = config_.seed;
-  sopts.net_reliable = config_.net_reliable;
-  sopts.obs_metrics = config_.obs_metrics;
-  sopts.default_link.drop_prob = config_.link_loss_prob;
   sys_ = std::make_unique<runtime::System>(&prog_, static_cast<size_t>(n),
-                                           sopts);
+                                           MakeSystemOptions(config_));
   COLOGNE_RETURN_IF_ERROR(sys_->Init());
   if (config_.trace != nullptr) {
     config_.trace->Header("followsun", config_.seed, config_.fault_plan);
@@ -260,20 +255,14 @@ Result<FtsResult> FollowTheSunScenario::Run() {
             }
             runtime::Instance& inst = sys_->node(init);
             // Read-modify-write so program-declared SOLVER_* knobs survive.
-            runtime::SolveOptions o = inst.solve_options();
-            o.time_limit_ms = config_.solver_time_ms;
-            if (!config_.solver_backend.empty()) {
-              (void)solver::ParseBackend(config_.solver_backend, &o.backend);
-            }
-            if (config_.solver_max_iterations > 0) {
-              o.max_iterations = config_.solver_max_iterations;
-            }
-            inst.set_solve_options(o);
+            inst.set_solve_options(OverlaySolveOptions(
+                config_, inst.solve_options(), config_.solver_time_ms));
             // Batched: one model covering every link of the batch, grouped
             // per (X, Y) link prefix of the migVm key for per-link LNS
             // neighborhoods.
-            auto out = config_.batch_links ? inst.InvokeSolverBatched(2)
-                                           : inst.InvokeSolver();
+            runtime::SolveRequest req = MakeSolveRequest(config_, 2);
+            req.changed_tables = inst.touched_tables();
+            auto out = inst.Solve(req);
             if (!out.ok()) {
               if (faulty) {
                 requeue_all();

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "apps/common_config.h"
 #include "colog/planner.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -21,7 +22,11 @@ namespace cologne::apps {
 /// Experimental knobs, defaulting to the paper's Section 6.3 workload:
 /// degree-3 random topology, capacity 60, demands 0-10, communication cost
 /// 50-100, migration cost 10-20, operating cost 10, 5 s negotiation timer.
-struct FtsConfig {
+/// The transport/observability/solver knobs shared by every driver live in
+/// the CommonConfig base.
+struct FtsConfig : CommonConfig {
+  FtsConfig() { seed = 11; }
+
   int num_dcs = 6;
   int avg_degree = 3;
   int capacity = 60;
@@ -36,7 +41,6 @@ struct FtsConfig {
   double solver_time_ms = 500;
   bool migration_limit = false;  ///< Adds d11/c3 (<= max_migrates per link).
   int max_migrates = 20;
-  uint64_t seed = 11;
   /// Injected faults (empty = the happy path). Applied after the workload
   /// facts have shipped, so window/crash times are negotiation-phase times.
   net::FaultPlan fault_plan;
@@ -56,34 +60,6 @@ struct FtsConfig {
   /// under churn, later clean passes repair loss-induced divergence). 0 =
   /// single-pass behavior.
   int converge_sweeps = 4;
-  /// Carry all traffic over the retransmission/FIFO reliable transport
-  /// (net/reliable_channel.h). Loss then no longer causes divergence, so
-  /// the driver-level anti-entropy sweeps (per-sweep inventory refresh +
-  /// System::ResyncNode) are retired on reliable runs.
-  bool net_reliable = false;
-  /// Deterministic observability: metrics registry + per-round `metrics`
-  /// trace snapshots + solve provenance (see docs/observability.md). The
-  /// program-level `param OBS_METRICS = 1` knob also enables it.
-  bool obs_metrics = false;
-  /// Uniform per-message drop probability on every link (the 5% / 20% soak
-  /// loss knob; composes with fault-plan loss windows).
-  double link_loss_prob = 0;
-  /// Batch per-link solves: each round a node aggregates all its claimable
-  /// incident links into ONE batched model solve (compiled with the summed
-  /// outflow rule d0; solver decision groups per link) instead of
-  /// negotiating one link per round. This is the per-node solver sharding
-  /// the paper's scalability story relies on.
-  bool batch_links = false;
-  /// Cap on links per batched solve; 0 = unlimited (all incident links).
-  int max_link_batch = 0;
-  /// Override the program's SOLVER_BACKEND for the per-round solves
-  /// ("bnb", "lns", "portfolio", "parallel_lns"); empty keeps the program
-  /// default. Large batched models want "lns".
-  std::string solver_backend;
-  /// Deterministic improvement budget forwarded to SolveOptions::
-  /// max_iterations (0 = wall-clock bounded). Scaled soaks set this (with
-  /// solver_time_ms = 0, unlimited) so traces stay wall-clock independent.
-  uint64_t solver_max_iterations = 0;
 };
 
 /// One point of the Figure 4 series.

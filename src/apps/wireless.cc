@@ -148,10 +148,9 @@ Result<ChannelAssignment> WirelessScenario::RunCentralized() {
   COLOGNE_RETURN_IF_ERROR(eng.Flush());
 
   // Read-modify-write so program-declared SOLVER_* knobs survive.
-  runtime::SolveOptions opts = inst.solve_options();
-  opts.time_limit_ms = config_.solver_time_ms;
-  inst.set_solve_options(opts);
-  COLOGNE_ASSIGN_OR_RETURN(out, inst.InvokeSolver());
+  inst.set_solve_options(OverlaySolveOptions(config_, inst.solve_options(),
+                                             config_.solver_time_ms));
+  COLOGNE_ASSIGN_OR_RETURN(out, inst.Solve(MakeSolveRequest(config_, 0)));
   if (!out.has_solution()) {
     return Status::SolverError("centralized channel selection infeasible");
   }
@@ -176,12 +175,8 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
   if (!compiled.ok()) return compiled.status();
   colog::CompiledProgram prog = std::move(compiled).value();
 
-  runtime::System::Options sopts;
-  sopts.seed = config_.seed;
-  sopts.net_reliable = config_.net_reliable;
-  sopts.obs_metrics = config_.obs_metrics;
-  sopts.default_link.drop_prob = config_.link_loss_prob;
-  runtime::System sys(&prog, static_cast<size_t>(num_nodes()), sopts);
+  runtime::System sys(&prog, static_cast<size_t>(num_nodes()),
+                      MakeSystemOptions(config_));
   COLOGNE_RETURN_IF_ERROR(sys.Init());
   if (config_.trace != nullptr) {
     config_.trace->Header("wireless_distributed", config_.seed,
@@ -288,18 +283,12 @@ Result<ChannelAssignment> WirelessScenario::RunDistributed() {
               return;
             }
             runtime::Instance& inst = sys.node(init);
-            runtime::SolveOptions o = inst.solve_options();
-            o.time_limit_ms = config_.link_solve_ms;
-            if (!config_.solver_backend.empty()) {
-              (void)solver::ParseBackend(config_.solver_backend, &o.backend);
-            }
-            if (config_.solver_max_iterations > 0) {
-              o.max_iterations = config_.solver_max_iterations;
-            }
-            inst.set_solve_options(o);
+            inst.set_solve_options(OverlaySolveOptions(
+                config_, inst.solve_options(), config_.link_solve_ms));
             // Batched: decision groups per (X, Y) assign-key prefix.
-            auto out = config_.batch_links ? inst.InvokeSolverBatched(2)
-                                           : inst.InvokeSolver();
+            runtime::SolveRequest req = MakeSolveRequest(config_, 2);
+            req.changed_tables = inst.touched_tables();
+            auto out = inst.Solve(req);
             if (!out.ok()) {
               if (faulty) {
                 requeue_all();

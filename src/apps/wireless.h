@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "apps/common_config.h"
 #include "colog/planner.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -30,8 +31,12 @@ enum class WirelessProtocol {
 const char* WirelessProtocolName(WirelessProtocol p);
 
 /// Scenario shape; defaults mirror the ORBIT deployment (30 nodes, 8 m x 5 m
-/// grid, two 802.11 interfaces per node).
-struct WirelessConfig {
+/// grid, two 802.11 interfaces per node). The transport/observability/solver
+/// knobs shared by every driver live in the CommonConfig base (distributed
+/// protocols only — the centralized COP runs a single standalone instance).
+struct WirelessConfig : CommonConfig {
+  WirelessConfig() { seed = 3; }
+
   int grid_w = 6;
   int grid_h = 5;
   int num_channels = 8;
@@ -45,33 +50,12 @@ struct WirelessConfig {
   double round_period_s = 5.0;
   double solver_time_ms = 4000;      ///< Centralized COP budget.
   double link_solve_ms = 200;        ///< Per-link COP budget (distributed).
-  uint64_t seed = 3;
   /// Injected faults for the distributed protocols (empty = happy path).
   net::FaultPlan fault_plan;
   /// Record deliveries/drops/faults/solves of distributed runs (optional).
   runtime::TraceRecorder* trace = nullptr;
   /// Negotiation-round cap for distributed runs; 0 = auto (3x links + 8).
   int max_rounds = 0;
-  /// Carry distributed-run traffic over the retransmission/FIFO reliable
-  /// transport (net/reliable_channel.h).
-  bool net_reliable = false;
-  /// Deterministic observability: metrics registry + per-round `metrics`
-  /// trace snapshots + solve provenance (distributed runs only).
-  bool obs_metrics = false;
-  /// Uniform per-message drop probability on every link of distributed runs.
-  double link_loss_prob = 0;
-  /// Batch per-link solves: an initiator aggregates all its claimable
-  /// incident links into one batched model solve per round (program variant
-  /// with the intra-batch interference rule d1b; solver decision groups per
-  /// link).
-  bool batch_links = false;
-  /// Cap on links per batched solve; 0 = unlimited.
-  int max_link_batch = 0;
-  /// Override SOLVER_BACKEND for distributed per-round solves; empty keeps
-  /// the program default.
-  std::string solver_backend;
-  /// Deterministic improvement budget (SolveOptions::max_iterations).
-  uint64_t solver_max_iterations = 0;
 };
 
 /// An undirected link (a < b).

@@ -226,7 +226,8 @@ Result<std::vector<Token>> Lex(const std::string& src) {
 bool IsSolverKnobName(const std::string& name) {
   return name == "SOLVER_MAX_TIME" || name == "SOLVER_BACKEND" ||
          name == "SOLVER_SEED" || name == "SOLVER_RESTARTS" ||
-         name == "SOLVER_WORKERS" || name == "NET_RELIABLE" ||
+         name == "SOLVER_WORKERS" || name == "SOLVER_INCREMENTAL" ||
+         name == "SOLVER_INCR_THRESHOLD" || name == "NET_RELIABLE" ||
          name == "OBS_METRICS";
 }
 

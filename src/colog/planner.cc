@@ -286,6 +286,23 @@ Status ExtractSolverKnobs(const std::map<std::string, Value>& params,
       knobs->workers = static_cast<uint64_t>(value.as_int());
       continue;
     }
+    if (name == "SOLVER_INCREMENTAL") {
+      if (!value.is_int() || (value.as_int() != 0 && value.as_int() != 1)) {
+        return Status(Status::PlanError(
+            "SOLVER_INCREMENTAL must be 0 or 1, got " + value.ToString()));
+      }
+      knobs->incremental = value.as_int() == 1;
+      continue;
+    }
+    if (name == "SOLVER_INCR_THRESHOLD") {
+      if (!value.is_int() || value.as_int() < 0 || value.as_int() > 100) {
+        return Status(Status::PlanError(
+            "SOLVER_INCR_THRESHOLD must be an integer in [0, 100], got " +
+            value.ToString()));
+      }
+      knobs->incr_threshold_pct = static_cast<uint64_t>(value.as_int());
+      continue;
+    }
     if (name == "SOLVER_MAX_TIME") {
       if (!value.is_numeric() || value.as_double() <= 0) {
         return Status(Status::PlanError(

@@ -70,6 +70,14 @@ struct SolverKnobsIR {
   /// registry, per-round `metrics` trace snapshots, and per-group solve
   /// provenance in `solve` trace events. 0 or 1.
   std::optional<bool> obs_metrics;
+  /// SOLVER_INCREMENTAL: incremental re-solve on fact deltas — fingerprint
+  /// the compiled model per decision group, pin clean groups to the
+  /// previous incumbent and focus search on the dirty ones. 0 or 1.
+  std::optional<bool> incremental;
+  /// SOLVER_INCR_THRESHOLD: staleness threshold of the incremental path —
+  /// fall back to a cold solve when strictly more than this percentage of
+  /// decision groups changed fingerprint. 0..100.
+  std::optional<uint64_t> incr_threshold_pct;
 };
 
 /// Per-class rule counts (reported by the Table 2 benchmark).

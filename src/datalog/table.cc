@@ -6,6 +6,18 @@ namespace cologne::datalog {
 
 const std::vector<Row> Table::kEmpty;
 
+namespace {
+// splitmix64 finalizer: XOR-combining raw row hashes would let near-identical
+// rows cancel; mixing first makes the combined hash behave like a random
+// function of the row set.
+uint64_t MixRowHash(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+}  // namespace
+
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {}
 
 Row Table::KeyOf(const Row& row) const {
@@ -16,7 +28,9 @@ Row Table::KeyOf(const Row& row) const {
 }
 
 void Table::IndexAdd(const Row& row) {
-  visible_[row] = true;
+  if (visible_.insert({row, true}).second) {
+    content_hash_ ^= MixRowHash(HashRow(row));
+  }
   scan_dirty_ = true;
   if (schema_.keyed()) by_key_[KeyOf(row)] = row;
   for (auto& [cols, index] : indexes_) {
@@ -28,7 +42,7 @@ void Table::IndexAdd(const Row& row) {
 }
 
 void Table::IndexRemove(const Row& row) {
-  visible_.erase(row);
+  if (visible_.erase(row) > 0) content_hash_ ^= MixRowHash(HashRow(row));
   scan_dirty_ = true;
   if (schema_.keyed()) {
     auto it = by_key_.find(KeyOf(row));

@@ -69,6 +69,14 @@ class Table {
   /// Number of visible rows.
   size_t size() const { return visible_.size(); }
 
+  /// Order-independent hash of the visible row set, maintained in O(1) per
+  /// visibility transition: equal hashes mean equal content regardless of
+  /// the operation history that produced it (journal replay, network deltas,
+  /// primary-key replacement all converge). The solver bridge compares these
+  /// across solves to prove its inputs unchanged and reuse the previous
+  /// model wholesale (SOLVER_INCREMENTAL).
+  uint64_t ContentHash() const { return content_hash_; }
+
   /// Snapshot of visible rows (sorted for deterministic iteration).
   std::vector<Row> Rows() const;
 
@@ -95,6 +103,7 @@ class Table {
   void IndexRemove(const Row& row);
 
   TableSchema schema_;
+  uint64_t content_hash_ = 0;  // XOR of mixed per-row hashes (visible set)
   std::unordered_map<Row, int64_t, RowHasher> counts_;  // derivation counts
   // Visible rows in deterministic order.
   std::map<Row, bool> visible_;

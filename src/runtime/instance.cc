@@ -6,6 +6,33 @@
 
 namespace cologne::runtime {
 
+namespace {
+
+// Compatibility key of the whole-solve reuse path: every knob that feeds the
+// model build or the search must match between the cached solve and the
+// request, or identical inputs no longer imply an identical output.
+uint64_t ReuseOptionsKey(const SolveOptions& o, int group_key_prefix) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(o.time_limit_ms * 1000.0));
+  mix(o.node_limit);
+  mix(static_cast<uint64_t>(o.backend));
+  mix(o.seed);
+  mix(o.restart_base_nodes);
+  mix(static_cast<uint64_t>(o.num_workers));
+  mix(o.max_iterations);
+  mix(static_cast<uint64_t>(group_key_prefix));
+  mix(o.warm_start ? 1u : 0u);
+  mix(o.record_provenance ? 1u : 0u);
+  mix(static_cast<uint64_t>(o.incr_threshold_pct));
+  return h;
+}
+
+}  // namespace
+
 Status Instance::InitEngine() {
   for (const auto& [name, schema] : program_->tables) {
     COLOGNE_RETURN_IF_ERROR(engine_.DeclareTable(schema));
@@ -28,6 +55,13 @@ Status Instance::ApplyFact(const std::string& table, Row row, int sign) {
                                 " is crashed; fact rejected");
   }
   COLOGNE_RETURN_IF_ERROR(engine_.Apply(table, row, sign));
+  // Mark the table dirty for the next solve's advisory delta hint (sorted
+  // insert keeps the hint deterministic regardless of fact order).
+  auto it = std::lower_bound(touched_tables_.begin(), touched_tables_.end(),
+                             table);
+  if (it == touched_tables_.end() || *it != table) {
+    touched_tables_.insert(it, table);
+  }
   base_log_.push_back(BaseFact{table, std::move(row), sign});
   return Status::OK();
 }
@@ -62,7 +96,7 @@ Status Instance::Restart(bool retain_warm_start) {
   }
   crashed_ = false;
   ++epoch_;
-  if (!retain_warm_start) warm_cache_.clear();
+  if (!retain_warm_start) reset_warm_start();
   // Crash() already rebuilt a declared-empty engine; keep it and let the
   // caller re-install the sender before replaying the journal.
   return Status::OK();
@@ -83,16 +117,7 @@ Status Instance::ReplayBaseFacts() {
   return Status::OK();
 }
 
-Result<SolveOutput> Instance::InvokeSolver() {
-  return RunSolve(solve_options_, /*group_key_prefix=*/0);
-}
-
-Result<SolveOutput> Instance::InvokeSolverBatched(int group_key_prefix) {
-  return RunSolve(solve_options_, group_key_prefix);
-}
-
-Result<SolveOutput> Instance::RunSolve(const SolveOptions& options,
-                                       int group_key_prefix) {
+Result<SolveOutput> Instance::Solve(const SolveRequest& request) {
   if (crashed_) {
     if (trace_ != nullptr) {
       trace_->Solve(id_, "down", false, 0, 0, 0, false);
@@ -101,16 +126,80 @@ Result<SolveOutput> Instance::RunSolve(const SolveOptions& options,
     return Status::RuntimeError("node " + std::to_string(id_) +
                                 " is crashed; solver unavailable");
   }
-  SolveOptions opts = options;
+  SolveOptions opts = solve_options_;
   // Provenance rides the same knob as the metrics stream: recording it
   // without a sink would pay the bookkeeping for nothing, and the `prov`
   // trace field must stay absent when OBS_METRICS is off.
   if (metrics_ != nullptr) opts.record_provenance = true;
+  const int group_key_prefix =
+      request.mode == SolveMode::kFull ? 0 : request.group_key_prefix;
+  // kIncremental forces the delta path; any mode gets it when the program's
+  // SOLVER_INCREMENTAL knob (or the caller's solve options) turned it on.
+  if (request.mode == SolveMode::kIncremental) opts.incremental = true;
+  IncrementalState* incr = opts.incremental ? &incr_state_ : nullptr;
+
+  // Whole-solve reuse: when every table the model build reads is
+  // content-unchanged since the previous incremental solve (and the solve
+  // knobs are identical), the deterministic pipeline would reproduce the
+  // cached output bit for bit — serve it and skip the model build, search,
+  // and writeback entirely. This is the steady state of the periodic
+  // re-solve loop: a fact delta perturbs one node's inputs, and every other
+  // node's re-solve is a content-hash check.
+  const uint64_t reuse_key = ReuseOptionsKey(opts, group_key_prefix);
+  if (incr != nullptr && incr->reusable &&
+      incr->reuse_options_key == reuse_key) {
+    bool unchanged = true;
+    for (const auto& [name, hash] : incr->input_hashes) {
+      const datalog::Table* t = engine_.GetTable(name);
+      if ((t == nullptr ? 0 : t->ContentHash()) != hash) {
+        unchanged = false;
+        break;
+      }
+    }
+    if (unchanged) {
+      SolveOutput out = incr->last_output;
+      out.warm_started = true;
+      out.incr_dirty = 0;
+      out.incr_clean =
+          static_cast<int>(out.model_groups > 0 ? out.model_groups : 1);
+      out.incr_fallback = false;
+      out.incr_reused = true;
+      out.stats = solver::SolveStats{};  // no search ran
+      ++solve_count_;
+      // The advisory window closes: this solve consumed (and dismissed)
+      // the journal's deltas by proving them outside the model's inputs.
+      touched_tables_.clear();
+      if (metrics_ != nullptr) {
+        obs::MetricsRegistry& m = *metrics_;
+        m.Add("solve.count");
+        m.Add("solve.warm");
+        m.Add("solve.incr");
+        m.Add("solve.incr.reused");
+        m.Add("solve.incr.dirty", 0);
+        m.Observe("solve.nodes", 0);
+      }
+      if (trace_ != nullptr) {
+        TraceRecorder::SolveIncr incr_trace;
+        incr_trace.dirty = 0;
+        incr_trace.clean = out.incr_clean;
+        incr_trace.fallback = false;
+        incr_trace.reused = true;
+        trace_->Solve(id_, solver::SolveStatusName(out.status),
+                      out.has_objective, out.objective, out.model_vars,
+                      out.model_groups, out.warm_started,
+                      out.provenance.empty() ? nullptr : &out.provenance,
+                      &incr_trace);
+      }
+      return out;
+    }
+  }
+
   SolverBridge bridge(program_, &engine_);
   COLOGNE_ASSIGN_OR_RETURN(
       out, group_key_prefix > 0
-               ? bridge.SolveBatched(opts, group_key_prefix, &warm_cache_)
-               : bridge.Solve(opts, &warm_cache_));
+               ? bridge.SolveBatched(opts, group_key_prefix, &warm_cache_,
+                                     incr)
+               : bridge.Solve(opts, &warm_cache_, incr));
   ++solve_count_;
   total_solve_ms_ += out.stats.wall_ms;
   if (metrics_ != nullptr) {
@@ -125,6 +214,10 @@ Result<SolveOutput> Instance::RunSolve(const SolveOptions& options,
       m.Add("lns.accepted", out.stats.lns_accepted);
     }
     if (out.warm_started) m.Add("solve.warm");
+    if (out.incr_dirty >= 0) {
+      m.Add(out.incr_fallback ? "solve.incr.fallback" : "solve.incr");
+      m.Add("solve.incr.dirty", static_cast<uint64_t>(out.incr_dirty));
+    }
     for (const auto& [kind, count] : out.stats.propagations_by_kind) {
       m.Add("prop." + kind, count);
     }
@@ -136,12 +229,38 @@ Result<SolveOutput> Instance::RunSolve(const SolveOptions& options,
     // previous row's effect (see Writeback).
     COLOGNE_RETURN_IF_ERROR(
         Writeback(out.tables, /*flush_per_delta=*/group_key_prefix > 0));
+    // The journal's advisory dirty-table window closes with the solve that
+    // consumed it.
+    touched_tables_.clear();
+    // Whole-solve reuse snapshot, taken after the writeback flush so that
+    // "current hash == snapshot hash" means the engine already sits at this
+    // solve's post-writeback fixed point. Var tables and derived solver
+    // tables are part of the input set, so a crash/restart (which replays
+    // base facts but not solver output) hashes differently and correctly
+    // rejects reuse.
+    if (incr != nullptr) {
+      incr->input_hashes.clear();
+      for (const std::string& name : SolverInputTables(*program_)) {
+        const datalog::Table* t = engine_.GetTable(name);
+        incr->input_hashes[name] = t == nullptr ? 0 : t->ContentHash();
+      }
+      incr->reuse_options_key = reuse_key;
+      incr->last_output = out;
+      incr->reusable = true;
+    }
   }
   if (trace_ != nullptr) {
+    TraceRecorder::SolveIncr incr_trace;
+    if (out.incr_dirty >= 0) {
+      incr_trace.dirty = out.incr_dirty;
+      incr_trace.clean = out.incr_clean;
+      incr_trace.fallback = out.incr_fallback;
+    }
     trace_->Solve(id_, solver::SolveStatusName(out.status), out.has_objective,
                   out.objective, out.model_vars, out.model_groups,
                   out.warm_started,
-                  out.provenance.empty() ? nullptr : &out.provenance);
+                  out.provenance.empty() ? nullptr : &out.provenance,
+                  out.incr_dirty >= 0 ? &incr_trace : nullptr);
   }
   return out;
 }

@@ -82,14 +82,31 @@ class Instance {
   /// Run one COP execution (the paper's invokeSolver event): build the
   /// model from current engine state, search, write back the optimization
   /// output, and flush downstream rules. Fails when the node is crashed.
-  Result<SolveOutput> InvokeSolver();
+  ///
+  /// The single solve entry point. `request.mode` selects the shape:
+  /// kFull is one ungrouped model; kBatched partitions var rows into
+  /// per-unit decision groups by `request.group_key_prefix` key columns
+  /// (the scenario drivers aggregate a node's incident links this way);
+  /// kIncremental adds the fact-delta fingerprint path on top of the
+  /// grouping, independent of the SOLVER_INCREMENTAL knob (which enables
+  /// the same path for every mode).
+  Result<SolveOutput> Solve(const SolveRequest& request = SolveRequest{});
 
-  /// Batched invokeSolver: one solve covering every negotiation unit in the
-  /// current engine state, with var rows grouped into per-unit decision
-  /// groups by `group_key_prefix` key columns (see SolverBridge::
-  /// SolveBatched). The scenario drivers use this to aggregate a node's
-  /// incident links into a single model solve per round.
-  Result<SolveOutput> InvokeSolverBatched(int group_key_prefix);
+  /// Deprecated pre-SolveRequest entry point; use Solve().
+  [[deprecated("use Solve(SolveRequest{})")]]
+  Result<SolveOutput> InvokeSolver() {
+    return Solve(SolveRequest{});
+  }
+
+  /// Deprecated pre-SolveRequest batched entry point; use Solve() with
+  /// mode = SolveMode::kBatched.
+  [[deprecated("use Solve(SolveRequest{.mode = SolveMode::kBatched, ...})")]]
+  Result<SolveOutput> InvokeSolverBatched(int group_key_prefix) {
+    SolveRequest req;
+    req.mode = SolveMode::kBatched;
+    req.group_key_prefix = group_key_prefix;
+    return Solve(req);
+  }
 
   /// Per-solve knobs (SOLVER_MAX_TIME, SOLVER_BACKEND, SOLVER_SEED, ...).
   /// Init() seeds these from the program's `param SOLVER_*` knobs; an
@@ -98,11 +115,28 @@ class Instance {
   const SolveOptions& solve_options() const { return solve_options_; }
 
   /// Cached last solution per var-table row, used to warm-start the next
-  /// InvokeSolver (cleared with reset_warm_start()). The mutable overload
-  /// exposes tuning (e.g. WarmStartCache::max_idle_solves).
+  /// solve (cleared with reset_warm_start()). The mutable overload exposes
+  /// tuning (e.g. WarmStartCache::max_idle_solves).
   const WarmStartCache& warm_start_cache() const { return warm_cache_; }
   WarmStartCache& warm_start_cache() { return warm_cache_; }
-  void reset_warm_start() { warm_cache_.clear(); }
+  /// Clears the incremental fingerprints too: they describe the model whose
+  /// incumbent the cache held, so they cannot outlive it.
+  void reset_warm_start() {
+    warm_cache_.clear();
+    incr_state_.clear();
+  }
+
+  /// Cross-solve fingerprint state of the incremental path (read-only; the
+  /// tests assert stability across journal replay and crash/restart).
+  const IncrementalState& incremental_state() const { return incr_state_; }
+
+  /// Base-fact tables the journal touched since the last completed solve —
+  /// the advisory delta hint for callers assembling a SolveRequest.
+  /// Fingerprints stay authoritative: network-delivered deltas bypass the
+  /// local journal.
+  const std::vector<std::string>& touched_tables() const {
+    return touched_tables_;
+  }
 
   /// Trace sink for invokeSolver outcomes (deterministic fields only).
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
@@ -114,7 +148,7 @@ class Instance {
   /// solve path is then byte-for-byte the pre-observability one).
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
-  /// Cumulative number of InvokeSolver calls.
+  /// Cumulative number of Solve calls (reused solves included).
   uint64_t solve_count() const { return solve_count_; }
   /// Wall-clock milliseconds spent inside the solver across all calls.
   double total_solve_ms() const { return total_solve_ms_; }
@@ -125,11 +159,6 @@ class Instance {
   }
   /// Declare tables + install rules on a fresh engine (Init and Restart).
   Status InitEngine();
-  /// Shared body of InvokeSolver / InvokeSolverBatched; a positive
-  /// `group_key_prefix` routes through SolverBridge::SolveBatched and
-  /// makes the writeback flush per delta.
-  Result<SolveOutput> RunSolve(const SolveOptions& options,
-                               int group_key_prefix);
   /// Materialize solver output as engine deltas. `flush_per_delta` runs the
   /// incremental fixpoint after every inserted row instead of once at the
   /// end: batched solves write several migVm rows that address the same
@@ -150,6 +179,14 @@ class Instance {
   datalog::Engine engine_;
   SolveOptions solve_options_;
   WarmStartCache warm_cache_;
+  /// Per-decision-group model fingerprints of the last cache-refreshing
+  /// solve (the incremental path's clean/dirty baseline). Survives
+  /// crash/restart alongside the warm cache — journal replay rebuilds the
+  /// same model, so the fingerprints still classify correctly.
+  IncrementalState incr_state_;
+  /// Tables touched by the journal since the last completed solve (sorted,
+  /// deduplicated); the advisory SolveRequest::changed_tables default.
+  std::vector<std::string> touched_tables_;
   /// Rows this node wrote to each solver output table on the previous solve
   /// (sorted, deduplicated) — the diff base for replacement.
   std::map<std::string, std::vector<Row>> owned_rows_;

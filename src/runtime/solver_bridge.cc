@@ -859,6 +859,100 @@ std::vector<SolveProvGroup> BuildProvenance(
   return out;
 }
 
+// ---- Incremental fingerprints (ISSUE 7) ------------------------------------
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (i * 8)) & 0xFF;
+    *h *= kFnvPrime;
+  }
+}
+
+void FnvMixStr(uint64_t* h, std::string_view s) {
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= kFnvPrime;
+  }
+  FnvMix(h, s.size());
+}
+
+// One 64-bit fingerprint per decision group (aligned with
+// model.decision_groups(); a single entry for an ungrouped model).
+//
+// The hash covers everything that determines the group's slice of the
+// search problem: its var rows (table, key, initial domains), every
+// propagator watching one of its variables — Propagator::DebugString()
+// renders variable ids and every constant the Colog rules baked into the
+// expression, so a changed base fact (a demand, a cost coefficient, a
+// neighbor's announced placement) changes the hash of exactly the
+// propagators it reached — and a model-global component folded into every
+// group: propagators that watch no grouped variable or couple several
+// groups (shared capacity sums, objective channeling) plus the objective
+// sense/variable. Variable ids are deterministic for a fixed row set; a
+// structural change (row added/removed) shifts later ids and conservatively
+// dirties the affected groups.
+std::vector<uint64_t> ComputeFingerprints(
+    const Model& model, const std::vector<BridgeEval::VarRow>& var_rows) {
+  const auto& groups = model.decision_groups();
+  const size_t ngroups = std::max<size_t>(groups.size(), 1);
+  std::vector<int32_t> group_of(model.num_vars(), -1);
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    for (IntVar v : groups[gi]) {
+      group_of[static_cast<size_t>(v.id)] = static_cast<int32_t>(gi);
+    }
+  }
+
+  std::vector<uint64_t> fp(ngroups, kFnvOffset);
+  uint64_t global = kFnvOffset;
+  auto target_of = [&](int32_t var_id) -> int32_t {
+    return group_of[static_cast<size_t>(var_id)];
+  };
+
+  for (const BridgeEval::VarRow& vr : var_rows) {
+    int32_t gi = vr.vars.empty() ? -1 : target_of(vr.vars[0].id);
+    uint64_t* h = gi >= 0 ? &fp[static_cast<size_t>(gi)] : &global;
+    FnvMixStr(h, *vr.table);
+    for (const Value& k : vr.key) FnvMixStr(h, k.ToString());
+    for (IntVar v : vr.vars) {
+      const auto& d = model.InitialDomain(v);
+      FnvMix(h, static_cast<uint64_t>(v.id));
+      FnvMix(h, static_cast<uint64_t>(d.min()));
+      FnvMix(h, static_cast<uint64_t>(d.max()));
+    }
+  }
+
+  std::vector<int32_t> seen;  // distinct groups watched by one propagator
+  for (const auto& p : model.propagators()) {
+    uint64_t h = kFnvOffset;
+    FnvMixStr(&h, p->DebugString());
+    seen.clear();
+    for (int32_t id : p->watched()) {
+      int32_t gi = target_of(id);
+      if (gi >= 0 &&
+          std::find(seen.begin(), seen.end(), gi) == seen.end()) {
+        seen.push_back(gi);
+      }
+    }
+    if (seen.size() == 1) {
+      FnvMix(&fp[static_cast<size_t>(seen[0])], h);
+    } else {
+      // No grouped watcher (pure auxiliary channeling) or a coupling
+      // propagator spanning groups: model-global either way.
+      FnvMix(&global, h);
+    }
+  }
+
+  if (model.sense() != solver::Sense::kSatisfy) {
+    FnvMix(&global, static_cast<uint64_t>(model.sense()));
+    FnvMix(&global, static_cast<uint64_t>(model.objective_var().id));
+  }
+  for (uint64_t& h : fp) FnvMix(&h, global);
+  return fp;
+}
+
 }  // namespace
 
 SolveOptions ResolveSolveOptions(const colog::CompiledProgram& program,
@@ -875,15 +969,38 @@ SolveOptions ResolveSolveOptions(const colog::CompiledProgram& program,
     base.restart_base_nodes = *knobs.restart_base_nodes;
   }
   if (knobs.workers) base.num_workers = static_cast<int>(*knobs.workers);
+  if (knobs.incremental) base.incremental = *knobs.incremental;
+  if (knobs.incr_threshold_pct) {
+    base.incr_threshold_pct = static_cast<int>(*knobs.incr_threshold_pct);
+  }
   return base;
 }
 
+std::vector<std::string> SolverInputTables(
+    const colog::CompiledProgram& program) {
+  std::set<std::string> names;
+  for (const colog::SolverRuleIR& rule : program.solver_rules) {
+    names.insert(rule.ir.head.table);
+    for (const datalog::AtomIR& atom : rule.ir.body) names.insert(atom.table);
+  }
+  for (const colog::VarDeclIR& decl : program.var_decls) {
+    names.insert(decl.var_table);
+    names.insert(decl.forall_table);
+  }
+  if (program.goal.present && !program.goal.table.empty()) {
+    names.insert(program.goal.table);
+  }
+  return {names.begin(), names.end()};
+}
+
 Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
-                                        WarmStartCache* warm_cache) const {
+                                        WarmStartCache* warm_cache,
+                                        IncrementalState* incr) const {
   SolveOutput out;
   out.backend = options.backend;
   out.seed = options.seed;
   Model model;
+  const bool incremental = options.incremental && incr != nullptr;
 
   // ---- Phase A: build the constraint network --------------------------------
   BridgeEval sym_eval(program_, engine_, &model);
@@ -929,7 +1046,7 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
     }
     for (auto& [prefix, vars] : groups) {
       // MarkGroup drops empty groups; keep the keys aligned with the model.
-      if (!vars.empty() && options.record_provenance) {
+      if (!vars.empty() && (options.record_provenance || incremental)) {
         group_keys.push_back(GroupKeyString(prefix));
       }
       model.MarkGroup(std::move(vars));
@@ -1002,6 +1119,53 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   }
   if (any_hint) sopts.warm_start = std::move(hints);
 
+  // ---- Incremental classification -------------------------------------------
+  // Fingerprint the model per decision group and compare against the
+  // previous solve: clean groups stay pinned to the warm incumbent, search
+  // focuses on the dirty ones. Falls back to a cold solve when there is
+  // nothing to compare against (first solve, post-crash, cache disabled),
+  // when no warm incumbent exists to pin to, or when more than
+  // incr_threshold_pct of the groups changed.
+  std::map<std::string, uint64_t> fp_map;
+  if (incremental) {
+    std::vector<uint64_t> fps = ComputeFingerprints(model, sym_eval.var_rows());
+    const size_t total = fps.size();
+    auto key_of = [&](size_t gi) {
+      return gi < group_keys.size() ? group_keys[gi] : std::string();
+    };
+    for (size_t gi = 0; gi < total; ++gi) fp_map[key_of(gi)] = fps[gi];
+
+    bool fallback = false;
+    std::vector<size_t> dirty;
+    if (!incr->valid || !out.warm_started) {
+      fallback = true;
+      out.incr_dirty = static_cast<int>(total);
+      out.incr_clean = 0;
+    } else {
+      for (size_t gi = 0; gi < total; ++gi) {
+        auto it = incr->fingerprints.find(key_of(gi));
+        if (it == incr->fingerprints.end() || it->second != fps[gi]) {
+          dirty.push_back(gi);
+        }
+      }
+      size_t vanished = 0;  // groups that existed last solve but not now
+      for (const auto& [key, fp] : incr->fingerprints) {
+        if (fp_map.find(key) == fp_map.end()) ++vanished;
+      }
+      out.incr_dirty = static_cast<int>(dirty.size());
+      out.incr_clean = static_cast<int>(total - dirty.size());
+      const size_t changes = dirty.size() + vanished;
+      const auto threshold =
+          static_cast<size_t>(std::max(options.incr_threshold_pct, 0));
+      if (changes * 100 > threshold * total) fallback = true;
+    }
+    out.incr_fallback = fallback;
+    if (!fallback) {
+      sopts.incremental = true;
+      sopts.focus_groups = std::move(dirty);
+    }
+  }
+
   solver::Solution sol = model.Solve(sopts);
   out.status = sol.status;
   out.stats = sol.stats;
@@ -1014,6 +1178,12 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   }
 
   if (use_cache) {
+    // Fingerprints refresh in lockstep with the cache: they describe the
+    // model whose incumbent the cache now holds.
+    if (incremental) {
+      incr->fingerprints = std::move(fp_map);
+      incr->valid = true;
+    }
     ++warm_cache->generation;
     for (const BridgeEval::VarRow& vr : sym_eval.var_rows()) {
       std::vector<int64_t> vals;

@@ -59,12 +59,53 @@ struct SolveOptions {
   /// Enabled by the runtime when OBS_METRICS is on; off by default so the
   /// pre-observability solve path (and its traces) is untouched.
   bool record_provenance = false;
+  /// Incremental re-solve on fact deltas (SOLVER_INCREMENTAL): fingerprint
+  /// the compiled model per decision group, compare against the previous
+  /// solve, pin the clean groups to the cached incumbent and focus search on
+  /// the dirty ones. Off by default; with it off the solve path (and its
+  /// traces) is byte-identical to the cold solver.
+  bool incremental = false;
+  /// Staleness threshold of the incremental path (SOLVER_INCR_THRESHOLD):
+  /// fall back to a cold solve when strictly more than this percentage of
+  /// decision groups changed fingerprint. 0 = any change falls back;
+  /// 100 = never fall back on account of volume.
+  int incr_threshold_pct = 50;
+};
+
+/// How Instance::Solve runs (SolveRequest::mode).
+enum class SolveMode : uint8_t {
+  kFull,         ///< One ungrouped model over every var-table row.
+  kBatched,      ///< Var rows grouped by key prefix (per-link neighborhoods).
+  kIncremental,  ///< kBatched + the fact-delta fingerprint path, regardless
+                 ///< of the SOLVER_INCREMENTAL knob.
+};
+
+/// \brief One solve request — the single entry point Instance::Solve takes
+/// (collapsing the historical InvokeSolver / InvokeSolverBatched pair).
+struct SolveRequest {
+  SolveMode mode = SolveMode::kFull;
+  /// Decision-group key prefix for kBatched/kIncremental (see
+  /// SolveOptions::group_key_prefix); ignored for kFull.
+  int group_key_prefix = 0;
+  /// Advisory delta hint: base-fact tables touched since the previous solve
+  /// (Instance::touched_tables() tracks them from the journal). Purely
+  /// informational — fingerprints stay authoritative, because deltas
+  /// arriving over the network bypass the local journal entirely.
+  std::vector<std::string> changed_tables;
 };
 
 /// Apply a compiled program's `param SOLVER_*` knobs on top of `base`.
 /// Knobs the program does not set keep their `base` values.
 SolveOptions ResolveSolveOptions(const colog::CompiledProgram& program,
                                  SolveOptions base);
+
+/// Engine tables whose contents determine the compiled model: every table a
+/// solver rule references (bodies and heads — heads included because in a
+/// distributed program a remote node's writeback can land deltas in a table
+/// this node also derives), the var/forall tables, and the goal table.
+/// Sorted and deduplicated. Hashing exactly these across solves
+/// (IncrementalState::input_hashes) proves the model build would repeat.
+std::vector<std::string> SolverInputTables(const colog::CompiledProgram& program);
 
 /// \brief Last-solution cache keyed by var-table row identity.
 ///
@@ -115,10 +156,62 @@ struct SolveOutput {
   /// recording is off or no solution was found. An ungrouped solve reports
   /// one group with an empty key covering every decision variable.
   std::vector<SolveProvGroup> provenance;
+  /// Incremental classification of this solve; -1/-1/false when the
+  /// incremental path was off. `incr_fallback` means the delta path bailed
+  /// to a cold solve (no prior fingerprints, no warm incumbent, or more
+  /// than incr_threshold_pct of the groups dirty).
+  int incr_dirty = -1;
+  int incr_clean = -1;
+  bool incr_fallback = false;
+  /// True when this output was served from IncrementalState::last_output
+  /// because every input table's content hash matched the previous solve
+  /// (model build, search, and writeback all skipped).
+  bool incr_reused = false;
 
   bool has_solution() const {
     return status == solver::SolveStatus::kOptimal ||
            status == solver::SolveStatus::kFeasible;
+  }
+};
+
+/// \brief Cross-solve fingerprint state of the incremental path.
+///
+/// One 64-bit fingerprint per decision group, folded over the group's
+/// var-table rows (table, key, initial domains), every propagator watching
+/// one of its variables (propagator debug forms carry the variable ids and
+/// every constant the Colog rules baked in, so a changed base fact changes
+/// the hash), and a model-global component (group-coupling propagators, the
+/// objective) mixed into every group. Comparing against the previous solve's
+/// map classifies groups clean/dirty. Cleared whenever the warm-start cache
+/// is — the incumbent the clean groups pin to lives there.
+struct IncrementalState {
+  /// Decision-group key ("2" / "1,3"; "" for an ungrouped model) -> fp.
+  std::map<std::string, uint64_t> fingerprints;
+  /// False until a cache-refreshing solve stores fingerprints; a compare
+  /// against an invalid state always falls back to a cold solve.
+  bool valid = false;
+
+  /// Whole-solve reuse (the dominant steady-state case): content hashes of
+  /// every engine table the model build reads, snapshotted after the last
+  /// solve's writeback, plus that solve's full output. When the next
+  /// incremental solve sees identical input hashes (and identical solve
+  /// knobs, captured in `reuse_options_key`), the model build, search, and
+  /// writeback are all skipped and `last_output` is returned as-is — the
+  /// deterministic pipeline would reproduce it bit for bit. Content hashes
+  /// are order-independent (datalog::Table::ContentHash), so journal replay
+  /// after a crash converges to the same snapshot.
+  std::map<std::string, uint64_t> input_hashes;
+  uint64_t reuse_options_key = 0;
+  SolveOutput last_output;
+  bool reusable = false;
+
+  void clear() {
+    fingerprints.clear();
+    valid = false;
+    input_hashes.clear();
+    reuse_options_key = 0;
+    last_output = SolveOutput{};
+    reusable = false;
   }
 };
 
@@ -139,8 +232,16 @@ class SolverBridge {
   /// When `warm_cache` is non-null and options.warm_start is set, the cached
   /// previous solution seeds the search and the cache is refreshed with the
   /// new solution afterwards (the cross-solve warm-start loop).
+  ///
+  /// When `incr` is non-null and options.incremental is set, the compiled
+  /// model is fingerprinted per decision group and compared against `incr`:
+  /// clean groups stay pinned to the warm-start incumbent while search
+  /// focuses on the dirty ones, falling back to a cold solve past the
+  /// staleness threshold. `incr` refreshes exactly when the warm cache does
+  /// (the fingerprints describe the model whose solution the cache holds).
   Result<SolveOutput> Solve(const SolveOptions& options,
-                            WarmStartCache* warm_cache = nullptr) const;
+                            WarmStartCache* warm_cache = nullptr,
+                            IncrementalState* incr = nullptr) const;
 
   /// Batched entry point: one model solve covering several negotiation
   /// units at once (a node's incident links aggregated per round instead of
@@ -151,10 +252,11 @@ class SolverBridge {
   /// batch.
   Result<SolveOutput> SolveBatched(const SolveOptions& options,
                                    int group_key_prefix,
-                                   WarmStartCache* warm_cache = nullptr) const {
+                                   WarmStartCache* warm_cache = nullptr,
+                                   IncrementalState* incr = nullptr) const {
     SolveOptions o = options;
     o.group_key_prefix = group_key_prefix;
-    return Solve(o, warm_cache);
+    return Solve(o, warm_cache, incr);
   }
 
  private:

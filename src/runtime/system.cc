@@ -169,7 +169,7 @@ void System::WireNode(NodeId id) {
 void System::ScheduleSolve(NodeId node_id, double delay_s,
                            std::function<void(const SolveOutput&)> on_done) {
   sim_.Schedule(delay_s, [this, node_id, on_done = std::move(on_done)] {
-    Result<SolveOutput> r = node(node_id).InvokeSolver();
+    Result<SolveOutput> r = node(node_id).Solve(SolveRequest{});
     if (!r.ok()) {
       COLOGNE_WARN("node " + std::to_string(node_id) +
                    " solve failed: " + r.status().ToString());

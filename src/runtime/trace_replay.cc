@@ -79,7 +79,8 @@ void TraceRecorder::Fault(const char* kind, const std::string& detail) {
 void TraceRecorder::Solve(NodeId node, const char* status, bool has_objective,
                           double objective, size_t vars, size_t groups,
                           bool warm_started,
-                          const std::vector<SolveProvGroup>* prov) {
+                          const std::vector<SolveProvGroup>* prov,
+                          const SolveIncr* incr) {
   JsonWriter w;
   w.BeginObject();
   w.Key("t").Double(Now());
@@ -106,6 +107,18 @@ void TraceRecorder::Solve(NodeId node, const char* status, bool has_objective,
       w.EndObject();
     }
     w.EndArray();
+  }
+  if (incr != nullptr) {
+    // Omitted entirely when the incremental path is off, keeping
+    // pre-incremental traces byte-identical.
+    w.Key("incr").BeginObject();
+    w.Key("dirty").Int(incr->dirty);
+    w.Key("clean").Int(incr->clean);
+    w.Key("fallback").Int(incr->fallback ? 1 : 0);
+    // Only present on reused solves, so non-reuse incremental traces keep
+    // their previous shape.
+    if (incr->reused) w.Key("reused").Int(1);
+    w.EndObject();
   }
   w.EndObject();
   Line(w.Take());

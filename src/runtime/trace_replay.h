@@ -75,13 +75,28 @@ class TraceRecorder {
   /// (e.g. "\"node\":2"), appended verbatim.
   void Fault(const char* kind, const std::string& detail);
 
+  /// Incremental classification of one solve (ISSUE 7), serialized into the
+  /// `solve` event as `"incr":{"dirty":N,"clean":M,"fallback":0|1}` —
+  /// omitted entirely when the incremental path is off, so pre-incremental
+  /// traces are byte-identical.
+  struct SolveIncr {
+    int dirty = 0;
+    int clean = 0;
+    bool fallback = false;
+    /// Whole-solve reuse: the cached output was served without a model
+    /// build or search (every input table content-unchanged).
+    bool reused = false;
+  };
+
   /// An invokeSolver outcome (deterministic fields only). `groups` is the
   /// batched-solve decision-group count; 0 (ungrouped) omits the field so
   /// pre-batching traces are unchanged. `prov` (nullptr or empty = omitted)
-  /// appends the per-group binding-constraint provenance.
+  /// appends the per-group binding-constraint provenance; `incr` (nullptr =
+  /// omitted) the incremental dirty/clean classification.
   void Solve(NodeId node, const char* status, bool has_objective,
              double objective, size_t vars, size_t groups, bool warm_started,
-             const std::vector<SolveProvGroup>* prov = nullptr);
+             const std::vector<SolveProvGroup>* prov = nullptr,
+             const SolveIncr* incr = nullptr);
 
   /// A metrics snapshot at a round boundary: the registry's counters,
   /// gauges and histograms as one canonical `metrics` line.

@@ -169,6 +169,20 @@ class Model {
     /// Starting LNS neighborhood size (relax-k); 0 = adaptive default
     /// (#decisions / 10 + 1). Portfolio workers vary it to diversify.
     uint64_t lns_relax_base = 0;
+    /// Incremental re-solve (the runtime's SOLVER_INCREMENTAL path): the
+    /// warm-start hint is the previous incumbent of a near-identical model,
+    /// so backends skip the incumbent-sharpening prefix and open their
+    /// improvement loop on `focus_groups` instead of the whole model.
+    /// Off by default; when off, every search path is bit-identical to the
+    /// non-incremental solver.
+    bool incremental = false;
+    /// Indices into decision_groups() that a fact-delta fingerprint pass
+    /// classified as dirty. Only read when `incremental` is set: LNS relaxes
+    /// these neighborhoods first (widening only after they stop improving),
+    /// B&B caps its tree-search prefix and focuses the anytime tail the same
+    /// way. Empty with `incremental` set means "nothing dirty": the
+    /// warm-started incumbent is accepted after the first dive.
+    std::vector<size_t> focus_groups;
     /// Cooperative cancellation: search returns (with the best incumbent so
     /// far) soon after the token is cancelled. Not owned; may be null.
     const CancelToken* cancel = nullptr;

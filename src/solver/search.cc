@@ -95,6 +95,24 @@ class BranchAndBound : public SearchBackend {
       limits.soft_deadline_ms = options.time_limit_ms * 0.3;
     }
 
+    // ---- Incremental re-solve ----------------------------------------------
+    // A warm-seeded incremental solve already holds the previous incumbent of
+    // a near-identical model. Nothing dirty: accept it outright (feasible,
+    // not proven — the delta path trades the proof for latency). Dirty
+    // groups: cap the exhaustive prefix to a short sharpening dive and let
+    // the focused improvement tail do the repair.
+    if (options.incremental && inc.found && ctx.optimizing()) {
+      if (options.focus_groups.empty()) {
+        ctx.FinalizeStats();
+        out.stats = ctx.stats;
+        out.values = std::move(inc.values);
+        out.objective = inc.objective;
+        out.status = SolveStatus::kFeasible;
+        return out;
+      }
+      limits.node_budget = 2000;
+    }
+
     bool cutoff = false;
     if (options.restart_base_nodes == 0) {
       DiveEnd end = ctx.Dive(limits, &inc);
@@ -141,6 +159,8 @@ class BranchAndBound : public SearchBackend {
       params.relax_base = options.lns_relax_base;
       params.have_objective_bound = true;
       params.objective_bound = objective_bound;
+      params.incremental = options.incremental;
+      params.focus_groups = options.focus_groups;
       if (LnsImprove(ctx, params, &inc)) {
         cutoff = false;  // incumbent reached the relaxation bound: optimal
       }

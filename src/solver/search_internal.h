@@ -312,6 +312,22 @@ class SearchContext {
     return DiveEnd::kExhausted;
   }
 
+  /// Pin every decision of `units[from..)` to its incumbent value on the
+  /// current trail level (the LNS "fix the non-relaxed neighborhoods" step,
+  /// and the incremental path's "pin the clean groups" step — same
+  /// mechanism). Returns false as soon as an assignment empties a domain;
+  /// the caller backtracks the level either way.
+  bool FixUnitsToIncumbent(const std::vector<std::vector<int32_t>>& units,
+                           size_t from, const Incumbent& inc) {
+    for (size_t i = from; i < units.size(); ++i) {
+      for (int32_t id : units[i]) {
+        store_.Assign(id, inc.values[static_cast<size_t>(id)]);
+        if (store_.dom(id).empty()) return false;
+      }
+    }
+    return true;
+  }
+
   /// Record the store's (fully fixed) assignment into `inc` when it improves.
   void RecordSolution(Incumbent* inc) {
     std::vector<int64_t> vals(store_.size());

@@ -198,7 +198,7 @@ TEST(InstanceCrashTest, WarmStartCacheRetainedOrCleared) {
     ASSERT_TRUE(inst.Init().ok());
     ASSERT_TRUE(inst.InsertFact("item", R({1})).ok());
     ASSERT_TRUE(inst.InsertFact("weight", R({1, 4})).ok());
-    ASSERT_TRUE(inst.InvokeSolver().ok());
+    ASSERT_TRUE(inst.Solve().ok());
     EXPECT_FALSE(inst.warm_start_cache().empty());
 
     ASSERT_TRUE(inst.Crash().ok());
@@ -206,7 +206,7 @@ TEST(InstanceCrashTest, WarmStartCacheRetainedOrCleared) {
     ASSERT_TRUE(inst.ReplayBaseFacts().ok());
     EXPECT_EQ(inst.warm_start_cache().empty(), !retain);
 
-    auto out = inst.InvokeSolver();
+    auto out = inst.Solve();
     ASSERT_TRUE(out.ok()) << out.status().ToString();
     ASSERT_TRUE(out.value().has_solution());
     EXPECT_EQ(out.value().warm_started, retain)

@@ -73,7 +73,7 @@ TEST_F(ACloudRuntimeTest, SolveBalancesLoad) {
   AddVm(3, 20, 8, 100);
   AddHost(100, 32);
   AddHost(101, 32);
-  auto out = instance_->InvokeSolver();
+  auto out = instance_->Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   EXPECT_EQ(out.value().status, solver::SolveStatus::kOptimal);
@@ -104,7 +104,7 @@ TEST_F(ACloudRuntimeTest, MemoryConstraintRespected) {
   AddVm(2, 10, 8, 100);
   AddHost(100, 10);
   AddHost(101, 32);
-  auto out = instance_->InvokeSolver();
+  auto out = instance_->Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   datalog::Table* assign = instance_->engine().GetTable("assign");
@@ -118,7 +118,7 @@ TEST_F(ACloudRuntimeTest, MemoryConstraintRespected) {
 TEST_F(ACloudRuntimeTest, InfeasibleWhenMemoryTooSmall) {
   AddVm(1, 10, 8, 100);
   AddHost(100, 4);  // the only host cannot fit the VM
-  auto out = instance_->InvokeSolver();
+  auto out = instance_->Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   EXPECT_EQ(out.value().status, solver::SolveStatus::kInfeasible);
 }
@@ -129,7 +129,7 @@ TEST_F(ACloudRuntimeTest, MigrationCountDerived) {
   AddVm(3, 20, 8, 100);
   AddHost(100, 32);
   AddHost(101, 32);
-  auto out = instance_->InvokeSolver();
+  auto out = instance_->Solve();
   ASSERT_TRUE(out.ok());
   ASSERT_TRUE(out.value().has_solution());
   // Balancing requires moving some VMs off host 100; migrateCount counts them.
@@ -156,7 +156,7 @@ TEST_F(ACloudRuntimeTest, MigrationLimitChangesSolution) {
   ASSERT_TRUE(inst.InsertFact("hostMemThres", R({100, 32})).ok());
   ASSERT_TRUE(inst.InsertFact("host", R({101, 0, 0})).ok());
   ASSERT_TRUE(inst.InsertFact("hostMemThres", R({101, 32})).ok());
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   // Both VMs stay on host 100 even though splitting balances better.
@@ -172,12 +172,12 @@ TEST_F(ACloudRuntimeTest, ResolveAfterWorkloadChangeReplacesOutput) {
   AddVm(1, 40, 8, 100);
   AddHost(100, 32);
   AddHost(101, 32);
-  ASSERT_TRUE(instance_->InvokeSolver().ok());
+  ASSERT_TRUE(instance_->Solve().ok());
   size_t before = instance_->engine().GetTable("assign")->size();
   EXPECT_EQ(before, 2u);
   // A new VM arrives; re-solving must replace old output cleanly.
   AddVm(2, 40, 8, 101);
-  auto out2 = instance_->InvokeSolver();
+  auto out2 = instance_->Solve();
   ASSERT_TRUE(out2.ok()) << out2.status().ToString();
   EXPECT_EQ(instance_->engine().GetTable("assign")->size(), 4u);
   // VM 1 and 2 end up on different hosts for balance.
@@ -231,7 +231,7 @@ TEST_F(ACloudRuntimeTest, SecondSolveWarmStartsFromCachedSolution) {
   AddVm(3, 20, 8, 100);
   AddHost(100, 32);
   AddHost(101, 32);
-  auto first = instance_->InvokeSolver();
+  auto first = instance_->Solve();
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   EXPECT_FALSE(first.value().warm_started) << "nothing cached yet";
   EXPECT_FALSE(instance_->warm_start_cache().empty());
@@ -239,7 +239,7 @@ TEST_F(ACloudRuntimeTest, SecondSolveWarmStartsFromCachedSolution) {
   // The recurring invokeSolver loop: the second solve starts from the
   // cached placement and must reach the same optimum.
   AddVm(4, 10, 8, 101);
-  auto second = instance_->InvokeSolver();
+  auto second = instance_->Solve();
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   EXPECT_TRUE(second.value().warm_started);
   ASSERT_TRUE(second.value().has_solution());
@@ -254,8 +254,8 @@ TEST_F(ACloudRuntimeTest, WarmStartCanBeDisabled) {
   SolveOptions o = instance_->solve_options();
   o.warm_start = false;
   instance_->set_solve_options(o);
-  ASSERT_TRUE(instance_->InvokeSolver().ok());
-  auto second = instance_->InvokeSolver();
+  ASSERT_TRUE(instance_->Solve().ok());
+  auto second = instance_->Solve();
   ASSERT_TRUE(second.ok());
   EXPECT_FALSE(second.value().warm_started);
 }
@@ -271,7 +271,7 @@ TEST_F(ACloudRuntimeTest, LnsBackendSolvesTheSameModel) {
   o.time_limit_ms = 500;
   o.max_iterations = 200;
   instance_->set_solve_options(o);
-  auto out = instance_->InvokeSolver();
+  auto out = instance_->Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   EXPECT_EQ(out.value().backend, solver::Backend::kLns);
@@ -340,7 +340,7 @@ TEST(FollowTheSunRuntimeTest, TwoNodeNegotiationMovesVmsTowardCheapComm) {
     o.time_limit_ms = 5000;
     return o;
   }());
-  auto out = sys.node(0).InvokeSolver();
+  auto out = sys.node(0).Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   sys.RunToQuiescence();  // deliver r2's symmetric migVm row to node 1

@@ -74,7 +74,7 @@ TEST_P(BridgeVsBruteForceTest, PipelineOptimumMatchesEnumeration) {
   for (int h = 0; h < hosts; ++h) {
     ASSERT_TRUE(inst.InsertFact("host", R({h})).ok());
   }
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   EXPECT_EQ(out.value().status, solver::SolveStatus::kOptimal);
@@ -99,7 +99,7 @@ c1 net(F) -> F==3.
   Instance inst(0, &prog);
   ASSERT_TRUE(inst.Init().ok());
   for (int e = 0; e < 3; ++e) ASSERT_TRUE(inst.InsertFact("edge", R({e})).ok());
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   EXPECT_DOUBLE_EQ(out.value().objective, 3) << "no cancellation: |sum|=3";
@@ -125,7 +125,7 @@ d3 peak(MAX<V>) <- load(B,V).
       ASSERT_TRUE(inst.InsertFact("slot", R({i, b})).ok());
     }
   }
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   EXPECT_DOUBLE_EQ(out.value().objective, 2);
@@ -145,7 +145,7 @@ d2 spread(SUM<V>) <- pick(I,V).
   Instance inst(0, &prog);
   ASSERT_TRUE(inst.Init().ok());
   for (int i = 0; i < 5; ++i) ASSERT_TRUE(inst.InsertFact("item", R({i})).ok());
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   // Minimizing the sum picks all 1s (one distinct value, allowed).
@@ -177,7 +177,7 @@ d2 value(SUM<P>) <- take(I,V), itemP(I,X), P==V*X.
     ASSERT_TRUE(inst.InsertFact("itemW", R({i, w[i]})).ok());
     ASSERT_TRUE(inst.InsertFact("itemP", R({i, p[i]})).ok());
   }
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   EXPECT_DOUBLE_EQ(out.value().objective, 10);
@@ -199,7 +199,7 @@ c1 color(N,C) -> banned(N,B), C!=B.
     ASSERT_TRUE(inst.InsertFact("banned", R({n, 1})).ok());
     ASSERT_TRUE(inst.InsertFact("banned", R({n, 2})).ok());
   }
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   // Universal constraint semantics: every banned row applies -> color 3.
@@ -227,7 +227,7 @@ c2 ch(A,B,C) -> lo(A,L), C>=L.
   ASSERT_TRUE(inst.InsertFact("pair", R({2, 1})).ok());
   ASSERT_TRUE(inst.InsertFact("lo", R({1, 1})).ok());
   ASSERT_TRUE(inst.InsertFact("lo", R({2, 4})).ok());
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_TRUE(out.value().has_solution());
   // Symmetry + per-endpoint lower bounds force both directions to 4.
@@ -250,7 +250,7 @@ d2 total(SUM<V>) <- pairCost(I,J,V).
   Instance inst(0, &prog);
   ASSERT_TRUE(inst.Init().ok());
   ASSERT_TRUE(inst.InsertFact("item", R({0})).ok());
-  auto out = inst.InvokeSolver();
+  auto out = inst.Solve();
   ASSERT_FALSE(out.ok());
   EXPECT_NE(out.status().message().find("join on a solver attribute"),
             std::string::npos);

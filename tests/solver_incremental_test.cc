@@ -1,0 +1,386 @@
+// Incremental re-solve on fact deltas (SOLVER_INCREMENTAL): per-group model
+// fingerprinting, clean/dirty classification, threshold fallback, the
+// SolveRequest entry point, and the shared apps::CommonConfig helpers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/common_config.h"
+#include "apps/followsun.h"
+#include "colog/planner.h"
+#include "runtime/instance.h"
+
+namespace cologne::runtime {
+namespace {
+
+Row R(std::initializer_list<int64_t> xs) {
+  Row r;
+  for (int64_t x : xs) r.push_back(Value::Int(x));
+  return r;
+}
+
+// Four independent decision groups (key prefix 1 on pick's G column): each
+// group must select a subset of slots whose summed weight reaches the
+// group's cap, minimizing the total weight picked. The cap constant is
+// baked into exactly one group's covering-constraint propagator, so a cap
+// delta must dirty that group's fingerprint and no other. (The weights
+// land in the flattened objective propagator, which spans every group — a
+// deliberately model-global component.)
+const char* kGrouped = R"(
+param SOLVER_INCREMENTAL = 1.
+param SOLVER_INCR_THRESHOLD = 60.
+goal minimize C in total(C).
+var pick(G,I,V) forall slot(G,I) domain [0,1].
+d1 used(G,SUM<C>) <- pick(G,I,V), weight(G,I,W), C==V*W.
+c1 used(G,C) -> cap(G,M), C>=M.
+d3 total(SUM<C>) <- used(G,C).
+)";
+
+constexpr int kGroups = 4;
+constexpr int kSlots = 3;
+constexpr int64_t kDefaultCap = 6;
+
+int64_t WeightOf(int g, int i) { return 5 + 3 * g + 7 * i; }
+
+class IncrementalSolveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto compiled = colog::CompileColog(kGrouped);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    program_ = std::move(compiled).value();
+    instance_ = std::make_unique<Instance>(0, &program_);
+    ASSERT_TRUE(instance_->Init().ok());
+    for (int g = 0; g < kGroups; ++g) {
+      ASSERT_TRUE(instance_->InsertFact("cap", R({g, kDefaultCap})).ok());
+      for (int i = 0; i < kSlots; ++i) {
+        ASSERT_TRUE(instance_->InsertFact("slot", R({g, i})).ok());
+        ASSERT_TRUE(
+            instance_->InsertFact("weight", R({g, i, WeightOf(g, i)})).ok());
+      }
+    }
+  }
+
+  static SolveRequest Incremental() {
+    SolveRequest req;
+    req.mode = SolveMode::kIncremental;
+    req.group_key_prefix = 1;
+    return req;
+  }
+
+  // Re-point one group's cap fact (delete + insert): the cap constant lives
+  // in that group's covering constraint only, so the delta dirties group `g`
+  // and nothing else.
+  void ChangeCap(int g, int64_t cap) {
+    ASSERT_TRUE(instance_->DeleteFact("cap", R({g, kDefaultCap})).ok());
+    ASSERT_TRUE(instance_->InsertFact("cap", R({g, cap})).ok());
+  }
+
+  // Cold reference: a fresh instance over the same base facts with the
+  // incremental path off, for objective parity checks.
+  double ColdObjective(int changed_g, int64_t changed_cap) {
+    Instance cold(0, &program_);
+    EXPECT_TRUE(cold.Init().ok());
+    SolveOptions o = cold.solve_options();
+    o.incremental = false;
+    cold.set_solve_options(o);
+    for (int g = 0; g < kGroups; ++g) {
+      int64_t cap = g == changed_g ? changed_cap : kDefaultCap;
+      EXPECT_TRUE(cold.InsertFact("cap", R({g, cap})).ok());
+      for (int i = 0; i < kSlots; ++i) {
+        EXPECT_TRUE(cold.InsertFact("slot", R({g, i})).ok());
+        EXPECT_TRUE(
+            cold.InsertFact("weight", R({g, i, WeightOf(g, i)})).ok());
+      }
+    }
+    auto out = cold.Solve();
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_TRUE(out.value().has_solution());
+    EXPECT_TRUE(out.value().has_objective);
+    return out.value().objective;
+  }
+
+  colog::CompiledProgram program_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(IncrementalSolveTest, FirstSolveFallsBackCold) {
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  // Nothing to compare against yet: every group counts dirty, cold fallback.
+  EXPECT_TRUE(out.value().incr_fallback);
+  EXPECT_EQ(out.value().incr_dirty, kGroups);
+  EXPECT_EQ(out.value().incr_clean, 0);
+  EXPECT_TRUE(instance_->incremental_state().valid);
+  EXPECT_EQ(instance_->incremental_state().fingerprints.size(),
+            static_cast<size_t>(kGroups));
+}
+
+TEST_F(IncrementalSolveTest, UnchangedResolveKeepsEveryGroupClean) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out.value().incr_fallback);
+  EXPECT_EQ(out.value().incr_dirty, 0);
+  EXPECT_EQ(out.value().incr_clean, kGroups);
+  EXPECT_TRUE(out.value().warm_started);
+  EXPECT_DOUBLE_EQ(out.value().objective, ColdObjective(-1, 0));
+}
+
+TEST_F(IncrementalSolveTest, OneFactDeltaDirtiesExactlyOneGroup) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  // Raise group 2's cap so its incumbent subset no longer covers it: the
+  // delta must re-open that group's decision and reach the new optimum
+  // (two slots instead of one), not keep the incumbent.
+  ChangeCap(2, 30);
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_TRUE(out.value().has_solution());
+  EXPECT_FALSE(out.value().incr_fallback);
+  EXPECT_EQ(out.value().incr_dirty, 1);
+  EXPECT_EQ(out.value().incr_clean, kGroups - 1);
+  EXPECT_DOUBLE_EQ(out.value().objective, ColdObjective(2, 30));
+}
+
+TEST_F(IncrementalSolveTest, ThresholdZeroFallsBackOnAnyDelta) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  SolveOptions o = instance_->solve_options();
+  o.incr_threshold_pct = 0;
+  instance_->set_solve_options(o);
+  ChangeCap(1, 20);
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().incr_dirty, 1);
+  EXPECT_TRUE(out.value().incr_fallback);
+  EXPECT_DOUBLE_EQ(out.value().objective, ColdObjective(1, 20));
+}
+
+TEST_F(IncrementalSolveTest, ThresholdHundredNeverFallsBackOnVolume) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  SolveOptions o = instance_->solve_options();
+  o.incr_threshold_pct = 100;
+  instance_->set_solve_options(o);
+  for (int g = 0; g < kGroups; ++g) ChangeCap(g, 25 + g);
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().incr_dirty, kGroups);
+  EXPECT_FALSE(out.value().incr_fallback);
+  ASSERT_TRUE(out.value().has_solution());
+}
+
+TEST_F(IncrementalSolveTest, FingerprintsSurviveCrashRestartReplay) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  auto before = instance_->incremental_state().fingerprints;
+  ASSERT_TRUE(instance_->Crash().ok());
+  ASSERT_TRUE(instance_->Restart(/*retain_warm_start=*/true).ok());
+  ASSERT_TRUE(instance_->ReplayBaseFacts().ok());
+  // Journal replay rebuilds the identical model: the retained fingerprints
+  // still classify every group clean, so the post-restart solve goes
+  // straight to the incumbent instead of a cold solve.
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out.value().incr_fallback);
+  EXPECT_EQ(out.value().incr_dirty, 0);
+  EXPECT_EQ(instance_->incremental_state().fingerprints, before);
+}
+
+TEST_F(IncrementalSolveTest, RestartWithoutRetentionFallsBackCold) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  ASSERT_TRUE(instance_->Crash().ok());
+  ASSERT_TRUE(instance_->Restart(/*retain_warm_start=*/false).ok());
+  ASSERT_TRUE(instance_->ReplayBaseFacts().ok());
+  EXPECT_FALSE(instance_->incremental_state().valid);
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().incr_fallback);
+}
+
+TEST_F(IncrementalSolveTest, ResetWarmStartClearsFingerprints) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  ASSERT_TRUE(instance_->incremental_state().valid);
+  instance_->reset_warm_start();
+  EXPECT_FALSE(instance_->incremental_state().valid);
+  EXPECT_TRUE(instance_->incremental_state().fingerprints.empty());
+}
+
+TEST_F(IncrementalSolveTest, TouchedTablesTrackTheJournalWindow) {
+  // SetUp journaled cap + slot + weight; the window closes with the solve.
+  EXPECT_EQ(instance_->touched_tables().size(), 3u);
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  EXPECT_TRUE(instance_->touched_tables().empty());
+  ChangeCap(3, 99);
+  ASSERT_EQ(instance_->touched_tables().size(), 1u);
+  EXPECT_EQ(instance_->touched_tables()[0], "cap");
+}
+
+TEST_F(IncrementalSolveTest, UnchangedResolveReusesTheWholeSolve) {
+  auto first = instance_->Solve(Incremental());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.value().incr_reused);
+  // Input tables content-unchanged: the cached output is served without a
+  // model build or search.
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().incr_reused);
+  EXPECT_TRUE(out.value().warm_started);
+  EXPECT_EQ(out.value().incr_dirty, 0);
+  EXPECT_EQ(out.value().stats.nodes, 0u);
+  EXPECT_DOUBLE_EQ(out.value().objective, first.value().objective);
+  // A reused solve leaves the engine at the same fixed point, so the next
+  // unchanged solve reuses again.
+  auto third = instance_->Solve(Incremental());
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_TRUE(third.value().incr_reused);
+}
+
+TEST_F(IncrementalSolveTest, FactDeltaInvalidatesReuseUntilContentReturns) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  ChangeCap(2, 30);
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out.value().incr_reused);
+  EXPECT_EQ(out.value().incr_dirty, 1);
+  // A delete + reinsert of the same fact lands the table back on the
+  // snapshotted content: the hash is over the visible set, not the
+  // operation history, so reuse re-engages.
+  ASSERT_TRUE(instance_->DeleteFact("cap", R({2, 30})).ok());
+  ASSERT_TRUE(instance_->InsertFact("cap", R({2, 30})).ok());
+  auto again = instance_->Solve(Incremental());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again.value().incr_reused);
+  EXPECT_DOUBLE_EQ(again.value().objective, out.value().objective);
+}
+
+TEST_F(IncrementalSolveTest, KnobChangeInvalidatesReuse) {
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  SolveOptions o = instance_->solve_options();
+  o.seed += 1;
+  instance_->set_solve_options(o);
+  // Same inputs, different search knobs: the cached output no longer
+  // describes what this solve would produce.
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out.value().incr_reused);
+}
+
+TEST(IncrementalKnobsTest, ProgramKnobsConfigureInstanceOptions) {
+  auto compiled = colog::CompileColog(kGrouped);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  EXPECT_TRUE(inst.solve_options().incremental);
+  EXPECT_EQ(inst.solve_options().incr_threshold_pct, 60);
+}
+
+TEST(IncrementalKnobsTest, OutOfRangeValuesAreCompileErrors) {
+  auto bad_flag = colog::CompileColog(R"(
+param SOLVER_INCREMENTAL = 2.
+goal minimize C in cost(C).
+var pick(I,V) forall item(I) domain [0,1].
+d1 cost(SUM<V>) <- pick(I,V).
+)");
+  ASSERT_FALSE(bad_flag.ok());
+  EXPECT_NE(bad_flag.status().ToString().find("SOLVER_INCREMENTAL"),
+            std::string::npos);
+
+  auto bad_threshold = colog::CompileColog(R"(
+param SOLVER_INCR_THRESHOLD = 101.
+goal minimize C in cost(C).
+var pick(I,V) forall item(I) domain [0,1].
+d1 cost(SUM<V>) <- pick(I,V).
+)");
+  ASSERT_FALSE(bad_threshold.ok());
+  EXPECT_NE(bad_threshold.status().ToString().find("SOLVER_INCR_THRESHOLD"),
+            std::string::npos);
+}
+
+// The pre-SolveRequest shims must keep routing through Solve() unchanged.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(IncrementalSolveTest, DeprecatedShimsStillRoute) {
+  auto full = instance_->InvokeSolver();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_TRUE(full.value().has_solution());
+  auto batched = instance_->InvokeSolverBatched(1);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  EXPECT_EQ(batched.value().model_groups, static_cast<size_t>(kGroups));
+}
+#pragma GCC diagnostic pop
+
+TEST(CommonConfigTest, HelpersMapSharedKnobs) {
+  apps::CommonConfig c;
+  c.seed = 42;
+  c.net_reliable = true;
+  c.obs_metrics = true;
+  c.link_loss_prob = 0.25;
+  System::Options sys = apps::MakeSystemOptions(c);
+  EXPECT_EQ(sys.seed, 42u);
+  EXPECT_TRUE(sys.net_reliable);
+  EXPECT_TRUE(sys.obs_metrics);
+  EXPECT_DOUBLE_EQ(sys.default_link.drop_prob, 0.25);
+
+  c.solver_backend = "lns";
+  c.solver_max_iterations = 9;
+  c.solver_incremental = true;
+  SolveOptions base;
+  base.time_limit_ms = 123;
+  SolveOptions o = apps::OverlaySolveOptions(c, base, /*time_limit_ms=*/-1);
+  EXPECT_DOUBLE_EQ(o.time_limit_ms, 123);
+  EXPECT_EQ(o.backend, solver::Backend::kLns);
+  EXPECT_EQ(o.max_iterations, 9u);
+  EXPECT_TRUE(o.incremental);
+  o = apps::OverlaySolveOptions(c, base, /*time_limit_ms=*/55);
+  EXPECT_DOUBLE_EQ(o.time_limit_ms, 55);
+
+  SolveRequest req = apps::MakeSolveRequest(c, 2);
+  EXPECT_EQ(req.mode, SolveMode::kIncremental);
+  EXPECT_EQ(req.group_key_prefix, 2);
+  c.solver_incremental = false;
+  c.batch_links = true;
+  req = apps::MakeSolveRequest(c, 2);
+  EXPECT_EQ(req.mode, SolveMode::kBatched);
+  EXPECT_EQ(req.group_key_prefix, 2);
+  c.batch_links = false;
+  req = apps::MakeSolveRequest(c, 2);
+  EXPECT_EQ(req.mode, SolveMode::kFull);
+  EXPECT_EQ(req.group_key_prefix, 0);
+}
+
+// The scenario defaults inherit the shared knobs but keep their historical
+// per-scenario seeds.
+TEST(CommonConfigTest, ScenarioSeedsKeepHistoricalDefaults) {
+  EXPECT_EQ(apps::FtsConfig{}.seed, 11u);
+  EXPECT_FALSE(apps::FtsConfig{}.solver_incremental);
+}
+
+std::string RunFtsIncrementalTrace() {
+  TraceRecorder rec;
+  apps::FtsConfig cfg;
+  cfg.num_dcs = 4;
+  cfg.converge_sweeps = 2;
+  cfg.batch_links = true;
+  cfg.net_reliable = true;
+  cfg.solver_backend = "lns";
+  cfg.solver_max_iterations = 8;
+  cfg.solver_time_ms = 0;  // iteration-bounded: wall-clock independent
+  cfg.solver_incremental = true;
+  cfg.trace = &rec;
+  apps::FollowTheSunScenario scenario(cfg);
+  auto r = scenario.Run();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return rec.ToString();
+}
+
+TEST(IncrementalDeterminismTest, TwoRunsProduceByteIdenticalTraces) {
+  std::string first = RunFtsIncrementalTrace();
+  std::string second = RunFtsIncrementalTrace();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The solve events carry the incremental classification.
+  EXPECT_NE(first.find("\"incr\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cologne::runtime

@@ -138,7 +138,7 @@ int CheckBlock(const std::string& file, const Block& block) {
       s = inst.InsertFact(table, std::move(row));
       if (!s.ok()) return Fail(file, d.line, s.ToString());
     } else if (d.kind == "solve") {
-      auto out = inst.InvokeSolver();
+      auto out = inst.Solve();
       if (!out.ok()) return Fail(file, d.line, out.status().ToString());
       last = out.value();
       solved = true;
