@@ -31,6 +31,7 @@
 
 #include "common/stats.h"
 #include "common/strings.h"
+#include "solver/context_cache.h"
 #include "solver/domain.h"
 #include "solver/model.h"
 
@@ -317,23 +318,38 @@ struct MicroCase {
   uint64_t node_limit;
   uint64_t max_iterations;
   uint64_t restart_base_nodes;
+  bool cache;       ///< Fresh ContextCache per solve (SOLVER_CACHE).
+  int subproblems;  ///< Subproblem-parallel frontier width; 0 = off.
+  int workers;      ///< Race/steal width; <= 1 keeps the sequential path.
 };
 
 // `deep_dive_bnb` is the headline case of the trailed-store trajectory: a
 // 64-decision B&B dive deep enough that state restoration dominates.
+// `deep_dive_bnb_par` is the same instance under the subproblem-parallel
+// mode (8 stealing workers, context cache on) — the wall_ms ratio between
+// the two rows is the PR's time-to-solution acceptance signal.
 const MicroCase kMicroCases[] = {
     {"deep_dive_bnb", MakeAssignmentModel, 16, Backend::kBranchAndBound,
-     0x5EED, 200'000, 0, 0},
+     0x5EED, 200'000, 0, 0, false, 0, 1},
     {"bnb_assign10", MakeAssignmentModel, 10, Backend::kBranchAndBound,
-     0x5EED, 50'000, 50, 0},
+     0x5EED, 50'000, 50, 0, false, 0, 1},
     {"bnb_luby_assign8", MakeAssignmentModel, 8, Backend::kBranchAndBound,
-     0xABCD, 30'000, 0, 256},
+     0xABCD, 30'000, 0, 256, false, 0, 1},
     {"lns_assign12", MakeAssignmentModel, 12, Backend::kLns, 0x10C5, 0, 300,
-     0},
+     0, false, 0, 1},
     {"lns_grouped10", MakeGroupedAssignmentModel, 10, Backend::kLns, 0x77, 0,
-     250, 0},
+     250, 0, false, 0, 1},
     {"bnb_interf12", MakeInterferenceModel, 12, Backend::kBranchAndBound,
-     0x1234, 40'000, 60, 0},
+     0x1234, 40'000, 60, 0, false, 0, 1},
+    // Context-cache rows: same kernels, exhausted-subtree proofs on. The
+    // Luby case is where intra-solve reuse fires (restart dives re-enter
+    // contexts earlier dives exhausted).
+    {"bnb_cache_luby8", MakeAssignmentModel, 8, Backend::kBranchAndBound,
+     0xABCD, 30'000, 0, 256, true, 0, 1},
+    {"lns_cache_grouped10", MakeGroupedAssignmentModel, 10, Backend::kLns,
+     0x77, 0, 250, 0, true, 0, 1},
+    {"deep_dive_bnb_par", MakeAssignmentModel, 16, Backend::kPortfolio,
+     0x5EED, 12'000, 0, 0, true, 64, 8},
 };
 
 Model::Options MicroOptions(const MicroCase& c) {
@@ -344,11 +360,17 @@ Model::Options MicroOptions(const MicroCase& c) {
   o.node_limit = c.node_limit;
   o.max_iterations = c.max_iterations;
   o.restart_base_nodes = c.restart_base_nodes;
+  o.subproblems = c.subproblems;
+  o.num_workers = c.workers > 0 ? c.workers : 1;
   return o;
 }
 
 Solution RunMicroCase(const MicroCase& c) {
-  return c.make(c.size)->Solve(MicroOptions(c));
+  auto m = c.make(c.size);
+  Model::Options o = MicroOptions(c);
+  ContextCache cache;  // fresh per solve: runs stay independent
+  if (c.cache) o.context_cache = &cache;
+  return m->Solve(o);
 }
 
 // One BENCH_solver.json row per canonical case.
@@ -362,7 +384,9 @@ int RunSolverJson() {
     // Build outside the timed window: the row measures the search core
     // (nodes/sec, allocations during search), not model construction.
     auto m = c.make(c.size);
-    const Model::Options o = MicroOptions(c);
+    Model::Options o = MicroOptions(c);
+    ContextCache cache;
+    if (c.cache) o.context_cache = &cache;
     const uint64_t allocs_before = DomainCopyCount();
     const auto t0 = std::chrono::steady_clock::now();
     Solution s = m->Solve(o);
@@ -376,7 +400,9 @@ int RunSolverJson() {
         "\"seed\":%llu,\"nodes\":%llu,\"propagations\":%llu,"
         "\"wall_ms\":%.3f,\"nodes_per_sec\":%.0f,\"props_per_sec\":%.0f,"
         "\"peak_mem_bytes\":%llu,\"trail_saves\":%llu,"
-        "\"domain_allocs\":%llu,\"objective\":%lld}",
+        "\"domain_allocs\":%llu,\"cache_hits\":%llu,\"cache_stores\":%llu,"
+        "\"cache_mem_bytes\":%llu,\"steals\":%llu,\"subproblems\":%llu,"
+        "\"workers\":%d,\"objective\":%lld}",
         c.name, BackendName(c.backend),
         static_cast<unsigned long long>(c.seed),
         static_cast<unsigned long long>(s.stats.nodes),
@@ -386,6 +412,12 @@ int RunSolverJson() {
         static_cast<unsigned long long>(s.stats.peak_memory_bytes),
         static_cast<unsigned long long>(s.stats.trail_saves),
         static_cast<unsigned long long>(domain_allocs),
+        static_cast<unsigned long long>(s.stats.cache_hits),
+        static_cast<unsigned long long>(s.stats.cache_stores),
+        static_cast<unsigned long long>(s.stats.cache_mem_bytes),
+        static_cast<unsigned long long>(s.stats.steals),
+        static_cast<unsigned long long>(s.stats.subproblems),
+        c.workers > 0 ? c.workers : 1,
         static_cast<long long>(s.has_solution() ? s.objective : 0));
     fprintf(out, "%s\n", row.c_str());
     printf("%s\n", row.c_str());
@@ -400,6 +432,13 @@ int RunSolverJson() {
 int RunDeterminism() {
   int rc = 0;
   for (const MicroCase& c : kMicroCases) {
+    if (c.workers > 1) {
+      // Multi-worker runs race on wall clock by design; the determinism
+      // contract covers the single-worker search paths (cache on or off —
+      // a fresh cache per run keeps cache-on solves replayable too).
+      printf("%-18s SKIP (multi-worker)\n", c.name);
+      continue;
+    }
     Solution a = RunMicroCase(c);
     Solution b = RunMicroCase(c);
     const bool same = a.stats.nodes == b.stats.nodes &&

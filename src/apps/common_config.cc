@@ -22,6 +22,8 @@ runtime::SolveOptions OverlaySolveOptions(const CommonConfig& config,
     base.max_iterations = config.solver_max_iterations;
   }
   if (config.solver_incremental) base.incremental = true;
+  if (config.solver_cache) base.cache = true;
+  if (config.solver_subproblems > 0) base.subproblems = config.solver_subproblems;
   return base;
 }
 

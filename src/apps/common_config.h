@@ -44,6 +44,14 @@ struct CommonConfig {
   /// unchanged stay pinned to the previous incumbent while search focuses
   /// on the dirtied ones. Off = the historical cold-solve behavior.
   bool solver_incremental = false;
+  /// Persist exhausted-subtree proofs across the driver's solves
+  /// (SOLVER_CACHE): repeated re-solves of a near-identical model skip
+  /// subtrees a previous search already exhausted. Off = cache-free search,
+  /// byte-identical to the historical solve path.
+  bool solver_cache = false;
+  /// Subproblem-parallel B&B width (SOLVER_SUBPROBLEMS) for concurrent
+  /// backends with >1 worker; 0 = off.
+  int solver_subproblems = 0;
 };
 
 /// System::Options from the shared knobs (seed, reliable transport,

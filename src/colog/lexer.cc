@@ -227,7 +227,8 @@ bool IsSolverKnobName(const std::string& name) {
   return name == "SOLVER_MAX_TIME" || name == "SOLVER_BACKEND" ||
          name == "SOLVER_SEED" || name == "SOLVER_RESTARTS" ||
          name == "SOLVER_WORKERS" || name == "SOLVER_INCREMENTAL" ||
-         name == "SOLVER_INCR_THRESHOLD" || name == "NET_RELIABLE" ||
+         name == "SOLVER_INCR_THRESHOLD" || name == "SOLVER_CACHE" ||
+         name == "SOLVER_SUBPROBLEMS" || name == "NET_RELIABLE" ||
          name == "OBS_METRICS";
 }
 

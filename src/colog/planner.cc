@@ -294,6 +294,25 @@ Status ExtractSolverKnobs(const std::map<std::string, Value>& params,
       knobs->incremental = value.as_int() == 1;
       continue;
     }
+    if (name == "SOLVER_CACHE") {
+      if (!value.is_int() || (value.as_int() != 0 && value.as_int() != 1)) {
+        return Status(Status::PlanError(
+            "SOLVER_CACHE must be 0 or 1, got " + value.ToString()));
+      }
+      knobs->cache = value.as_int() == 1;
+      continue;
+    }
+    if (name == "SOLVER_SUBPROBLEMS") {
+      // Frontier width of subproblem-parallel B&B; bounded so a typo cannot
+      // make the master expand an enormous queue before search starts.
+      if (!value.is_int() || value.as_int() < 0 || value.as_int() > 4096) {
+        return Status(Status::PlanError(
+            "SOLVER_SUBPROBLEMS must be an integer in [0, 4096], got " +
+            value.ToString()));
+      }
+      knobs->subproblems = static_cast<uint64_t>(value.as_int());
+      continue;
+    }
     if (name == "SOLVER_INCR_THRESHOLD") {
       if (!value.is_int() || value.as_int() < 0 || value.as_int() > 100) {
         return Status(Status::PlanError(

@@ -78,6 +78,14 @@ struct SolverKnobsIR {
   /// fall back to a cold solve when strictly more than this percentage of
   /// decision groups changed fingerprint. 0..100.
   std::optional<uint64_t> incr_threshold_pct;
+  /// SOLVER_CACHE: context cache of exhausted-subtree proofs, keyed on the
+  /// fixed decision prefix and namespaced by the model fingerprint, persisted
+  /// across solves of one Instance. 0 or 1.
+  std::optional<bool> cache;
+  /// SOLVER_SUBPROBLEMS: subproblem-parallel B&B for the concurrent backends
+  /// — expand the root into about this many bounded subproblems and let
+  /// workers steal them from a shared queue. 0 (off) .. 4096.
+  std::optional<uint64_t> subproblems;
 };
 
 /// Per-class rule counts (reported by the Table 2 benchmark).

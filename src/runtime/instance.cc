@@ -28,6 +28,8 @@ uint64_t ReuseOptionsKey(const SolveOptions& o, int group_key_prefix) {
   mix(o.warm_start ? 1u : 0u);
   mix(o.record_provenance ? 1u : 0u);
   mix(static_cast<uint64_t>(o.incr_threshold_pct));
+  mix(o.cache ? 1u : 0u);
+  mix(static_cast<uint64_t>(o.subproblems));
   return h;
 }
 
@@ -195,11 +197,12 @@ Result<SolveOutput> Instance::Solve(const SolveRequest& request) {
   }
 
   SolverBridge bridge(program_, &engine_);
+  solver::ContextCache* ctx_cache = opts.cache ? &ctx_cache_ : nullptr;
   COLOGNE_ASSIGN_OR_RETURN(
       out, group_key_prefix > 0
                ? bridge.SolveBatched(opts, group_key_prefix, &warm_cache_,
-                                     incr)
-               : bridge.Solve(opts, &warm_cache_, incr));
+                                     incr, ctx_cache)
+               : bridge.Solve(opts, &warm_cache_, incr, ctx_cache));
   ++solve_count_;
   total_solve_ms_ += out.stats.wall_ms;
   if (metrics_ != nullptr) {
@@ -213,6 +216,10 @@ Result<SolveOutput> Instance::Solve(const SolveRequest& request) {
     if (out.stats.lns_accepted > 0) {
       m.Add("lns.accepted", out.stats.lns_accepted);
     }
+    // Only emitted when the knobs are on, so knob-off metric traces stay
+    // byte-identical.
+    if (out.stats.cache_hits > 0) m.Add("solve.cache.hits", out.stats.cache_hits);
+    if (out.stats.steals > 0) m.Add("solve.steals", out.stats.steals);
     if (out.warm_started) m.Add("solve.warm");
     if (out.incr_dirty >= 0) {
       m.Add(out.incr_fallback ? "solve.incr.fallback" : "solve.incr");

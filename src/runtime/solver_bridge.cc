@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "datalog/aggregates.h"
+#include "solver/context_cache.h"
 
 namespace cologne::runtime {
 
@@ -973,6 +974,10 @@ SolveOptions ResolveSolveOptions(const colog::CompiledProgram& program,
   if (knobs.incr_threshold_pct) {
     base.incr_threshold_pct = static_cast<int>(*knobs.incr_threshold_pct);
   }
+  if (knobs.cache) base.cache = *knobs.cache;
+  if (knobs.subproblems) {
+    base.subproblems = static_cast<int>(*knobs.subproblems);
+  }
   return base;
 }
 
@@ -995,7 +1000,8 @@ std::vector<std::string> SolverInputTables(
 
 Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
                                         WarmStartCache* warm_cache,
-                                        IncrementalState* incr) const {
+                                        IncrementalState* incr,
+                                        solver::ContextCache* ctx_cache) const {
   SolveOutput out;
   out.backend = options.backend;
   out.seed = options.seed;
@@ -1066,6 +1072,7 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   sopts.restart_base_nodes = options.restart_base_nodes;
   sopts.num_workers = options.num_workers;
   sopts.max_iterations = options.max_iterations;
+  sopts.subproblems = options.subproblems;
 
   // Warm start: map the cached previous solution onto this solve's freshly
   // created variables by var-table row identity. The periodic invokeSolver
@@ -1127,8 +1134,23 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   // when no warm incumbent exists to pin to, or when more than
   // incr_threshold_pct of the groups changed.
   std::map<std::string, uint64_t> fp_map;
+  const bool context_caching = ctx_cache != nullptr && options.cache;
+  std::vector<uint64_t> fps;
+  if (incremental || context_caching) {
+    fps = ComputeFingerprints(model, sym_eval.var_rows());
+  }
+  if (context_caching) {
+    // Namespace the persistent proof cache by the model fingerprint: a fact
+    // delta that changes any group fingerprint changes the key, so proofs
+    // about the previous model can never match — invalidation without a
+    // sweep. Identical models across solves keep the namespace, which is
+    // what lets a re-solve skip subtrees the last solve exhausted.
+    uint64_t model_key = kFnvOffset;
+    for (uint64_t f : fps) FnvMix(&model_key, f);
+    ctx_cache->set_model_key(model_key);
+    sopts.context_cache = ctx_cache;
+  }
   if (incremental) {
-    std::vector<uint64_t> fps = ComputeFingerprints(model, sym_eval.var_rows());
     const size_t total = fps.size();
     auto key_of = [&](size_t gi) {
       return gi < group_keys.size() ? group_keys[gi] : std::string();

@@ -70,6 +70,19 @@ struct SolveOptions {
   /// decision groups changed fingerprint. 0 = any change falls back;
   /// 100 = never fall back on account of volume.
   int incr_threshold_pct = 50;
+  /// Context cache of exhausted-subtree proofs (SOLVER_CACHE): keyed on the
+  /// fixed decision prefix, namespaced by the model fingerprint, and —
+  /// because the Instance owns the cache — persisted across solves, LNS
+  /// neighborhoods, and incremental re-solves. A fact delta that changes any
+  /// group fingerprint changes the namespace, retiring stale proofs without
+  /// a sweep. Off by default: with it off the solve path (and its traces) is
+  /// byte-identical to the cache-free solver.
+  bool cache = false;
+  /// Subproblem-parallel B&B (SOLVER_SUBPROBLEMS): with a concurrent backend
+  /// and more than one worker, expand the root into about this many bounded
+  /// subproblems that workers steal from a shared queue instead of
+  /// re-searching from the root. 0 disables.
+  int subproblems = 0;
 };
 
 /// How Instance::Solve runs (SolveRequest::mode).
@@ -239,9 +252,15 @@ class SolverBridge {
   /// focuses on the dirty ones, falling back to a cold solve past the
   /// staleness threshold. `incr` refreshes exactly when the warm cache does
   /// (the fingerprints describe the model whose solution the cache holds).
+  ///
+  /// When `ctx_cache` is non-null and options.cache is set, the solver keeps
+  /// exhausted-subtree proofs in it across solves; the bridge re-keys it
+  /// with the current model fingerprint before each search, so entries from
+  /// a model a fact delta invalidated can never match.
   Result<SolveOutput> Solve(const SolveOptions& options,
                             WarmStartCache* warm_cache = nullptr,
-                            IncrementalState* incr = nullptr) const;
+                            IncrementalState* incr = nullptr,
+                            solver::ContextCache* ctx_cache = nullptr) const;
 
   /// Batched entry point: one model solve covering several negotiation
   /// units at once (a node's incident links aggregated per round instead of
@@ -253,10 +272,12 @@ class SolverBridge {
   Result<SolveOutput> SolveBatched(const SolveOptions& options,
                                    int group_key_prefix,
                                    WarmStartCache* warm_cache = nullptr,
-                                   IncrementalState* incr = nullptr) const {
+                                   IncrementalState* incr = nullptr,
+                                   solver::ContextCache* ctx_cache =
+                                       nullptr) const {
     SolveOptions o = options;
     o.group_key_prefix = group_key_prefix;
-    return Solve(o, warm_cache, incr);
+    return Solve(o, warm_cache, incr, ctx_cache);
   }
 
  private:

@@ -1,0 +1,98 @@
+#include "solver/context_cache.h"
+
+#include "common/rng.h"
+
+namespace cologne::solver {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 64;  // floor: a probe window must fit with room to spare
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ContextCache::ContextCache(size_t capacity)
+    : capacity_(RoundUpPow2(capacity)), mask_(capacity_ - 1) {}
+
+void ContextCache::Clear() {
+  if (!table_.empty()) {
+    table_.assign(table_.size(), Entry{});
+  }
+  entries_ = 0;
+}
+
+uint64_t ContextCache::MixedKey(uint64_t sig) const {
+  uint64_t k = SplitMix64(sig ^ model_key_);
+  // Zero doubles as "empty slot"; steer the (1-in-2^64) real zero away.
+  return k == 0 ? 0x9E3779B97F4A7C15ull : k;
+}
+
+size_t ContextCache::MemoryBytes() const {
+  return table_.capacity() * sizeof(Entry);
+}
+
+void ContextCache::EnsureTable() {
+  if (table_.empty()) table_.resize(capacity_);
+}
+
+bool ContextCache::Lookup(uint64_t sig, bool minimize, bool have_bound,
+                          int64_t bound) const {
+  if (table_.empty()) return false;
+  const uint64_t key = MixedKey(sig);
+  const size_t base = static_cast<size_t>(key) & mask_;
+  for (size_t p = 0; p < kProbes; ++p) {
+    const Entry& e = table_[(base + p) & mask_];
+    if ((e.flags & kOccupied) == 0 || e.key != key) continue;
+    if ((e.flags & kUnconditional) != 0) return true;
+    // Bounded proof "no solution better than e.bound": it covers the
+    // caller's "better than `bound`" query iff that region is contained,
+    // i.e. the caller's bound is no looser than the proven one.
+    if (have_bound &&
+        (minimize ? bound <= e.bound : bound >= e.bound)) {
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+void ContextCache::Store(uint64_t sig, bool minimize, bool have_bound,
+                         int64_t bound) {
+  EnsureTable();
+  const uint64_t key = MixedKey(sig);
+  const size_t base = static_cast<size_t>(key) & mask_;
+  Entry* slot = nullptr;
+  for (size_t p = 0; p < kProbes; ++p) {
+    Entry& e = table_[(base + p) & mask_];
+    if ((e.flags & kOccupied) != 0 && e.key == key) {
+      // Strengthen in place: unconditional dominates; among bounds the one
+      // excluding more solutions wins (minimize: the larger bound).
+      if (!have_bound) {
+        e.flags |= kUnconditional;
+      } else if ((e.flags & kUnconditional) == 0 &&
+                 (minimize ? bound > e.bound : bound < e.bound)) {
+        e.bound = bound;
+      }
+      return;
+    }
+    if (slot == nullptr && (e.flags & kOccupied) == 0) slot = &e;
+  }
+  if (slot == nullptr) {
+    // Probe window full of other contexts: evict a key-determined victim
+    // (deterministic, and different keys scatter across the window instead
+    // of always trampling the same slot).
+    slot = &table_[(base + (static_cast<size_t>(key >> 60) & (kProbes - 1))) &
+                   mask_];
+  } else {
+    ++entries_;
+  }
+  slot->key = key;
+  slot->bound = have_bound ? bound : 0;
+  slot->flags =
+      static_cast<uint8_t>(kOccupied | (have_bound ? 0 : kUnconditional));
+}
+
+}  // namespace cologne::solver

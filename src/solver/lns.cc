@@ -31,7 +31,7 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
   // were all covered earlier); only used to resolve the incremental focus.
   std::vector<size_t> unit_of_group;
   {
-    std::vector<int32_t> decisions = ctx.order().DecisionIds();
+    const std::vector<int32_t>& decisions = ctx.order().DecisionIds();
     const auto& groups = model.decision_groups();
     if (groups.size() >= 2) {
       std::vector<char> covered(model.num_vars(), 0);

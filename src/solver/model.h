@@ -19,6 +19,8 @@
 
 namespace cologne::solver {
 
+class ContextCache;
+
 /// Objective sense of a model.
 enum class Sense : uint8_t { kSatisfy, kMinimize, kMaximize };
 
@@ -183,6 +185,22 @@ class Model {
     /// way. Empty with `incremental` set means "nothing dirty": the
     /// warm-started incumbent is accepted after the first dive.
     std::vector<size_t> focus_groups;
+    /// Transposition/context cache (the SOLVER_CACHE knob): exhausted-subtree
+    /// proofs keyed on the fixed decision context, consulted across Luby
+    /// restarts, LNS neighborhood trials, and — when the owner persists the
+    /// cache — across solves (solver/context_cache.h). Not owned; null
+    /// disables caching (the default) and keeps every search path
+    /// bit-identical to the cache-free solver. Single-threaded: the
+    /// concurrent backends hand each worker a private cache seeded with this
+    /// one's model key instead of sharing it.
+    ContextCache* context_cache = nullptr;
+    /// Subproblem-parallel B&B (the SOLVER_SUBPROBLEMS knob): with more than
+    /// one worker, the portfolio/parallel_lns backends expand the root into
+    /// about this many bounded subproblems (decision-prefix assignment +
+    /// cost bound) and let workers steal them from a shared queue instead of
+    /// each re-searching from the root (solver/sync.h SubproblemQueue).
+    /// 0 disables (the pre-existing race/walk behaviour).
+    int subproblems = 0;
     /// Cooperative cancellation: search returns (with the best incumbent so
     /// far) soon after the token is cancelled. Not owned; may be null.
     const CancelToken* cancel = nullptr;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -9,7 +11,9 @@
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "solver/context_cache.h"
 #include "solver/lns.h"
+#include "solver/search_internal.h"
 #include "solver/sync.h"
 
 namespace cologne::solver {
@@ -61,9 +65,22 @@ size_t CountDecisions(const Model& model) {
 // (SearchContext::RecordSolution); a worker whose Solve returns a proof
 // (kOptimal / kInfeasible) cancels the rest of the race.
 Solution RunRace(const Model& model, std::vector<WorkerConfig> configs,
-                 IncumbentStore& store, CancelToken& cancel) {
+                 IncumbentStore& store, CancelToken& cancel,
+                 const ContextCache* cache_proto) {
   const auto start = std::chrono::steady_clock::now();
   const size_t n = configs.size();
+  // The context cache is single-threaded (WorkerBase nulled the caller's
+  // pointer); a caching race hands each worker a private cache under the
+  // same model key instead.
+  std::vector<std::unique_ptr<ContextCache>> caches;
+  if (cache_proto != nullptr) {
+    caches.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      caches.push_back(std::make_unique<ContextCache>());
+      caches.back()->set_model_key(cache_proto->model_key());
+      configs[i].options.context_cache = caches.back().get();
+    }
+  }
   std::vector<Solution> results(n);
   std::vector<std::thread> threads;
   threads.reserve(n);
@@ -96,6 +113,9 @@ Solution RunRace(const Model& model, std::vector<WorkerConfig> configs,
     st.iterations += ws.iterations;
     st.restarts += ws.restarts;
     st.trail_saves += ws.trail_saves;
+    st.cache_hits += ws.cache_hits;
+    st.cache_stores += ws.cache_stores;
+    st.cache_mem_bytes = std::max(st.cache_mem_bytes, ws.cache_mem_bytes);
     st.peak_memory_bytes = std::max(st.peak_memory_bytes, ws.peak_memory_bytes);
     any_proof |= results[i].status == SolveStatus::kOptimal ||
                  results[i].status == SolveStatus::kInfeasible;
@@ -147,7 +167,311 @@ Model::Options WorkerBase(const Model::Options& base, IncumbentStore* store,
   o.shared = store;
   o.cancel = cancel;
   o.worker_id = worker;
+  // The caller's context cache is single-threaded; workers that want one get
+  // a private cache from their launcher (RunRace / SubproblemSolve).
+  o.context_cache = nullptr;
   return o;
+}
+
+// Replay a subproblem's decision prefix on a fresh trail level of `ctx`,
+// apply the incumbent bound, and propagate. False when the prefix is
+// infeasible under the current bound (the caller backtracks either way).
+bool ReplayPrefix(internal::SearchContext& ctx, const Subproblem& sp,
+                  const internal::Incumbent& inc) {
+  std::vector<int32_t> changed;
+  changed.reserve(sp.assignment.size() + 1);
+  for (const auto& [id, value] : sp.assignment) {
+    if (!ctx.store().dom(id).Contains(value)) return false;
+    ctx.store().Assign(id, value);
+    changed.push_back(id);
+  }
+  if (!ctx.ApplyBound(&changed, inc)) return false;
+  if (changed.empty()) return true;
+  return ctx.engine().PropagateFrom(ctx.store(), changed, &ctx.stats);
+}
+
+// Subproblem-parallel branch-and-bound (SOLVER_SUBPROBLEMS > 0 with more
+// than one worker): instead of racing heterogeneous full-tree searches, a
+// master thread seeds an incumbent with limited-discrepancy probes, expands
+// the root breadth-first into ~max(subproblems, workers) bounded frontier
+// nodes (decision-prefix assignment + the pruning bound at generation time),
+// and closes a shared SubproblemQueue. Workers then steal subproblems,
+// replay the prefix on their own trailed store, and exhaust the subtree
+// under the shared incumbent bound — the DAOOPT parallel scheme: one search
+// tree partitioned across workers rather than N overlapping trees.
+//
+// Completeness: the frontier partitions the root's subtree (every child
+// value of every expanded node is either pruned by propagation/bound — a
+// proof — or enqueued). If expansion finished and every stolen subproblem
+// was fully exhausted with none left unstolen, the combined search is
+// complete: kOptimal / kInfeasible. Any cutoff or leftover subproblem
+// downgrades to kFeasible / kUnknown.
+Solution SubproblemSolve(const Model& model, const Model::Options& base,
+                         int workers) {
+  using internal::DiveEnd;
+  using internal::Incumbent;
+  using internal::SearchContext;
+
+  const auto start = std::chrono::steady_clock::now();
+  // Worker 0 is the master; stealing workers are 1..workers.
+  IncumbentStore store(model.sense() != Sense::kMaximize, workers + 1);
+  CancelToken cancel(base.cancel);
+  Solution out;
+
+  // Master phase is single-threaded, so it may use the caller's cache
+  // directly (cross-solve hits prune frontier expansion too).
+  Model::Options master_opts = WorkerBase(base, &store, &cancel, 0);
+  master_opts.context_cache = base.context_cache;
+  SearchContext master(model, master_opts);
+  Incumbent minc;
+
+  if (!master.PropagateRoot()) {
+    master.FinalizeStats();
+    out.stats = master.stats;
+    out.status = SolveStatus::kInfeasible;
+    return out;
+  }
+  const int root = master.root_level();
+
+  // Seed the shared incumbent before expanding, so frontier generation and
+  // every steal prune against a real bound from the start: first the
+  // warm-start hint (when assimilable), then limited-discrepancy probes of
+  // increasing budget against the value-ordering heuristic.
+  {
+    size_t applied = 0;
+    if (master.ApplyWarmStart(&applied)) {
+      SearchContext::DiveLimits seed;
+      seed.stop_on_first = true;
+      seed.bound_objective = false;
+      seed.node_budget = 4'000;
+      master.Dive(seed, &minc);
+      master.store().BacktrackTo(root);
+    }
+  }
+  for (int64_t d : {int64_t{0}, int64_t{1}, int64_t{2}, int64_t{4}}) {
+    if (minc.found || master.ShouldStop()) break;
+    SearchContext::DiveLimits probe;
+    probe.stop_on_first = true;
+    probe.bound_objective = false;
+    probe.node_budget = 4'000;
+    probe.max_discrepancies = d;
+    if (!base.warm_start.empty()) probe.hint = &base.warm_start;
+    master.Dive(probe, &minc);
+  }
+  if (model.sense() == Sense::kSatisfy && minc.found) {
+    // Satisfaction is terminal on the first solution: nothing to partition.
+    master.FinalizeStats();
+    out.stats = master.stats;
+    out.values = std::move(minc.values);
+    out.objective = minc.objective;
+    out.status = SolveStatus::kOptimal;
+    return out;
+  }
+
+  // Breadth-first frontier expansion: repeatedly replace the oldest frontier
+  // node by its surviving children until the frontier is wide enough for the
+  // worker pool (or the root's subtree ran out of open nodes first).
+  SubproblemQueue queue;
+  bool expansion_complete = true;
+  const size_t target = std::max<size_t>(
+      static_cast<size_t>(base.subproblems), static_cast<size_t>(workers));
+  std::deque<Subproblem> frontier;
+  frontier.push_back(Subproblem{});
+  while (!frontier.empty() && frontier.size() < target) {
+    if (master.ShouldStop()) {
+      expansion_complete = false;
+      break;
+    }
+    Subproblem sp = std::move(frontier.front());
+    frontier.pop_front();
+    master.store().PushLevel();
+    if (!ReplayPrefix(master, sp, minc)) {
+      ++master.stats.failures;
+      master.store().Backtrack();
+      continue;
+    }
+    size_t watermark = 0;
+    IntVar v = master.order().Select(master.store(), &watermark);
+    if (!v.valid()) {
+      // The prefix propagates to a full assignment: a solved leaf, not a
+      // subproblem.
+      master.RecordSolution(&minc);
+      master.store().Backtrack();
+      continue;
+    }
+    std::vector<int64_t> values;
+    master.store().dom(v.id).AppendValues(&values);
+    for (int64_t value : values) {
+      ++master.stats.nodes;
+      master.store().PushLevel();
+      master.store().Assign(v.id, value);
+      std::vector<int32_t> changed{v.id};
+      const bool child_ok =
+          master.ApplyBound(&changed, minc) &&
+          master.engine().PropagateFrom(master.store(), changed,
+                                        &master.stats);
+      master.store().Backtrack();
+      if (!child_ok) {
+        ++master.stats.failures;
+        continue;
+      }
+      Subproblem child;
+      child.assignment = sp.assignment;
+      child.assignment.emplace_back(v.id, value);
+      child.have_bound = master.EffectiveBound(minc, &child.bound);
+      frontier.push_back(std::move(child));
+    }
+    master.store().Backtrack();
+  }
+  for (Subproblem& sp : frontier) queue.Push(std::move(sp));
+
+  // Worker phase: steal until the queue drains. Each worker owns a private
+  // store, propagation engine, and (when caching) context cache; only the
+  // incumbent store, cancel token, and queue are shared.
+  struct WorkerOut {
+    SolveStats stats;
+    uint64_t steals = 0;
+    bool exhausted_all = true;  ///< Every stolen subproblem fully explored.
+    bool terminal = false;      ///< Satisfy-sense solution ended the solve.
+  };
+  std::vector<WorkerOut> wouts(static_cast<size_t>(workers));
+  if (queue.size() > 0) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&model, &base, &store, &cancel, &queue, &wouts,
+                            w] {
+        WorkerOut& wo = wouts[static_cast<size_t>(w)];
+        Model::Options wopts = WorkerBase(base, &store, &cancel, w + 1);
+        std::unique_ptr<ContextCache> wcache;
+        if (base.context_cache != nullptr) {
+          wcache = std::make_unique<ContextCache>();
+          wcache->set_model_key(base.context_cache->model_key());
+          wopts.context_cache = wcache.get();
+        }
+        SearchContext ctx(model, wopts);
+        Incumbent inc;
+        uint64_t seen = 0;
+        if (!ctx.PropagateRoot()) {
+          // Cannot happen after the master propagated the same root, but
+          // keep the worker well-defined regardless.
+          ctx.FinalizeStats();
+          wo.stats = ctx.stats;
+          return;
+        }
+        Subproblem sp;
+        while (queue.Steal(&sp)) {
+          ++wo.steals;
+          if (ctx.ShouldStop()) {
+            // Stolen but not searched: the partition is no longer covered.
+            wo.exhausted_all = false;
+            break;
+          }
+          ctx.AdoptShared(&inc, &seen);
+          if (sp.have_bound && !inc.found) {
+            // The master's generation-time bound arrives even when the
+            // incumbent assignment itself has not been adopted yet.
+            inc.found = true;
+            inc.objective = sp.bound;
+          }
+          ctx.store().PushLevel();
+          if (ReplayPrefix(ctx, sp, inc)) {
+            SearchContext::DiveLimits dive;
+            if (!base.warm_start.empty()) dive.hint = &base.warm_start;
+            const DiveEnd end = ctx.Dive(dive, &inc);
+            if (end == DiveEnd::kCutoff) wo.exhausted_all = false;
+            if (end == DiveEnd::kFirstSolution) {
+              // Satisfy-sense dives stop at the first solution; it is
+              // terminal for the whole solve.
+              wo.terminal = true;
+              ctx.store().Backtrack();
+              cancel.Cancel();
+              break;
+            }
+          } else {
+            ++ctx.stats.failures;
+          }
+          ctx.store().Backtrack();
+        }
+        ctx.FinalizeStats();
+        wo.stats = ctx.stats;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Merge: master counters plus per-worker sums; the frontier/steal counters
+  // come from the queue itself.
+  master.FinalizeStats();
+  SolveStats& st = out.stats;
+  st = master.stats;
+  st.subproblems = queue.pushed();
+  {
+    WorkerSolveStats wm;
+    wm.config = "frontier+lds";
+    wm.nodes = master.stats.nodes;
+    wm.iterations = master.stats.iterations;
+    wm.restarts = master.stats.restarts;
+    IncumbentStore::WorkerMark mark = store.mark(0);
+    wm.improvements = mark.improvements;
+    wm.last_improve_ms = mark.last_improve_ms;
+    st.per_worker.push_back(std::move(wm));
+  }
+  bool all_exhausted = expansion_complete;
+  bool terminal = false;
+  for (int w = 0; w < workers; ++w) {
+    const WorkerOut& wo = wouts[static_cast<size_t>(w)];
+    const SolveStats& ws = wo.stats;
+    st.nodes += ws.nodes;
+    st.failures += ws.failures;
+    st.solutions += ws.solutions;
+    st.propagations += ws.propagations;
+    st.iterations += ws.iterations;
+    st.restarts += ws.restarts;
+    st.trail_saves += ws.trail_saves;
+    st.cache_hits += ws.cache_hits;
+    st.cache_stores += ws.cache_stores;
+    st.cache_mem_bytes = std::max(st.cache_mem_bytes, ws.cache_mem_bytes);
+    st.peak_memory_bytes =
+        std::max(st.peak_memory_bytes, ws.peak_memory_bytes);
+    all_exhausted &= wo.exhausted_all;
+    terminal |= wo.terminal;
+
+    WorkerSolveStats wss;
+    wss.config = StrFormat("steal(worker=%d,subproblems=%llu)", w + 1,
+                           static_cast<unsigned long long>(wo.steals));
+    wss.nodes = ws.nodes;
+    wss.iterations = ws.iterations;
+    wss.restarts = ws.restarts;
+    IncumbentStore::WorkerMark mark = store.mark(w + 1);
+    wss.improvements = mark.improvements;
+    wss.last_improve_ms = mark.last_improve_ms;
+    st.per_worker.push_back(std::move(wss));
+  }
+  st.steals = queue.steals();
+  // Leftover subproblems (workers stopped stealing early) mean the
+  // partition was not fully covered.
+  if (queue.size() > 0) all_exhausted = false;
+
+  int winner = -1;
+  int64_t objective = 0;
+  std::vector<int64_t> values;
+  if (store.Snapshot(&objective, &values, &winner)) {
+    out.values = std::move(values);
+    out.objective = objective;
+    out.status = (all_exhausted || terminal) ? SolveStatus::kOptimal
+                                             : SolveStatus::kFeasible;
+    if (winner >= 0 && static_cast<size_t>(winner) < st.per_worker.size()) {
+      st.per_worker[static_cast<size_t>(winner)].winner = true;
+    }
+  } else {
+    out.status =
+        all_exhausted ? SolveStatus::kInfeasible : SolveStatus::kUnknown;
+  }
+  st.wall_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  return out;
 }
 
 // The portfolio mix, cycled over workers: complete B&B (can prove
@@ -225,11 +549,16 @@ std::vector<WorkerConfig> BuildPortfolio(const Model& model,
 Solution PortfolioSearch::Solve(const Model& model,
                                 const Model::Options& options) const {
   const int workers = EffectiveWorkers(options);
+  // Subproblem mode: partition one search tree across the pool instead of
+  // racing heterogeneous full-tree configurations.
+  if (options.subproblems > 0 && workers > 1) {
+    return SubproblemSolve(model, options, workers);
+  }
   IncumbentStore store(model.sense() != Sense::kMaximize, workers);
   CancelToken cancel(options.cancel);
   return RunRace(model,
                  BuildPortfolio(model, options, workers, &store, &cancel),
-                 store, cancel);
+                 store, cancel, options.context_cache);
 }
 
 Solution ParallelLnsSearch::Solve(const Model& model,
@@ -238,6 +567,11 @@ Solution ParallelLnsSearch::Solve(const Model& model,
   // Single worker: run the sequential backend untouched (no shared state, no
   // extra thread) so a fixed seed reproduces LnsSearch bit-for-bit.
   if (workers == 1) return LnsSearch().Solve(model, options);
+  // Subproblem mode: steal bounded subtrees from a shared frontier instead
+  // of running N overlapping neighborhood walks.
+  if (options.subproblems > 0) {
+    return SubproblemSolve(model, options, workers);
+  }
 
   IncumbentStore store(model.sense() != Sense::kMaximize, workers);
   CancelToken cancel(options.cancel);
@@ -262,7 +596,8 @@ Solution ParallelLnsSearch::Solve(const Model& model,
                         static_cast<unsigned long long>(o.seed));
     configs.push_back(std::move(cfg));
   }
-  return RunRace(model, std::move(configs), store, cancel);
+  return RunRace(model, std::move(configs), store, cancel,
+                 options.context_cache);
 }
 
 }  // namespace cologne::solver

@@ -13,10 +13,13 @@
 #define COLOGNE_SOLVER_SEARCH_INTERNAL_H_
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
+#include "solver/context_cache.h"
 #include "solver/model.h"
 #include "solver/propagator.h"
 #include "solver/store.h"
@@ -44,6 +47,10 @@ class SearchOrder {
     for (int32_t id = 0; id < n; ++id) {
       if (!model.IsDecision(IntVar{id})) order_.push_back(id);
     }
+    decision_ids_.assign(
+        order_.begin(),
+        order_.begin() + static_cast<ptrdiff_t>(
+                             num_decisions_ ? num_decisions_ : order_.size()));
   }
 
   /// First-fail selection (smallest domain) among unfixed variables, decision
@@ -74,17 +81,15 @@ class SearchOrder {
     return best;
   }
 
-  /// Decision-variable ids (the relaxation pool for LNS); all variables when
-  /// the model marks none.
-  std::vector<int32_t> DecisionIds() const {
-    return std::vector<int32_t>(
-        order_.begin(),
-        order_.begin() + static_cast<ptrdiff_t>(
-                             num_decisions_ ? num_decisions_ : order_.size()));
-  }
+  /// Decision-variable ids (the relaxation pool for LNS, and the context-
+  /// cache signature domain); all variables when the model marks none.
+  /// Returns a reference into the order — LNS calls this from its hot
+  /// relaxation loop, where the historical per-call copy dominated.
+  const std::vector<int32_t>& DecisionIds() const { return decision_ids_; }
 
  private:
   std::vector<int32_t> order_;
+  std::vector<int32_t> decision_ids_;
   size_t num_decisions_ = 0;
 };
 
@@ -105,8 +110,13 @@ enum class DiveEnd {
 /// Luby restart sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
 /// Iterative (the sequence's self-similar suffix is peeled off in a loop):
 /// called once per restart on the hot path, so no recursion depth in log(i).
+///
+/// Contract: i >= 1 — the sequence has no zeroth element, and callers count
+/// restarts from 1. An out-of-contract call asserts in debug builds and
+/// pins to the first block's value in release builds.
 inline uint64_t Luby(uint64_t i) {
-  if (i == 0) return 1;  // out-of-contract call; the loop below needs i >= 1
+  assert(i >= 1 && "Luby(i) is 1-indexed; callers count restarts from 1");
+  if (i == 0) return 1;  // release-build fallback; the loop needs i >= 1
   for (;;) {
     const uint64_t p = i + 1;  // i == 2^k - 1  <=>  i+1 is a power of two
     if ((p & (p - 1)) == 0) return p >> 1;
@@ -134,6 +144,7 @@ class SearchContext {
         options_(options),
         engine_(&model.propagators(), model.num_vars()),
         order_(model),
+        cache_(options.context_cache),
         start_(std::chrono::steady_clock::now()) {
     store_.Init(model.initial_domains());
   }
@@ -205,6 +216,12 @@ class SearchContext {
     Rng* shuffle_rng = nullptr; ///< Randomize value order (restart dives).
     /// Value-order hint: hint[var.id] tried first when present in the domain.
     const std::vector<int64_t>* hint = nullptr;
+    /// Limited-discrepancy cap: a branch whose cumulative discrepancy count
+    /// (sum of value-order indices along the path from the dive root) would
+    /// exceed this is skipped. A truncated dive reports kCutoff — the
+    /// subtree was not exhausted — and records no context-cache proofs for
+    /// truncated subtrees. -1 (the default) disables LDS.
+    int64_t max_discrepancies = -1;
   };
 
   /// Depth-first search from the store's current state (which must already
@@ -217,11 +234,14 @@ class SearchContext {
   DiveEnd Dive(const DiveLimits& limits, Incumbent* inc) {
     const int base = store_.level();
     frames_.clear();
+    const bool use_cache = cache_ != nullptr;
+    bool base_truncated = false;
 
     // Materializes the current store as an open node: selects the branching
     // variable and fills the depth's reusable value buffer. Returns true
     // when the store is a full assignment (recorded, not pushed).
-    auto push_node = [&](size_t watermark, size_t depth) -> bool {
+    auto push_node = [&](size_t watermark, size_t depth,
+                         size_t path_disc) -> bool {
       IntVar v = order_.Select(store_, &watermark);
       if (!v.valid()) {
         RecordSolution(inc);
@@ -232,14 +252,23 @@ class SearchContext {
       values.clear();
       store_.dom(v.id).AppendValues(&values);
       OrderValues(v, limits, &values);
-      frames_.push_back(Frame{v, 0, watermark, values.size()});
+      frames_.push_back(Frame{v, 0, watermark, values.size(), 0, path_disc,
+                              /*truncated=*/false});
       return false;
     };
 
-    if (push_node(0, 0)) {
+    uint64_t entry_sig = 0;
+    if (use_cache) {
+      entry_sig = ContextSignature();
+      // A stored proof already covers the whole dive under the bound now in
+      // effect: nothing to explore (cross-restart / cross-solve skip).
+      if (CacheLookup(entry_sig, limits, *inc)) return DiveEnd::kExhausted;
+    }
+    if (push_node(0, 0, 0)) {
       store_.BacktrackTo(base);
       return DiveEnd::kFirstSolution;
     }
+    if (use_cache) frames_.back().sig = entry_sig;
 
     uint64_t dive_nodes = 0;
     while (!frames_.empty()) {
@@ -256,21 +285,53 @@ class SearchContext {
           store_.BacktrackTo(base);
           return DiveEnd::kCutoff;
         }
+        // The soft deadline is independent of the global wall-clock limit:
+        // an anytime dive with time_limit_ms == 0 (unlimited) must still
+        // honour it once an incumbent exists. (It historically sat nested
+        // inside the global-limit branch and was dead code for unlimited
+        // solves.)
+        double t = -1;
         if (options_.time_limit_ms > 0) {
-          double t = elapsed_ms();
-          if (t > options_.time_limit_ms ||
-              (limits.soft_deadline_ms > 0 && inc->found &&
-               t > limits.soft_deadline_ms)) {
+          t = elapsed_ms();
+          if (t > options_.time_limit_ms) {
+            store_.BacktrackTo(base);
+            return DiveEnd::kCutoff;
+          }
+        }
+        if (limits.soft_deadline_ms > 0 && inc->found) {
+          if (t < 0) t = elapsed_ms();
+          if (t > limits.soft_deadline_ms) {
             store_.BacktrackTo(base);
             return DiveEnd::kCutoff;
           }
         }
       }
       Frame& top = frames_.back();
+      if (limits.max_discrepancies >= 0 && top.next < top.num_values &&
+          static_cast<int64_t>(top.path_disc + top.next) >
+              limits.max_discrepancies) {
+        // LDS: every remaining branch costs at least this discrepancy count
+        // (value-order index) — skip them and mark the subtree incomplete.
+        top.truncated = true;
+        top.next = top.num_values;
+      }
       if (top.next >= top.num_values) {
-        // Subtree exhausted: drop the frame and (unless it is the dive
-        // root, which owns no level) undo its parent's branching level.
+        // Subtree exhausted (or LDS-truncated): drop the frame and (unless
+        // it is the dive root, which owns no level) undo its parent's
+        // branching level. A fully explored subtree is an exhausted-subtree
+        // proof; a truncated one is not, and poisons its ancestors' proofs.
+        const bool truncated = top.truncated;
+        const uint64_t sig = top.sig;
         frames_.pop_back();
+        if (truncated) {
+          if (!frames_.empty()) {
+            frames_.back().truncated = true;
+          } else {
+            base_truncated = true;
+          }
+        } else if (use_cache) {
+          CacheStore(sig, limits, *inc);
+        }
         if (!frames_.empty()) store_.Backtrack();
         continue;
       }
@@ -280,6 +341,7 @@ class SearchContext {
       const IntVar var = top.var;
       const size_t watermark = top.watermark;
       const size_t child_depth = frames_.size();
+      const size_t child_disc = top.path_disc + top.next;
       const int64_t value = value_scratch_[child_depth - 1][top.next++];
       ++stats.nodes;
       ++dive_nodes;
@@ -298,7 +360,17 @@ class SearchContext {
         store_.Backtrack();
         continue;
       }
-      if (push_node(watermark, child_depth)) {
+      uint64_t child_sig = 0;
+      if (use_cache) {
+        child_sig = ContextSignature();
+        if (CacheLookup(child_sig, limits, *inc)) {
+          // A previous dive exhausted this decision context under a bound at
+          // least as tight: prune without descending.
+          store_.Backtrack();
+          continue;
+        }
+      }
+      if (push_node(watermark, child_depth, child_disc)) {
         if (limits.stop_on_first || model_.sense() == Sense::kSatisfy) {
           store_.BacktrackTo(base);
           return DiveEnd::kFirstSolution;
@@ -306,10 +378,12 @@ class SearchContext {
         // Solution leaf: undo this attempt's level and continue with the
         // parent frame's remaining values.
         store_.Backtrack();
+      } else if (use_cache) {
+        frames_.back().sig = child_sig;
       }
     }
     store_.BacktrackTo(base);  // no-op: every frame pop backtracked its level
-    return DiveEnd::kExhausted;
+    return base_truncated ? DiveEnd::kCutoff : DiveEnd::kExhausted;
   }
 
   /// Pin every decision of `units[from..)` to its incumbent value on the
@@ -350,31 +424,64 @@ class SearchContext {
     }
   }
 
-  /// Clamp the store's objective domain to strictly-better-than-incumbent
-  /// (the tighter of the local incumbent and the shared race bound, when a
-  /// concurrent worker published one); false when the clamp empties it. The
-  /// clamp is trailed like any branching mutation, so backtracking the level
-  /// restores the pre-clamp domain.
-  bool ApplyBound(std::vector<int32_t>* changed, const Incumbent& inc) {
-    if (!optimizing()) return true;
+  /// The bound branch-and-bound prunes against: the tighter of the local
+  /// incumbent and the shared race bound (when a concurrent worker published
+  /// one). False when neither exists yet. This is also the bound region that
+  /// context-cache proofs are stored and looked up under, so the two stay in
+  /// exact agreement by construction.
+  bool EffectiveBound(const Incumbent& inc, int64_t* bound) const {
     bool have = inc.found;
-    int64_t bound = inc.objective;
+    int64_t b = inc.objective;
     if (options_.shared != nullptr) {
       int64_t shared_bound = 0;
       if (options_.shared->BestObjective(&shared_bound) &&
-          (!have || (minimizing() ? shared_bound < bound
-                                  : shared_bound > bound))) {
+          (!have ||
+           (minimizing() ? shared_bound < b : shared_bound > b))) {
         have = true;
-        bound = shared_bound;
+        b = shared_bound;
       }
     }
-    if (!have) return true;
+    *bound = b;
+    return have;
+  }
+
+  /// Clamp the store's objective domain to strictly-better-than-incumbent
+  /// (EffectiveBound); false when the clamp empties it. The clamp is trailed
+  /// like any branching mutation, so backtracking the level restores the
+  /// pre-clamp domain.
+  bool ApplyBound(std::vector<int32_t>* changed, const Incumbent& inc) {
+    if (!optimizing()) return true;
+    int64_t bound = 0;
+    if (!EffectiveBound(inc, &bound)) return true;
+    // "Strictly better than the extreme representable value" is
+    // unsatisfiable; saturate instead of computing bound∓1, which would be
+    // signed-overflow UB at INT64_MIN / INT64_MAX.
+    if (minimizing() ? bound == INT64_MIN : bound == INT64_MAX) return false;
     IntVar obj_var = model_.objective_var();
     bool ch = minimizing() ? store_.ClampMax(obj_var.id, bound - 1)
                            : store_.ClampMin(obj_var.id, bound + 1);
     if (store_.dom(obj_var.id).empty()) return false;
     if (ch) changed->push_back(obj_var.id);
     return true;
+  }
+
+  /// Order-independent signature of the current decision context: XOR over
+  /// per-(variable, value) hashes of the *fixed* decision variables. Two
+  /// nodes reached by different branching orders (or with different
+  /// auxiliary domains) that fix the same decisions to the same values hash
+  /// identically — exactly the DAOOPT context-equivalence the cache prunes
+  /// on. Auxiliary variables are excluded by construction.
+  uint64_t ContextSignature() const {
+    uint64_t sig = 0x736f6c7665724343ull;  // "solverCC"
+    for (int32_t id : order_.DecisionIds()) {
+      const IntDomain& d = store_.dom(id);
+      if (!d.IsFixed()) continue;
+      sig ^= SplitMix64(
+          SplitMix64(static_cast<uint64_t>(static_cast<uint32_t>(id)) +
+                     0x9E3779B97F4A7C15ull) ^
+          static_cast<uint64_t>(d.value()));
+    }
+    return sig;
   }
 
   /// Assimilate warm-start hints into the store (which must hold a
@@ -456,6 +563,7 @@ class SearchContext {
     stats.wall_ms = elapsed_ms();
     stats.peak_memory_bytes = PeakMemoryBytes();
     stats.trail_saves = store_.total_saves();
+    if (cache_ != nullptr) stats.cache_mem_bytes = cache_->MemoryBytes();
     const std::vector<uint64_t>& runs = engine_.run_counts();
     const auto& props = model_.propagators();
     for (size_t i = 0; i < runs.size() && i < props.size(); ++i) {
@@ -474,7 +582,49 @@ class SearchContext {
     size_t next = 0;
     size_t watermark = 0;
     size_t num_values = 0;
+    uint64_t sig = 0;        ///< Context signature (cache enabled only).
+    size_t path_disc = 0;    ///< Discrepancies consumed, dive root to here.
+    bool truncated = false;  ///< LDS skipped branches somewhere below.
   };
+
+  /// True (and counted) when a stored proof covers the dive's current bound
+  /// region at `sig`, i.e. the subtree can be pruned without descending.
+  bool CacheLookup(uint64_t sig, const DiveLimits& limits,
+                   const Incumbent& inc) {
+    bool have = false;
+    int64_t bound = 0;
+    if (optimizing() && limits.bound_objective) {
+      have = EffectiveBound(inc, &bound);
+    }
+    if (!cache_->Lookup(sig, minimizing(), have, bound)) return false;
+    ++stats.cache_hits;
+    return true;
+  }
+
+  /// Record the proof a fully-explored (never LDS-truncated, never cut off)
+  /// subtree pop establishes: for a bounded optimizing dive, "no solution in
+  /// this context better than the bound in effect now" (the pop-time bound
+  /// is the tightest the subtree was ever searched under, so it is the
+  /// strongest sound claim); for satisfy-sense dives — which stop at the
+  /// first solution, so a pop means none exists — and for optimizing dives
+  /// that explored unbounded and found nothing, the unconditional "no
+  /// solution extends this context".
+  void CacheStore(uint64_t sig, const DiveLimits& limits,
+                  const Incumbent& inc) {
+    bool have = false;
+    int64_t bound = 0;
+    if (optimizing()) {
+      if (!limits.bound_objective) {
+        // Explored without pruning: exhaustion with an incumbent proves
+        // nothing a later bounded dive can reuse soundly — skip.
+        if (inc.found) return;
+      } else {
+        have = EffectiveBound(inc, &bound);
+      }
+    }
+    cache_->Store(sig, minimizing(), have, bound);
+    ++stats.cache_stores;
+  }
 
   void OrderValues(IntVar v, const DiveLimits& limits,
                    std::vector<int64_t>* values) const {
@@ -501,6 +651,9 @@ class SearchContext {
   const Model::Options& options_;
   PropagationEngine engine_;
   SearchOrder order_;
+  /// Exhausted-subtree proof cache; null (the default) disables caching and
+  /// keeps every search path bit-identical to the cache-free solver.
+  ContextCache* cache_ = nullptr;
   DomainStore store_;
   int root_level_ = 0;
   std::vector<Frame> frames_;

@@ -10,7 +10,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace cologne::solver {
@@ -160,6 +162,72 @@ class IncumbentStore {
   std::atomic<bool> has_bound_{false};
   std::atomic<int64_t> bound_{0};
   const std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief A bounded B&B subproblem: a decision-prefix assignment plus the
+/// objective bound that was in effect when the frontier node was generated.
+///
+/// Replaying `assignment` on a propagated root store (assign + propagate)
+/// reconstructs the frontier node; `bound` lets the stealing worker start
+/// from the master's pruning bound even before it adopts the shared
+/// incumbent.
+struct Subproblem {
+  /// (variable id, value) pairs, in the master's branching order.
+  std::vector<std::pair<int32_t, int64_t>> assignment;
+  bool have_bound = false;
+  int64_t bound = 0;
+};
+
+/// \brief Mutex-guarded FIFO of frontier subproblems for subproblem-parallel
+/// branch-and-bound (the SOLVER_SUBPROBLEMS knob).
+///
+/// The master thread expands the root into bounded subproblems and closes the
+/// queue before workers start, so workers only ever steal — no producer races
+/// during search. FIFO order keeps stealing close to the master's
+/// left-to-right frontier order, which matters for reproducible *coverage*
+/// accounting (which subproblems ran where is still scheduling-dependent).
+class SubproblemQueue {
+ public:
+  SubproblemQueue() = default;
+  SubproblemQueue(const SubproblemQueue&) = delete;
+  SubproblemQueue& operator=(const SubproblemQueue&) = delete;
+
+  void Push(Subproblem sp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(sp));
+    ++pushed_;
+  }
+
+  /// Pop the oldest subproblem into `*out`; false when the queue is drained.
+  bool Steal(Subproblem* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    ++steals_;
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  /// Total subproblems ever enqueued (SolveStats::subproblems).
+  uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+  /// Total successful steals (SolveStats::steals).
+  uint64_t steals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steals_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Subproblem> queue_;
+  uint64_t pushed_ = 0;
+  uint64_t steals_ = 0;
 };
 
 }  // namespace cologne::solver

@@ -123,6 +123,16 @@ struct SolveStats {
                              ///< (touched-domain saves; the O(Δ) backtrack
                              ///< cost where the copy-based core paid
                              ///< O(num_vars) clones per node).
+  uint64_t cache_hits = 0;   ///< Context-cache prunes: nodes skipped because
+                             ///< a stored proof covered the bound in effect
+                             ///< (0 with SOLVER_CACHE off).
+  uint64_t cache_stores = 0; ///< Exhausted-subtree proofs recorded into the
+                             ///< context cache.
+  size_t cache_mem_bytes = 0;///< Context-cache table footprint (max across
+                             ///< workers for the concurrent backends).
+  uint64_t steals = 0;       ///< Subproblems stolen from the shared frontier
+                             ///< queue (subproblem-parallel B&B only).
+  uint64_t subproblems = 0;  ///< Frontier subproblems the master generated.
   double wall_ms = 0;        ///< Elapsed wall-clock milliseconds.
   size_t peak_memory_bytes = 0;  ///< Approximate peak search-state memory.
   /// Concurrent backends only: one entry per racing worker (counters above

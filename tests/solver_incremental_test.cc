@@ -264,6 +264,86 @@ TEST_F(IncrementalSolveTest, KnobChangeInvalidatesReuse) {
   EXPECT_FALSE(out.value().incr_reused);
 }
 
+// ---- Context cache across solves (SOLVER_CACHE x PR 7 fingerprints) --------
+
+TEST_F(IncrementalSolveTest, ContextCacheSolveTwiceIsDeterministic) {
+  // Cache-on, incremental-off: the second solve really re-searches (no
+  // whole-solve reuse), against the proofs the first solve persisted in the
+  // instance's context cache. The answers must match the cache-off solve,
+  // and the whole two-solve sequence must replay identically on a fresh
+  // instance — the cache trades work, never answers or determinism.
+  auto run_pair = [this](SolveOutput* first, SolveOutput* second) {
+    Instance inst(0, &program_);
+    ASSERT_TRUE(inst.Init().ok());
+    SolveOptions o = inst.solve_options();
+    o.incremental = false;
+    o.cache = true;
+    inst.set_solve_options(o);
+    for (int g = 0; g < kGroups; ++g) {
+      ASSERT_TRUE(inst.InsertFact("cap", R({g, kDefaultCap})).ok());
+      for (int i = 0; i < kSlots; ++i) {
+        ASSERT_TRUE(inst.InsertFact("slot", R({g, i})).ok());
+        ASSERT_TRUE(
+            inst.InsertFact("weight", R({g, i, WeightOf(g, i)})).ok());
+      }
+    }
+    auto a = inst.Solve();
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    EXPECT_GT(inst.context_cache().entries(), 0u)
+        << "cache-on solve left no proofs behind";
+    auto b = inst.Solve();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    *first = a.value();
+    *second = b.value();
+  };
+  SolveOutput a1, a2, b1, b2;
+  run_pair(&a1, &a2);
+  run_pair(&b1, &b2);
+  EXPECT_DOUBLE_EQ(a1.objective, ColdObjective(-1, 0));
+  EXPECT_DOUBLE_EQ(a2.objective, a1.objective);
+  // The warm-started re-solve must hit the first solve's exhausted-root
+  // proof instead of re-searching the tree.
+  EXPECT_TRUE(a2.warm_started);
+  EXPECT_GE(a2.stats.cache_hits, 1u);
+  EXPECT_LT(a2.stats.nodes, a1.stats.nodes);
+  // Replay determinism: identical sequence, identical search.
+  EXPECT_EQ(b1.stats.nodes, a1.stats.nodes);
+  EXPECT_EQ(b2.stats.nodes, a2.stats.nodes);
+  EXPECT_EQ(b2.stats.cache_hits, a2.stats.cache_hits);
+  EXPECT_DOUBLE_EQ(b2.objective, a2.objective);
+}
+
+TEST_F(IncrementalSolveTest, FactDeltaRetiresContextCacheNamespace) {
+  // The PR 7 interaction: the cache's model key folds every group
+  // fingerprint, so a fact delta that changes one group's fingerprint
+  // re-keys the namespace and every pre-delta proof silently stops
+  // matching. The post-delta solve must land on the cold optimum — a stale
+  // exhausted-subtree proof from the old model would misprune it.
+  SolveOptions o = instance_->solve_options();
+  o.cache = true;
+  instance_->set_solve_options(o);
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  const uint64_t key_before = instance_->context_cache().model_key();
+  EXPECT_GT(instance_->context_cache().entries(), 0u);
+
+  ChangeCap(2, 30);
+  auto out = instance_->Solve(Incremental());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(instance_->context_cache().model_key(), key_before)
+      << "a dirtied group fingerprint must re-key the cache namespace";
+  EXPECT_DOUBLE_EQ(out.value().objective, ColdObjective(2, 30));
+}
+
+TEST_F(IncrementalSolveTest, ResetWarmStartClearsContextCache) {
+  SolveOptions o = instance_->solve_options();
+  o.cache = true;
+  instance_->set_solve_options(o);
+  ASSERT_TRUE(instance_->Solve(Incremental()).ok());
+  ASSERT_GT(instance_->context_cache().entries(), 0u);
+  instance_->reset_warm_start();
+  EXPECT_EQ(instance_->context_cache().entries(), 0u);
+}
+
 TEST(IncrementalKnobsTest, ProgramKnobsConfigureInstanceOptions) {
   auto compiled = colog::CompileColog(kGrouped);
   ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
@@ -296,6 +376,44 @@ d1 cost(SUM<V>) <- pick(I,V).
             std::string::npos);
 }
 
+TEST(SolverCacheKnobsTest, ProgramKnobsConfigureInstanceOptions) {
+  auto compiled = colog::CompileColog(R"(
+param SOLVER_CACHE = 1.
+param SOLVER_SUBPROBLEMS = 16.
+goal minimize C in cost(C).
+var pick(I,V) forall item(I) domain [0,1].
+d1 cost(SUM<V>) <- pick(I,V).
+)");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  colog::CompiledProgram prog = std::move(compiled).value();
+  Instance inst(0, &prog);
+  ASSERT_TRUE(inst.Init().ok());
+  EXPECT_TRUE(inst.solve_options().cache);
+  EXPECT_EQ(inst.solve_options().subproblems, 16);
+}
+
+TEST(SolverCacheKnobsTest, OutOfRangeValuesAreCompileErrors) {
+  auto bad_cache = colog::CompileColog(R"(
+param SOLVER_CACHE = 2.
+goal minimize C in cost(C).
+var pick(I,V) forall item(I) domain [0,1].
+d1 cost(SUM<V>) <- pick(I,V).
+)");
+  ASSERT_FALSE(bad_cache.ok());
+  EXPECT_NE(bad_cache.status().ToString().find("SOLVER_CACHE"),
+            std::string::npos);
+
+  auto bad_subproblems = colog::CompileColog(R"(
+param SOLVER_SUBPROBLEMS = 5000.
+goal minimize C in cost(C).
+var pick(I,V) forall item(I) domain [0,1].
+d1 cost(SUM<V>) <- pick(I,V).
+)");
+  ASSERT_FALSE(bad_subproblems.ok());
+  EXPECT_NE(bad_subproblems.status().ToString().find("SOLVER_SUBPROBLEMS"),
+            std::string::npos);
+}
+
 // The pre-SolveRequest shims must keep routing through Solve() unchanged.
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
@@ -324,6 +442,8 @@ TEST(CommonConfigTest, HelpersMapSharedKnobs) {
   c.solver_backend = "lns";
   c.solver_max_iterations = 9;
   c.solver_incremental = true;
+  c.solver_cache = true;
+  c.solver_subproblems = 8;
   SolveOptions base;
   base.time_limit_ms = 123;
   SolveOptions o = apps::OverlaySolveOptions(c, base, /*time_limit_ms=*/-1);
@@ -331,6 +451,8 @@ TEST(CommonConfigTest, HelpersMapSharedKnobs) {
   EXPECT_EQ(o.backend, solver::Backend::kLns);
   EXPECT_EQ(o.max_iterations, 9u);
   EXPECT_TRUE(o.incremental);
+  EXPECT_TRUE(o.cache);
+  EXPECT_EQ(o.subproblems, 8);
   o = apps::OverlaySolveOptions(c, base, /*time_limit_ms=*/55);
   EXPECT_DOUBLE_EQ(o.time_limit_ms, 55);
 

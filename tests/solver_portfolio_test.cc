@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "solver/context_cache.h"
 #include "solver/model.h"
 #include "solver/search_backend.h"
 #include "solver/sync.h"
@@ -279,6 +280,139 @@ TEST(SyncTest, CancelTokenChainsToParent) {
   EXPECT_FALSE(child.cancelled());
   parent.Cancel();
   EXPECT_TRUE(child.cancelled());
+}
+
+TEST(SyncTest, SubproblemQueueIsFifoAndCounts) {
+  SubproblemQueue q;
+  for (int i = 0; i < 3; ++i) {
+    Subproblem sp;
+    sp.assignment = {{i, i * 10}};
+    sp.have_bound = true;
+    sp.bound = 100 + i;
+    q.Push(std::move(sp));
+  }
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pushed(), 3u);
+  Subproblem out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.Steal(&out)) << "i=" << i;
+    ASSERT_EQ(out.assignment.size(), 1u);
+    EXPECT_EQ(out.assignment[0].first, i) << "steals must be FIFO";
+    EXPECT_EQ(out.bound, 100 + i);
+  }
+  EXPECT_FALSE(q.Steal(&out)) << "drained queue";
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.pushed(), 3u);
+  EXPECT_EQ(q.steals(), 3u);
+}
+
+TEST(SyncTest, SubproblemQueueConcurrentStealHammer) {
+  // 8 threads drain a closed queue (the exact shape SubproblemSolve uses:
+  // all pushes happen before any steal). Every subproblem must be stolen
+  // exactly once — the TSan job turns any lock slip into a hard failure.
+  constexpr int kItems = 512;
+  constexpr int kThreads = 8;
+  SubproblemQueue q;
+  for (int i = 0; i < kItems; ++i) {
+    Subproblem sp;
+    sp.assignment = {{0, i}};
+    q.Push(std::move(sp));
+  }
+  std::vector<std::vector<int64_t>> stolen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&q, &stolen, t] {
+      Subproblem sp;
+      while (q.Steal(&sp)) stolen[static_cast<size_t>(t)].push_back(
+          sp.assignment[0].second);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<int64_t> all;
+  for (const auto& s : stolen) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(all[static_cast<size_t>(i)], i) << "lost or duplicated steal";
+  }
+  EXPECT_EQ(q.steals(), static_cast<uint64_t>(kItems));
+}
+
+TEST(SubproblemSolveTest, ProvesOptimalityMatchingSequentialReference) {
+  // Subproblem mode must keep the completeness contract: on a model the
+  // sequential B&B exhausts, the partitioned parallel run must prove the
+  // same optimum (the frontier plus the stolen subtrees cover the tree).
+  auto reference = MakeACloudModel(6, 3);
+  Model::Options ro;
+  ro.time_limit_ms = 0;
+  Solution ref = reference->Solve(ro);
+  ASSERT_EQ(ref.status, SolveStatus::kOptimal);
+
+  auto m = MakeACloudModel(6, 3);
+  Model::Options o;
+  o.backend = Backend::kPortfolio;
+  o.num_workers = 4;
+  o.subproblems = 8;
+  o.time_limit_ms = 0;
+  Solution s = m->Solve(o);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.objective, ref.objective);
+  ExpectValidPlacement(s, 6, 3);
+  EXPECT_GE(s.stats.subproblems, 8u);
+  EXPECT_EQ(s.stats.steals, s.stats.subproblems)
+      << "a closed queue must be fully drained when the solve completes";
+  ASSERT_EQ(s.stats.per_worker.size(), 5u) << "master + 4 stealing workers";
+}
+
+TEST(SubproblemSolveTest, EightWorkerStealStressLoop) {
+  // The TSan workload for the subproblem queue + shared incumbent + private
+  // per-worker caches: 8 workers drain a wide frontier repeatedly. Node
+  // budgets, not wall clock, so the fixed work fits sanitizer slowdowns.
+  const int rounds = kSanitizerBuild ? 2 : 4;
+  for (int round = 0; round < rounds; ++round) {
+    auto m = MakeACloudModel(12, 4);
+    ContextCache cache;
+    Model::Options o;
+    o.backend = Backend::kPortfolio;
+    o.num_workers = 8;
+    o.subproblems = 32;
+    o.context_cache = &cache;
+    o.time_limit_ms = 0;
+    o.node_limit = kSanitizerBuild ? 4'000 : 20'000;
+    o.seed = 0x5EED + static_cast<uint64_t>(round);
+    Solution s = m->Solve(o);
+    ASSERT_TRUE(s.has_solution()) << "round " << round;
+    ExpectValidPlacement(s, 12, 4);
+    EXPECT_GT(s.stats.subproblems, 0u) << "round " << round;
+    ASSERT_EQ(s.stats.per_worker.size(), 9u) << "round " << round;
+    // An incomplete run (node limit) must not claim a proof.
+    if (s.stats.steals < s.stats.subproblems) {
+      EXPECT_EQ(s.status, SolveStatus::kFeasible) << "round " << round;
+    }
+  }
+}
+
+TEST(SubproblemSolveTest, SingleWorkerKeepsTheSequentialPath) {
+  // SOLVER_SUBPROBLEMS with one worker has nobody to steal: the knob must
+  // leave the historical single-worker path (and its determinism) alone.
+  auto run = [](int subproblems) {
+    auto m = MakeACloudModel(8, 3);
+    Model::Options o;
+    o.backend = Backend::kPortfolio;
+    o.num_workers = 1;
+    o.subproblems = subproblems;
+    o.time_limit_ms = 0;
+    o.node_limit = 5'000;
+    return m->Solve(o);
+  };
+  Solution off = run(0);
+  Solution on = run(16);
+  ASSERT_TRUE(off.has_solution());
+  EXPECT_EQ(on.values, off.values);
+  EXPECT_EQ(on.objective, off.objective);
+  EXPECT_EQ(on.stats.nodes, off.stats.nodes);
+  EXPECT_EQ(on.stats.steals, 0u);
+  EXPECT_EQ(on.stats.subproblems, 0u);
 }
 
 }  // namespace

@@ -167,7 +167,11 @@ TEST(LubyTest, MatchesRecursiveReference) {
                      (uint64_t{1} << 40) + 12345}) {
     EXPECT_EQ(internal::Luby(i), LubyRecursive(i)) << "i=" << i;
   }
-  EXPECT_EQ(internal::Luby(0), 1u);  // out-of-contract guard
+  // Luby(0) is out of contract and asserts in debug builds; the release
+  // fallback pins it to the first block's value.
+#ifdef NDEBUG
+  EXPECT_EQ(internal::Luby(0), 1u);
+#endif
 }
 
 // Regression for the historical Dive hazard (`top` dangling after push_node
