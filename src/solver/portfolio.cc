@@ -201,8 +201,9 @@ bool ReplayPrefix(internal::SearchContext& ctx, const Subproblem& sp,
 // tree partitioned across workers rather than N overlapping trees.
 //
 // Completeness: the frontier partitions the root's subtree (every child
-// value of every expanded node is either pruned by propagation/bound — a
-// proof — or enqueued). If expansion finished and every stolen subproblem
+// value of every expanded node is either pruned by propagation/bound/
+// context-cache proof — each a sound refutation — or enqueued). If
+// expansion finished and every stolen subproblem
 // was fully exhausted with none left unstolen, the combined search is
 // complete: kOptimal / kInfeasible. Any cutoff or leftover subproblem
 // downgrades to kFeasible / kUnknown.
@@ -310,11 +311,18 @@ Solution SubproblemSolve(const Model& model, const Model::Options& base,
           master.ApplyBound(&changed, minc) &&
           master.engine().PropagateFrom(master.store(), changed,
                                         &master.stats);
+      // A cached exhausted-subtree proof covering the enqueue-time bound is
+      // as good as a propagation failure: the child's subtree holds nothing
+      // better than the incumbent, so it needs no subproblem. This is where
+      // the caller's persistent cache prunes frontier expansion itself.
+      const bool cache_pruned =
+          child_ok && master.CacheCoversCurrentContext(minc);
       master.store().Backtrack();
       if (!child_ok) {
         ++master.stats.failures;
         continue;
       }
+      if (cache_pruned) continue;
       Subproblem child;
       child.assignment = sp.assignment;
       child.assignment.emplace_back(v.id, value);
@@ -380,9 +388,16 @@ Solution SubproblemSolve(const Model& model, const Model::Options& base,
             if (!base.warm_start.empty()) dive.hint = &base.warm_start;
             const DiveEnd end = ctx.Dive(dive, &inc);
             if (end == DiveEnd::kCutoff) wo.exhausted_all = false;
-            if (end == DiveEnd::kFirstSolution) {
+            if (end == DiveEnd::kFirstSolution &&
+                model.sense() == Sense::kSatisfy) {
               // Satisfy-sense dives stop at the first solution; it is
-              // terminal for the whole solve.
+              // terminal for the whole solve. For optimizing senses a
+              // worker dive (stop_on_first off) reports kFirstSolution only
+              // when the replayed prefix propagated to a full assignment at
+              // dive entry — a single leaf Dive already recorded and
+              // offered. That subproblem is merely exhausted: treating it
+              // as terminal would cancel the race and claim kOptimal with
+              // possibly-better subproblems still unstolen.
               wo.terminal = true;
               ctx.store().Backtrack();
               cancel.Cancel();

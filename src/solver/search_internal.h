@@ -484,6 +484,18 @@ class SearchContext {
     return sig;
   }
 
+  /// True (and counted as a cache hit) when a stored proof covers the
+  /// store's current decision context under the bound in effect
+  /// (EffectiveBound, the same region Dive looks up and stores under).
+  /// Lets the subproblem master prune frontier children whose subtree a
+  /// previous dive — possibly from an earlier solve sharing the persistent
+  /// cache — already exhausted, without descending into them. False when
+  /// caching is disabled.
+  bool CacheCoversCurrentContext(const Incumbent& inc) {
+    if (cache_ == nullptr) return false;
+    return CacheLookup(ContextSignature(), DiveLimits{}, inc);
+  }
+
   /// Assimilate warm-start hints into the store (which must hold a
   /// propagated root): hinted decision variables are assigned one at a time,
   /// each followed by propagation, and any hint that fails is dropped (stale

@@ -16,6 +16,7 @@
 #include "solver/context_cache.h"
 #include "solver/model.h"
 #include "solver/search_backend.h"
+#include "solver/search_internal.h"
 #include "solver/sync.h"
 #include "solver_test_util.h"
 
@@ -390,6 +391,88 @@ TEST(SubproblemSolveTest, EightWorkerStealStressLoop) {
       EXPECT_EQ(s.status, SolveStatus::kFeasible) << "round " << round;
     }
   }
+}
+
+TEST(SubproblemSolveTest, CollapsedSubproblemIsExhaustedNotTerminal) {
+  // Regression: a subproblem whose replayed prefix propagates to a full
+  // assignment at dive entry makes Dive return kFirstSolution even on an
+  // optimizing model. A worker once treated that as the satisfy-sense
+  // terminal, cancelled the race, and the merge claimed kOptimal with
+  // better subproblems still unstolen. Here maximizing a single decision
+  // variable makes every subproblem such a collapsed leaf, FIFO steal order
+  // serves the worst one first, and the true optimum sits at the queue's
+  // tail — under the bug the solve "proves" a suboptimal objective.
+  Model m;
+  IntVar v = m.NewInt(0, 5);
+  m.MarkDecision(v);
+  m.Maximize(LinExpr(v));
+  Model::Options o;
+  o.backend = Backend::kPortfolio;
+  o.num_workers = 2;
+  o.subproblems = 4;
+  o.time_limit_ms = 0;
+  Solution s = m.Solve(o);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.objective, 5);
+  EXPECT_EQ(s.stats.steals, s.stats.subproblems)
+      << "collapsed leaves must not cancel the steal loop";
+}
+
+TEST(SubproblemSolveTest, CacheProofsPruneFrontierExpansion) {
+  // The master expands the frontier under the caller's persistent cache: a
+  // child whose decision context carries an exhausted-subtree proof is
+  // pruned instead of shipped, and — because a cached proof is a sound
+  // refutation like a propagation failure — completeness survives. The
+  // model is parity-infeasible (2x+2y-2z-2w == 1 has no integer solution)
+  // but bounds propagation cannot see that at the root or at any depth-1
+  // child, so without the cache every child would become a subproblem.
+  // Pre-seeding unconditional proofs for exactly those contexts must empty
+  // the frontier: no subproblems ship, yet infeasibility is still proven.
+  Model m;
+  IntVar x = m.NewInt(0, 3);
+  IntVar y = m.NewInt(0, 3);
+  IntVar z = m.NewInt(0, 3);
+  IntVar w = m.NewInt(0, 3);
+  for (IntVar v : {x, y, z, w}) m.MarkDecision(v);
+  m.PostRel(LinExpr::Term(2, x) + LinExpr::Term(2, y) - LinExpr::Term(2, z) -
+                LinExpr::Term(2, w),
+            Rel::kEq, LinExpr(1));
+
+  // Compute the post-propagation signature of each depth-1 child context
+  // (expansion branches on the same first-fail variable: x, the lowest-id
+  // tie-break among equal domains) and store an unconditional "no solution
+  // extends this context" proof for it.
+  ContextCache cache;
+  {
+    Model::Options co;
+    co.time_limit_ms = 0;
+    internal::SearchContext ctx(m, co);
+    ASSERT_TRUE(ctx.PropagateRoot());
+    size_t watermark = 0;
+    ASSERT_EQ(ctx.order().Select(ctx.store(), &watermark).id, x.id);
+    for (int64_t val = 0; val <= 3; ++val) {
+      ctx.store().PushLevel();
+      ctx.store().Assign(x.id, val);
+      std::vector<int32_t> changed{x.id};
+      ASSERT_TRUE(ctx.engine().PropagateFrom(ctx.store(), changed, &ctx.stats))
+          << "x=" << val << ": bounds propagation saw the parity conflict";
+      cache.Store(ctx.ContextSignature(), /*minimize=*/false,
+                  /*have_bound=*/false, 0);
+      ctx.store().Backtrack();
+    }
+  }
+
+  Model::Options o;
+  o.backend = Backend::kPortfolio;
+  o.num_workers = 2;
+  o.subproblems = 4;
+  o.context_cache = &cache;
+  o.time_limit_ms = 0;
+  Solution s = m.Solve(o);
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(s.stats.subproblems, 0u)
+      << "every frontier child was covered by a proof; none may ship";
+  EXPECT_GE(s.stats.cache_hits, 4u);
 }
 
 TEST(SubproblemSolveTest, SingleWorkerKeepsTheSequentialPath) {
