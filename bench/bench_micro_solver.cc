@@ -1,7 +1,7 @@
 // Microbenchmarks (google-benchmark) for the constraint solver substrate,
-// including backend comparisons (B&B vs LNS vs portfolio vs parallel LNS) at
-// equal time budgets: the per-iteration `objective` counter is the quality
-// signal to compare. Each backend-comparison benchmark also emits one
+// including backend comparisons (B&B vs LNS vs local_search vs portfolio vs
+// parallel LNS) at equal time budgets: the per-iteration `objective` counter
+// is the quality signal to compare. Each backend-comparison benchmark also emits one
 // SolveRecord JSON row (consumed by the CI bench-smoke job).
 //
 // Two extra modes, both over the same canonical fixed-seed micro instances
@@ -221,6 +221,11 @@ static void BM_AssignmentBackendLns(benchmark::State& state) {
 }
 BENCHMARK(BM_AssignmentBackendLns)->Arg(10)->Arg(20)->Arg(32);
 
+static void BM_AssignmentBackendLocalSearch(benchmark::State& state) {
+  RunBackendComparison(state, Backend::kLocalSearch);
+}
+BENCHMARK(BM_AssignmentBackendLocalSearch)->Arg(10)->Arg(20)->Arg(32);
+
 // Concurrent backends at the same budget, 4 workers (the ISSUE's race width).
 static void BM_AssignmentBackendPortfolio(benchmark::State& state) {
   RunBackendComparison(state, Backend::kPortfolio, 4);
@@ -350,6 +355,13 @@ const MicroCase kMicroCases[] = {
      0x77, 0, 250, 0, true, 0, 1},
     {"deep_dive_bnb_par", MakeAssignmentModel, 16, Backend::kPortfolio,
      0x5EED, 12'000, 0, 0, true, 64, 8},
+    // Local-search rows: the move walk is iteration-capped, so its ls_*
+    // counters (moves / accepted / tabu hits) are part of the determinism
+    // contract like nodes and failures are.
+    {"ls_assign12", MakeAssignmentModel, 12, Backend::kLocalSearch, 0x10C5, 0,
+     300, 0, false, 0, 1},
+    {"ls_interf12", MakeInterferenceModel, 12, Backend::kLocalSearch, 0x1234,
+     0, 200, 0, false, 0, 1},
 };
 
 Model::Options MicroOptions(const MicroCase& c) {
@@ -402,6 +414,7 @@ int RunSolverJson() {
         "\"peak_mem_bytes\":%llu,\"trail_saves\":%llu,"
         "\"domain_allocs\":%llu,\"cache_hits\":%llu,\"cache_stores\":%llu,"
         "\"cache_mem_bytes\":%llu,\"steals\":%llu,\"subproblems\":%llu,"
+        "\"ls_moves\":%llu,\"ls_accepted\":%llu,\"ls_tabu_hits\":%llu,"
         "\"workers\":%d,\"objective\":%lld}",
         c.name, BackendName(c.backend),
         static_cast<unsigned long long>(c.seed),
@@ -417,6 +430,9 @@ int RunSolverJson() {
         static_cast<unsigned long long>(s.stats.cache_mem_bytes),
         static_cast<unsigned long long>(s.stats.steals),
         static_cast<unsigned long long>(s.stats.subproblems),
+        static_cast<unsigned long long>(s.stats.ls_moves),
+        static_cast<unsigned long long>(s.stats.ls_accepted),
+        static_cast<unsigned long long>(s.stats.ls_tabu_hits),
         c.workers > 0 ? c.workers : 1,
         static_cast<long long>(s.has_solution() ? s.objective : 0));
     fprintf(out, "%s\n", row.c_str());
@@ -445,6 +461,9 @@ int RunDeterminism() {
                       a.stats.failures == b.stats.failures &&
                       a.stats.solutions == b.stats.solutions &&
                       a.stats.propagations == b.stats.propagations &&
+                      a.stats.ls_moves == b.stats.ls_moves &&
+                      a.stats.ls_accepted == b.stats.ls_accepted &&
+                      a.stats.ls_tabu_hits == b.stats.ls_tabu_hits &&
                       a.objective == b.objective && a.values == b.values;
     printf("%-18s %s nodes=%llu/%llu failures=%llu/%llu solutions=%llu/%llu\n",
            c.name, same ? "OK" : "MISMATCH",

@@ -34,7 +34,8 @@ struct CommonConfig {
   /// Cap on links per batched solve; 0 = unlimited.
   int max_link_batch = 0;
   /// Override the program's SOLVER_BACKEND for the driver's solves ("bnb",
-  /// "lns", "portfolio", "parallel_lns"); empty keeps the program default.
+  /// "lns", "portfolio", "parallel_lns", "local_search"); empty keeps the
+  /// program default.
   std::string solver_backend;
   /// Deterministic improvement budget forwarded to
   /// SolveOptions::max_iterations; 0 = wall-clock bounded.

@@ -1,0 +1,58 @@
+// Reusable invariant checks over scenario-driver outcomes, shared by the
+// property tests (tests/scenario_sweep_test.cc), the runtime fault soaks,
+// and the scenario sweep harness (tools/scenario_sweep.cc).
+//
+// Every checker returns "" when the invariant holds and a human-readable
+// violation description otherwise, so harnesses can aggregate violations
+// (and print the offending scenario seed) instead of aborting on the first.
+#ifndef COLOGNE_APPS_INVARIANTS_H_
+#define COLOGNE_APPS_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/acloud.h"
+#include "apps/followsun.h"
+#include "apps/wireless.h"
+
+namespace cologne::apps {
+
+/// Per-demand VM totals across all DCs after a Follow-the-Sun run (read from
+/// each node's final `curVm` engine table). Negotiation only moves VMs
+/// between DCs, so these totals are conserved: they depend on the workload
+/// seed alone, never on the solver backend or the negotiation schedule.
+std::map<int64_t, int64_t> FtsDemandTotals(FollowTheSunScenario& scenario,
+                                           int num_dcs);
+
+/// Follow-the-Sun post-run invariants: per-node capacity (constraint c1)
+/// holds in the final engine state, the anytime property (final cost never
+/// above initial), non-negative costs, and — when the fault plan restarts
+/// every crash — full link coverage (no abandoned links).
+std::string CheckFtsInvariants(FollowTheSunScenario& scenario,
+                               const FtsConfig& config, const FtsResult& result);
+
+/// Wireless post-run invariants for the distributed protocol: every link
+/// carries a channel in [1, num_channels], full coverage when the fault plan
+/// restarts every crash, and the reported interference cost agrees with an
+/// independent recount over the assignment on a freshly built topology.
+std::string CheckWirelessInvariants(const WirelessConfig& config,
+                                    const ChannelAssignment& result);
+
+/// ACloud replay invariants: one measurement per interval, non-negative
+/// load-imbalance and migration counts, and no skipped DCs unless a crash
+/// was configured.
+std::string CheckACloudInvariants(const ACloudConfig& config,
+                                  const std::vector<ACloudInterval>& intervals);
+
+/// Order-independent FNV-1a hash over trace lines — a compact determinism
+/// fingerprint is not enough (reordered lines must not collide), so each
+/// line is hashed with its index. Two identical traces hash identically;
+/// byte-level diffs come from runtime::DiffTraces when a mismatch needs
+/// explaining.
+uint64_t HashTraceLines(const std::vector<std::string>& lines);
+
+}  // namespace cologne::apps
+
+#endif  // COLOGNE_APPS_INVARIANTS_H_

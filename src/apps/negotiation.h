@@ -53,8 +53,14 @@ std::vector<NegotiationBatch<typename Link::first_type>> ClaimBatches(
                 Node ix = std::max(x.first, x.second);
                 Node iy = std::max(y.first, y.second);
                 if (ix != iy) return ix > iy;
-                return std::min(x.first, x.second) <
-                       std::min(y.first, y.second);
+                Node nx = std::min(x.first, x.second);
+                Node ny = std::min(y.first, y.second);
+                if (nx != ny) return nx < ny;
+                // Total order: the two orientations of one endpoint pair
+                // compare equal on (initiator, peer) alone, and std::sort
+                // would order them unspecified — the claim schedule (and
+                // with it the trace) must not depend on that.
+                return x.first < y.first;
               });
   }
   // Roles: 0 = free, 1 = initiating this round, 2 = peer in a negotiation.

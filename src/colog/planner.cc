@@ -268,8 +268,8 @@ Status ExtractSolverKnobs(const std::map<std::string, Value>& params,
       if (!value.is_string() ||
           !solver::ParseBackend(value.as_string(), &parsed)) {
         return Status(Status::PlanError(
-            "SOLVER_BACKEND must be \"bnb\", \"lns\", \"portfolio\" or "
-            "\"parallel_lns\", got " +
+            "SOLVER_BACKEND must be \"bnb\", \"lns\", \"portfolio\", "
+            "\"parallel_lns\" or \"local_search\", got " +
             value.ToString()));
       }
       knobs->backend = value.as_string();

@@ -52,8 +52,8 @@ struct GoalIR {
 struct SolverKnobsIR {
   /// SOLVER_MAX_TIME: per-solve wall-clock budget in milliseconds.
   std::optional<double> max_time_ms;
-  /// SOLVER_BACKEND: "bnb" (branch-and-bound), "lns", "portfolio", or
-  /// "parallel_lns".
+  /// SOLVER_BACKEND: "bnb" (branch-and-bound), "lns", "portfolio",
+  /// "parallel_lns", or "local_search".
   std::optional<std::string> backend;
   /// SOLVER_SEED: seed for randomized search decisions.
   std::optional<uint64_t> seed;

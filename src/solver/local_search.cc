@@ -1,0 +1,332 @@
+#include "solver/local_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/search_internal.h"
+
+namespace cologne::solver {
+
+namespace {
+
+using internal::DiveEnd;
+using internal::Incumbent;
+using internal::SearchContext;
+
+/// The SA + tabu move walk. Requires an existing incumbent and an optimizing
+/// sense. Updates `inc` in place; returns true when the incumbent provably
+/// reached `objective_bound` (the propagated root's objective relaxation).
+///
+/// Every candidate is evaluated as one trail level over the propagated root:
+/// assign all decisions to the candidate values, propagate, complete the
+/// auxiliaries with a bounded first-solution dive, backtrack. The store must
+/// be at root_level() on entry and is left there on return.
+bool MoveWalk(SearchContext& ctx, int64_t objective_bound, Incumbent* inc) {
+  if (!inc->found || !ctx.optimizing()) return false;
+  auto at_bound = [&] { return inc->objective == objective_bound; };
+  if (at_bound()) return true;
+
+  const Model::Options& options = ctx.options();
+  DomainStore& st = ctx.store();
+  const std::vector<int32_t>& decisions = ctx.order().DecisionIds();
+
+  // Per-decision candidate values from the propagated root (ascending, so
+  // swap compatibility is a binary search). Only variables with two or more
+  // root values can move; a model whose decisions are all root-fixed has no
+  // neighborhood at all.
+  std::vector<std::vector<int64_t>> root_values(
+      static_cast<size_t>(ctx.model().num_vars()));
+  std::vector<int32_t> movable;
+  for (int32_t id : decisions) {
+    std::vector<int64_t>& vals = root_values[static_cast<size_t>(id)];
+    st.dom(id).AppendValues(&vals);
+    if (vals.size() >= 2) movable.push_back(id);
+  }
+  if (movable.empty()) return false;
+  const size_t n = movable.size();
+
+  Rng rng(options.seed);
+
+  // Geometric cooling from a scale set by the root relaxation gap, with
+  // stagnation reheats (counted as restarts). Without an iteration or time
+  // budget the walk still terminates: after a few reheats that fail to
+  // improve the best-so-far, the basin is declared exhausted.
+  const double t0 = std::max(
+      1.0, std::fabs(static_cast<double>(inc->objective) -
+                     static_cast<double>(objective_bound)) / 4.0);
+  double temp = t0;
+  const int stale_limit = static_cast<int>(std::max<size_t>(64, 8 * n));
+  const int max_reheats = 3;
+  int stale = 0;
+  int reheats = 0;
+
+  // Tabu on (variable, value) re-assignment attributes: accepting a move
+  // forbids undoing it for `tenure` iterations, unless the candidate beats
+  // the best-so-far (aspiration).
+  const uint64_t tenure = 5 + static_cast<uint64_t>(n) / 4;
+  std::map<std::pair<int32_t, int64_t>, uint64_t> tabu_until;
+
+  // The walk's current point (may be worse than `inc` after uphill moves).
+  std::vector<int64_t> cur = inc->values;
+  int64_t cur_obj = inc->objective;
+
+  uint64_t iters = 0;
+  uint64_t shared_seen = 0;
+  const bool minimizing = ctx.minimizing();
+
+  while (true) {
+    if (options.max_iterations > 0 && iters >= options.max_iterations) break;
+    if (ctx.ShouldStop()) break;
+    if (ctx.AdoptShared(inc, &shared_seen)) {
+      // A concurrent worker published a better incumbent: continue the walk
+      // from there (the shared-incumbent pattern of distributed LNS).
+      cur = inc->values;
+      cur_obj = inc->objective;
+      stale = 0;
+      if (at_bound()) return true;
+    }
+    if (stale >= stale_limit) {
+      if (reheats >= max_reheats) break;
+      ++reheats;
+      ++ctx.stats.restarts;
+      temp = t0;
+      stale = 0;
+    }
+    ++iters;
+    ++ctx.stats.iterations;
+
+    // ---- Propose: swap two decisions' values, or shift one -----------------
+    // moved = {(var, new_value)}; everything else keeps its `cur` value.
+    std::pair<int32_t, int64_t> moved[2];
+    size_t num_moved = 0;
+    const bool try_swap = n >= 2 && rng.Bernoulli(0.5);
+    if (try_swap) {
+      const size_t i =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      size_t j =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 2));
+      if (j >= i) ++j;
+      const int32_t a = movable[i];
+      const int32_t b = movable[j];
+      const int64_t va = cur[static_cast<size_t>(a)];
+      const int64_t vb = cur[static_cast<size_t>(b)];
+      const std::vector<int64_t>& da = root_values[static_cast<size_t>(a)];
+      const std::vector<int64_t>& db = root_values[static_cast<size_t>(b)];
+      if (va != vb && std::binary_search(da.begin(), da.end(), vb) &&
+          std::binary_search(db.begin(), db.end(), va)) {
+        moved[0] = {a, vb};
+        moved[1] = {b, va};
+        num_moved = 2;
+      }
+      // Cross-incompatible pair: degrade to a shift below.
+    }
+    if (num_moved == 0) {
+      const int32_t a = movable[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1))];
+      const std::vector<int64_t>& da = root_values[static_cast<size_t>(a)];
+      const int64_t va = cur[static_cast<size_t>(a)];
+      // Uniform over the root values excluding the current one.
+      const size_t cur_idx = static_cast<size_t>(
+          std::lower_bound(da.begin(), da.end(), va) - da.begin());
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(da.size()) - 2));
+      if (pick >= cur_idx) ++pick;
+      moved[0] = {a, da[pick]};
+      num_moved = 1;
+    }
+
+    // ---- Evaluate: one trail level over the propagated root ----------------
+    ++ctx.stats.ls_moves;
+    st.PushLevel();
+    bool ok = true;
+    std::vector<int32_t> changed;
+    changed.reserve(decisions.size());
+    for (int32_t id : decisions) {
+      int64_t v = cur[static_cast<size_t>(id)];
+      for (size_t m = 0; m < num_moved; ++m) {
+        if (moved[m].first == id) v = moved[m].second;
+      }
+      st.Assign(id, v);
+      if (st.dom(id).empty()) {
+        ok = false;
+        break;
+      }
+      changed.push_back(id);
+    }
+    if (ok) ok = ctx.engine().PropagateFrom(st, changed, &ctx.stats);
+    Incumbent cand;
+    if (ok) {
+      SearchContext::DiveLimits complete;
+      complete.stop_on_first = true;
+      complete.bound_objective = false;
+      complete.node_budget = 500;
+      ctx.Dive(complete, &cand);
+    }
+    st.Backtrack();
+    if (!cand.found) {
+      ++stale;
+      temp = std::max(temp * 0.995, 1e-9);
+      continue;
+    }
+
+    const bool beats_best = minimizing ? cand.objective < inc->objective
+                                       : cand.objective > inc->objective;
+
+    // ---- Tabu check (aspiration: best-so-far improvements always pass) -----
+    if (!beats_best) {
+      bool is_tabu = false;
+      for (size_t m = 0; m < num_moved; ++m) {
+        auto it = tabu_until.find(moved[m]);
+        if (it != tabu_until.end()) {
+          if (it->second > iters) {
+            is_tabu = true;
+          } else {
+            tabu_until.erase(it);
+          }
+        }
+      }
+      if (is_tabu) {
+        ++ctx.stats.ls_tabu_hits;
+        ++stale;
+        temp = std::max(temp * 0.995, 1e-9);
+        continue;
+      }
+    }
+
+    // ---- Simulated-annealing acceptance ------------------------------------
+    const double delta = minimizing
+                             ? static_cast<double>(cand.objective) -
+                                   static_cast<double>(cur_obj)
+                             : static_cast<double>(cur_obj) -
+                                   static_cast<double>(cand.objective);
+    const bool accept =
+        delta <= 0 || rng.UniformDouble() < std::exp(-delta / temp);
+    if (accept) {
+      ++ctx.stats.ls_accepted;
+      // Undoing the move is tabu for `tenure` iterations.
+      for (size_t m = 0; m < num_moved; ++m) {
+        const int32_t id = moved[m].first;
+        tabu_until[{id, cur[static_cast<size_t>(id)]}] = iters + tenure;
+      }
+      cur = cand.values;
+      cur_obj = cand.objective;
+    }
+    if (beats_best) {
+      inc->objective = cand.objective;
+      inc->values = std::move(cand.values);
+      stale = 0;
+      reheats = 0;
+      if (at_bound()) return true;
+    } else {
+      ++stale;
+    }
+    temp = std::max(temp * 0.995, 1e-9);
+  }
+  return false;
+}
+
+}  // namespace
+
+Solution LocalSearch::Solve(const Model& model,
+                            const Model::Options& options) const {
+  SearchContext ctx(model, options);
+  Solution out;  // Solution::backend is stamped by the Solve dispatch.
+
+  if (!ctx.PropagateRoot()) {
+    ctx.FinalizeStats();
+    out.status = SolveStatus::kInfeasible;
+    out.stats = ctx.stats;
+    return out;
+  }
+  // Optimality-by-propagation only holds for the *plain* root: a store fixed
+  // by warm-start hints is just a feasible point.
+  bool root_fixed = true;
+  for (size_t i = 0; i < ctx.store().size(); ++i) {
+    if (!ctx.store()[i].IsFixed()) {
+      root_fixed = false;
+      break;
+    }
+  }
+  // Valid relaxation bound on the objective, from the propagated root (read
+  // before any hint level narrows the store further).
+  int64_t objective_bound = 0;
+  if (ctx.optimizing()) {
+    const IntDomain& od = ctx.store().dom(model.objective_var().id);
+    objective_bound = ctx.minimizing() ? od.min() : od.max();
+  }
+
+  // ---- Initial assignment ---------------------------------------------------
+  // Propagation-guided greedy construction, exactly as the LNS backend: a
+  // first-solution dive, optionally narrowed first by the warm-start hint,
+  // with a plain-root retry when the hint narrowed the store into an
+  // unsatisfiable region.
+  Incumbent inc;
+  size_t hints_applied = 0;
+  bool hint_narrowed = ctx.ApplyWarmStart(&hints_applied);
+  SearchContext::DiveLimits first;
+  first.stop_on_first = true;
+  first.bound_objective = false;
+  first.hint = options.warm_start.empty() ? nullptr : &options.warm_start;
+  DiveEnd end = ctx.Dive(first, &inc);
+  if (!inc.found && hint_narrowed) {
+    ctx.store().BacktrackTo(ctx.root_level());
+    end = ctx.Dive(first, &inc);
+  }
+
+  bool proven_exhausted = !inc.found && end == DiveEnd::kExhausted;
+
+  // ---- Incumbent sharpening -------------------------------------------------
+  // A short bounded constructive burst before the move walk (the incumbent-
+  // seeding pattern the LNS backend uses): when the bounded DFS exhausts, the
+  // incumbent is provably optimal and the walk is moot — on the small
+  // per-link models the apps emit this is the common case, so the heuristic
+  // backend usually matches the exact one.
+  bool proven_optimal = false;
+  if (inc.found && ctx.optimizing() && !options.incremental) {
+    SearchContext::DiveLimits sharpen;
+    sharpen.bound_objective = true;
+    sharpen.node_budget = 2000;
+    if (options.time_limit_ms > 0) {
+      sharpen.soft_deadline_ms = options.time_limit_ms * 0.15;
+    }
+    sharpen.hint = first.hint;
+    ctx.store().BacktrackTo(ctx.root_level());
+    proven_optimal = ctx.Dive(sharpen, &inc) == DiveEnd::kExhausted;
+  }
+
+  // ---- Move walk ------------------------------------------------------------
+  // kSatisfy models stop at the first solution; an incremental solve whose
+  // fingerprint pass found nothing dirty keeps the warm-started incumbent.
+  const bool skip_improve =
+      options.incremental && options.focus_groups.empty();
+  if (inc.found && ctx.optimizing() && !proven_optimal && !skip_improve) {
+    ctx.store().BacktrackTo(ctx.root_level());
+    proven_optimal = MoveWalk(ctx, objective_bound, &inc);
+  }
+
+  ctx.FinalizeStats();
+  out.stats = ctx.stats;
+  if (inc.found) {
+    out.values = std::move(inc.values);
+    out.objective = inc.objective;
+    // Local search is incomplete: optimality is only claimed when the
+    // sharpening dive exhausted the space, the incumbent reached the root
+    // relaxation bound, the root was fixed by pure propagation, or the
+    // sense is satisfaction.
+    out.status =
+        (model.sense() == Sense::kSatisfy || root_fixed || proven_optimal)
+            ? SolveStatus::kOptimal
+            : SolveStatus::kFeasible;
+  } else {
+    out.status =
+        proven_exhausted ? SolveStatus::kInfeasible : SolveStatus::kUnknown;
+  }
+  return out;
+}
+
+}  // namespace cologne::solver

@@ -1,0 +1,41 @@
+// Move-based local search backend (Model::Options::backend = kLocalSearch).
+//
+// The cheap-and-anytime complement to the exact and neighborhood backends,
+// in the style of the shift/swap local search used for generalized
+// assignment (fontanf/gap) and move-based DCOP solvers: start from a
+// propagation-guided greedy assignment (or the caller's warm-start hint),
+// then walk the decision space one move at a time — a *shift* reassigns a
+// single decision variable to another root-domain value, a *swap* exchanges
+// the values of two decision variables (on grouped one-hot models this is
+// exactly "move an item to another agent" / "swap two items"). Acceptance is
+// simulated annealing (improving moves always, uphill moves with probability
+// exp(-delta/T) under a geometric cooling schedule) layered over a tabu list
+// on reversed move attributes with aspiration; stagnation reheats the
+// temperature (counted as restarts). All randomness flows from the solver
+// seed, so deterministic budgets reproduce runs bit-for-bit.
+#ifndef COLOGNE_SOLVER_LOCAL_SEARCH_H_
+#define COLOGNE_SOLVER_LOCAL_SEARCH_H_
+
+#include "solver/search_backend.h"
+
+namespace cologne::solver {
+
+/// \brief The shift/swap local-search backend.
+///
+/// Incomplete: optimality is claimed only when the propagated root is fixed,
+/// the sense is satisfaction, the incumbent provably reaches the root
+/// relaxation bound, or the incumbent-sharpening dive exhausts the space.
+/// Move/acceptance/tabu counts land in SolveStats::ls_moves / ls_accepted /
+/// ls_tabu_hits.
+class LocalSearch : public SearchBackend {
+ public:
+  Solution Solve(const Model& model,
+                 const Model::Options& options) const override;
+  const char* name() const override {
+    return BackendName(Backend::kLocalSearch);
+  }
+};
+
+}  // namespace cologne::solver
+
+#endif  // COLOGNE_SOLVER_LOCAL_SEARCH_H_

@@ -112,6 +112,12 @@ Solution RunRace(const Model& model, std::vector<WorkerConfig> configs,
     st.propagations += ws.propagations;
     st.iterations += ws.iterations;
     st.restarts += ws.restarts;
+    // lns_accepted is deliberately not merged: a cancelled race makes the
+    // sum nondeterministic and the runtime emits an "lns.accepted" metric
+    // only when it is nonzero, which would poison byte-identical traces.
+    st.ls_moves += ws.ls_moves;
+    st.ls_accepted += ws.ls_accepted;
+    st.ls_tabu_hits += ws.ls_tabu_hits;
     st.trail_saves += ws.trail_saves;
     st.cache_hits += ws.cache_hits;
     st.cache_stores += ws.cache_stores;
@@ -443,6 +449,12 @@ Solution SubproblemSolve(const Model& model, const Model::Options& base,
     st.propagations += ws.propagations;
     st.iterations += ws.iterations;
     st.restarts += ws.restarts;
+    // lns_accepted is deliberately not merged: a cancelled race makes the
+    // sum nondeterministic and the runtime emits an "lns.accepted" metric
+    // only when it is nonzero, which would poison byte-identical traces.
+    st.ls_moves += ws.ls_moves;
+    st.ls_accepted += ws.ls_accepted;
+    st.ls_tabu_hits += ws.ls_tabu_hits;
     st.trail_saves += ws.trail_saves;
     st.cache_hits += ws.cache_hits;
     st.cache_stores += ws.cache_stores;
@@ -491,7 +503,8 @@ Solution SubproblemSolve(const Model& model, const Model::Options& base,
 
 // The portfolio mix, cycled over workers: complete B&B (can prove
 // optimality), an LNS walk with the caller's seed, B&B with Luby restarts,
-// then further LNS walks with distinct seeds and relax-k.
+// further LNS walks with distinct seeds and relax-k, and — from the fifth
+// worker on — SA+tabu local-search walks with mixed seeds.
 std::vector<WorkerConfig> BuildPortfolio(const Model& model,
                                          const Model::Options& base,
                                          int workers, IncumbentStore* store,
@@ -503,7 +516,7 @@ std::vector<WorkerConfig> BuildPortfolio(const Model& model,
     WorkerConfig cfg;
     cfg.options = WorkerBase(base, store, cancel, i);
     Model::Options& o = cfg.options;
-    switch (i % 4) {
+    switch (i % 5) {
       case 0:
         o.backend = Backend::kBranchAndBound;
         if (i == 0) {
@@ -540,7 +553,7 @@ std::vector<WorkerConfig> BuildPortfolio(const Model& model,
             "bnb+luby(%llu)",
             static_cast<unsigned long long>(o.restart_base_nodes));
         break;
-      default: {
+      case 3: {
         o.backend = Backend::kLns;
         o.seed = MixSeed(base.seed, static_cast<uint64_t>(i));
         // Distinct relax-k per walk: alternate tight and wide neighborhoods
@@ -553,6 +566,12 @@ std::vector<WorkerConfig> BuildPortfolio(const Model& model,
                               static_cast<unsigned long long>(o.lns_relax_base));
         break;
       }
+      default:
+        o.backend = Backend::kLocalSearch;
+        o.seed = MixSeed(base.seed, static_cast<uint64_t>(i));
+        cfg.label = StrFormat("local_search(seed=%llu)",
+                              static_cast<unsigned long long>(o.seed));
+        break;
     }
     configs.push_back(std::move(cfg));
   }

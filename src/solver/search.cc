@@ -14,6 +14,7 @@
 // randomized value order, which helps on heavy-tailed instances.
 #include "common/rng.h"
 #include "solver/lns.h"
+#include "solver/local_search.h"
 #include "solver/model.h"
 #include "solver/portfolio.h"
 #include "solver/search_backend.h"
@@ -199,6 +200,8 @@ std::unique_ptr<SearchBackend> MakeSearchBackend(Backend backend) {
       return std::make_unique<PortfolioSearch>();
     case Backend::kParallelLns:
       return std::make_unique<ParallelLnsSearch>();
+    case Backend::kLocalSearch:
+      return std::make_unique<LocalSearch>();
   }
   return std::make_unique<BranchAndBound>();
 }

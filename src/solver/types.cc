@@ -106,6 +106,7 @@ const char* BackendName(Backend b) {
     case Backend::kLns: return "lns";
     case Backend::kPortfolio: return "portfolio";
     case Backend::kParallelLns: return "parallel_lns";
+    case Backend::kLocalSearch: return "local_search";
   }
   return "?";
 }
@@ -125,6 +126,10 @@ bool ParseBackend(const std::string& name, Backend* out) {
   }
   if (name == "parallel_lns") {
     *out = Backend::kParallelLns;
+    return true;
+  }
+  if (name == "local_search") {
+    *out = Backend::kLocalSearch;
     return true;
   }
   return false;

@@ -69,10 +69,12 @@ enum class Backend : uint8_t {
   kLns,             ///< Large Neighborhood Search (anytime, incomplete).
   kPortfolio,       ///< Race heterogeneous configurations on one deadline.
   kParallelLns,     ///< N seeded LNS walks sharing one incumbent.
+  kLocalSearch,     ///< Shift/swap move walk with SA + tabu acceptance.
 };
 
-/// Human-readable backend name ("bnb", "lns", "portfolio", "parallel_lns") —
-/// also the spelling accepted by the Colog SOLVER_BACKEND knob.
+/// Human-readable backend name ("bnb", "lns", "portfolio", "parallel_lns",
+/// "local_search") — also the spelling accepted by the Colog SOLVER_BACKEND
+/// knob.
 const char* BackendName(Backend b);
 /// Parse a backend name; false when `name` is not a known backend.
 bool ParseBackend(const std::string& name, Backend* out);
@@ -115,6 +117,12 @@ struct SolveStats {
   uint64_t lns_accepted = 0; ///< LNS neighborhood repairs that improved the
                              ///< incumbent (iterations - lns_accepted were
                              ///< rejected).
+  uint64_t ls_moves = 0;     ///< Local-search shift/swap moves evaluated
+                             ///< (local_search backend only; 0 elsewhere).
+  uint64_t ls_accepted = 0;  ///< Moves accepted by the simulated-annealing
+                             ///< criterion (improving or lucky uphill).
+  uint64_t ls_tabu_hits = 0; ///< Moves rejected because their attribute was
+                             ///< tabu-active and aspiration did not fire.
   /// Propagator executions by propagator kind ("linear", "reified", ...);
   /// sums to `propagations`. Filled by sequential backends at the end of a
   /// solve (concurrent backends report only the aggregate counter).

@@ -4,6 +4,7 @@
 
 #include "apps/acloud.h"
 #include "apps/followsun.h"
+#include "apps/negotiation.h"
 #include "apps/programs.h"
 #include "apps/trace.h"
 #include "apps/wireless.h"
@@ -209,6 +210,75 @@ TEST(WirelessTest, ThroughputOrderingMatchesFigure6) {
   EXPECT_GT(t_dist, t_one) << "channel diversity must beat one channel";
   EXPECT_GE(t_cross, t_dist * 0.99)
       << "cross-layer routing should not hurt throughput";
+}
+
+// --- ClaimBatches (apps/negotiation.h) ---------------------------------------
+
+using TestLink = std::pair<int, int>;
+
+std::vector<NegotiationBatch<int>> Claim(std::vector<TestLink> links,
+                                         size_t num_nodes, bool batch_links,
+                                         int max_link_batch,
+                                         std::set<TestLink>* pending_out =
+                                             nullptr) {
+  std::set<TestLink> pending(links.begin(), links.end());
+  auto batches =
+      ClaimBatches(links, &pending, num_nodes, batch_links, max_link_batch,
+                   [](const TestLink&) { return LinkClaim::kClaim; });
+  if (pending_out != nullptr) *pending_out = pending;
+  return batches;
+}
+
+std::string Render(const std::vector<NegotiationBatch<int>>& batches) {
+  std::string out;
+  for (const auto& b : batches) {
+    out += std::to_string(b.init) + ":";
+    for (int p : b.peers) out += std::to_string(p) + ",";
+    out += ";";
+  }
+  return out;
+}
+
+TEST(NegotiationTest, BatchedScheduleIndependentOfLinkSpelling) {
+  // The same endpoint set spelled (a,b), spelled (b,a), and permuted must
+  // claim identically: the schedule (and with it the trace) depends only on
+  // the link set. The both-orientations input is the regression case — the
+  // two spellings of one pair compare equal on (initiator, peer), so the
+  // sort needs the orientation tie-break to stay a total order.
+  const std::vector<TestLink> links = {{0, 3}, {3, 1}, {2, 3}, {1, 2}, {0, 1}};
+  const std::string base = Render(Claim(links, 4, true, 0));
+  std::vector<TestLink> flipped;
+  for (const TestLink& l : links) flipped.push_back({l.second, l.first});
+  EXPECT_EQ(Render(Claim(flipped, 4, true, 0)), base);
+  std::vector<TestLink> permuted = {{1, 2}, {0, 1}, {2, 3}, {0, 3}, {3, 1}};
+  EXPECT_EQ(Render(Claim(permuted, 4, true, 0)), base);
+  std::vector<TestLink> both = links;
+  for (const TestLink& l : flipped) both.push_back(l);
+  EXPECT_EQ(Render(Claim(both, 4, true, 0)), base);
+}
+
+TEST(NegotiationTest, BatchedInitiatorGathersPeersAscending) {
+  // Highest id initiates first and gathers every free peer, low id first.
+  const std::vector<TestLink> links = {{1, 3}, {0, 3}, {2, 3}};
+  EXPECT_EQ(Render(Claim(links, 4, true, 0)), "3:0,1,2,;");
+}
+
+TEST(NegotiationTest, MaxLinkBatchCapsClaimsAndKeepsRestPending) {
+  std::set<TestLink> pending;
+  const std::vector<TestLink> links = {{0, 3}, {1, 3}, {2, 3}};
+  auto batches = Claim(links, 4, true, 2, &pending);
+  EXPECT_EQ(Render(batches), "3:0,1,;");
+  // The capped-out link stays pending for a later round.
+  EXPECT_EQ(pending, std::set<TestLink>({{2, 3}}));
+}
+
+TEST(NegotiationTest, ClassicModePairsOneLinkPerNode) {
+  // Classic mode keeps the caller's order and one link per node per round.
+  std::set<TestLink> pending;
+  const std::vector<TestLink> links = {{0, 1}, {2, 3}, {0, 2}, {1, 3}};
+  auto batches = Claim(links, 4, false, 0, &pending);
+  EXPECT_EQ(Render(batches), "1:0,;3:2,;");
+  EXPECT_EQ(pending, std::set<TestLink>({{0, 2}, {1, 3}}));
 }
 
 }  // namespace

@@ -327,7 +327,7 @@ TEST(SolverKnobsTest, KnobsExtractedIntoCompiledProgram) {
 }
 
 TEST(SolverKnobsTest, ConcurrentBackendSpellingsAccepted) {
-  for (const char* name : {"portfolio", "parallel_lns"}) {
+  for (const char* name : {"portfolio", "parallel_lns", "local_search"}) {
     auto r = CompileColog("param SOLVER_BACKEND = \"" + std::string(name) +
                           "\".\ngoal satisfy.\n");
     ASSERT_TRUE(r.ok()) << name << ": " << r.status().ToString();

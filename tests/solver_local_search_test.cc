@@ -1,0 +1,213 @@
+// Tests for the local_search backend: seed determinism (including the ls_*
+// move counters), the shift/swap walk on the paper's model shapes, and a
+// property-based cross-backend sweep — on seeded random models an exhaustive
+// B&B solve supplies ground truth that the incomplete backends (LNS,
+// local_search) must agree with on feasibility and never beat on objective.
+#include "solver/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/model.h"
+#include "solver_test_util.h"
+
+namespace cologne::solver {
+namespace {
+
+int64_t Eval(const LinExpr& e, const std::vector<int64_t>& values) {
+  int64_t v = e.constant;
+  for (const auto& [coef, var] : e.terms) {
+    v += coef * values[static_cast<size_t>(var.id)];
+  }
+  return v;
+}
+
+// A small random COP: a handful of int decisions, a few random linear
+// constraints, and a random linear objective in a random sense. Domains stay
+// tiny so the exhaustive B&B reference solve finishes instantly; some seeds
+// yield infeasible models on purpose (feasibility agreement is part of the
+// property).
+struct RandomCop {
+  std::unique_ptr<Model> model;
+  LinExpr objective;
+  bool maximize = false;
+};
+
+RandomCop MakeRandomCop(uint64_t seed) {
+  RandomCop cop;
+  cop.model = std::make_unique<Model>();
+  Model& m = *cop.model;
+  Rng rng(SplitMix64(seed ^ 0xc0ffee11ull));
+
+  const int n = static_cast<int>(rng.UniformInt(2, 5));
+  std::vector<IntVar> vars;
+  for (int i = 0; i < n; ++i) {
+    IntVar v = m.NewInt(0, rng.UniformInt(2, 6));
+    m.MarkDecision(v);
+    vars.push_back(v);
+  }
+
+  const int constraints = static_cast<int>(rng.UniformInt(1, 3));
+  for (int c = 0; c < constraints; ++c) {
+    LinExpr lhs;
+    for (const IntVar& v : vars) {
+      int64_t coef = rng.UniformInt(0, 2) - 1;  // -1, 0, or 1
+      if (coef != 0) lhs += LinExpr::Term(coef, v);
+    }
+    if (lhs.terms.empty()) lhs += LinExpr(vars[0]);
+    const Rel rel = rng.Bernoulli(0.5) ? Rel::kLe : Rel::kGe;
+    m.PostRel(lhs, rel, LinExpr(rng.UniformInt(0, 6) - 2));
+  }
+
+  for (const IntVar& v : vars) {
+    cop.objective += LinExpr::Term(rng.UniformInt(1, 3), v);
+  }
+  cop.maximize = rng.Bernoulli(0.5);
+  if (cop.maximize) {
+    m.Maximize(cop.objective);
+  } else {
+    m.Minimize(cop.objective);
+  }
+  return cop;
+}
+
+Solution SolveWith(Model& m, Backend backend, uint64_t seed,
+                   uint64_t iterations = 25) {
+  Model::Options o;
+  o.backend = backend;
+  // Iteration-capped, no wall clock: deterministic on any machine.
+  o.time_limit_ms = 0;
+  o.max_iterations = iterations;
+  o.seed = seed;
+  return m.Solve(o);
+}
+
+TEST(LocalSearchTest, NameAndParseRoundTrip) {
+  EXPECT_STREQ(BackendName(Backend::kLocalSearch), "local_search");
+  Backend b = Backend::kBranchAndBound;
+  ASSERT_TRUE(ParseBackend("local_search", &b));
+  EXPECT_EQ(b, Backend::kLocalSearch);
+  EXPECT_FALSE(ParseBackend("localsearch", &b));
+}
+
+TEST(LocalSearchTest, FeasibleOnACloudShape) {
+  auto m = MakeACloudModel(12, 4);
+  Solution s = SolveWith(*m, Backend::kLocalSearch, 7, 40);
+  ASSERT_TRUE(s.has_solution());
+  EXPECT_EQ(s.backend, Backend::kLocalSearch);
+  // Every VM placed on exactly one host.
+  for (int i = 0; i < 12; ++i) {
+    int64_t placed = 0;
+    for (int h = 0; h < 4; ++h) {
+      placed += s.values[static_cast<size_t>(i * 4 + h)];
+    }
+    EXPECT_EQ(placed, 1) << "vm " << i;
+  }
+}
+
+TEST(LocalSearchTest, DeterministicUnderFixedSeedIncludingMoveCounters) {
+  auto run = [](uint64_t seed) {
+    auto m = MakeACloudModel(10, 4);
+    return SolveWith(*m, Backend::kLocalSearch, seed, 50);
+  };
+  Solution a = run(42);
+  Solution b = run(42);
+  ASSERT_TRUE(a.has_solution());
+  ASSERT_TRUE(b.has_solution());
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.values, b.values);
+  EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+  EXPECT_EQ(a.stats.iterations, b.stats.iterations);
+  EXPECT_EQ(a.stats.ls_moves, b.stats.ls_moves);
+  EXPECT_EQ(a.stats.ls_accepted, b.stats.ls_accepted);
+  EXPECT_EQ(a.stats.ls_tabu_hits, b.stats.ls_tabu_hits);
+}
+
+TEST(LocalSearchTest, MoveCountersAccountedOnlyByLocalSearch) {
+  // 48 boolean decisions: the bounded sharpening dive cannot exhaust this
+  // space, so the move walk actually runs.
+  {
+    auto m = MakeACloudModel(12, 4);
+    Solution s = SolveWith(*m, Backend::kLocalSearch, 3, 40);
+    ASSERT_TRUE(s.has_solution());
+    EXPECT_GT(s.stats.ls_moves, 0u);
+    EXPECT_LE(s.stats.ls_accepted, s.stats.ls_moves);
+  }
+  // Small model for the negative half: B&B solves it to exhaustion, which
+  // must not take sanitizer-build minutes just to observe three zeros.
+  for (Backend other : {Backend::kBranchAndBound, Backend::kLns}) {
+    auto m = MakeACloudModel(6, 3);
+    Solution s = SolveWith(*m, other, 3, 40);
+    EXPECT_EQ(s.stats.ls_moves, 0u) << BackendName(other);
+    EXPECT_EQ(s.stats.ls_accepted, 0u) << BackendName(other);
+    EXPECT_EQ(s.stats.ls_tabu_hits, 0u) << BackendName(other);
+  }
+}
+
+TEST(LocalSearchTest, GroupedModelSolves) {
+  // Group-aware models (the Colog bridge marks per-negotiation groups) must
+  // pass through the walk unharmed.
+  auto m = MakeACloudModel(8, 4);
+  std::vector<IntVar> group;
+  for (int32_t id = 0; id < 8; ++id) group.push_back(IntVar{id});
+  m->MarkGroup(group);
+  Solution s = SolveWith(*m, Backend::kLocalSearch, 11, 30);
+  ASSERT_TRUE(s.has_solution());
+}
+
+// The cross-backend property: for every seeded random model, exhaustive B&B
+// is ground truth. The incomplete backends must agree on feasibility, their
+// reported objective must re-evaluate from their assignment, and — sign
+// aware in both senses — they must never beat the proved optimum.
+TEST(LocalSearchTest, PropertyHeuristicsNeverBeatProvedOptimum) {
+  const uint64_t kModels = kSanitizerBuild ? 12 : 30;
+  int optimal = 0;
+  int infeasible = 0;
+  for (uint64_t seed = 1; seed <= kModels; ++seed) {
+    RandomCop ref = MakeRandomCop(seed);
+    Solution truth = SolveWith(*ref.model, Backend::kBranchAndBound, seed);
+    // No wall clock and no iteration pressure on the tree phase: the tiny
+    // model is solved to exhaustion, one way or the other.
+    ASSERT_TRUE(truth.status == SolveStatus::kOptimal ||
+                truth.status == SolveStatus::kInfeasible)
+        << "seed " << seed << ": " << SolveStatusName(truth.status);
+
+    for (Backend heuristic : {Backend::kLns, Backend::kLocalSearch}) {
+      RandomCop cop = MakeRandomCop(seed);
+      Solution s = SolveWith(*cop.model, heuristic, seed);
+      if (truth.status == SolveStatus::kInfeasible) {
+        ++infeasible;
+        EXPECT_FALSE(s.has_solution())
+            << "seed " << seed << ": " << BackendName(heuristic)
+            << " claims a solution for a proved-infeasible model";
+        continue;
+      }
+      ++optimal;
+      // Feasible models have an unbounded first dive: a solution is
+      // guaranteed, not merely likely.
+      ASSERT_TRUE(s.has_solution())
+          << "seed " << seed << ": " << BackendName(heuristic);
+      EXPECT_EQ(s.objective, Eval(cop.objective, s.values))
+          << "seed " << seed << ": " << BackendName(heuristic)
+          << " objective does not re-evaluate from its assignment";
+      if (cop.maximize) {
+        EXPECT_LE(s.objective, truth.objective)
+            << "seed " << seed << ": " << BackendName(heuristic)
+            << " beats the proved maximum";
+      } else {
+        EXPECT_GE(s.objective, truth.objective)
+            << "seed " << seed << ": " << BackendName(heuristic)
+            << " beats the proved minimum";
+      }
+    }
+  }
+  // The generator must actually exercise both arms of the property.
+  EXPECT_GT(optimal, 0);
+  EXPECT_GT(infeasible, 0);
+}
+
+}  // namespace
+}  // namespace cologne::solver
