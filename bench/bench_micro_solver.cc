@@ -314,6 +314,50 @@ std::unique_ptr<Model> MakeInterferenceModel(int links) {
   return m;
 }
 
+// Propagation-heavy kernel (the event-typed engine's canonical micro case):
+// wide overlapping <=-capacity sums over shared decision variables plus a
+// stack of reified threshold constraints. The <= sums subscribe min events
+// only (max tightenings filter), and deep dives entail reified thresholds
+// early, so this is where typed wakeups and entailment unsubscription pay.
+std::unique_ptr<Model> MakePropHeavyModel(int n) {
+  auto m = std::make_unique<Model>();
+  std::vector<IntVar> xs;
+  for (int i = 0; i < n; ++i) {
+    IntVar x = m->NewInt(0, 6);
+    m->MarkDecision(x);
+    xs.push_back(x);
+  }
+  // Every width-n/2 window is capacity-bounded: each decision variable sits
+  // in many wide sums, so an untyped engine re-wakes all of them on every
+  // bound change.
+  const int w = n / 2;
+  for (int start = 0; start + w <= n; ++start) {
+    LinExpr sum;
+    for (int j = 0; j < w; ++j) {
+      sum += LinExpr::Term(1 + ((start + j) % 3),
+                           xs[static_cast<size_t>(start + j)]);
+    }
+    m->PostRel(sum, Rel::kLe, LinExpr(static_cast<int64_t>(3 * w)));
+  }
+  // Reified thresholds feeding the objective; fixing a dive prefix entails
+  // most of them long before the leaf.
+  LinExpr cost;
+  for (int i = 0; i + 1 < n; ++i) {
+    IntVar b = m->ReifyRel(LinExpr(xs[static_cast<size_t>(i)]) +
+                               LinExpr(xs[static_cast<size_t>(i + 1)]),
+                           Rel::kGe, LinExpr(4));
+    cost += LinExpr::Term(3, b);
+  }
+  LinExpr load;
+  for (int i = 0; i < n; ++i) {
+    load += LinExpr::Term(1 + (i % 4), xs[static_cast<size_t>(i)]);
+  }
+  // Tension: raising load lowers the objective but trips thresholds and
+  // capacity sums, so B&B has real pruning work at every depth.
+  m->Minimize(cost - load);
+  return m;
+}
+
 struct MicroCase {
   const char* name;
   std::unique_ptr<Model> (*make)(int);
@@ -326,6 +370,9 @@ struct MicroCase {
   bool cache;       ///< Fresh ContextCache per solve (SOLVER_CACHE).
   int subproblems;  ///< Subproblem-parallel frontier width; 0 = off.
   int workers;      ///< Race/steal width; <= 1 keeps the sequential path.
+  bool naive = false;  ///< Legacy untyped-FIFO propagation reference mode
+                       ///< (SOLVER_NAIVE_PROPAGATION); same search tree,
+                       ///< historical effort counters.
 };
 
 // `deep_dive_bnb` is the headline case of the trailed-store trajectory: a
@@ -355,6 +402,16 @@ const MicroCase kMicroCases[] = {
      0x77, 0, 250, 0, true, 0, 1},
     {"deep_dive_bnb_par", MakeAssignmentModel, 16, Backend::kPortfolio,
      0x5EED, 12'000, 0, 0, true, 64, 8},
+    // Propagation-ratio pairs: the same instance under the event-typed
+    // engine (default) and the naive untyped-FIFO reference. Search trees
+    // are identical by construction; the props_executed ratio between the
+    // paired rows is the CI acceptance gate of the event-typed engine.
+    {"deep_dive_bnb_naive", MakeAssignmentModel, 16, Backend::kBranchAndBound,
+     0x5EED, 200'000, 0, 0, false, 0, 1, true},
+    {"prop_heavy_bnb", MakePropHeavyModel, 16, Backend::kBranchAndBound,
+     0xF00D, 60'000, 0, 0, false, 0, 1},
+    {"prop_heavy_naive", MakePropHeavyModel, 16, Backend::kBranchAndBound,
+     0xF00D, 60'000, 0, 0, false, 0, 1, true},
     // Local-search rows: the move walk is iteration-capped, so its ls_*
     // counters (moves / accepted / tabu hits) are part of the determinism
     // contract like nodes and failures are.
@@ -374,6 +431,7 @@ Model::Options MicroOptions(const MicroCase& c) {
   o.restart_base_nodes = c.restart_base_nodes;
   o.subproblems = c.subproblems;
   o.num_workers = c.workers > 0 ? c.workers : 1;
+  o.naive_propagation = c.naive;
   return o;
 }
 
@@ -415,6 +473,8 @@ int RunSolverJson() {
         "\"domain_allocs\":%llu,\"cache_hits\":%llu,\"cache_stores\":%llu,"
         "\"cache_mem_bytes\":%llu,\"steals\":%llu,\"subproblems\":%llu,"
         "\"ls_moves\":%llu,\"ls_accepted\":%llu,\"ls_tabu_hits\":%llu,"
+        "\"props_executed\":%llu,\"props_skipped_entailed\":%llu,"
+        "\"wakes_filtered\":%llu,\"naive\":%d,"
         "\"workers\":%d,\"objective\":%lld}",
         c.name, BackendName(c.backend),
         static_cast<unsigned long long>(c.seed),
@@ -433,6 +493,10 @@ int RunSolverJson() {
         static_cast<unsigned long long>(s.stats.ls_moves),
         static_cast<unsigned long long>(s.stats.ls_accepted),
         static_cast<unsigned long long>(s.stats.ls_tabu_hits),
+        static_cast<unsigned long long>(s.stats.propagations),
+        static_cast<unsigned long long>(s.stats.props_skipped_entailed),
+        static_cast<unsigned long long>(s.stats.wakes_filtered),
+        c.naive ? 1 : 0,
         c.workers > 0 ? c.workers : 1,
         static_cast<long long>(s.has_solution() ? s.objective : 0));
     fprintf(out, "%s\n", row.c_str());
@@ -473,6 +537,36 @@ int RunDeterminism() {
            static_cast<unsigned long long>(b.stats.failures),
            static_cast<unsigned long long>(a.stats.solutions),
            static_cast<unsigned long long>(b.stats.solutions));
+    if (!same) rc = 1;
+  }
+  // Cross-mode gate: the event-typed engine and the naive reference must
+  // explore the exact same tree (nodes / failures / solutions / objective /
+  // values) on the paired canonical instances. Propagation-effort counters
+  // are intentionally NOT compared across modes — differing is the point.
+  const std::pair<const char*, const char*> kModePairs[] = {
+      {"deep_dive_bnb", "deep_dive_bnb_naive"},
+      {"prop_heavy_bnb", "prop_heavy_naive"},
+  };
+  for (const auto& [event_name, naive_name] : kModePairs) {
+    const MicroCase* ev = nullptr;
+    const MicroCase* na = nullptr;
+    for (const MicroCase& c : kMicroCases) {
+      if (std::strcmp(c.name, event_name) == 0) ev = &c;
+      if (std::strcmp(c.name, naive_name) == 0) na = &c;
+    }
+    if (ev == nullptr || na == nullptr) continue;
+    Solution a = RunMicroCase(*ev);
+    Solution b = RunMicroCase(*na);
+    const bool same = a.stats.nodes == b.stats.nodes &&
+                      a.stats.failures == b.stats.failures &&
+                      a.stats.solutions == b.stats.solutions &&
+                      a.objective == b.objective && a.values == b.values;
+    printf("%-18s %s cross-mode nodes=%llu/%llu objective=%lld/%lld\n",
+           event_name, same ? "OK" : "MISMATCH",
+           static_cast<unsigned long long>(a.stats.nodes),
+           static_cast<unsigned long long>(b.stats.nodes),
+           static_cast<long long>(a.objective),
+           static_cast<long long>(b.objective));
     if (!same) rc = 1;
   }
   if (rc != 0) {

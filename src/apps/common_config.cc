@@ -24,6 +24,7 @@ runtime::SolveOptions OverlaySolveOptions(const CommonConfig& config,
   if (config.solver_incremental) base.incremental = true;
   if (config.solver_cache) base.cache = true;
   if (config.solver_subproblems > 0) base.subproblems = config.solver_subproblems;
+  if (config.solver_naive_propagation) base.naive_propagation = true;
   return base;
 }
 

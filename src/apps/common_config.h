@@ -53,6 +53,12 @@ struct CommonConfig {
   /// Subproblem-parallel B&B width (SOLVER_SUBPROBLEMS) for concurrent
   /// backends with >1 worker; 0 = off.
   int solver_subproblems = 0;
+  /// Run the propagation engine in its legacy untyped-FIFO reference mode
+  /// (SOLVER_NAIVE_PROPAGATION): no event masks, no incremental linear
+  /// aggregates, no entailment unsubscription. Search trees are identical
+  /// either way; only propagator-effort metrics differ. Used by the
+  /// confluence sweep and the CI props-per-node ratio gate.
+  bool solver_naive_propagation = false;
 };
 
 /// System::Options from the shared knobs (seed, reliable transport,

@@ -228,8 +228,8 @@ bool IsSolverKnobName(const std::string& name) {
          name == "SOLVER_SEED" || name == "SOLVER_RESTARTS" ||
          name == "SOLVER_WORKERS" || name == "SOLVER_INCREMENTAL" ||
          name == "SOLVER_INCR_THRESHOLD" || name == "SOLVER_CACHE" ||
-         name == "SOLVER_SUBPROBLEMS" || name == "NET_RELIABLE" ||
-         name == "OBS_METRICS";
+         name == "SOLVER_SUBPROBLEMS" || name == "SOLVER_NAIVE_PROPAGATION" ||
+         name == "NET_RELIABLE" || name == "OBS_METRICS";
 }
 
 }  // namespace cologne::colog

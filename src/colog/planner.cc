@@ -313,6 +313,15 @@ Status ExtractSolverKnobs(const std::map<std::string, Value>& params,
       knobs->subproblems = static_cast<uint64_t>(value.as_int());
       continue;
     }
+    if (name == "SOLVER_NAIVE_PROPAGATION") {
+      if (!value.is_int() || (value.as_int() != 0 && value.as_int() != 1)) {
+        return Status(Status::PlanError(
+            "SOLVER_NAIVE_PROPAGATION must be 0 or 1, got " +
+            value.ToString()));
+      }
+      knobs->naive_propagation = value.as_int() == 1;
+      continue;
+    }
     if (name == "SOLVER_INCR_THRESHOLD") {
       if (!value.is_int() || value.as_int() < 0 || value.as_int() > 100) {
         return Status(Status::PlanError(

@@ -86,6 +86,11 @@ struct SolverKnobsIR {
   /// — expand the root into about this many bounded subproblems and let
   /// workers steal them from a shared queue. 0 (off) .. 4096.
   std::optional<uint64_t> subproblems;
+  /// SOLVER_NAIVE_PROPAGATION: run the propagation engine in its legacy
+  /// untyped-FIFO reference mode (no event masks, no incremental sums, no
+  /// entailment unsubscription). Search trees are unchanged; propagator
+  /// effort metrics revert to the historical counts. 0 or 1.
+  std::optional<bool> naive_propagation;
 };
 
 /// Per-class rule counts (reported by the Table 2 benchmark).

@@ -220,6 +220,12 @@ Result<SolveOutput> Instance::Solve(const SolveRequest& request) {
     // byte-identical.
     if (out.stats.cache_hits > 0) m.Add("solve.cache.hits", out.stats.cache_hits);
     if (out.stats.steals > 0) m.Add("solve.steals", out.stats.steals);
+    if (out.stats.wakes_filtered > 0) {
+      m.Add("solve.wakes_filtered", out.stats.wakes_filtered);
+    }
+    if (out.stats.props_skipped_entailed > 0) {
+      m.Add("solve.props_skipped_entailed", out.stats.props_skipped_entailed);
+    }
     if (out.warm_started) m.Add("solve.warm");
     if (out.incr_dirty >= 0) {
       m.Add(out.incr_fallback ? "solve.incr.fallback" : "solve.incr");

@@ -978,6 +978,7 @@ SolveOptions ResolveSolveOptions(const colog::CompiledProgram& program,
   if (knobs.subproblems) {
     base.subproblems = static_cast<int>(*knobs.subproblems);
   }
+  if (knobs.naive_propagation) base.naive_propagation = *knobs.naive_propagation;
   return base;
 }
 
@@ -1073,6 +1074,7 @@ Result<SolveOutput> SolverBridge::Solve(const SolveOptions& options,
   sopts.num_workers = options.num_workers;
   sopts.max_iterations = options.max_iterations;
   sopts.subproblems = options.subproblems;
+  sopts.naive_propagation = options.naive_propagation;
 
   // Warm start: map the cached previous solution onto this solve's freshly
   // created variables by var-table row identity. The periodic invokeSolver

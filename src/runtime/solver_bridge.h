@@ -83,6 +83,14 @@ struct SolveOptions {
   /// subproblems that workers steal from a shared queue instead of
   /// re-searching from the root. 0 disables.
   int subproblems = 0;
+  /// Legacy untyped-FIFO propagation (SOLVER_NAIVE_PROPAGATION): every
+  /// domain change wakes every watcher, linear sums are recomputed from
+  /// scratch, entailed propagators keep running. The fixpoints — and hence
+  /// the search tree and every solution trace — are identical to the
+  /// event-typed engine; only the `solve.propagations`-family effort
+  /// metrics differ. Kept as the reference mode for the confluence sweep
+  /// and the CI propagation-ratio gate.
+  bool naive_propagation = false;
 };
 
 /// How Instance::Solve runs (SolveRequest::mode).

@@ -115,13 +115,21 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
   }
   size_t k = start_k;
 
-  // Neighborhoods rebuild on the pristine initial domains (level 0 of the
-  // trailed store): unwind root propagation and any leftover hint levels,
-  // then stack one level per iteration — fix, bound, propagate, repair,
-  // backtrack — so each trial costs O(touched domains) instead of a full
-  // store clone.
+  // Neighborhoods stack one level per iteration — fix, bound, propagate,
+  // repair, backtrack — so each trial costs O(touched domains) instead of a
+  // full store clone. The event-typed engine rebuilds from the *propagated
+  // root* (any leftover hint levels unwound): fixpoint(root ∧ fixings) ==
+  // fixpoint(initial ∧ fixings) for monotone propagators, and starting from
+  // the root fixpoint lets each trial propagate only the delta its fixings
+  // caused. The naive reference mode keeps the historical rebuild from the
+  // pristine level-0 domains with a full re-propagation per trial, so its
+  // propagation counts reproduce the legacy engine exactly.
   DomainStore& st = ctx.store();
-  st.BacktrackTo(0);
+  if (ctx.options().naive_propagation) {
+    st.BacktrackTo(0);
+  } else {
+    st.BacktrackTo(ctx.root_level());
+  }
 
   // Improving neighborhoods get rare near a local optimum; keep sampling
   // until the time budget runs out. The stale cap only terminates small
@@ -166,7 +174,7 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
     if (ok) {
       std::vector<int32_t> changed;
       ok = ctx.ApplyBound(&changed, *inc) &&
-           ctx.engine().PropagateAll(st, &ctx.stats);
+           ctx.engine().PropagateDelta(st, &ctx.stats);
     }
 
     bool improved = false;
@@ -180,6 +188,9 @@ bool LnsImprove(SearchContext& ctx, const LnsParams& params, Incumbent* inc) {
       improved = inc->objective != prev;
       reached_bound = improved && at_bound();
     }
+    // A trial that failed before propagation ran (fixing or bounding emptied
+    // a domain) leaves its wakes pending; discard them with the level.
+    if (!ok) ctx.engine().DrainQueue();
     st.Backtrack();
     if (improved) ++ctx.stats.lns_accepted;
     if (reached_bound) return true;

@@ -158,7 +158,13 @@ bool MoveWalk(SearchContext& ctx, int64_t objective_bound, Incumbent* inc) {
       }
       changed.push_back(id);
     }
-    if (ok) ok = ctx.engine().PropagateFrom(st, changed, &ctx.stats);
+    if (ok) {
+      ok = ctx.engine().PropagateFrom(st, changed, &ctx.stats);
+    } else {
+      // An assignment emptied a domain before propagation ran: discard the
+      // wakes the listener enqueued for the level we are about to unwind.
+      ctx.engine().DrainQueue();
+    }
     Incumbent cand;
     if (ok) {
       SearchContext::DiveLimits complete;

@@ -201,6 +201,15 @@ class Model {
     /// each re-searching from the root (solver/sync.h SubproblemQueue).
     /// 0 disables (the pre-existing race/walk behaviour).
     int subproblems = 0;
+    /// Naive-propagation reference mode (the SOLVER_NAIVE_PROPAGATION knob):
+    /// run the legacy flat-FIFO scheduler with full-recompute propagators —
+    /// no event filtering, no incremental aggregates, no entailment
+    /// unsubscription — reproducing the pre-event-engine propagation counts
+    /// byte-for-byte. Search trees are identical in both modes (monotone
+    /// propagators reach the same fixpoint under any scheduling order); only
+    /// the propagation-effort counters differ. Used by the confluence sweep
+    /// and as the baseline leg of the CI propagation-ratio gate.
+    bool naive_propagation = false;
     /// Cooperative cancellation: search returns (with the best incumbent so
     /// far) soon after the token is cancelled. Not owned; may be null.
     const CancelToken* cancel = nullptr;

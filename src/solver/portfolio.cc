@@ -110,6 +110,8 @@ Solution RunRace(const Model& model, std::vector<WorkerConfig> configs,
     st.failures += ws.failures;
     st.solutions += ws.solutions;
     st.propagations += ws.propagations;
+    st.wakes_filtered += ws.wakes_filtered;
+    st.props_skipped_entailed += ws.props_skipped_entailed;
     st.iterations += ws.iterations;
     st.restarts += ws.restarts;
     // lns_accepted is deliberately not merged: a cancelled race makes the
@@ -187,11 +189,19 @@ bool ReplayPrefix(internal::SearchContext& ctx, const Subproblem& sp,
   std::vector<int32_t> changed;
   changed.reserve(sp.assignment.size() + 1);
   for (const auto& [id, value] : sp.assignment) {
-    if (!ctx.store().dom(id).Contains(value)) return false;
+    if (!ctx.store().dom(id).Contains(value)) {
+      // Failing without propagating: drop the wakes the earlier assignments
+      // of this prefix enqueued (the caller backtracks their level).
+      ctx.engine().DrainQueue();
+      return false;
+    }
     ctx.store().Assign(id, value);
     changed.push_back(id);
   }
-  if (!ctx.ApplyBound(&changed, inc)) return false;
+  if (!ctx.ApplyBound(&changed, inc)) {
+    ctx.engine().DrainQueue();
+    return false;
+  }
   if (changed.empty()) return true;
   return ctx.engine().PropagateFrom(ctx.store(), changed, &ctx.stats);
 }
@@ -313,10 +323,15 @@ Solution SubproblemSolve(const Model& model, const Model::Options& base,
       master.store().PushLevel();
       master.store().Assign(v.id, value);
       std::vector<int32_t> changed{v.id};
-      const bool child_ok =
-          master.ApplyBound(&changed, minc) &&
-          master.engine().PropagateFrom(master.store(), changed,
-                                        &master.stats);
+      bool child_ok = master.ApplyBound(&changed, minc);
+      if (!child_ok) {
+        // Bound clamp emptied the objective before propagation ran: the
+        // child assignment's wakes die with the level.
+        master.engine().DrainQueue();
+      } else {
+        child_ok = master.engine().PropagateFrom(master.store(), changed,
+                                                 &master.stats);
+      }
       // A cached exhausted-subtree proof covering the enqueue-time bound is
       // as good as a propagation failure: the child's subtree holds nothing
       // better than the incumbent, so it needs no subproblem. This is where
@@ -447,6 +462,8 @@ Solution SubproblemSolve(const Model& model, const Model::Options& base,
     st.failures += ws.failures;
     st.solutions += ws.solutions;
     st.propagations += ws.propagations;
+    st.wakes_filtered += ws.wakes_filtered;
+    st.props_skipped_entailed += ws.props_skipped_entailed;
     st.iterations += ws.iterations;
     st.restarts += ws.restarts;
     // lns_accepted is deliberately not merged: a cancelled race makes the

@@ -2,28 +2,185 @@
 
 namespace cologne::solver {
 
+namespace {
+
+// Bucket by subscription width, *widest first*. Wide linear sums are the
+// producers in the model graphs this solver sees (resource capacities,
+// objective channels): running them before the narrow consumers (reified
+// thresholds, binary squares) lets each consumer observe settled sums and
+// run once, where a cheap-first order re-executes every narrow propagator
+// after each wide prune lands (measured: cheap-first roughly doubles reified
+// executions on capacity-heavy models and re-runs square channels ~40% more
+// on the assignment kernel). Deterministic: width is fixed at construction,
+// FIFO within a bucket.
+uint8_t PriorityBucket(size_t unique_watches) {
+  if (unique_watches > 8) return 0;
+  if (unique_watches > 3) return 1;
+  if (unique_watches == 3) return 2;
+  return 3;
+}
+
+}  // namespace
+
 PropagationEngine::PropagationEngine(
-    const std::vector<std::unique_ptr<Propagator>>* props, size_t num_vars)
+    const std::vector<std::unique_ptr<Propagator>>* props, size_t num_vars,
+    bool naive)
     : props_(props),
+      naive_(naive),
       watchers_(num_vars),
+      subs_(num_vars),
+      priority_(props->size(), 0),
       in_queue_(props->size(), 0),
-      run_counts_(props->size(), 0) {
+      run_counts_(props->size(), 0),
+      proofs_(props->size()),
+      idempotent_(props->size(), 0),
+      aux_base_(props->size(), -1),
+      has_dup_watch_(props->size(), 0) {
+  // Build both watch structures deduplicated per (variable, propagator): a
+  // variable appearing in several watch entries of one propagator (e.g. both
+  // factors of a square) subscribes once, with the union of the entry masks
+  // — one wake per (propagator, change). Dedup is count-neutral in naive
+  // mode too: the duplicate enqueues it removes were already suppressed by
+  // the in_queue_ flag.
+  std::vector<int32_t> seen_at(num_vars, -1);
   for (size_t i = 0; i < props->size(); ++i) {
-    for (int32_t v : (*props)[i]->watched()) {
-      watchers_[static_cast<size_t>(v)].push_back(i);
+    const Propagator& p = *(*props)[i];
+    const std::vector<int32_t>& w = p.watched();
+    const std::vector<uint8_t>& masks = p.watch_masks();
+    size_t unique = 0;
+    for (size_t k = 0; k < w.size(); ++k) {
+      const size_t v = static_cast<size_t>(w[k]);
+      if (seen_at[v] == static_cast<int32_t>(i)) {
+        // Duplicate: merge the mask into the existing subscription. The
+        // advisor position stays ambiguous, so incremental aggregates are
+        // disabled for this propagator (full-recompute path instead).
+        has_dup_watch_[i] = 1;
+        for (WatchEntry& e : subs_[v]) {
+          if (e.prop == i) e.mask |= masks[k];
+        }
+        continue;
+      }
+      seen_at[v] = static_cast<int32_t>(i);
+      ++unique;
+      watchers_[v].push_back(i);
+      subs_[v].push_back({static_cast<uint32_t>(i), masks[k],
+                          p.AdviseCoefficient(static_cast<uint32_t>(k))});
+    }
+    priority_[i] = naive_ ? 0 : PriorityBucket(unique);
+    // Cache the virtual per-propagator traits consulted on every wake and
+    // every self-wake, so the hot paths below are dispatch-free.
+    proofs_[i] = p.fixpoint_proof();
+    idempotent_[i] = p.IdempotentAfterRun() ? 1 : 0;
+  }
+}
+
+bool PropagationEngine::ProvablyAtFixpoint(
+    const Propagator::FixpointProof& proof, int aux_base) const {
+  switch (proof.kind) {
+    case Propagator::FixpointProof::Kind::kNone:
+      return false;
+    case Propagator::FixpointProof::Kind::kLinear:
+      return LinearPassAtFixpoint(proof.rel, store_->aux(aux_base),
+                                  store_->aux(aux_base + 1),
+                                  store_->aux(aux_base + 2));
+    case Propagator::FixpointProof::Kind::kReified: {
+      const __int128 smin = store_->aux(aux_base);
+      const __int128 smax = store_->aux(aux_base + 1);
+      const IntDomain& bd = store_->dom(proof.b);
+      if (bd.IsFixed()) {
+        // b decided: the propagator is a plain linear pass over the
+        // effective relation; same width/slack certificate applies.
+        return LinearPassAtFixpoint(bd.min() != 0 ? proof.rel
+                                                  : Negate(proof.rel),
+                                    smin, smax, store_->aux(aux_base + 2));
+      }
+      // b open: the only possible prune is fixing b, which happens exactly
+      // when the relation's entailment is decided by the sum bounds.
+      return EntailedRel(ClampExprBounds(smin, smax), proof.rel) ==
+             Entail::kMaybe;
     }
   }
+  return false;
+}
+
+void PropagationEngine::AttachStore(DomainStore& store) {
+  if (naive_) return;
+  store_ = &store;
+  entailed_base_ = store.AddAuxSlots(static_cast<int>(props_->size()));
+  for (size_t i = 0; i < props_->size(); ++i) {
+    const Propagator& p = *(*props_)[i];
+    const int n = p.NumAuxSlots();
+    if (n > 0 && !has_dup_watch_[i]) {
+      aux_base_[i] = store.AddAuxSlots(n);
+      p.InitAux(store, aux_base_[i]);
+    } else {
+      aux_base_[i] = -1;
+    }
+  }
+  store.SetListener(this);
 }
 
 void PropagationEngine::Enqueue(size_t prop_idx) {
   if (!in_queue_[prop_idx]) {
     in_queue_[prop_idx] = 1;
-    queue_.push_back(prop_idx);
+    buckets_[priority_[prop_idx]].push_back(static_cast<uint32_t>(prop_idx));
   }
 }
 
 void PropagationEngine::OnVarChanged(int32_t var_id) {
+  // Attached event mode: the store listener already delivered this change
+  // with its event type; a second, untyped wake here would bypass the mask
+  // filter.
+  if (!naive_ && store_ != nullptr) return;
   for (size_t p : watchers_[static_cast<size_t>(var_id)]) Enqueue(p);
+}
+
+void PropagationEngine::OnDomainEvent(int32_t var, uint8_t events,
+                                      int64_t old_min, int64_t old_max) {
+  // Bound deltas are per-variable, not per-subscriber: hoist them out of the
+  // subscription loop (this dispatch runs on every mutation search makes).
+  const IntDomain& d = store_->dom(var);
+  const __int128 dmin = static_cast<__int128>(d.min()) - old_min;
+  const __int128 dmax = static_cast<__int128>(d.max()) - old_max;
+  for (const WatchEntry& w : subs_[static_cast<size_t>(var)]) {
+    // Advisors run on every bound event, even when the wake is filtered or
+    // the propagator entailed: the aggregates must track the domains so the
+    // next real execution (or entailment re-check) reads current sums. The
+    // coefficient-based fold is inlined here — no virtual dispatch.
+    const int base = aux_base_[w.prop];
+    if (base >= 0 && w.coef != 0 &&
+        (events & (kEventMin | kEventMax)) != 0) {
+      const __int128 c = w.coef;
+      if (w.coef >= 0) {
+        if (dmin != 0) store_->SetAux(base, store_->aux(base) + c * dmin);
+        if (dmax != 0) {
+          store_->SetAux(base + 1, store_->aux(base + 1) + c * dmax);
+        }
+      } else {
+        if (dmax != 0) store_->SetAux(base, store_->aux(base) + c * dmax);
+        if (dmin != 0) {
+          store_->SetAux(base + 1, store_->aux(base + 1) + c * dmin);
+        }
+      }
+    }
+    if ((events & w.mask) == 0) {
+      ++wakes_filtered_;
+      continue;
+    }
+    if (store_->aux(entailed_base_ + static_cast<int>(w.prop)) != 0) {
+      ++skipped_entailed_;
+      continue;
+    }
+    // The event is relevant in kind, but the freshly-advised aggregates may
+    // still prove the run would change nothing: the advisor subsumes the
+    // wake entirely. proofs_[] is the construction-time descriptor cache —
+    // no virtual dispatch here either.
+    if (base >= 0 && ProvablyAtFixpoint(proofs_[w.prop], base)) {
+      ++wakes_filtered_;
+      continue;
+    }
+    Enqueue(w.prop);
+  }
 }
 
 bool PropagationEngine::PropagateAll(DomainStore& store, SolveStats* stats) {
@@ -38,24 +195,86 @@ bool PropagationEngine::PropagateFrom(DomainStore& store,
   return RunQueue(store, stats);
 }
 
-bool PropagationEngine::RunQueue(DomainStore& store, SolveStats* stats) {
-  PropCtx ctx(&store, this);
-  while (!queue_.empty()) {
-    size_t idx = queue_.front();
-    queue_.pop_front();
-    in_queue_[idx] = 0;
-    if (stats != nullptr) ++stats->propagations;
-    ++run_counts_[idx];
-    if (!(*props_)[idx]->Propagate(ctx)) {
-      // Failure: drain the queue so the engine is clean for the next node.
-      while (!queue_.empty()) {
-        in_queue_[queue_.front()] = 0;
-        queue_.pop_front();
-      }
-      return false;
+bool PropagationEngine::PropagateDelta(DomainStore& store, SolveStats* stats) {
+  if (naive_) return PropagateAll(store, stats);
+  return RunQueue(store, stats);
+}
+
+void PropagationEngine::DrainQueue() {
+  for (auto& bucket : buckets_) {
+    while (!bucket.empty()) {
+      in_queue_[bucket.front()] = 0;
+      bucket.pop_front();
     }
   }
-  return true;
+}
+
+bool PropagationEngine::RunQueue(DomainStore& store, SolveStats* stats) {
+  PropCtx ctx(&store, this);
+  for (;;) {
+    int b = 0;
+    while (b < kNumBuckets && buckets_[b].empty()) ++b;
+    if (b == kNumBuckets) return true;
+    const uint32_t idx = buckets_[b].front();
+    buckets_[b].pop_front();
+    // Stale entry: the quiescence loop below consumed this wake without
+    // popping it (event mode only — naive never clears the flag early).
+    if (!in_queue_[idx]) continue;
+    in_queue_[idx] = 0;
+    // A propagator can become entailed after it was enqueued; skip it here
+    // the same way the wake-time check does.
+    if (!naive_ && IsEntailed(idx)) {
+      ++skipped_entailed_;
+      continue;
+    }
+    // Re-prove no-op at pop time: prunes made by propagators that ran since
+    // this one was enqueued may have advanced its aggregates to a provable
+    // fixpoint.
+    if (!naive_ && aux_base_[idx] >= 0 &&
+        ProvablyAtFixpoint(proofs_[idx], aux_base_[idx])) {
+      ++wakes_filtered_;
+      continue;
+    }
+    if (stats != nullptr) ++stats->propagations;
+    ++run_counts_[idx];
+    ctx.cur_prop_ = static_cast<int32_t>(idx);
+    ctx.aux_base_ = naive_ ? -1 : aux_base_[idx];
+    if (!(*props_)[idx]->Propagate(ctx)) {
+      // Failure: drain the queue so the engine is clean for the next node.
+      DrainQueue();
+      return false;
+    }
+    // Fixpoint reporting (event mode): a wake the run put on *itself* — the
+    // only mutations during Propagate(idx) are idx's own — is consumed here
+    // instead of costing a queue round trip. Idempotent propagators are at
+    // their own fixpoint already; the rest re-run (same execution episode,
+    // uncounted) until quiescent or entailed, which computes the exact same
+    // per-propagator closure the legacy self-wake loop did.
+    while (!naive_ && in_queue_[idx]) {
+      in_queue_[idx] = 0;  // the deque entry it left behind is now stale
+      if (IsEntailed(idx) || idempotent_[idx]) break;
+      // The run's own prunes advised its aggregates; if they now certify a
+      // no-op, the closure is reached without another full term scan.
+      if (aux_base_[idx] >= 0 &&
+          ProvablyAtFixpoint(proofs_[idx], aux_base_[idx])) {
+        break;
+      }
+      if (!(*props_)[idx]->Propagate(ctx)) {
+        DrainQueue();
+        return false;
+      }
+    }
+  }
+}
+
+ExprBounds ClampExprBounds(__int128 lo, __int128 hi) {
+  auto clamp = [](__int128 x) {
+    const __int128 lim = static_cast<__int128>(INT64_MAX) / 2;
+    if (x > lim) return static_cast<int64_t>(lim);
+    if (x < -lim) return static_cast<int64_t>(-lim);
+    return static_cast<int64_t>(x);
+  };
+  return {clamp(lo), clamp(hi)};
 }
 
 ExprBounds BoundsOf(const PropCtx& ctx, const LinExpr& e) {
@@ -70,13 +289,7 @@ ExprBounds BoundsOf(const PropCtx& ctx, const LinExpr& e) {
       hi += static_cast<__int128>(c) * d.min();
     }
   }
-  auto clamp = [](__int128 x) {
-    const __int128 lim = static_cast<__int128>(INT64_MAX) / 2;
-    if (x > lim) return static_cast<int64_t>(lim);
-    if (x < -lim) return static_cast<int64_t>(-lim);
-    return static_cast<int64_t>(x);
-  };
-  return {clamp(lo), clamp(hi)};
+  return ClampExprBounds(lo, hi);
 }
 
 Entail EntailedRel(const ExprBounds& b, Rel rel) {
@@ -128,20 +341,12 @@ int64_t CeilDiv128(__int128 a, __int128 b) {
   return static_cast<int64_t>(q);
 }
 
-// Prune `sign*e + add <= 0` to bounds consistency. The sign/offset
-// parameterization covers every PruneLinear rewrite (>=, >, <, ==) without
-// materializing a negated LinExpr copy per propagation — the historical
-// `f = e; f.MulBy(-1)` heap-allocated a terms vector on the hot path. The
-// arithmetic is term-for-term identical to running the plain `e' <= 0` prune
-// on the rewritten expression.
-bool PruneLe(PropCtx& ctx, const LinExpr& e, int64_t sign = 1,
-             int64_t add = 0) {
-  __int128 sum_min = static_cast<__int128>(sign) * e.constant + add;
-  for (const auto& [c, v] : e.terms) {
-    const IntDomain& d = ctx.dom(v);
-    const __int128 ce = static_cast<__int128>(sign) * c;
-    sum_min += ce * (ce >= 0 ? d.min() : d.max());
-  }
+// Prune pass of `sign*e + add <= 0` given the precomputed sum of minima of
+// the transformed expression. Term-for-term identical to the historical
+// single-function PruneLe; split out so the incremental path can supply
+// `sum_min` from its live aggregates instead of the O(all terms) first loop.
+bool PruneLeWithSum(PropCtx& ctx, const LinExpr& e, int64_t sign, int64_t add,
+                    __int128 sum_min) {
   if (sum_min > 0) return false;
   for (const auto& [c, v] : e.terms) {
     const IntDomain& d = ctx.dom(v);
@@ -167,6 +372,21 @@ bool PruneLe(PropCtx& ctx, const LinExpr& e, int64_t sign = 1,
     }
   }
   return true;
+}
+
+// Prune `sign*e + add <= 0` to bounds consistency. The sign/offset
+// parameterization covers every PruneLinear rewrite (>=, >, <, ==) without
+// materializing a negated LinExpr copy per propagation — the historical
+// `f = e; f.MulBy(-1)` heap-allocated a terms vector on the hot path.
+bool PruneLe(PropCtx& ctx, const LinExpr& e, int64_t sign = 1,
+             int64_t add = 0) {
+  __int128 sum_min = static_cast<__int128>(sign) * e.constant + add;
+  for (const auto& [c, v] : e.terms) {
+    const IntDomain& d = ctx.dom(v);
+    const __int128 ce = static_cast<__int128>(sign) * c;
+    sum_min += ce * (ce >= 0 ? d.min() : d.max());
+  }
+  return PruneLeWithSum(ctx, e, sign, add, sum_min);
 }
 
 bool PruneNe(PropCtx& ctx, const LinExpr& e) {
@@ -208,6 +428,55 @@ bool PruneLinear(PropCtx& ctx, const LinExpr& e, Rel rel) {
       return PruneLe(ctx, e, -1, 1);  // e > 0  <=>  -e + 1 <= 0
     case Rel::kEq:
       return PruneLe(ctx, e) && PruneLe(ctx, e, -1);
+    case Rel::kNe:
+      return PruneNe(ctx, e);
+  }
+  return true;
+}
+
+bool LinearPassAtFixpoint(Rel rel, __int128 sum_min, __int128 sum_max,
+                          __int128 max_width) {
+  // Pass over `g = sign*e + add <= 0`: term j prunable iff
+  // width_j > slack = -min(g); see PruneLeWithSum's multiply-compare guard.
+  // `max_width >= 0`, so `max_width <= slack` also certifies `min(g) <= 0` —
+  // a failing pass (positive min) is never skipped.
+  switch (rel) {
+    case Rel::kLe:  // g = e:       slack = -sum_min
+      return max_width <= -sum_min;
+    case Rel::kLt:  // g = e + 1:   slack = -sum_min - 1
+      return max_width <= -sum_min - 1;
+    case Rel::kGe:  // g = -e:      slack = sum_max
+      return max_width <= sum_max;
+    case Rel::kGt:  // g = -e + 1:  slack = sum_max - 1
+      return max_width <= sum_max - 1;
+    case Rel::kEq:  // both passes; same widths (|c| is sign-invariant)
+      return max_width <= -sum_min && max_width <= sum_max;
+    case Rel::kNe:
+      return false;
+  }
+  return false;
+}
+
+bool PruneLinearIncremental(PropCtx& ctx, const LinExpr& e, Rel rel) {
+  // Aux slot 0/1 hold the exact sum-min/sum-max of `e` (constant included),
+  // maintained by Advise deltas. `sum_min(sign*e + add)` is `aux0 + add`
+  // for sign=1 and `-aux1 + add` for sign=-1 — the same value the
+  // full-recompute first loop would produce, so the prune pass (and hence
+  // the fixpoint) is identical. For kEq the second pass re-reads the slot:
+  // prunes made by the first pass advise the aggregates mid-call, exactly
+  // as the legacy second recompute observed them.
+  switch (rel) {
+    case Rel::kLe:
+      return PruneLeWithSum(ctx, e, 1, 0, ctx.AuxVal(0));
+    case Rel::kLt:
+      return PruneLeWithSum(ctx, e, 1, 1, ctx.AuxVal(0) + 1);
+    case Rel::kGe:
+      return PruneLeWithSum(ctx, e, -1, 0, -ctx.AuxVal(1));
+    case Rel::kGt:
+      return PruneLeWithSum(ctx, e, -1, 1, -ctx.AuxVal(1) + 1);
+    case Rel::kEq:
+      return PruneLeWithSum(ctx, e, 1, 0, ctx.AuxVal(0)) &&
+             PruneLeWithSum(ctx, e, -1, 0, -ctx.AuxVal(1));
     case Rel::kNe:
       return PruneNe(ctx, e);
   }

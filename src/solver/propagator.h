@@ -4,9 +4,35 @@
 // which the paper used as its black-box solver): propagators watch variables,
 // a queue drives re-execution until fixpoint or failure, and search
 // interleaves branching decisions with propagation.
+//
+// The engine runs in one of two modes:
+//
+//  - Event-typed (default): the engine registers itself as the store's
+//    DomainListener, so every mutation — including the direct Assign/Clamp
+//    calls search and LNS make without a PropCtx — arrives classified as a
+//    kEvent* mask. Subscriptions are per (variable, event-mask): a wake is
+//    suppressed (`wakes_filtered`) when the event cannot affect the
+//    subscriber. Incremental propagators keep running aggregates in trailed
+//    store aux slots, updated by coefficient-based advisor deltas (folded
+//    inline by the engine) on every relevant event.
+//    A propagator that reports entailment (PropCtx::SetEntailed) is skipped
+//    (`props_skipped_entailed`) for the rest of the subtree; the flag lives
+//    in a trailed aux slot, so Backtrack re-plugs it automatically. Ready
+//    propagators drain from fixed priority buckets — wide linear sums (the
+//    producers) before their narrow consumers — FIFO within a bucket, so
+//    the schedule is deterministic. Because all propagators are monotone, the
+//    fixpoint domains are scheduling-order-independent: search trees are
+//    bit-identical to the naive mode, only the propagation-effort counters
+//    differ.
+//
+//  - Naive reference (Model::Options::naive_propagation): the legacy flat
+//    FIFO with full-recompute propagators, byte-identical to the
+//    pre-event-engine scheduler — the baseline leg of the CI propagation
+//    ratio gate and the oracle for the confluence sweep.
 #ifndef COLOGNE_SOLVER_PROPAGATOR_H_
 #define COLOGNE_SOLVER_PROPAGATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -43,16 +69,39 @@ class PropCtx {
   bool Assign(IntVar v, int64_t val);
   bool Remove(IntVar v, int64_t val);
 
+  // --- Incremental-propagation surface (event-typed engine only) ----------
+
+  /// True when the running propagator has live aux aggregates: its InitAux
+  /// ran at engine attach and every Advise delta since has been applied. A
+  /// false return (naive mode, standalone PropCtx in tests, or a propagator
+  /// whose watch list failed the unique-variable precondition) means the
+  /// propagator must take its full-recompute path.
+  bool incremental() const { return aux_base_ >= 0; }
+  __int128 AuxVal(int off) const { return store_->aux(aux_base_ + off); }
+  void SetAuxVal(int off, __int128 v) { store_->SetAux(aux_base_ + off, v); }
+  /// Report the running propagator entailed on the current subtree: it is
+  /// skipped until backtracking unwinds past this level (the flag is a
+  /// trailed aux slot). Only meaningful while the engine is executing the
+  /// propagator in event mode; a no-op otherwise.
+  void SetEntailed();
+
  private:
+  friend class PropagationEngine;
   void Notify(int32_t var_id);
+
   DomainStore* store_;
   PropagationEngine* engine_;
+  int32_t cur_prop_ = -1;  ///< Index of the running propagator (engine-set).
+  int32_t aux_base_ = -1;  ///< Its aux base, or -1 = no incremental state.
 };
 
 /// \brief Base class for constraint propagators.
 ///
 /// A propagator narrows the domains of its watched variables; returning false
 /// signals that the constraint is unsatisfiable under the current store.
+/// Propagators are immutable after construction and shared across concurrent
+/// workers: all per-solve state (incremental aggregates, entailment flags)
+/// lives in the worker's DomainStore aux slots, never in the propagator.
 class Propagator {
  public:
   virtual ~Propagator() = default;
@@ -64,17 +113,75 @@ class Propagator {
   /// Stable short kind name ("linear", "times", ...) keying the per-kind
   /// propagation counters of the observability layer (obs/metrics.h).
   virtual const char* kind() const { return "other"; }
+  /// True when a successful Propagate provably leaves this propagator at its
+  /// own fixpoint — its prunes cannot enable further prunes *by itself*
+  /// (e.g. a one-sided linear sum prunes opposite bounds only, leaving the
+  /// sum it read untouched). The event-typed engine then drops the wake the
+  /// run generated on itself instead of re-executing a propagator that is
+  /// guaranteed to find nothing (Gecode's ES_FIX). Propagators returning
+  /// false (the default) are instead re-run — uncounted, as part of the same
+  /// execution episode — until they stop changing domains, so the global
+  /// fixpoint is identical either way.
+  virtual bool IdempotentAfterRun() const { return false; }
+  /// Shape descriptor for the engine's inline no-op proof (see
+  /// PropagationEngine::ProvablyAtFixpoint). Queried once at construction so
+  /// the proof itself — evaluated on every mask-passing wake — costs no
+  /// virtual dispatch. kNone: no proof available, always run.
+  struct FixpointProof {
+    enum class Kind : uint8_t { kNone, kLinear, kReified };
+    Kind kind = Kind::kNone;
+    Rel rel = Rel::kLe;  ///< The (positive) relation of the linear pass.
+    int32_t b = -1;      ///< Reified control variable id (kReified only).
+  };
+  virtual FixpointProof fixpoint_proof() const { return {}; }
   /// Variable ids this propagator must be re-run for when they change.
   const std::vector<int32_t>& watched() const { return watched_; }
+  /// Per-watch-entry event masks (parallel to watched()): the kEvent* set
+  /// that can affect this propagator through that variable.
+  const std::vector<uint8_t>& watch_masks() const { return watch_masks_; }
+
+  // --- Advisor surface (event-typed engine) -------------------------------
+
+  /// Number of trailed aux slots this propagator's aggregates need (0 = not
+  /// incremental). Allocated store-side at engine attach.
+  virtual int NumAuxSlots() const { return 0; }
+  /// Compute the aggregates from the store's current domains into
+  /// [aux_base, aux_base + NumAuxSlots()). Called once at attach (level 0).
+  virtual void InitAux(DomainStore& store, int aux_base) const {
+    (void)store;
+    (void)aux_base;
+  }
+  /// Advisor: the coefficient by which watched()[watch_pos] contributes to
+  /// the [sum-min, sum-max] aggregates in aux slots 0/1 (0 = no
+  /// contribution, e.g. a reified control variable). Queried once at engine
+  /// construction; the engine folds bound deltas into the aggregates inline
+  /// — on every bound event of a subscribed variable, even when the wake
+  /// itself is mask-filtered, so aggregates never go stale — without a
+  /// virtual dispatch on the mutation hot path.
+  virtual int64_t AdviseCoefficient(uint32_t watch_pos) const {
+    (void)watch_pos;
+    return 0;
+  }
 
  protected:
-  void Watch(IntVar v) { watched_.push_back(v.id); }
-  void WatchExpr(const LinExpr& e) {
-    for (const auto& [c, v] : e.terms) Watch(v);
+  void Watch(IntVar v, uint8_t mask = kEventAny) {
+    watched_.push_back(v.id);
+    watch_masks_.push_back(mask);
+  }
+  void WatchExpr(const LinExpr& e, uint8_t mask = kEventAny) {
+    for (const auto& [c, v] : e.terms) Watch(v, mask);
+  }
+  /// Watch an expression with sign-dependent masks: terms with a positive
+  /// coefficient subscribe `pos_mask`, negative ones `neg_mask` (a linear
+  /// `e <= 0` only fails/prunes when its sum-of-mins rises, which a positive
+  /// coefficient does via the variable's min and a negative one via its max).
+  void WatchExprSigned(const LinExpr& e, uint8_t pos_mask, uint8_t neg_mask) {
+    for (const auto& [c, v] : e.terms) Watch(v, c >= 0 ? pos_mask : neg_mask);
   }
 
  private:
   std::vector<int32_t> watched_;
+  std::vector<uint8_t> watch_masks_;
 };
 
 /// \brief Queue-driven propagation-to-fixpoint engine.
@@ -82,38 +189,113 @@ class Propagator {
 /// Owned by the search; the propagator set is fixed after model construction
 /// (branch-and-bound objective cuts are applied by the search by clamping the
 /// objective variable's domain directly).
-class PropagationEngine {
+class PropagationEngine : public DomainListener {
  public:
-  /// Builds watch lists. `props` must outlive the engine.
+  /// Builds watch lists (deduplicated: a variable appearing several times in
+  /// one propagator's watch list yields a single subscription whose mask is
+  /// the union — one wake per (propagator, change)). `props` must outlive
+  /// the engine. `naive` selects the legacy flat-FIFO reference mode.
   PropagationEngine(const std::vector<std::unique_ptr<Propagator>>* props,
-                    size_t num_vars);
+                    size_t num_vars, bool naive = false);
+
+  /// Event mode: allocate entailment flags + advisor aggregates as trailed
+  /// aux slots of `store` (initialized from its current domains — call after
+  /// Init, at level 0) and register as its listener. Naive mode: no-op, so
+  /// the store keeps the listener-free mutator fast path. The store must
+  /// outlive the engine or be re-attached after re-Init.
+  void AttachStore(DomainStore& store);
 
   /// Run all propagators to fixpoint on `store`. False on failure (the store
   /// is left mid-propagation; the caller backtracks the level to recover).
   bool PropagateAll(DomainStore& store, SolveStats* stats);
 
   /// Run to fixpoint starting from the watchers of the changed variables.
+  /// In attached event mode the seed list is redundant — the store listener
+  /// already enqueued (and mask-filtered) the affected subscribers as the
+  /// mutations happened — so only the pending queue is drained.
   bool PropagateFrom(DomainStore& store,
                      const std::vector<int32_t>& changed_vars,
                      SolveStats* stats);
 
-  /// Called by PropCtx when a variable's domain changed.
+  /// Run whatever the listener enqueued since the last run (event mode); in
+  /// naive mode, a full PropagateAll — the call sites (LNS neighborhood
+  /// repair) historically re-ran every propagator there, and the reference
+  /// mode must reproduce those counts exactly.
+  bool PropagateDelta(DomainStore& store, SolveStats* stats);
+
+  /// Discard pending wakes. Search calls this on paths that fail *without*
+  /// running propagation (e.g. a branch assignment that empties a domain):
+  /// the backtrack restores the domains, but listener-enqueued wakes would
+  /// otherwise leak into the next node. (Stale wakes are sound — propagators
+  /// are idempotent on the restored fixpoint — this keeps effort counters
+  /// honest.) No-op in naive mode, where those paths never enqueue.
+  void DrainQueue();
+
+  /// Called by PropCtx when a variable's domain changed. In attached event
+  /// mode this is a no-op (the store listener already delivered the typed
+  /// event); otherwise it conservatively wakes every watcher.
   void OnVarChanged(int32_t var_id);
+
+  /// DomainListener: classify + advise + filter + enqueue.
+  void OnDomainEvent(int32_t var, uint8_t events, int64_t old_min,
+                     int64_t old_max) override;
 
   /// Executions per propagator index over the engine's lifetime (sums to
   /// SolveStats::propagations); the search folds these into per-kind
   /// counters at the end of a solve.
   const std::vector<uint64_t>& run_counts() const { return run_counts_; }
+  /// Wakes suppressed by event-mask filtering or by an advisor no-op proof
+  /// (Propagator::AtFixpoint), including queued entries dropped at pop time
+  /// (event mode only).
+  uint64_t wakes_filtered() const { return wakes_filtered_; }
+  /// Wakes + queue pops suppressed because the propagator was entailed.
+  uint64_t props_skipped_entailed() const { return skipped_entailed_; }
 
  private:
+  /// One per-variable subscription record (event mode).
+  struct WatchEntry {
+    uint32_t prop;  ///< Propagator index.
+    uint8_t mask;   ///< Union of the kEvent* masks this var registered.
+    int64_t coef;   ///< Aggregate contribution (AdviseCoefficient), 0 = none.
+  };
+  static constexpr int kNumBuckets = 4;
+
   bool RunQueue(DomainStore& store, SolveStats* stats);
   void Enqueue(size_t prop_idx);
+  /// Inline evaluation of `proofs_[prop]` against the live aggregates: true
+  /// when running the propagator now provably changes nothing (and cannot
+  /// fail), so the wake can be dropped with the fixpoint bit-identical. Any
+  /// later change that could make it prune arrives as a new event on a
+  /// watched variable, re-running this check against fresh aggregates.
+  bool ProvablyAtFixpoint(const Propagator::FixpointProof& proof,
+                          int aux_base) const;
+  bool IsEntailed(size_t prop_idx) const {
+    return store_ != nullptr && store_->aux(entailed_base_ + static_cast<int>(prop_idx)) != 0;
+  }
+  void MarkEntailed(int32_t prop_idx) {
+    if (store_ != nullptr && prop_idx >= 0) {
+      store_->SetAux(entailed_base_ + prop_idx, 1);
+    }
+  }
+  friend class PropCtx;
 
   const std::vector<std::unique_ptr<Propagator>>* props_;
+  const bool naive_;
   std::vector<std::vector<size_t>> watchers_;  // var id -> propagator indices
-  std::deque<size_t> queue_;
+  std::vector<std::vector<WatchEntry>> subs_;  // var id -> typed subscriptions
+  std::array<std::deque<uint32_t>, kNumBuckets> buckets_;
+  std::vector<uint8_t> priority_;  // prop idx -> bucket (0 in naive mode)
   std::vector<char> in_queue_;
   std::vector<uint64_t> run_counts_;
+  std::vector<Propagator::FixpointProof> proofs_;  // construction-time cache
+  std::vector<char> idempotent_;  // IdempotentAfterRun(), cached likewise
+
+  DomainStore* store_ = nullptr;  // attached store (event mode only)
+  int entailed_base_ = -1;        // aux base of the per-prop entailed flags
+  std::vector<int32_t> aux_base_; // per-prop advisor aux base, -1 = none
+  std::vector<char> has_dup_watch_;  // unique-variable precondition failed
+  uint64_t wakes_filtered_ = 0;
+  uint64_t skipped_entailed_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -127,6 +309,11 @@ struct ExprBounds {
 };
 ExprBounds BoundsOf(const PropCtx& ctx, const LinExpr& e);
 
+/// Clamp exact __int128 bounds into ExprBounds range (±INT64_MAX/2). The
+/// clamp preserves sign and zero, so EntailedRel over clamped bounds equals
+/// entailment over the exact ones.
+ExprBounds ClampExprBounds(__int128 lo, __int128 hi);
+
 /// Three-valued entailment of `e rel 0` from bounds alone.
 enum class Entail { kYes, kNo, kMaybe };
 Entail EntailedRel(const ExprBounds& b, Rel rel);
@@ -134,9 +321,22 @@ Entail EntailedRel(const ExprBounds& b, Rel rel);
 /// Bounds-consistent pruning of `e rel 0`; false on failure.
 bool PruneLinear(PropCtx& ctx, const LinExpr& e, Rel rel);
 
-// ---------------------------------------------------------------------------
-// Propagator factories (definitions in propagators.cc).
-// ---------------------------------------------------------------------------
+/// Incremental variant: identical pruning, but the sum-of-mins/maxes first
+/// pass is read from the propagator's live aux aggregates (slots 0/1 =
+/// exact sum-min/sum-max of `e`) instead of recomputed over all terms.
+/// Requires ctx.incremental().
+bool PruneLinearIncremental(PropCtx& ctx, const LinExpr& e, Rel rel);
+
+/// No-op proof for the prune pass(es) of `e rel 0` from the live aggregates:
+/// a pass over `g = sign*e + add <= 0` can narrow some domain iff a term's
+/// width `|c|*(max-min)` exceeds the pass slack `-min(g)` (and fails iff the
+/// slack is negative, which `max_width >= 0` never proves away). `max_width`
+/// may be any upper bound on the true maximum term width — domains only
+/// narrow between resyncs, so a stale bound errs toward running. kNe prunes
+/// from fixed-value counts the aggregates don't carry: never provably a
+/// no-op.
+bool LinearPassAtFixpoint(Rel rel, __int128 sum_min, __int128 sum_max,
+                          __int128 max_width);
 
 // ---------------------------------------------------------------------------
 // PropCtx inline mutators (below PropagationEngine: Notify needs its
@@ -146,6 +346,10 @@ bool PruneLinear(PropCtx& ctx, const LinExpr& e, Rel rel);
 
 inline void PropCtx::Notify(int32_t var_id) {
   if (engine_ != nullptr) engine_->OnVarChanged(var_id);
+}
+
+inline void PropCtx::SetEntailed() {
+  if (engine_ != nullptr) engine_->MarkEntailed(cur_prop_);
 }
 
 inline bool PropCtx::ClampMin(IntVar v, int64_t lo) {

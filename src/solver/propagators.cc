@@ -1,4 +1,14 @@
 // Concrete propagator implementations.
+//
+// Each propagator declares, per watched variable, the event mask that can
+// actually affect it (a bounds propagator never cares about interior holes;
+// a disequality only cares about variables becoming fixed), and the linear
+// family additionally keeps exact running sum-min/sum-max aggregates in
+// trailed store aux slots, maintained by O(1) Advise deltas. The aggregates
+// make the failure/entailment check O(1) per wake and replace the
+// full-recompute first pass of the prune; the prune pass itself is
+// term-for-term identical to the legacy code, so fixpoints — and search
+// trees — are unchanged in either scheduling mode.
 #include <algorithm>
 #include <cmath>
 
@@ -13,6 +23,73 @@ int64_t Clamp128(__int128 x) {
   return static_cast<int64_t>(x);
 }
 
+// Exact [sum-min, sum-max] of `e` over the store's current domains, written
+// into aux slots [base, base+1].
+void InitLinearAux(const LinExpr& e, DomainStore& store, int base) {
+  __int128 lo = e.constant, hi = e.constant;
+  for (const auto& [c, v] : e.terms) {
+    const IntDomain& d = store.dom(v.id);
+    if (c >= 0) {
+      lo += static_cast<__int128>(c) * d.min();
+      hi += static_cast<__int128>(c) * d.max();
+    } else {
+      lo += static_cast<__int128>(c) * d.max();
+      hi += static_cast<__int128>(c) * d.min();
+    }
+  }
+  store.SetAux(base, lo);
+  store.SetAux(base + 1, hi);
+}
+
+// Exact maximum term width `|c| * (max - min)` of `e` over the store's
+// current domains — the certificate LinearPassAtFixpoint compares against
+// the pass slack. Stored in aux slot 2 and resynced after every executed
+// prune, so between runs it is a sound upper bound (domains only narrow).
+__int128 MaxTermWidth(const LinExpr& e, const DomainStore& store) {
+  __int128 w = 0;
+  for (const auto& [c, v] : e.terms) {
+    const IntDomain& d = store.dom(v.id);
+    const __int128 width = static_cast<__int128>(c < 0 ? -c : c) *
+                           (static_cast<__int128>(d.max()) - d.min());
+    if (width > w) w = width;
+  }
+  return w;
+}
+
+// Recompute the width certificate after a prune pass narrowed term domains.
+// Piggybacks on PropCtx's aux access; always true so callers can chain it.
+bool ResyncMaxTermWidth(PropCtx& ctx, const LinExpr& e) {
+  __int128 w = 0;
+  for (const auto& [c, v] : e.terms) {
+    const IntDomain& d = ctx.dom(v);
+    const __int128 width = static_cast<__int128>(c < 0 ? -c : c) *
+                           (static_cast<__int128>(d.max()) - d.min());
+    if (width > w) w = width;
+  }
+  ctx.SetAuxVal(2, w);
+  return true;
+}
+
+// Wake mask for one term of `e rel 0`: which bound movements can tighten the
+// relation's pruning or fail it. kLe/kLt only act when sum-min rises — via
+// the min of a positive-coefficient term or the max of a negative one;
+// kGe/kGt mirror; kEq needs both directions; kNe only reads fixed statuses.
+uint8_t LinearTermMask(Rel rel, int64_t c) {
+  switch (rel) {
+    case Rel::kLe:
+    case Rel::kLt:
+      return c >= 0 ? kEventMin : kEventMax;
+    case Rel::kGe:
+    case Rel::kGt:
+      return c >= 0 ? kEventMax : kEventMin;
+    case Rel::kEq:
+      return kEventMin | kEventMax;
+    case Rel::kNe:
+      return kEventFix;
+  }
+  return kEventAny;
+}
+
 // ---------------------------------------------------------------------------
 // e rel 0
 // ---------------------------------------------------------------------------
@@ -20,16 +97,53 @@ class LinearProp : public Propagator {
  public:
   LinearProp(LinExpr e, Rel rel) : e_(std::move(e)), rel_(rel) {
     e_.Canonicalize();
-    WatchExpr(e_);
+    for (const auto& [c, v] : e_.terms) Watch(v, LinearTermMask(rel_, c));
   }
 
-  bool Propagate(PropCtx& ctx) override { return PruneLinear(ctx, e_, rel_); }
+  bool Propagate(PropCtx& ctx) override {
+    if (!ctx.incremental()) return PruneLinear(ctx, e_, rel_);
+    const ExprBounds b = ClampExprBounds(ctx.AuxVal(0), ctx.AuxVal(1));
+    const Entail ent = EntailedRel(b, rel_);
+    if (ent == Entail::kYes) {
+      // Domains only shrink below this node, so the relation stays entailed
+      // for the whole subtree: unplug until backtrack.
+      ctx.SetEntailed();
+      return true;
+    }
+    if (ent == Entail::kNo) return false;
+    return PruneLinearIncremental(ctx, e_, rel_) &&
+           ResyncMaxTermWidth(ctx, e_);
+  }
 
   std::string DebugString() const override {
     return e_.ToString() + " " + RelName(rel_) + " 0";
   }
 
   const char* kind() const override { return "linear"; }
+
+  // One-sided sums prune opposite bounds only (a <= prunes maxes off the
+  // sum-of-mins, which those prunes leave untouched), and != removes at most
+  // one value once everything else is fixed — a successful run is at its own
+  // fixpoint. == is the exception: its min pass shifts the sum its max pass
+  // read, so the engine re-runs it to closure.
+  bool IdempotentAfterRun() const override { return rel_ != Rel::kEq; }
+
+  // Slot 2 = width certificate: a wake whose slack covers every term width
+  // provably cannot prune (or fail) — the advisor subsumes it. The engine
+  // evaluates the proof inline from this descriptor.
+  FixpointProof fixpoint_proof() const override {
+    if (rel_ == Rel::kNe) return {};  // no aux slots, no certificate
+    return {FixpointProof::Kind::kLinear, rel_, -1};
+  }
+
+  int NumAuxSlots() const override { return rel_ == Rel::kNe ? 0 : 3; }
+  void InitAux(DomainStore& store, int aux_base) const override {
+    InitLinearAux(e_, store, aux_base);
+    store.SetAux(aux_base + 2, MaxTermWidth(e_, store));
+  }
+  int64_t AdviseCoefficient(uint32_t watch_pos) const override {
+    return e_.terms[watch_pos].first;
+  }
 
  private:
   LinExpr e_;
@@ -44,18 +158,50 @@ class ReifiedLinearProp : public Propagator {
   ReifiedLinearProp(IntVar b, LinExpr e, Rel rel)
       : b_(b), e_(std::move(e)), rel_(rel) {
     e_.Canonicalize();
-    Watch(b_);
-    WatchExpr(e_);
+    // b is 0/1: any change fixes it. The expression needs both bound
+    // directions — either can decide entailment and flip b.
+    Watch(b_, kEventFix);
+    WatchExpr(e_, kEventMin | kEventMax);
   }
 
   bool Propagate(PropCtx& ctx) override {
+    if (!ctx.incremental()) return PropagateRecompute(ctx);
+    const ExprBounds bd = ClampExprBounds(ctx.AuxVal(0), ctx.AuxVal(1));
+    // Three-valued status of the *positive* relation; entailment of the
+    // negated relation is its dual (bounds-based: rel is No exactly when
+    // Negate(rel) is Yes).
+    const Entail ent = EntailedRel(bd, rel_);
     if (ctx.IsFixed(b_)) {
-      Rel eff = ctx.ValueOf(b_) != 0 ? rel_ : Negate(rel_);
-      return PruneLinear(ctx, e_, eff);
+      if (ctx.ValueOf(b_) != 0) {
+        if (ent == Entail::kYes) {
+          // b already says "holds" and the relation is entailed: nothing can
+          // ever change below this node — stop re-pruning a satisfied
+          // relation on every wake.
+          ctx.SetEntailed();
+          return true;
+        }
+        if (ent == Entail::kNo) return false;
+        return PruneLinearIncremental(ctx, e_, rel_) &&
+               ResyncMaxTermWidth(ctx, e_);
+      }
+      if (ent == Entail::kNo) {  // negated relation entailed
+        ctx.SetEntailed();
+        return true;
+      }
+      if (ent == Entail::kYes) return false;
+      return PruneLinearIncremental(ctx, e_, Negate(rel_)) &&
+             ResyncMaxTermWidth(ctx, e_);
     }
-    Entail ent = EntailedRel(BoundsOf(ctx, e_), rel_);
-    if (ent == Entail::kYes) return ctx.Assign(b_, 1);
-    if (ent == Entail::kNo) return ctx.Assign(b_, 0);
+    if (ent == Entail::kYes) {
+      if (!ctx.Assign(b_, 1)) return false;
+      ctx.SetEntailed();
+      return true;
+    }
+    if (ent == Entail::kNo) {
+      if (!ctx.Assign(b_, 0)) return false;
+      ctx.SetEntailed();
+      return true;
+    }
     return true;
   }
 
@@ -66,7 +212,44 @@ class ReifiedLinearProp : public Propagator {
 
   const char* kind() const override { return "reified"; }
 
+  // Idempotent unless one of the two enforceable relations (rel when b=1,
+  // its negation when b=0) is the two-pass ==; kEq/kNe each have == on one
+  // side of the negation.
+  bool IdempotentAfterRun() const override {
+    return rel_ != Rel::kEq && rel_ != Rel::kNe;
+  }
+
+  // While b is open the run only acts when the bounds decide the relation:
+  // an undecided (kMaybe) wake is a provable no-op. Once b is fixed the
+  // effective pass is plain linear pruning, certified by the width slot.
+  // The engine evaluates both cases inline from this descriptor.
+  FixpointProof fixpoint_proof() const override {
+    return {FixpointProof::Kind::kReified, rel_, b_.id};
+  }
+
+  int NumAuxSlots() const override { return 3; }
+  void InitAux(DomainStore& store, int aux_base) const override {
+    InitLinearAux(e_, store, aux_base);
+    store.SetAux(aux_base + 2, MaxTermWidth(e_, store));
+  }
+  int64_t AdviseCoefficient(uint32_t watch_pos) const override {
+    // Watch 0 is b: the control variable carries no aggregate contribution.
+    return watch_pos == 0 ? 0 : e_.terms[watch_pos - 1].first;
+  }
+
  private:
+  // Legacy full-recompute body (naive reference mode / no aux).
+  bool PropagateRecompute(PropCtx& ctx) {
+    if (ctx.IsFixed(b_)) {
+      Rel eff = ctx.ValueOf(b_) != 0 ? rel_ : Negate(rel_);
+      return PruneLinear(ctx, e_, eff);
+    }
+    Entail ent = EntailedRel(BoundsOf(ctx, e_), rel_);
+    if (ent == Entail::kYes) return ctx.Assign(b_, 1);
+    if (ent == Entail::kNo) return ctx.Assign(b_, 0);
+    return true;
+  }
+
   IntVar b_;
   LinExpr e_;
   Rel rel_;
@@ -78,9 +261,10 @@ class ReifiedLinearProp : public Propagator {
 class TimesProp : public Propagator {
  public:
   TimesProp(IntVar z, IntVar x, IntVar y) : z_(z), x_(x), y_(y) {
-    Watch(z_);
-    Watch(x_);
-    if (!(y_ == x_)) Watch(y_);
+    // Pure bounds propagator: interior holes can't affect it.
+    Watch(z_, kEventMin | kEventMax);
+    Watch(x_, kEventMin | kEventMax);
+    if (!(y_ == x_)) Watch(y_, kEventMin | kEventMax);
   }
 
   bool Propagate(PropCtx& ctx) override {
@@ -157,8 +341,8 @@ class TimesProp : public Propagator {
 class AbsProp : public Propagator {
  public:
   AbsProp(IntVar z, IntVar x) : z_(z), x_(x) {
-    Watch(z_);
-    Watch(x_);
+    Watch(z_, kEventMin | kEventMax);
+    Watch(x_, kEventMin | kEventMax);
   }
 
   bool Propagate(PropCtx& ctx) override {
@@ -194,8 +378,10 @@ class AbsProp : public Propagator {
 class OrProp : public Propagator {
  public:
   OrProp(IntVar b, std::vector<IntVar> bs) : b_(b), bs_(std::move(bs)) {
-    Watch(b_);
-    for (IntVar v : bs_) Watch(v);
+    // 0/1 variables: every change is a fixing; the propagator only reads
+    // fixed statuses.
+    Watch(b_, kEventFix);
+    for (IntVar v : bs_) Watch(v, kEventFix);
   }
 
   bool Propagate(PropCtx& ctx) override {
@@ -250,8 +436,8 @@ class OrProp : public Propagator {
 class MaxConstProp : public Propagator {
  public:
   MaxConstProp(IntVar z, IntVar x, int64_t c) : z_(z), x_(x), c_(c) {
-    Watch(z_);
-    Watch(x_);
+    Watch(z_, kEventMin | kEventMax);
+    Watch(x_, kEventMin | kEventMax);
   }
 
   bool Propagate(PropCtx& ctx) override {

@@ -142,11 +142,16 @@ class SearchContext {
   SearchContext(const Model& model, const Model::Options& options)
       : model_(model),
         options_(options),
-        engine_(&model.propagators(), model.num_vars()),
+        engine_(&model.propagators(), model.num_vars(),
+                options.naive_propagation),
         order_(model),
         cache_(options.context_cache),
         start_(std::chrono::steady_clock::now()) {
     store_.Init(model.initial_domains());
+    // Event mode: aggregates + entailment flags become trailed aux slots of
+    // the freshly initialized store, and every mutation from here on —
+    // branching assignments included — reaches the engine as a typed event.
+    engine_.AttachStore(store_);
   }
 
   const Model& model() const { return model_; }
@@ -352,6 +357,9 @@ class SearchContext {
       changed_scratch_.push_back(var.id);
       if (limits.bound_objective && !ApplyBound(&changed_scratch_, *inc)) {
         ++stats.failures;
+        // Failed without running propagation: discard the wakes the
+        // listener enqueued for the assignment we are about to undo.
+        engine_.DrainQueue();
         store_.Backtrack();
         continue;
       }
@@ -396,7 +404,12 @@ class SearchContext {
     for (size_t i = from; i < units.size(); ++i) {
       for (int32_t id : units[i]) {
         store_.Assign(id, inc.values[static_cast<size_t>(id)]);
-        if (store_.dom(id).empty()) return false;
+        if (store_.dom(id).empty()) {
+          // Failing without propagating: drop the wakes already enqueued
+          // for the assignments the caller is about to backtrack.
+          engine_.DrainQueue();
+          return false;
+        }
       }
     }
     return true;
@@ -538,6 +551,10 @@ class SearchContext {
         *applied += wanted.size();
         return true;
       }
+      // Either an assignment emptied a domain before propagation ran (drain
+      // the listener-enqueued wakes) or propagation failed (queue already
+      // drained; the extra drain is a no-op).
+      engine_.DrainQueue();
       store_.Backtrack();
     }
 
@@ -575,6 +592,8 @@ class SearchContext {
     stats.wall_ms = elapsed_ms();
     stats.peak_memory_bytes = PeakMemoryBytes();
     stats.trail_saves = store_.total_saves();
+    stats.wakes_filtered = engine_.wakes_filtered();
+    stats.props_skipped_entailed = engine_.props_skipped_entailed();
     if (cache_ != nullptr) stats.cache_mem_bytes = cache_->MemoryBytes();
     const std::vector<uint64_t>& runs = engine_.run_counts();
     const auto& props = model_.propagators();

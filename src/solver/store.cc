@@ -10,6 +10,11 @@ void DomainStore::Init(std::vector<IntDomain> doms) {
   range_arena_.clear();
   marks_.clear();
   saved_at_.assign(doms_.size(), 0);
+  listener_ = nullptr;
+  aux_.clear();
+  aux_trail_.clear();
+  aux_marks_.clear();
+  aux_saved_at_.clear();
   dom_bytes_ = 0;
   for (const IntDomain& d : doms_) {
     dom_bytes_ += sizeof(IntDomain) + d.ranges().size() * sizeof(IntDomain::Range);
@@ -18,6 +23,7 @@ void DomainStore::Init(std::vector<IntDomain> doms) {
 
 void DomainStore::PushLevel() {
   marks_.push_back(trail_.size());
+  aux_marks_.push_back(aux_trail_.size());
   peak_depth_ = std::max(peak_depth_, marks_.size());
 }
 
@@ -37,6 +43,14 @@ void DomainStore::Backtrack() {
     range_arena_.resize(trail_[mark].range_begin);
     trail_.resize(mark);
   }
+  const size_t aux_mark = aux_marks_.back();
+  aux_marks_.pop_back();
+  for (size_t i = aux_trail_.size(); i > aux_mark; --i) {
+    const AuxSaved& s = aux_trail_[i - 1];
+    aux_saved_at_[static_cast<size_t>(s.slot)] = s.prev_saved_level;
+    aux_[static_cast<size_t>(s.slot)] = s.old_value;
+  }
+  aux_trail_.resize(aux_mark);
 }
 
 void DomainStore::BacktrackTo(int level) {
@@ -61,7 +75,9 @@ void DomainStore::Save(int32_t id) {
 
 size_t DomainStore::PeakMemoryBytes() const {
   return dom_bytes_ + peak_trail_entries_ * sizeof(Saved) +
-         peak_arena_ranges_ * sizeof(IntDomain::Range);
+         peak_arena_ranges_ * sizeof(IntDomain::Range) +
+         peak_aux_trail_entries_ * sizeof(AuxSaved) +
+         aux_.size() * sizeof(__int128);
 }
 
 }  // namespace cologne::solver

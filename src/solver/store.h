@@ -10,6 +10,34 @@
 
 namespace cologne::solver {
 
+// --- Modification events ----------------------------------------------------
+// Every domain mutation is classified into a bitmask of typed events so the
+// propagation engine can wake only the propagators whose filtering can be
+// affected (Gecode-style modification events). `kEventFix` always rides along
+// with the bound event that caused the fixing; `kEventRemove` marks a pure
+// interior hole (bounds unchanged, domain not newly fixed).
+inline constexpr uint8_t kEventMin = 1;     ///< min() increased
+inline constexpr uint8_t kEventMax = 2;     ///< max() decreased
+inline constexpr uint8_t kEventFix = 4;     ///< became fixed (singleton)
+inline constexpr uint8_t kEventRemove = 8;  ///< interior value removed only
+inline constexpr uint8_t kEventAny = 0xF;
+
+/// \brief Observer for typed domain-change events. The propagation engine
+/// implements this to receive every mutation made through the store —
+/// including the direct `Assign`/`ClampMax` calls search and LNS make
+/// without going through a `PropCtx` — so advisor state (incremental linear
+/// aggregates) can never go stale. Events are delivered only for changes
+/// that leave the domain non-empty: an emptied domain fails the current
+/// level, which is always backtracked (restoring any trailed advisor state)
+/// before propagation resumes.
+class DomainListener {
+ public:
+  virtual ~DomainListener() = default;
+  /// `events` is a kEvent* mask; new bounds are readable from the store.
+  virtual void OnDomainEvent(int32_t var, uint8_t events, int64_t old_min,
+                             int64_t old_max) = 0;
+};
+
 /// \brief A trailed domain store: one in-place `IntDomain` array plus a trail
 /// of save-once-per-level undo records, giving O(changed domains)
 /// backtracking where the historical copy-based search cloned the whole
@@ -27,15 +55,27 @@ namespace cologne::solver {
 /// Mutations at level 0 (no level pushed) are permanent: there is nothing
 /// below to restore to, so they bypass the trail.
 ///
+/// Alongside the domains the store owns a small array of trailed `__int128`
+/// auxiliary slots. Propagators park incremental aggregates (running
+/// sum(min)/sum(max) of a linear expression, entailed flags) there; the
+/// slots share the store's save-once-per-level discipline so `Backtrack()`
+/// restores them in O(changed) together with the domains they summarize.
+///
 /// Not thread-safe; concurrent backends give each racing worker its own
 /// store (one SearchContext per worker).
 class DomainStore {
  public:
   DomainStore() = default;
 
-  /// Reset to `doms` at level 0 with an empty trail. Peak/total accounting
-  /// carries across Init (one store serves one Solve call).
+  /// Reset to `doms` at level 0 with an empty trail, no aux slots, and no
+  /// listener. Peak/total accounting carries across Init (one store serves
+  /// one Solve call).
   void Init(std::vector<IntDomain> doms);
+
+  /// Attach (or detach, with nullptr) the event listener. Mutations made
+  /// while attached deliver typed events; the naive reference mode never
+  /// attaches one, keeping the legacy mutator fast path byte-identical.
+  void SetListener(DomainListener* listener) { listener_ = listener; }
 
   size_t size() const { return doms_.size(); }
   /// Current level: number of PushLevel() calls not yet backtracked.
@@ -63,25 +103,60 @@ class DomainStore {
     IntDomain& d = doms_[static_cast<size_t>(id)];
     if (d.empty() || lo <= d.min()) return false;
     Save(id);
-    return d.ClampMin(lo);
+    if (listener_ == nullptr) return d.ClampMin(lo);
+    const int64_t old_min = d.min(), old_max = d.max();
+    d.ClampMin(lo);
+    NotifyListener(id, old_min, old_max);
+    return true;
   }
   bool ClampMax(int32_t id, int64_t hi) {
     IntDomain& d = doms_[static_cast<size_t>(id)];
     if (d.empty() || hi >= d.max()) return false;
     Save(id);
-    return d.ClampMax(hi);
+    if (listener_ == nullptr) return d.ClampMax(hi);
+    const int64_t old_min = d.min(), old_max = d.max();
+    d.ClampMax(hi);
+    NotifyListener(id, old_min, old_max);
+    return true;
   }
   bool Remove(int32_t id, int64_t v) {
     IntDomain& d = doms_[static_cast<size_t>(id)];
     if (!d.Contains(v)) return false;
     Save(id);
-    return d.Remove(v);
+    if (listener_ == nullptr) return d.Remove(v);
+    const int64_t old_min = d.min(), old_max = d.max();
+    d.Remove(v);
+    NotifyListener(id, old_min, old_max);
+    return true;
   }
   bool Assign(int32_t id, int64_t v) {
     IntDomain& d = doms_[static_cast<size_t>(id)];
     if (d.empty() || (d.IsFixed() && d.value() == v)) return false;
     Save(id);
-    return d.Assign(v);
+    if (listener_ == nullptr) return d.Assign(v);
+    const int64_t old_min = d.min(), old_max = d.max();
+    d.Assign(v);
+    NotifyListener(id, old_min, old_max);
+    return true;
+  }
+
+  // --- Trailed auxiliary slots --------------------------------------------
+
+  /// Append `n` zero-initialized aux slots; returns the base index. Intended
+  /// for level-0 setup (engine attach), before any level is pushed.
+  int AddAuxSlots(int n) {
+    const int base = static_cast<int>(aux_.size());
+    aux_.resize(aux_.size() + static_cast<size_t>(n), 0);
+    aux_saved_at_.resize(aux_.size(), 0);
+    return base;
+  }
+  int num_aux_slots() const { return static_cast<int>(aux_.size()); }
+  __int128 aux(int slot) const { return aux_[static_cast<size_t>(slot)]; }
+  /// Write an aux slot, trailing the previous value once per level (same
+  /// discipline as the domain mutators; level-0 writes are permanent).
+  void SetAux(int slot, __int128 v) {
+    SaveAux(slot);
+    aux_[static_cast<size_t>(slot)] = v;
   }
 
   // --- Accounting -----------------------------------------------------------
@@ -111,8 +186,40 @@ class DomainStore {
     uint32_t range_len = 0;
   };
 
+  /// Undo record for one aux slot; the old value is inlined (fixed size),
+  /// so aux saves need no arena.
+  struct AuxSaved {
+    int32_t slot = -1;
+    int32_t prev_saved_level = 0;
+    __int128 old_value = 0;
+  };
+
   /// Record `id`'s current domain on the trail unless this level already did.
   void Save(int32_t id);
+  /// Record `slot`'s current value on the aux trail unless this level did.
+  void SaveAux(int slot) {
+    const int32_t cur = static_cast<int32_t>(marks_.size());
+    if (cur == 0) return;  // level-0 writes are permanent
+    int32_t& at = aux_saved_at_[static_cast<size_t>(slot)];
+    if (at == cur) return;
+    aux_trail_.push_back({slot, at, aux_[static_cast<size_t>(slot)]});
+    at = cur;
+    peak_aux_trail_entries_ =
+        aux_trail_.size() > peak_aux_trail_entries_ ? aux_trail_.size()
+                                                    : peak_aux_trail_entries_;
+  }
+  /// Classify the change against (`old_min`, `old_max`) and deliver it.
+  /// Emptied domains deliver nothing (the level is about to be backtracked).
+  void NotifyListener(int32_t id, int64_t old_min, int64_t old_max) {
+    const IntDomain& d = doms_[static_cast<size_t>(id)];
+    if (d.empty()) return;
+    uint8_t ev = 0;
+    if (d.min() > old_min) ev |= kEventMin;
+    if (d.max() < old_max) ev |= kEventMax;
+    if (d.IsFixed()) ev |= kEventFix;
+    if (ev == 0) ev = kEventRemove;
+    listener_->OnDomainEvent(id, ev, old_min, old_max);
+  }
 
   std::vector<IntDomain> doms_;
   std::vector<Saved> trail_;
@@ -120,10 +227,18 @@ class DomainStore {
   std::vector<size_t> marks_;      ///< trail_.size() at each PushLevel.
   std::vector<int32_t> saved_at_;  ///< var -> level of newest save (0 = none).
 
+  DomainListener* listener_ = nullptr;
+
+  std::vector<__int128> aux_;          ///< Trailed propagator aggregates.
+  std::vector<AuxSaved> aux_trail_;
+  std::vector<size_t> aux_marks_;      ///< aux_trail_.size() per PushLevel.
+  std::vector<int32_t> aux_saved_at_;  ///< slot -> level of newest save.
+
   uint64_t total_saves_ = 0;
   size_t peak_trail_entries_ = 0;
   size_t peak_depth_ = 0;
   size_t peak_arena_ranges_ = 0;   ///< High-water mark of live saved ranges.
+  size_t peak_aux_trail_entries_ = 0;
   size_t dom_bytes_ = 0;           ///< Footprint of the domain array at Init.
 };
 

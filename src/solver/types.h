@@ -109,6 +109,13 @@ struct SolveStats {
   uint64_t failures = 0;     ///< Dead ends encountered.
   uint64_t solutions = 0;    ///< Feasible solutions found (B&B improvements).
   uint64_t propagations = 0; ///< Propagator executions.
+  uint64_t wakes_filtered = 0;        ///< Wakeups suppressed because the
+                                      ///< domain event could not affect the
+                                      ///< subscriber (event-typed engine; 0
+                                      ///< in the naive reference mode).
+  uint64_t props_skipped_entailed = 0;///< Wakeups suppressed because the
+                                      ///< propagator had reported itself
+                                      ///< entailed on this subtree.
   uint64_t iterations = 0;   ///< Backend improvement iterations (LNS
                              ///< neighborhoods repaired / B&B improvement
                              ///< dives after the tree-search phase).

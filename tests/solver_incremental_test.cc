@@ -444,6 +444,7 @@ TEST(CommonConfigTest, HelpersMapSharedKnobs) {
   c.solver_incremental = true;
   c.solver_cache = true;
   c.solver_subproblems = 8;
+  c.solver_naive_propagation = true;
   SolveOptions base;
   base.time_limit_ms = 123;
   SolveOptions o = apps::OverlaySolveOptions(c, base, /*time_limit_ms=*/-1);
@@ -453,6 +454,7 @@ TEST(CommonConfigTest, HelpersMapSharedKnobs) {
   EXPECT_TRUE(o.incremental);
   EXPECT_TRUE(o.cache);
   EXPECT_EQ(o.subproblems, 8);
+  EXPECT_TRUE(o.naive_propagation);
   o = apps::OverlaySolveOptions(c, base, /*time_limit_ms=*/55);
   EXPECT_DOUBLE_EQ(o.time_limit_ms, 55);
 

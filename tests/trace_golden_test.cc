@@ -171,6 +171,11 @@ TEST(GoldenTraceTest, FollowTheSunObsMetrics) {
   cfg.solver_max_iterations = 16;
   cfg.solver_time_ms = 0;
   cfg.obs_metrics = true;
+  // The golden embeds exact propagator-effort counters (solve.propagations,
+  // prop.<kind>), which the event-typed engine reduces by design. Pin the
+  // legacy reference mode so this trace stays byte-stable; search results
+  // are identical either way.
+  cfg.solver_naive_propagation = true;
 
   TraceRecorder trace;
   cfg.trace = &trace;
